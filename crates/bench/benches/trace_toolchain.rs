@@ -1,0 +1,69 @@
+//! Criterion bench of the Paraver toolchain itself: `.prv` writing, parsing
+//! and analysis throughput (trace handling is the HPC-side cost the paper's
+//! infrastructure feeds; "tens of GBs of trace-data" is the norm it cites).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use paraver::analysis::{event_series, StateProfile};
+use paraver::model::{Record, TraceMeta};
+use paraver::prv::TraceWriter;
+
+fn synth_records(n: usize, threads: u32) -> Vec<Record> {
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = (i as u64) * 10;
+        let thread = (i as u32) % threads;
+        if i % 3 == 0 {
+            records.push(Record::State {
+                thread,
+                begin: t,
+                end: t + 10,
+                state: (i % 4) as u32,
+            });
+        } else {
+            records.push(Record::Event {
+                thread,
+                time: t,
+                events: vec![
+                    (paraver::events::FLOPS, (i % 100) as u64),
+                    (paraver::events::BYTES_READ, (i % 64) as u64 * 64),
+                ],
+            });
+        }
+    }
+    records
+}
+
+fn bench_toolchain(c: &mut Criterion) {
+    let threads = 8;
+    let records = synth_records(100_000, threads);
+    let meta = TraceMeta::new("bench", 1_000_000, threads);
+
+    let mut g = c.benchmark_group("trace_toolchain");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("prv_write_100k", |b| {
+        b.iter(|| {
+            let mut w = TraceWriter::new(Vec::with_capacity(4 << 20), meta.clone()).unwrap();
+            w.write_all(records.iter()).unwrap();
+            w.finish().unwrap().len()
+        })
+    });
+
+    let text = {
+        let mut w = TraceWriter::new(Vec::new(), meta.clone()).unwrap();
+        w.write_all(records.iter()).unwrap();
+        String::from_utf8(w.finish().unwrap()).unwrap()
+    };
+    g.bench_function("prv_parse_100k", |b| {
+        b.iter(|| paraver::parse::parse_prv(&text).unwrap().1.len())
+    });
+    g.bench_function("state_profile_100k", |b| {
+        b.iter(|| StateProfile::compute(&records, threads).total_time)
+    });
+    g.bench_function("event_series_100k", |b| {
+        b.iter(|| event_series(&records, paraver::events::FLOPS, 1_000, 1_000_000).total())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_toolchain);
+criterion_main!(benches);

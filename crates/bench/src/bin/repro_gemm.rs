@@ -1,0 +1,186 @@
+//! Reproduces the GEMM case study of §V-C: the speedup progression quoted in
+//! the text, the Paraver state view of Fig. 6 (with its zoom), the relative
+//! bandwidth comparison of Fig. 7, and the phase plots of Figs. 8 and 9.
+//!
+//! Usage: `repro_gemm [--dim N] [--threads N] [--out DIR]`
+//!
+//! `--dim 512` runs at the paper's scale (slow); the default 128 preserves
+//! every ratio (see EXPERIMENTS.md). Trace bundles (`.prv`/`.pcf`/`.row`)
+//! are written under `--out` (default `target/traces`).
+
+use bench::{gemm_sim_config, run_gemm};
+use hls_profiling::diagnose::{diagnose, DiagnoseConfig};
+use kernels::gemm::{GemmParams, GemmVersion};
+use paraver::analysis::{event_series, StateProfile};
+use paraver::timeline::{render_series, render_states, TimelineOptions};
+use paraver::{events, states};
+use std::path::PathBuf;
+
+fn main() {
+    let dim = arg_u32("--dim").unwrap_or(128) as i64;
+    let threads = arg_u32("--threads").unwrap_or(8);
+    let out: PathBuf = arg_str("--out")
+        .unwrap_or_else(|| "target/traces".to_string())
+        .into();
+    std::fs::create_dir_all(&out).expect("create trace output dir");
+
+    let p = GemmParams {
+        dim,
+        threads,
+        ..Default::default()
+    };
+    let sim = gemm_sim_config();
+
+    println!("== T-GEMM: execution time and speedups (§V-C text) ==\n");
+    println!(
+        "{:<24} {:>14} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "version", "cycles", "vs naive", "vs prev", "GB/s", "spin%", "crit%"
+    );
+    let mut runs = Vec::new();
+    let (mut naive_c, mut prev_c) = (0u64, 0u64);
+    for v in GemmVersion::ALL {
+        let run = run_gemm(v, &p, &sim);
+        let c = run.result.total_cycles;
+        if v == GemmVersion::Naive {
+            naive_c = c;
+            prev_c = c;
+        }
+        let prof = StateProfile::compute(&run.trace.records, threads);
+        println!(
+            "{:<24} {:>14} {:>8.2}x {:>8.2}x {:>8.3} {:>7.2}% {:>7.2}%",
+            v.name(),
+            c,
+            naive_c as f64 / c as f64,
+            prev_c as f64 / c as f64,
+            run.result.throughput_gbps(&sim),
+            prof.fraction(states::SPINNING) * 100.0,
+            prof.fraction(states::CRITICAL) * 100.0
+        );
+        prev_c = c;
+        let stem = out.join(format!("gemm_{dim}_{}", run.trace.meta.app_name));
+        run.trace.write_bundle(&stem).expect("write trace bundle");
+        runs.push((v, run));
+    }
+    println!("\n-- automated trace diagnosis (hls_profiling::diagnose) --\n");
+    for (v, run) in &runs {
+        let d = diagnose(&run.trace, &run.result.stats, &sim, &DiagnoseConfig::default());
+        println!("{:<24} {:?}: {}", v.name(), d.bottleneck, d.advice);
+    }
+    println!(
+        "\n(paper @512: naive 853,522,308 cycles; 1.14x, 1.93x over previous, 5.28x and 19x over naive)"
+    );
+
+    // ---- Fig. 6: state view of the naive version -------------------------
+    let (_, naive) = &runs[0];
+    println!("\n== Fig. 6: Paraver state view, naive GEMM (R=Running S=Spinning C=Critical .=Idle) ==\n");
+    let opts = TimelineOptions {
+        width: 100,
+        window: None,
+        axis: true,
+    };
+    println!(
+        "{}",
+        render_states(
+            &naive.trace.records,
+            threads,
+            naive.trace.meta.duration,
+            &opts
+        )
+    );
+    let prof = StateProfile::compute(&naive.trace.records, threads);
+    println!(
+        "time in critical sections: {:.2}%   spinning on locks: {:.2}%   (paper: 1.54% / 1.57%)",
+        prof.fraction(states::CRITICAL) * 100.0,
+        prof.fraction(states::SPINNING) * 100.0
+    );
+
+    // Zoom (Fig. 6 bottom): around the first long spin interval.
+    if let Some((t0, t1)) = find_spin_window(&naive.trace.records) {
+        println!("\n-- zoom [{t0}, {t1}): one thread spins while another is in its critical section --\n");
+        let zopts = TimelineOptions {
+            width: 100,
+            window: Some((t0, t1)),
+            axis: true,
+        };
+        println!(
+            "{}",
+            render_states(&naive.trace.records, threads, naive.trace.meta.duration, &zopts)
+        );
+    }
+
+    // ---- Fig. 7: relative bandwidth over relative execution time --------
+    println!("\n== Fig. 7: relative external-memory bandwidth over each version's execution ==\n");
+    for (v, run) in &runs {
+        let dur = run.trace.meta.duration.max(1);
+        let bins = 100u64;
+        let series_r = event_series(&run.trace.records, events::BYTES_READ, dur.div_ceil(bins), dur);
+        let series_w = event_series(
+            &run.trace.records,
+            events::BYTES_WRITTEN,
+            dur.div_ceil(bins),
+            dur,
+        );
+        let total: Vec<f64> = series_r
+            .bins
+            .iter()
+            .zip(&series_w.bins)
+            .map(|(r, w)| (r + w) as f64)
+            .collect();
+        println!("{}", render_series(&total, v.name()));
+    }
+    println!("\n(each row spans that version's own runtime, as in the paper's per-version panels)");
+
+    // ---- Figs. 8 & 9: load/compute phases, blocked vs double-buffered ----
+    for (v, fig) in [(GemmVersion::Blocked, 8), (GemmVersion::DoubleBuffered, 9)] {
+        let run = &runs.iter().find(|(rv, _)| *rv == v).unwrap().1;
+        let dur = run.trace.meta.duration.max(1);
+        let bins = 100u64;
+        let bw = event_series(&run.trace.records, events::BYTES_READ, dur.div_ceil(bins), dur);
+        let fl = event_series(&run.trace.records, events::FLOPS, dur.div_ceil(bins), dur);
+        let st = event_series(&run.trace.records, events::STALLS, dur.div_ceil(bins), dur);
+        println!("\n== Fig. {fig}: {} — throughput (top) vs compute (middle) vs stalls (bottom) ==\n", v.name());
+        println!("{}", render_series(&bw.bins.iter().map(|&b| b as f64).collect::<Vec<_>>(), "DRAM bytes"));
+        println!("{}", render_series(&fl.bins.iter().map(|&b| b as f64).collect::<Vec<_>>(), "FLOPs"));
+        println!("{}", render_series(&st.bins.iter().map(|&b| b as f64).collect::<Vec<_>>(), "stalls"));
+    }
+    println!("\n(Fig. 8: alternating load/compute phases; Fig. 9: reads overlap compute — flatter both)");
+    println!("\ntrace bundles written to {}", out.display());
+}
+
+/// Find a window around the first sizeable spinning interval.
+fn find_spin_window(records: &[paraver::Record]) -> Option<(u64, u64)> {
+    let mut best: Option<(u64, u64)> = None;
+    for r in records {
+        if let paraver::Record::State {
+            begin, end, state, ..
+        } = r
+        {
+            if *state == states::SPINNING && end > begin {
+                let len = end - begin;
+                if best.is_none_or(|(b, e)| e - b < len) {
+                    best = Some((*begin, *end));
+                }
+            }
+        }
+    }
+    best.map(|(b, e)| {
+        let pad = (e - b).max(50);
+        (b.saturating_sub(pad), e + pad)
+    })
+}
+
+fn arg_u32(flag: &str) -> Option<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn arg_str(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

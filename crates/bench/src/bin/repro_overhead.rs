@@ -1,0 +1,135 @@
+//! Reproduces §V-B — *Profiling Overhead and Hardware Footprint* (E1/E2).
+//!
+//! Study 1 (the five GEMM accelerators): register overhead ≤ 5.4%
+//! (geo-mean 2.41%), ALM overhead ≤ 4% (geo-mean 3.42%), fmax degradation
+//! ≤ 8 MHz at ~140 MHz. Study 2 (the larger π accelerator): 1.3% registers,
+//! 1.5% ALMs, 1 MHz at ~148 MHz. Also verifies the per-counter claim:
+//! "each of the counters contributes similarly to the hardware overhead".
+//!
+//! Usage: `repro_overhead [--threads N]`
+
+use hls_profiling::counters::CounterSet;
+use hls_profiling::overhead::{instrumented_fit, profiling_fit, OverheadParams};
+use hls_profiling::ProfilingConfig;
+use kernels::gemm::{self, GemmParams, GemmVersion};
+use kernels::pi::{self, PiParams};
+use nymble_hls::accel::{compile, HlsConfig};
+use nymble_hls::cost::geo_mean;
+
+fn main() {
+    let threads = arg_u32("--threads").unwrap_or(8);
+    let hls = HlsConfig::default();
+    let prof = ProfilingConfig::default();
+    let op = OverheadParams::default();
+
+    println!("== E1: hardware footprint of the profiling unit — study 1 (GEMM accelerators) ==\n");
+    println!(
+        "{:<24} {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8} | {:>7} {:>7} {:>9}",
+        "design", "ALMs", "regs", "fmax", "ALMs+PU", "regs+PU", "fmax+PU", "ΔALM%", "Δreg%", "Δfmax MHz"
+    );
+    let mut alm_pcts = Vec::new();
+    let mut reg_pcts = Vec::new();
+    let gp = GemmParams {
+        threads,
+        ..GemmParams::paper_scale()
+    };
+    for v in GemmVersion::ALL {
+        let k = gemm::build(v, &gp);
+        let acc = compile(&k, &hls);
+        let with = instrumented_fit(&acc.fit, threads, &prof, &op, &hls.cost);
+        let o = with.overhead_vs(&acc.fit);
+        alm_pcts.push(o.alms_pct);
+        reg_pcts.push(o.registers_pct);
+        println!(
+            "{:<24} {:>9} {:>9} {:>8.1} | {:>9} {:>9} {:>8.1} | {:>6.2}% {:>6.2}% {:>9.1}",
+            v.name(),
+            acc.fit.alms,
+            acc.fit.registers,
+            acc.fit.fmax_mhz,
+            with.alms,
+            with.registers,
+            with.fmax_mhz,
+            o.alms_pct,
+            o.registers_pct,
+            o.fmax_delta_mhz
+        );
+    }
+    let max_or = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\n  registers: max {:.2}% geo-mean {:.2}%   (paper: max 5.4%, geo-mean 2.41%)",
+        max_or(&reg_pcts),
+        geo_mean(&reg_pcts)
+    );
+    println!(
+        "  ALMs:      max {:.2}% geo-mean {:.2}%   (paper: max 4%,   geo-mean 3.42%)",
+        max_or(&alm_pcts),
+        geo_mean(&alm_pcts)
+    );
+
+    println!("\n== E2: study 2 (π accelerator) ==\n");
+    let pp = PiParams {
+        threads,
+        ..Default::default()
+    };
+    let k = pi::build(&pp);
+    let acc = compile(&k, &hls);
+    let with = instrumented_fit(&acc.fit, threads, &prof, &op, &hls.cost);
+    let o = with.overhead_vs(&acc.fit);
+    println!(
+        "  pi: ALMs {} → {} (+{:.2}%), registers {} → {} (+{:.2}%), fmax {:.1} → {:.1} MHz (−{:.1})",
+        acc.fit.alms,
+        with.alms,
+        o.alms_pct,
+        acc.fit.registers,
+        with.registers,
+        o.registers_pct,
+        acc.fit.fmax_mhz,
+        with.fmax_mhz,
+        o.fmax_delta_mhz
+    );
+    println!("  (paper: registers +1.3%, ALMs +1.5%, fmax −1 MHz at 148 MHz)");
+
+    println!("\n== per-counter contribution (§V-B: \"each of the counters contributes similarly\") ==\n");
+    let none = profiling_fit(
+        threads,
+        &ProfilingConfig {
+            counters: CounterSet::NONE,
+            ..prof.clone()
+        },
+        &op,
+    );
+    let names = ["stalls", "int_ops", "flops", "mem_read", "mem_write", "local_ops"];
+    for (i, name) in names.iter().enumerate() {
+        let mut set = CounterSet::NONE;
+        match i {
+            0 => set.stalls = true,
+            1 => set.int_ops = true,
+            2 => set.flops = true,
+            3 => set.mem_read = true,
+            4 => set.mem_write = true,
+            _ => set.local_ops = true,
+        }
+        let f = profiling_fit(
+            threads,
+            &ProfilingConfig {
+                counters: set,
+                ..prof.clone()
+            },
+            &op,
+        );
+        println!(
+            "  {:<10} +{:>4} ALMs, +{:>4} registers",
+            name,
+            f.alms - none.alms,
+            f.registers - none.registers
+        );
+    }
+}
+
+fn arg_u32(flag: &str) -> Option<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

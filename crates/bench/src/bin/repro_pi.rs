@@ -1,0 +1,103 @@
+//! Reproduces the π scaling case study of §V-D (Figs. 11–13): the state
+//! views showing the host's sequential thread-start ramp, the achieved
+//! GFLOP/s at 1 M / 4 M / 10 M iterations, and the paper's 15·10⁹-iteration
+//! extrapolation.
+//!
+//! Usage: `repro_pi [--threads N] [--out DIR]`
+
+use bench::{pi_sim_config, run_pi};
+use hls_profiling::ProfilingConfig;
+use kernels::pi::PiParams;
+use paraver::analysis::StateProfile;
+use paraver::states;
+use paraver::timeline::{render_states, TimelineOptions};
+use std::path::PathBuf;
+
+fn main() {
+    let threads = arg_u32("--threads").unwrap_or(8);
+    let out: PathBuf = arg_str("--out")
+        .unwrap_or_else(|| "target/traces".to_string())
+        .into();
+    std::fs::create_dir_all(&out).expect("create trace output dir");
+    let sim = pi_sim_config();
+    let prof = ProfilingConfig {
+        sampling_period: 50_000,
+        ..Default::default()
+    };
+
+    let paper = [(1_000_000u64, 0.146, 11), (4_000_000, 0.556, 12), (10_000_000, 1.507, 13)];
+    let mut per_iter_cycles = 0.0f64;
+    for (steps, paper_gflops, fig) in paper {
+        let p = PiParams {
+            steps,
+            threads,
+            bs: 8,
+        };
+        let (run, est) = run_pi(&p, &sim, &prof);
+        let gflops = run.result.gflops(&sim);
+        println!(
+            "== Fig. {fig}: π with {steps} iterations on {threads} threads ==\n"
+        );
+        let opts = TimelineOptions {
+            width: 100,
+            window: None,
+            axis: true,
+        };
+        println!(
+            "{}",
+            render_states(&run.trace.records, threads, run.trace.meta.duration, &opts)
+        );
+        let profst = StateProfile::compute(&run.trace.records, threads);
+        println!(
+            "cycles {:>10}  π ≈ {est:.6}  {gflops:.3} GFLOP/s (paper: {paper_gflops})  running {:.1}% of thread time",
+            run.result.total_cycles,
+            profst.fraction(states::RUNNING) * 100.0,
+        );
+        // Does the earliest thread finish before the last starts (Fig. 11)?
+        let first_end = run.result.stats.per_thread[0].end_cycle;
+        let last_start = run.result.stats.per_thread[threads as usize - 1].start_cycle;
+        if first_end < last_start {
+            println!(
+                "thread 0 finished at {first_end} before thread {} started at {last_start} — the §V-D launch-overhead effect"
+            , threads - 1);
+        }
+        println!();
+        let stem = out.join(format!("pi_{steps}"));
+        run.trace.write_bundle(&stem).expect("write trace bundle");
+
+        // Steady-state compute rate for the extrapolation below.
+        let t7 = &run.result.stats.per_thread[threads as usize - 1];
+        per_iter_cycles =
+            (t7.end_cycle - t7.start_cycle) as f64 / (steps as f64 / threads as f64);
+    }
+
+    // §V-D extrapolation: "increasing the number of iterations to 15·10^9
+    // would give us 36.84 GFLOP/s" (ignoring f32 instability).
+    let big = 15e9f64;
+    let launch_span = (threads as u64 - 1) as f64 * sim.launch_interval as f64;
+    let total_cycles = launch_span + big / threads as f64 * per_iter_cycles;
+    let flops = big * kernels::reference::PI_FLOPS_PER_ITER as f64;
+    let gflops = flops / (total_cycles / sim.clock_hz()) / 1e9;
+    println!("== extrapolation to 15·10⁹ iterations (paper: 36.84 GFLOP/s, ignoring f32 instability) ==\n");
+    println!(
+        "  predicted {total_cycles:.3e} cycles → {gflops:.2} GFLOP/s at {} MHz",
+        sim.clock_mhz
+    );
+    println!("\ntrace bundles written to {}", out.display());
+}
+
+fn arg_u32(flag: &str) -> Option<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn arg_str(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

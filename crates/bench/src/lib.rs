@@ -1,0 +1,152 @@
+//! # bench — experiment harness regenerating every table and figure of §V
+//!
+//! Shared plumbing for the `repro_*` binaries and the Criterion benches:
+//! compile a case-study kernel, run it through the cycle-level simulator
+//! with the profiling unit attached, decode the Paraver trace, and derive
+//! the paper's metrics. See `EXPERIMENTS.md` for the experiment↔binary map.
+
+use fpga_sim::memimg::LaunchArg;
+use fpga_sim::{Executor, NullSnoop, RunResult, SimConfig};
+use hls_profiling::{ProfilingConfig, ProfilingUnit, TraceData};
+use kernels::gemm::{self, GemmParams, GemmVersion};
+use kernels::pi::{self, PiParams};
+use kernels::reference;
+use nymble_hls::accel::{compile, Accelerator, HlsConfig};
+use nymble_ir::{Kernel, Value};
+
+/// Convert an `f32` slice into a buffer launch argument.
+pub fn f32_buffer(data: &[f32]) -> LaunchArg {
+    LaunchArg::Buffer(data.iter().map(|&x| Value::F32(x)).collect())
+}
+
+/// Read an `f32` buffer back out of a run result.
+pub fn f32_result(r: &RunResult, arg: usize) -> Vec<f32> {
+    r.buffers[arg]
+        .iter()
+        .map(|v| match v {
+            Value::F32(x) => *x,
+            other => other.as_f64() as f32,
+        })
+        .collect()
+}
+
+/// Outcome of one profiled experiment run.
+pub struct ProfiledRun {
+    pub result: RunResult,
+    pub trace: TraceData,
+    pub accel: Accelerator,
+}
+
+/// Compile and run a kernel with the profiling unit attached.
+pub fn run_profiled(
+    kernel: &Kernel,
+    sim: &SimConfig,
+    prof: &ProfilingConfig,
+    launch: &[LaunchArg],
+) -> ProfiledRun {
+    let accel = compile(kernel, &HlsConfig::default());
+    let mut unit = ProfilingUnit::new(&kernel.name, kernel.num_threads, prof.clone());
+    let result = Executor::run(kernel, &accel, sim, launch, &mut unit);
+    ProfiledRun {
+        result,
+        trace: unit.finish(),
+        accel,
+    }
+}
+
+/// Compile and run a kernel without profiling (the overhead-study baseline).
+pub fn run_unprofiled(kernel: &Kernel, sim: &SimConfig, launch: &[LaunchArg]) -> RunResult {
+    let accel = compile(kernel, &HlsConfig::default());
+    Executor::run(kernel, &accel, sim, launch, &mut NullSnoop)
+}
+
+/// GEMM launch arguments (A, B, C) with deterministic contents.
+pub fn gemm_launch(p: &GemmParams) -> Vec<LaunchArg> {
+    let d = p.dim as usize;
+    let a = reference::gen_matrix(d, 1);
+    let b = reference::gen_matrix(d, 2);
+    vec![
+        f32_buffer(&a),
+        f32_buffer(&b),
+        f32_buffer(&vec![0.0; d * d]),
+    ]
+}
+
+/// Run one GEMM version end to end with profiling.
+pub fn run_gemm(version: GemmVersion, p: &GemmParams, sim: &SimConfig) -> ProfiledRun {
+    let kernel = gemm::build(version, p);
+    run_profiled(
+        &kernel,
+        sim,
+        &ProfilingConfig::default(),
+        &gemm_launch(p),
+    )
+}
+
+/// Run the π kernel with profiling; returns the run plus the achieved π
+/// estimate.
+pub fn run_pi(p: &PiParams, sim: &SimConfig, prof: &ProfilingConfig) -> (ProfiledRun, f32) {
+    let kernel = pi::build(p);
+    let (step, spt) = pi::launch_scalars(p);
+    let launch = vec![
+        LaunchArg::Scalar(Value::F32(step)),
+        LaunchArg::Scalar(Value::I64(spt)),
+        f32_buffer(&[0.0]),
+    ];
+    let run = run_profiled(&kernel, sim, prof, &launch);
+    let est = f32_result(&run.result, 2)[0] * step;
+    (run, est)
+}
+
+/// The simulator configuration used for GEMM experiments: identical hardware
+/// timing to the default, but with the host launch cost scaled to the
+/// scaled-down default problem (the paper's fixed ~6 ms software cost is
+/// invisible at 512² / 853 M cycles but would dominate a 128² run).
+pub fn gemm_sim_config() -> SimConfig {
+    SimConfig::default().with_fast_launch()
+}
+
+/// The simulator configuration of the π study: full host launch overhead,
+/// calibrated so the 1 M / 4 M / 10 M-iteration GFLOP/s land in the band
+/// Figs. 11–13 report.
+pub fn pi_sim_config() -> SimConfig {
+    SimConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiled_gemm_smoke() {
+        let p = GemmParams {
+            dim: 16,
+            threads: 2,
+            vec: 4,
+            block: 8,
+        };
+        let run = run_gemm(GemmVersion::NoCritical, &p, &gemm_sim_config());
+        assert!(run.result.total_cycles > 0);
+        assert!(!run.trace.records.is_empty());
+        let d = p.dim as usize;
+        let a = reference::gen_matrix(d, 1);
+        let b = reference::gen_matrix(d, 2);
+        let gold = reference::gemm(&a, &b, d);
+        let got = f32_result(&run.result, 2);
+        for (g, e) in got.iter().zip(&gold) {
+            assert!((g - e).abs() < 1e-3 * e.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn profiled_pi_smoke() {
+        let p = PiParams {
+            steps: 64_000,
+            threads: 4,
+            bs: 8,
+        };
+        let (run, est) = run_pi(&p, &gemm_sim_config(), &ProfilingConfig::default());
+        assert!((est - std::f32::consts::PI).abs() < 1e-2);
+        assert!(run.trace.flushed_bytes > 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Simulator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of the simulated platform (defaults approximate the
+/// paper's Intel D5005 PAC: Stratix 10, four DDR4 banks behind a 512-bit
+/// Avalon interconnect, accelerator clock in the 140–150 MHz band).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Accelerator clock in MHz (the paper's designs close timing at
+    /// 140–148 MHz; used only to convert cycles to seconds/GB/s/GFLOP/s).
+    pub clock_mhz: f64,
+    /// DRAM access latency in cycles (request to first data).
+    pub dram_latency: u64,
+    /// DRAM channel payload per cycle in bytes (512-bit interface = 64 B).
+    pub dram_bytes_per_cycle: u32,
+    /// DRAM burst/line granularity in bytes; every miss fetches a full line.
+    pub dram_line_bytes: u32,
+    /// Number of interleaved banks (a second request to a busy bank waits).
+    pub dram_banks: u32,
+    /// Extra busy time a bank holds after serving a line (precharge).
+    pub dram_bank_busy: u64,
+    /// Cycles between successive hardware-thread starts performed by host
+    /// software (§V-D: "the overhead of starting the individual threads by
+    /// the software causes the earliest threads to be finished before last
+    /// ones are even started").
+    pub launch_interval: u64,
+    /// Semaphore acquire round trip over the Avalon bus, in cycles.
+    pub sem_acquire_latency: u64,
+    /// Semaphore release cost in cycles.
+    pub sem_release_latency: u64,
+    /// Re-poll interval while spinning on a held semaphore.
+    pub spin_retry_interval: u64,
+    /// Barrier release latency once the last thread arrives.
+    pub barrier_latency: u64,
+    /// Issue width for sequential (non-pipelined) statement execution.
+    pub seq_issue_width: u32,
+    /// Fixed cost per sequential statement (control overhead).
+    pub stmt_base_cost: u64,
+    /// Preloader DMA descriptor issue cost, in cycles.
+    pub burst_issue_cost: u64,
+    /// Scheduler-assumed minimum external-load latency (must match the
+    /// `ExtLoad` operator latency used at schedule time).
+    pub assumed_load_latency: u64,
+    /// Per-burst setup cost of the preloader DMA engine (descriptor fetch
+    /// plus DRAM row activation for the strided row), in cycles.
+    pub dma_setup: u64,
+    /// XOR-fold the DRAM bank index (real controllers do; disabling it
+    /// shows why: power-of-2 strides collapse onto one bank). Ablation knob.
+    pub dram_bank_hash: bool,
+    /// Per-(thread, buffer) one-line read buffers in front of the ports
+    /// (Nymble's "(cached) memory accesses"). Ablation knob.
+    pub line_buffers: bool,
+    /// Outstanding line fetches one thread's read port sustains (Avalon
+    /// pipelined-read depth / MSHRs). Bounds intra-thread memory-level
+    /// parallelism: the reason the paper's *Partial Vectorization* gains
+    /// ~2× rather than the full 4× of its width.
+    pub port_mshrs: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            clock_mhz: 148.0,
+            dram_latency: 48,
+            dram_bytes_per_cycle: 64,
+            dram_line_bytes: 64,
+            dram_banks: 16,
+            dram_bank_busy: 16,
+            launch_interval: 880_000,
+            sem_acquire_latency: 12,
+            sem_release_latency: 4,
+            spin_retry_interval: 16,
+            barrier_latency: 8,
+            seq_issue_width: 4,
+            stmt_base_cost: 1,
+            burst_issue_cost: 4,
+            dma_setup: 12,
+            assumed_load_latency: 8,
+            dram_bank_hash: true,
+            line_buffers: true,
+            port_mshrs: 2,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Clock frequency in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_mhz * 1e6
+    }
+
+    /// Convert a cycle count to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz()
+    }
+
+    /// A configuration with negligible host launch overhead, for experiments
+    /// where the problem has been scaled down relative to the paper's (the
+    /// fixed software cost would otherwise dominate artificially).
+    pub fn with_fast_launch(mut self) -> Self {
+        self.launch_interval = 200;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = SimConfig::default();
+        assert!(c.clock_mhz > 0.0);
+        assert_eq!(c.dram_bytes_per_cycle, 64, "512-bit interface");
+        assert!(c.assumed_load_latency < c.dram_latency);
+    }
+
+    #[test]
+    fn unit_conversion() {
+        let c = SimConfig {
+            clock_mhz: 100.0,
+            ..Default::default()
+        };
+        assert!((c.cycles_to_seconds(100_000_000) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,714 @@
+//! The timed executor: drives one walker per hardware thread and attributes
+//! cycle costs per the compiled schedules (see the crate docs for the model).
+
+use crate::config::SimConfig;
+use crate::dram::{Dram, LineBuffer};
+use crate::memimg::{LaunchArg, MemImage};
+use crate::semaphore::{Acquire, Semaphore};
+use crate::snoop::{Snoop, ThreadState};
+use crate::stats::{RunStats, ThreadStats};
+use nymble_hls::accel::Accelerator;
+use nymble_hls::op::OpClass;
+use nymble_ir::loops::{LoopId, LoopMap};
+use nymble_ir::walker::{StepEvent, Walker};
+use nymble_ir::{Kernel, Value};
+use std::collections::VecDeque;
+
+/// How the executor prices one loop's iterations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LoopMode {
+    /// Pure-datapath innermost loop: iterations overlap at the initiation
+    /// interval; total = `depth + (n-1)·II` plus stalls.
+    Pipelined { ii: u64, depth: u64 },
+    /// Contains inner regions (loops / critical sections / bursts): the
+    /// outer graph pauses for them, so statements charge individually.
+    Sequential,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Runnable at `Thread::time`.
+    Ready,
+    /// Queued on the semaphore; woken by a grant.
+    SpinWait,
+    /// Arrived at the barrier.
+    AtBarrier,
+    /// Body complete.
+    Done,
+}
+
+struct LoopCtx {
+    mode: LoopMode,
+    entered_first: bool,
+}
+
+struct Thread<'k> {
+    walker: Walker<'k>,
+    time: u64,
+    status: Status,
+    loops: Vec<LoopCtx>,
+    read_port_free: u64,
+    write_port_free: u64,
+    line_bufs: Vec<LineBuffer>,
+    mem_ready: Vec<u64>,
+    spin_since: u64,
+    crit_since: u64,
+    /// Outstanding line-fetch completion times on the read port (MSHRs).
+    inflight: VecDeque<u64>,
+    /// Worst VLO delay beyond the scheduled minimum accrued in the current
+    /// pipelined-loop iteration; applied at the next iteration boundary.
+    /// Loads within one iteration overlap (the stage waits for all of them),
+    /// so the stall is the max, not the sum.
+    iter_stall: u64,
+    stats: ThreadStats,
+}
+
+impl Thread<'_> {
+    fn innermost_pipelined(&self) -> Option<(u64, u64)> {
+        match self.loops.last() {
+            Some(LoopCtx {
+                mode: LoopMode::Pipelined { ii, depth },
+                ..
+            }) => Some((*ii, *depth)),
+            _ => None,
+        }
+    }
+}
+
+/// Result of a timed run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Final external-buffer contents (indexed like kernel arguments).
+    pub buffers: Vec<Vec<Value>>,
+    /// Total cycles from host start to last thread completion.
+    pub total_cycles: u64,
+    /// Ground-truth statistics.
+    pub stats: RunStats,
+}
+
+impl RunResult {
+    /// Achieved GFLOP/s at the given configuration's clock.
+    pub fn gflops(&self, cfg: &SimConfig) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.stats.total_flops() as f64 / cfg.cycles_to_seconds(self.total_cycles) / 1e9
+    }
+
+    /// Mean external-memory request throughput in GB/s.
+    pub fn throughput_gbps(&self, cfg: &SimConfig) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.stats.total_bytes() as f64 / cfg.cycles_to_seconds(self.total_cycles) / 1e9
+    }
+}
+
+/// The cycle-level executor.
+pub struct Executor;
+
+impl Executor {
+    /// Run `kernel` (compiled as `accel`) with `launch` arguments under
+    /// `cfg`, reporting pipeline activity to `snoop`.
+    pub fn run(
+        kernel: &Kernel,
+        accel: &Accelerator,
+        cfg: &SimConfig,
+        launch: &[LaunchArg],
+        snoop: &mut dyn Snoop,
+    ) -> RunResult {
+        let loop_map = LoopMap::build(kernel);
+        let modes: Vec<LoopMode> = (0..loop_map.len())
+            .map(|i| loop_mode(accel, LoopId(i as u32)))
+            .collect();
+
+        let (mut mem, scalars) = MemImage::new(kernel, launch);
+        let mut dram = Dram::new(cfg);
+        let mut sem = Semaphore::default();
+        let n = kernel.num_threads as usize;
+        let n_bufs = kernel.args.len();
+        let n_mems = kernel.local_mems.len();
+
+        let mut threads: Vec<Thread> = (0..n)
+            .map(|t| {
+                let start = t as u64 * cfg.launch_interval;
+                let st = ThreadStats {
+                    start_cycle: start,
+                    ..Default::default()
+                };
+                Thread {
+                    walker: Walker::new(kernel, &loop_map, t as u32, scalars.clone()),
+                    time: start,
+                    status: Status::Ready,
+                    loops: Vec::new(),
+                    read_port_free: 0,
+                    write_port_free: 0,
+                    line_bufs: vec![LineBuffer::default(); n_bufs],
+                    mem_ready: vec![0; n_mems],
+                    spin_since: 0,
+                    crit_since: 0,
+                    inflight: VecDeque::new(),
+                    iter_stall: 0,
+                    stats: st,
+                }
+            })
+            .collect();
+
+        // Initial state timeline: every thread idle from cycle 0 until the
+        // host software starts it.
+        for (t, th) in threads.iter().enumerate() {
+            snoop.state_change(0, t as u32, ThreadState::Idle);
+            snoop.state_change(th.time, t as u32, ThreadState::Running);
+        }
+
+        let mut done = 0usize;
+        let mut barrier_arrivals: Vec<usize> = Vec::new();
+
+        while done < n {
+            // Advance the runnable thread with the smallest clock.
+            let Some(ti) = threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Ready)
+                .min_by_key(|(i, t)| (t.time, *i))
+                .map(|(i, _)| i)
+            else {
+                panic!("simulator deadlock: no runnable thread (barrier/lock cycle)");
+            };
+            let tid = ti as u32;
+            let ev = threads[ti].walker.step(&mut mem);
+            match ev {
+                StepEvent::Ops(c) => {
+                    let th = &mut threads[ti];
+                    th.stats.int_ops += c.int_ops;
+                    th.stats.flops += c.flops;
+                    th.stats.local_ops += c.local_loads;
+                    snoop.ops(th.time, tid, c.int_ops, c.flops, c.local_loads);
+                    if th.innermost_pipelined().is_none() {
+                        let work = c.int_ops + c.flops + c.local_loads;
+                        th.time += cfg.stmt_base_cost
+                            + work.div_ceil(cfg.seq_issue_width.max(1) as u64);
+                    }
+                }
+                StepEvent::LocalRead { mem: lm } => {
+                    let th = &mut threads[ti];
+                    let ready = th.mem_ready[lm.0 as usize];
+                    if ready > th.time {
+                        let stall = ready - th.time;
+                        th.time = ready;
+                        th.stats.stall_cycles += stall;
+                        snoop.stall(th.time, tid, stall);
+                    }
+                }
+                StepEvent::Access(a) => {
+                    let th = &mut threads[ti];
+                    let addr = mem.abs_addr(a.buf, a.byte_off);
+                    if a.is_write {
+                        let issue = th.time.max(th.write_port_free);
+                        th.write_port_free = issue + 1;
+                        let _ = dram.transfer(issue, addr, a.bytes, true);
+                        th.line_bufs[a.buf.0 as usize].invalidate();
+                        th.stats.bytes_written += a.bytes as u64;
+                        snoop.mem_write(th.time, tid, a.bytes as u64);
+                    } else {
+                        let issue0 = th.time.max(th.read_port_free);
+                        th.read_port_free = issue0 + 1;
+                        // MSHR bound: retire completed fetches, then wait
+                        // for the oldest if the port is saturated.
+                        while th.inflight.front().is_some_and(|&r| r <= issue0) {
+                            th.inflight.pop_front();
+                        }
+                        let issue = if th.inflight.len() >= cfg.port_mshrs.max(1) as usize {
+                            th.inflight.pop_front().unwrap().max(issue0)
+                        } else {
+                            issue0
+                        };
+                        let (ready, hit) = if cfg.line_buffers {
+                            th.line_bufs[a.buf.0 as usize].read(&mut dram, issue, addr, a.bytes)
+                        } else {
+                            let mut lb = crate::dram::LineBuffer::default();
+                            lb.read(&mut dram, issue, addr, a.bytes)
+                        };
+                        if !hit {
+                            th.inflight.push_back(ready);
+                        }
+                        th.stats.bytes_read += a.bytes as u64;
+                        snoop.mem_read(th.time, tid, a.bytes as u64);
+                        if th.innermost_pipelined().is_some() {
+                            // The scheduler budgeted the assumed minimum;
+                            // only the excess stalls, and the VLO stage
+                            // waits for the worst response of the iteration.
+                            th.iter_stall = th
+                                .iter_stall
+                                .max(ready.saturating_sub(issue0 + cfg.assumed_load_latency));
+                        } else {
+                            // Sequential code waits the full round trip.
+                            let stall = ready.saturating_sub(th.time);
+                            if stall > 0 {
+                                th.time += stall;
+                                th.stats.stall_cycles += stall;
+                                snoop.stall(th.time, tid, stall);
+                            }
+                        }
+                    }
+                }
+                StepEvent::Burst { access, mem: lm } => {
+                    let th = &mut threads[ti];
+                    // The preloader queues descriptors: the thread pays only
+                    // the issue cost and runs on (how Fig. 9's prefetch
+                    // overlaps compute); the engine executes bursts serially.
+                    let addr = mem.abs_addr(access.buf, access.byte_off);
+                    let dma_done = dram.dma_transfer(ti, th.time, addr, access.bytes);
+                    if access.is_write {
+                        th.stats.bytes_written += access.bytes as u64;
+                        snoop.mem_write(th.time, tid, access.bytes as u64);
+                    } else {
+                        let r = &mut th.mem_ready[lm.0 as usize];
+                        *r = (*r).max(dma_done);
+                        th.stats.bytes_read += access.bytes as u64;
+                        snoop.mem_read(th.time, tid, access.bytes as u64);
+                    }
+                    th.time += cfg.burst_issue_cost;
+                }
+                StepEvent::LoopEnter { loop_id, trip: _ } => {
+                    let th = &mut threads[ti];
+                    th.loops.push(LoopCtx {
+                        mode: modes[loop_id.0 as usize],
+                        entered_first: false,
+                    });
+                }
+                StepEvent::LoopIter { .. } => {
+                    let th = &mut threads[ti];
+                    th.stats.iterations += 1;
+                    let ctx = th.loops.last_mut().expect("iter outside loop");
+                    match ctx.mode {
+                        LoopMode::Pipelined { ii, .. } => {
+                            let stall = std::mem::take(&mut th.iter_stall);
+                            if ctx.entered_first {
+                                th.time += ii + stall;
+                            } else {
+                                ctx.entered_first = true;
+                                th.time += stall;
+                            }
+                            if stall > 0 {
+                                th.stats.stall_cycles += stall;
+                                snoop.stall(th.time, tid, stall);
+                            }
+                        }
+                        LoopMode::Sequential => {
+                            // Loop control handshake of the paused region.
+                            th.time += 1;
+                        }
+                    }
+                }
+                StepEvent::LoopExit { .. } => {
+                    let th = &mut threads[ti];
+                    let ctx = th.loops.pop().expect("exit outside loop");
+                    match ctx.mode {
+                        LoopMode::Pipelined { depth, .. } => {
+                            // Drain the pipeline after the last issue,
+                            // including the final iteration's worst stall.
+                            let stall = std::mem::take(&mut th.iter_stall);
+                            th.time += depth + stall;
+                            if stall > 0 {
+                                th.stats.stall_cycles += stall;
+                                snoop.stall(th.time, tid, stall);
+                            }
+                        }
+                        LoopMode::Sequential => th.time += 1,
+                    }
+                }
+                StepEvent::CriticalEnter => {
+                    let th = &mut threads[ti];
+                    th.stats.critical_entries += 1;
+                    snoop.state_change(th.time, tid, ThreadState::Spinning);
+                    th.spin_since = th.time;
+                    let t_req = th.time + cfg.sem_acquire_latency;
+                    match sem.acquire(tid, t_req) {
+                        Acquire::Granted(g) => {
+                            th.stats.spin_cycles += g - th.time;
+                            th.time = g;
+                            th.crit_since = g;
+                            snoop.state_change(g, tid, ThreadState::Critical);
+                        }
+                        Acquire::Queued => {
+                            th.status = Status::SpinWait;
+                        }
+                    }
+                }
+                StepEvent::CriticalExit => {
+                    let release_t = {
+                        let th = &mut threads[ti];
+                        th.time += cfg.sem_release_latency;
+                        th.stats.critical_cycles += th.time - th.crit_since;
+                        snoop.state_change(th.time, tid, ThreadState::Running);
+                        th.time
+                    };
+                    if let Some((next, grant)) =
+                        sem.release(tid, release_t, cfg.spin_retry_interval)
+                    {
+                        let nt = &mut threads[next as usize];
+                        debug_assert_eq!(nt.status, Status::SpinWait);
+                        nt.stats.spin_cycles += grant.saturating_sub(nt.spin_since);
+                        nt.time = grant.max(nt.time);
+                        nt.crit_since = nt.time;
+                        nt.status = Status::Ready;
+                        snoop.state_change(nt.time, next, ThreadState::Critical);
+                    }
+                }
+                StepEvent::Barrier => {
+                    threads[ti].status = Status::AtBarrier;
+                    barrier_arrivals.push(ti);
+                    let live = threads.iter().filter(|t| t.status != Status::Done).count();
+                    if barrier_arrivals.len() == live {
+                        let release = threads
+                            .iter()
+                            .filter(|t| t.status == Status::AtBarrier)
+                            .map(|t| t.time)
+                            .max()
+                            .unwrap_or(0)
+                            + cfg.barrier_latency;
+                        for &bi in &barrier_arrivals {
+                            threads[bi].status = Status::Ready;
+                            threads[bi].time = release;
+                        }
+                        barrier_arrivals.clear();
+                    }
+                }
+                StepEvent::Finished => {
+                    let th = &mut threads[ti];
+                    th.status = Status::Done;
+                    th.stats.end_cycle = th.time;
+                    snoop.state_change(th.time, tid, ThreadState::Idle);
+                    done += 1;
+                    // A finished thread never reaches the barrier: re-check
+                    // whether the remaining arrivals complete it.
+                    let live = threads.iter().filter(|t| t.status != Status::Done).count();
+                    if !barrier_arrivals.is_empty() && barrier_arrivals.len() == live {
+                        let release = barrier_arrivals
+                            .iter()
+                            .map(|&bi| threads[bi].time)
+                            .max()
+                            .unwrap_or(0)
+                            + cfg.barrier_latency;
+                        for &bi in &barrier_arrivals {
+                            threads[bi].status = Status::Ready;
+                            threads[bi].time = release;
+                        }
+                        barrier_arrivals.clear();
+                    }
+                }
+            }
+        }
+
+        let total_cycles = threads.iter().map(|t| t.stats.end_cycle).max().unwrap_or(0);
+        snoop.run_end(total_cycles);
+
+        let mut stats = RunStats {
+            per_thread: threads.into_iter().map(|t| t.stats).collect(),
+            line_fetches: dram.stats.line_fetches,
+            channel_bytes: dram.stats.channel_bytes,
+            dram_contended: dram.stats.contended,
+            line_hits: dram.stats.line_hits,
+            read_requests: dram.stats.read_requests,
+        };
+        stats.per_thread.sort_by_key(|t| t.start_cycle);
+
+        RunResult {
+            buffers: mem.into_buffers(),
+            total_cycles,
+            stats,
+        }
+    }
+}
+
+/// Decide the pricing mode of a loop from its compiled schedule.
+fn loop_mode(accel: &Accelerator, id: LoopId) -> LoopMode {
+    let Some(sched) = &accel.loop_schedules[id.0 as usize] else {
+        // Fully unrolled — the walker never reports iterations for it.
+        return LoopMode::Sequential;
+    };
+    let Some(dfg) = &accel.loop_dfgs[id.0 as usize] else {
+        return LoopMode::Sequential;
+    };
+    let has_region = dfg.count(OpClass::InnerLoop) > 0
+        || dfg.count(OpClass::CriticalRegion) > 0
+        || dfg.count(OpClass::Burst) > 0;
+    if has_region {
+        LoopMode::Sequential
+    } else {
+        LoopMode::Pipelined {
+            ii: sched.ii as u64,
+            depth: sched.depth as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snoop::NullSnoop;
+    use nymble_hls::accel::{compile, HlsConfig};
+    use nymble_ir::interp::{buffer_as_f32, Interpreter, LaunchArg as GoldArg};
+    use nymble_ir::{KernelBuilder, MapDir, ScalarType, Type};
+
+    fn fast_cfg() -> SimConfig {
+        SimConfig::default().with_fast_launch()
+    }
+
+    fn dot_kernel(n: i64, threads: u32) -> Kernel {
+        let mut kb = KernelBuilder::new("dot", threads);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let b = kb.buffer("B", ScalarType::F32, MapDir::To);
+        let out = kb.buffer("OUT", ScalarType::F32, MapDir::ToFrom);
+        let sum = kb.var("sum", Type::F32);
+        let z = kb.c_f32(0.0);
+        kb.set(sum, z);
+        let tid = kb.thread_id();
+        let tid64 = kb.cast(ScalarType::I64, tid);
+        let nt = kb.num_threads_expr();
+        let nt64 = kb.cast(ScalarType::I64, nt);
+        let n_e = kb.c_i64(n);
+        kb.for_each("k", tid64, n_e, nt64, |kb, k| {
+            let av = kb.load(a, k, Type::F32);
+            let bv = kb.load(b, k, Type::F32);
+            let p = kb.mul(av, bv);
+            let cur = kb.get(sum);
+            let s = kb.add(cur, p);
+            kb.set(sum, s);
+        });
+        kb.critical(|kb| {
+            let zero = kb.c_i64(0);
+            let cur = kb.load(out, zero, Type::F32);
+            let sv = kb.get(sum);
+            let upd = kb.add(cur, sv);
+            let zero2 = kb.c_i64(0);
+            kb.store(out, zero2, upd);
+        });
+        kb.finish()
+    }
+
+    fn run_dot(n: i64, threads: u32) -> (RunResult, f32) {
+        let k = dot_kernel(n, threads);
+        let acc = compile(&k, &HlsConfig::default());
+        let a: Vec<Value> = (0..n).map(|i| Value::F32(i as f32 * 0.5)).collect();
+        let b: Vec<Value> = (0..n).map(|i| Value::F32((i % 7) as f32)).collect();
+        let launch = vec![
+            LaunchArg::Buffer(a.clone()),
+            LaunchArg::Buffer(b.clone()),
+            LaunchArg::Buffer(vec![Value::F32(0.0)]),
+        ];
+        let r = Executor::run(&k, &acc, &fast_cfg(), &launch, &mut NullSnoop);
+        // Gold model for the expected value.
+        let gold = Interpreter::run(
+            &k,
+            &[
+                GoldArg::Buffer(a),
+                GoldArg::Buffer(b),
+                GoldArg::Buffer(vec![Value::F32(0.0)]),
+            ],
+        );
+        let expect = buffer_as_f32(&gold.buffers[2])[0];
+        (r, expect)
+    }
+
+    #[test]
+    fn dot_product_matches_gold_model() {
+        let (r, expect) = run_dot(256, 4);
+        let got = match &r.buffers[2][0] {
+            Value::F32(v) => *v,
+            other => panic!("{other:?}"),
+        };
+        assert!(
+            (got - expect).abs() <= f32::EPSILON * expect.abs().max(1.0) * 8.0,
+            "sim {got} vs gold {expect}"
+        );
+        assert!(r.total_cycles > 0);
+        assert_eq!(r.stats.total(|t| t.critical_entries), 4);
+    }
+
+    #[test]
+    fn more_threads_run_faster() {
+        let (r1, _) = run_dot(4096, 1);
+        let (r8, _) = run_dot(4096, 8);
+        assert!(
+            r8.total_cycles < r1.total_cycles,
+            "8 threads ({}) should beat 1 ({})",
+            r8.total_cycles,
+            r1.total_cycles
+        );
+    }
+
+    #[test]
+    fn critical_sections_serialize() {
+        // A kernel that is *only* critical sections: total critical time
+        // across threads must not overlap (serialized by the semaphore).
+        let mut kb = KernelBuilder::new("crit", 4);
+        let out = kb.buffer("OUT", ScalarType::I32, MapDir::ToFrom);
+        let n = kb.c_i64(5);
+        kb.for_range("i", n, |kb, _| {
+            kb.critical(|kb| {
+                let z = kb.c_i64(0);
+                let cur = kb.load(out, z, Type::I32);
+                let one = kb.c_i32(1);
+                let inc = kb.add(cur, one);
+                let z2 = kb.c_i64(0);
+                kb.store(out, z2, inc);
+            });
+        });
+        let k = kb.finish();
+        let acc = compile(&k, &HlsConfig::default());
+        let r = Executor::run(
+            &k,
+            &acc,
+            &fast_cfg(),
+            &[LaunchArg::Buffer(vec![Value::I32(0)])],
+            &mut NullSnoop,
+        );
+        assert_eq!(r.buffers[0][0], Value::I32(20), "4 threads × 5 increments");
+        let total_crit = r.stats.total(|t| t.critical_cycles);
+        assert!(total_crit <= r.total_cycles, "critical time cannot overlap");
+        let total_spin = r.stats.total(|t| t.spin_cycles);
+        assert!(total_spin > 0, "threads must contend");
+    }
+
+    #[test]
+    fn launch_interval_staggers_threads() {
+        let k = dot_kernel(64, 4);
+        let acc = compile(&k, &HlsConfig::default());
+        let mk = || {
+            vec![
+                LaunchArg::Buffer(vec![Value::F32(1.0); 64]),
+                LaunchArg::Buffer(vec![Value::F32(1.0); 64]),
+                LaunchArg::Buffer(vec![Value::F32(0.0)]),
+            ]
+        };
+        let slow = SimConfig {
+            launch_interval: 100_000,
+            ..Default::default()
+        };
+        let r = Executor::run(&k, &acc, &slow, &mk(), &mut NullSnoop);
+        assert!(r.stats.per_thread[3].start_cycle == 300_000);
+        assert!(
+            r.total_cycles >= 300_000,
+            "ramp must dominate tiny workloads"
+        );
+        // Early thread finished before the last started (the Fig. 11 effect).
+        assert!(r.stats.per_thread[0].end_cycle < r.stats.per_thread[3].start_cycle);
+    }
+
+    #[test]
+    fn barrier_synchronizes_times() {
+        let mut kb = KernelBuilder::new("bar", 3);
+        let out = kb.buffer("OUT", ScalarType::I32, MapDir::ToFrom);
+        // Thread-dependent work before the barrier: thread t loops t*64 times.
+        let tid = kb.thread_id();
+        let tid64 = kb.cast(ScalarType::I64, tid);
+        let c64 = kb.c_i64(64);
+        let n = kb.mul(tid64, c64);
+        let acc_v = kb.var("acc", Type::I32);
+        kb.for_range("i", n, |kb, _| {
+            let cur = kb.get(acc_v);
+            let one = kb.c_i32(1);
+            let s = kb.add(cur, one);
+            kb.set(acc_v, s);
+        });
+        kb.barrier();
+        let tid2 = kb.thread_id();
+        let idx = kb.cast(ScalarType::I64, tid2);
+        let av = kb.get(acc_v);
+        kb.store(out, idx, av);
+        let k = kb.finish();
+        let acc = compile(&k, &HlsConfig::default());
+        let r = Executor::run(
+            &k,
+            &acc,
+            &fast_cfg(),
+            &[LaunchArg::Buffer(vec![Value::I32(0); 3])],
+            &mut NullSnoop,
+        );
+        assert_eq!(r.buffers[0][2], Value::I32(128));
+        // All threads end within a small window after the barrier.
+        let ends: Vec<u64> = r.stats.per_thread.iter().map(|t| t.end_cycle).collect();
+        let spread = ends.iter().max().unwrap() - ends.iter().min().unwrap();
+        assert!(spread < 2_000, "post-barrier work is uniform: {ends:?}");
+    }
+
+    #[test]
+    fn preload_makes_local_reads_wait() {
+        let mut kb = KernelBuilder::new("pre", 1);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let o = kb.buffer("O", ScalarType::F32, MapDir::From);
+        let lm = kb.local_mem("buf", Type::F32, 64);
+        let z = kb.c_i64(0);
+        let z2 = kb.c_i64(0);
+        let len = kb.c_i64(64);
+        kb.preload(lm, a, z, z2, len);
+        // Immediately read: must stall until DMA completes.
+        let one = kb.c_i64(1);
+        let v = kb.load_local(lm, one, Type::F32);
+        let z3 = kb.c_i64(0);
+        kb.store(o, z3, v);
+        let k = kb.finish();
+        let acc = compile(&k, &HlsConfig::default());
+        let r = Executor::run(
+            &k,
+            &acc,
+            &fast_cfg(),
+            &[
+                LaunchArg::Buffer(vec![Value::F32(3.25); 64]),
+                LaunchArg::Buffer(vec![Value::F32(0.0)]),
+            ],
+            &mut NullSnoop,
+        );
+        assert_eq!(r.buffers[1][0], Value::F32(3.25));
+        assert!(
+            r.stats.total_stalls() > 0,
+            "read-after-DMA must stall: {:?}",
+            r.stats
+        );
+        assert_eq!(r.stats.total(|t| t.bytes_read), 256, "one 256 B burst");
+    }
+
+    #[test]
+    fn sequential_vs_strided_bandwidth() {
+        // Sequential streaming hits the line buffer; a large-stride walk
+        // misses every access → more DRAM lines fetched for the same
+        // request count.
+        fn walk(stride: i64) -> RunStats {
+            let len = 4096i64;
+            let mut kb = KernelBuilder::new("walk", 1);
+            let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+            let acc_v = kb.var("acc", Type::F32);
+            let n = kb.c_i64(256);
+            kb.for_range("i", n, |kb, i| {
+                let s = kb.c_i64(stride);
+                let idx = kb.mul(i, s);
+                let len_e = kb.c_i64(len);
+                let idxm = kb.bin(nymble_ir::BinOp::Rem, idx, len_e);
+                let v = kb.load(a, idxm, Type::F32);
+                let cur = kb.get(acc_v);
+                let sum = kb.add(cur, v);
+                kb.set(acc_v, sum);
+            });
+            let k = kb.finish();
+            let acc = compile(&k, &HlsConfig::default());
+            Executor::run(
+                &k,
+                &acc,
+                &fast_cfg(),
+                &[LaunchArg::Buffer(vec![Value::F32(1.0); len as usize])],
+                &mut NullSnoop,
+            )
+            .stats
+        }
+        let seq = walk(1);
+        let strided = walk(64);
+        assert!(
+            strided.line_fetches > seq.line_fetches * 4,
+            "strided {} vs sequential {}",
+            strided.line_fetches,
+            seq.line_fetches
+        );
+    }
+}

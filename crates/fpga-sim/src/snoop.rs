@@ -1,0 +1,121 @@
+//! The pipeline snoop interface.
+//!
+//! The paper's profiling unit "is integrated into the generated datapath and
+//! directly hooks-into and snoops all compute pipelines" (§IV-B). In this
+//! reproduction the executor plays the datapath and the [`Snoop`] trait is
+//! the set of wires the profiling unit taps:
+//!
+//! * per-thread state transitions (Idle/Running/Spinning/Critical, Fig. 2),
+//! * stall cycles (control-signal snooping, §IV-B.2a),
+//! * retired integer/floating-point operations per stage activation
+//!   (§IV-B.2b),
+//! * read/write request bytes at the central Avalon interface (§IV-B.2c).
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware-thread execution state, mirroring the Paraver state ids of
+/// `paraver::states`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// No context loaded / context finished.
+    Idle,
+    /// Executing.
+    Running,
+    /// Spinning on the hardware semaphore.
+    Spinning,
+    /// Inside a critical section.
+    Critical,
+}
+
+impl ThreadState {
+    /// 2-bit hardware encoding (§IV-B.1: "00 for idle, 01 for running, 10
+    /// for critical, and 11 for spinning").
+    pub const fn encode(self) -> u8 {
+        match self {
+            ThreadState::Idle => 0b00,
+            ThreadState::Running => 0b01,
+            ThreadState::Critical => 0b10,
+            ThreadState::Spinning => 0b11,
+        }
+    }
+
+    /// Decode the 2-bit hardware encoding.
+    pub const fn decode(bits: u8) -> ThreadState {
+        match bits & 0b11 {
+            0b00 => ThreadState::Idle,
+            0b01 => ThreadState::Running,
+            0b10 => ThreadState::Critical,
+            _ => ThreadState::Spinning,
+        }
+    }
+
+    /// Paraver state id (matches `paraver::states`).
+    pub const fn paraver_state(self) -> u32 {
+        match self {
+            ThreadState::Idle => 0,
+            ThreadState::Running => 1,
+            ThreadState::Critical => 2,
+            ThreadState::Spinning => 3,
+        }
+    }
+}
+
+/// Observer interface the profiling unit implements.
+pub trait Snoop {
+    /// Thread `tid` transitions to `state` at cycle `t`.
+    fn state_change(&mut self, t: u64, tid: u32, state: ThreadState);
+    /// Thread `tid` stalled for `cycles` ending at cycle `t`.
+    fn stall(&mut self, t: u64, tid: u32, cycles: u64);
+    /// Thread `tid` retired operations at cycle `t`.
+    fn ops(&mut self, t: u64, tid: u32, int_ops: u64, flops: u64, local_ops: u64);
+    /// Thread `tid` issued a read request of `bytes` at cycle `t`
+    /// (request bytes at the Avalon interface, not DRAM line traffic).
+    fn mem_read(&mut self, t: u64, tid: u32, bytes: u64);
+    /// Thread `tid` issued a write request of `bytes` at cycle `t`.
+    fn mem_write(&mut self, t: u64, tid: u32, bytes: u64);
+    /// The run completed at cycle `t` (flush point for trace buffers).
+    fn run_end(&mut self, t: u64);
+}
+
+/// A snoop that observes nothing — simulating an accelerator built without
+/// the profiling infrastructure (the baseline of the §V-B overhead study).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSnoop;
+
+impl Snoop for NullSnoop {
+    fn state_change(&mut self, _t: u64, _tid: u32, _state: ThreadState) {}
+    fn stall(&mut self, _t: u64, _tid: u32, _cycles: u64) {}
+    fn ops(&mut self, _t: u64, _tid: u32, _int: u64, _fl: u64, _lo: u64) {}
+    fn mem_read(&mut self, _t: u64, _tid: u32, _bytes: u64) {}
+    fn mem_write(&mut self, _t: u64, _tid: u32, _bytes: u64) {}
+    fn run_end(&mut self, _t: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_matches_paper() {
+        assert_eq!(ThreadState::Idle.encode(), 0b00);
+        assert_eq!(ThreadState::Running.encode(), 0b01);
+        assert_eq!(ThreadState::Critical.encode(), 0b10);
+        assert_eq!(ThreadState::Spinning.encode(), 0b11);
+        for s in [
+            ThreadState::Idle,
+            ThreadState::Running,
+            ThreadState::Critical,
+            ThreadState::Spinning,
+        ] {
+            assert_eq!(ThreadState::decode(s.encode()), s);
+        }
+    }
+
+    #[test]
+    fn paraver_ids_align() {
+        assert_eq!(ThreadState::Idle.paraver_state(), 0);
+        assert_eq!(ThreadState::Running.paraver_state(), 1);
+        assert_eq!(ThreadState::Critical.paraver_state(), 2);
+        assert_eq!(ThreadState::Spinning.paraver_state(), 3);
+    }
+}

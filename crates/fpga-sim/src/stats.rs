@@ -1,0 +1,112 @@
+//! Run statistics collected by the executor (independent of the profiling
+//! unit — these are the simulator's ground truth, which the decoded Paraver
+//! traces are validated against in the integration tests).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-thread counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadStats {
+    /// Cycle the host started this thread.
+    pub start_cycle: u64,
+    /// Cycle the thread finished.
+    pub end_cycle: u64,
+    /// Stall cycles (VLO latency beyond the scheduled minimum).
+    pub stall_cycles: u64,
+    /// Cycles spent spinning on the semaphore.
+    pub spin_cycles: u64,
+    /// Cycles spent inside critical sections.
+    pub critical_cycles: u64,
+    /// Retired integer operations.
+    pub int_ops: u64,
+    /// Retired floating-point operations.
+    pub flops: u64,
+    /// Local (BRAM) operations.
+    pub local_ops: u64,
+    /// Read request bytes at the Avalon interface.
+    pub bytes_read: u64,
+    /// Write request bytes.
+    pub bytes_written: u64,
+    /// Critical-section entries.
+    pub critical_entries: u64,
+    /// Loop iterations executed (all loops).
+    pub iterations: u64,
+}
+
+/// Whole-run statistics.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    pub per_thread: Vec<ThreadStats>,
+    /// DRAM model statistics.
+    pub line_fetches: u64,
+    pub channel_bytes: u64,
+    pub dram_contended: u64,
+    pub line_hits: u64,
+    pub read_requests: u64,
+}
+
+impl RunStats {
+    /// Sum a per-thread field over all threads.
+    pub fn total(&self, f: impl Fn(&ThreadStats) -> u64) -> u64 {
+        self.per_thread.iter().map(f).sum()
+    }
+
+    /// Total retired floating-point operations.
+    pub fn total_flops(&self) -> u64 {
+        self.total(|t| t.flops)
+    }
+
+    /// Total stall cycles.
+    pub fn total_stalls(&self) -> u64 {
+        self.total(|t| t.stall_cycles)
+    }
+
+    /// Total request bytes (reads + writes).
+    pub fn total_bytes(&self) -> u64 {
+        self.total(|t| t.bytes_read + t.bytes_written)
+    }
+
+    /// Line-buffer hit rate of read requests, 0..=1.
+    pub fn read_hit_rate(&self) -> f64 {
+        if self.read_requests == 0 {
+            return 0.0;
+        }
+        self.line_hits as f64 / self.read_requests as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let mut s = RunStats::default();
+        s.per_thread.push(ThreadStats {
+            flops: 10,
+            stall_cycles: 3,
+            bytes_read: 100,
+            bytes_written: 50,
+            ..Default::default()
+        });
+        s.per_thread.push(ThreadStats {
+            flops: 32,
+            stall_cycles: 4,
+            ..Default::default()
+        });
+        assert_eq!(s.total_flops(), 42);
+        assert_eq!(s.total_stalls(), 7);
+        assert_eq!(s.total_bytes(), 150);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let s = RunStats {
+            read_requests: 10,
+            line_hits: 9,
+            ..Default::default()
+        };
+        assert!((s.read_hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(RunStats::default().read_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The trace buffer.
+//!
+//! "Each record is saved into a buffer; when the buffer is nearly full, the
+//! buffer is flushed to the external memory, and resumes operations.
+//! Currently, the width of the buffer is equal to the data-width of the
+//! external memory controller (512-bit), but can be tuned" (§IV-B.1).
+//!
+//! The buffer stores the packed byte stream of records; a flush drains it as
+//! one burst whose size and timestamp are reported so the simulator level
+//! can account for the DRAM bandwidth the tracing consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// One flush of the trace buffer to external memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flush {
+    /// Cycle at which the flush was triggered.
+    pub at_cycle: u64,
+    /// Bytes written to external memory.
+    pub bytes: u64,
+}
+
+/// Byte-accurate trace buffer with 512-bit (64 B) line organisation.
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    line_bytes: usize,
+    capacity_bytes: usize,
+    /// Fill level (in bytes) at which a flush triggers ("nearly full").
+    high_water: usize,
+    staged: Vec<u8>,
+    /// The complete flushed stream, in flush order (this is what the host
+    /// reads back from external memory after the run).
+    flushed: Vec<u8>,
+    /// Flush log for bandwidth accounting.
+    pub flushes: Vec<Flush>,
+}
+
+impl TraceBuffer {
+    /// A buffer of `lines` 512-bit lines.
+    pub fn new(lines: usize) -> Self {
+        let line_bytes = 64;
+        let capacity = lines.max(2) * line_bytes;
+        TraceBuffer {
+            line_bytes,
+            capacity_bytes: capacity,
+            high_water: capacity - capacity / 8, // flush at 7/8 full
+            staged: Vec::with_capacity(capacity),
+            flushed: Vec::new(),
+            flushes: Vec::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Capacity in kilobits (for the BRAM cost model).
+    pub fn capacity_kbits(&self) -> u64 {
+        (self.capacity_bytes as u64 * 8) / 1024
+    }
+
+    /// Append a packed record at cycle `t`; flushes first if it would cross
+    /// the high-water mark.
+    pub fn push(&mut self, t: u64, record: &[u8]) {
+        if self.staged.len() + record.len() > self.high_water {
+            self.flush(t);
+        }
+        self.staged.extend_from_slice(record);
+    }
+
+    /// Force a flush (used at end of run so no records are lost).
+    pub fn flush(&mut self, t: u64) {
+        if self.staged.is_empty() {
+            return;
+        }
+        // The DMA writes whole 512-bit lines: pad the tail.
+        let padded = self.staged.len().div_ceil(self.line_bytes) * self.line_bytes;
+        self.flushes.push(Flush {
+            at_cycle: t,
+            bytes: padded as u64,
+        });
+        self.flushed.append(&mut self.staged);
+    }
+
+    /// The full flushed stream (call after the final [`Self::flush`]).
+    pub fn stream(&self) -> &[u8] {
+        &self.flushed
+    }
+
+    /// Total bytes written to external memory by flushes (with padding).
+    pub fn flushed_bytes(&self) -> u64 {
+        self.flushes.iter().map(|f| f.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flushes_at_high_water() {
+        let mut b = TraceBuffer::new(2); // 128 B capacity, flush at 112
+        for i in 0..13 {
+            b.push(i, &[i as u8; 10]);
+        }
+        assert!(
+            !b.flushes.is_empty(),
+            "130 bytes through a 128 B buffer must flush"
+        );
+        b.flush(99);
+        assert_eq!(b.stream().len(), 130);
+        // Stream preserves order.
+        assert_eq!(b.stream()[0], 0);
+        assert_eq!(b.stream()[129], 12);
+    }
+
+    #[test]
+    fn flush_pads_to_lines() {
+        let mut b = TraceBuffer::new(8);
+        b.push(5, &[1, 2, 3]);
+        b.flush(10);
+        assert_eq!(b.flushes.len(), 1);
+        assert_eq!(b.flushes[0].bytes, 64, "3 bytes pad to one 512-bit line");
+        assert_eq!(b.flushes[0].at_cycle, 10);
+        assert_eq!(b.stream(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_flush_is_noop() {
+        let mut b = TraceBuffer::new(4);
+        b.flush(0);
+        assert!(b.flushes.is_empty());
+        assert_eq!(b.flushed_bytes(), 0);
+    }
+
+    #[test]
+    fn capacity_kbits() {
+        let b = TraceBuffer::new(512);
+        assert_eq!(b.capacity_kbits(), 512 * 64 * 8 / 1024);
+    }
+}

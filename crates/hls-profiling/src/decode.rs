@@ -1,0 +1,188 @@
+//! Decoding the flushed trace-buffer stream into Paraver records.
+//!
+//! "[The performance counters are] periodically stored to external memory to
+//! avoid overflow of the counters. There they can later be accessed from the
+//! host for analysis" (§IV-B). This module is that host-side analysis step:
+//! it walks the byte stream the buffer flushed to (simulated) DRAM and
+//! reconstructs
+//!
+//! * per-thread **state intervals** from the packed all-thread state
+//!   snapshots (pairing consecutive snapshots per thread),
+//! * **event records** from the sampled counter aggregates,
+//! * full 64-bit times from the hardware's 32-bit cycle counter, by
+//!   unwrapping at each backwards jump (records are buffer-ordered, i.e.
+//!   nearly time-ordered).
+
+use crate::counters::{unpack_event_record, EVENT_RECORD_BYTES};
+use crate::recorder::{state_record_bytes, unpack_state_record, TAG_EVENT, TAG_STATE};
+use fpga_sim::ThreadState;
+use paraver::model::Record;
+
+/// Reconstructs 64-bit cycle counts from truncated 32-bit stamps.
+struct Unwrapper {
+    epoch: u64,
+    last: u32,
+}
+
+impl Unwrapper {
+    fn new() -> Self {
+        Unwrapper { epoch: 0, last: 0 }
+    }
+
+    fn full(&mut self, lo: u32) -> u64 {
+        // A large backwards jump means the 32-bit counter wrapped.
+        if lo < self.last && self.last - lo > u32::MAX / 2 {
+            self.epoch += 1;
+        }
+        self.last = lo;
+        (self.epoch << 32) | lo as u64
+    }
+}
+
+/// Decode a complete flushed stream.
+///
+/// `total_cycles` closes the final state interval of each thread.
+pub fn decode_stream(stream: &[u8], num_threads: u32, total_cycles: u64) -> Vec<Record> {
+    let srec_len = state_record_bytes(num_threads);
+    let mut records = Vec::new();
+    let mut unwrap = Unwrapper::new();
+    // Per-thread open interval: (state, since).
+    let mut open: Vec<(ThreadState, u64)> = vec![(ThreadState::Idle, 0); num_threads as usize];
+    let mut pos = 0usize;
+    while pos < stream.len() {
+        match stream[pos] {
+            TAG_STATE => {
+                assert!(pos + srec_len <= stream.len(), "truncated state record");
+                let (lo, states) = unpack_state_record(&stream[pos + 1..pos + srec_len], num_threads);
+                let t = unwrap.full(lo);
+                for (tid, s) in states.iter().enumerate() {
+                    let (old, since) = open[tid];
+                    if *s != old {
+                        if t > since {
+                            records.push(Record::State {
+                                thread: tid as u32,
+                                begin: since,
+                                end: t,
+                                state: old.paraver_state(),
+                            });
+                        }
+                        open[tid] = (*s, t);
+                    }
+                }
+                pos += srec_len;
+            }
+            TAG_EVENT => {
+                assert!(
+                    pos + EVENT_RECORD_BYTES <= stream.len(),
+                    "truncated event record"
+                );
+                let (tid, lo, a) =
+                    unpack_event_record(&stream[pos + 1..pos + EVENT_RECORD_BYTES]);
+                let t = unwrap.full(lo);
+                let events = vec![
+                    (paraver::events::STALLS, a.stalls),
+                    (paraver::events::INT_OPS, a.int_ops),
+                    (paraver::events::FLOPS, a.flops),
+                    (paraver::events::BYTES_READ, a.bytes_read),
+                    (paraver::events::BYTES_WRITTEN, a.bytes_written),
+                    (paraver::events::LOCAL_OPS, a.local_ops),
+                ];
+                records.push(Record::Event {
+                    thread: tid,
+                    time: t,
+                    events,
+                });
+                pos += EVENT_RECORD_BYTES;
+            }
+            // Line padding (zero bytes at the tail of a flushed line).
+            0 => pos += 1,
+            tag => panic!("corrupt trace stream: unknown tag {tag:#x} at {pos}"),
+        }
+    }
+    // Close every open interval at end of run.
+    for (tid, (state, since)) in open.into_iter().enumerate() {
+        if total_cycles > since {
+            records.push(Record::State {
+                thread: tid as u32,
+                begin: since,
+                end: total_cycles,
+                state: state.paraver_state(),
+            });
+        }
+    }
+    records.sort_by_key(|r| r.sort_time());
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{CounterBank, CounterSet};
+    use crate::recorder::StateRecorder;
+
+    #[test]
+    fn decodes_interleaved_records() {
+        let mut stream = Vec::new();
+        let mut rec = StateRecorder::new(2);
+        stream.extend_from_slice(rec.transition(10, 0, ThreadState::Running).unwrap());
+        let mut bank = CounterBank::new(2, CounterSet::default());
+        bank.add_ops(0, 1, 2, 3);
+        stream.extend_from_slice(&bank.sample(100, 0).unwrap());
+        stream.extend_from_slice(rec.transition(200, 0, ThreadState::Idle).unwrap());
+        // Simulate line padding.
+        stream.extend_from_slice(&[0u8; 13]);
+        let records = decode_stream(&stream, 2, 300);
+        // Thread 0: Idle [0,10), Running [10,200), Idle [200,300).
+        let states: Vec<_> = records
+            .iter()
+            .filter(|r| matches!(r, Record::State { thread: 0, .. }))
+            .collect();
+        assert_eq!(states.len(), 3, "{records:?}");
+        // Thread 1: single Idle interval [0,300).
+        let t1: Vec<_> = records
+            .iter()
+            .filter(|r| matches!(r, Record::State { thread: 1, .. }))
+            .collect();
+        assert_eq!(t1.len(), 1);
+        let ev = records
+            .iter()
+            .find(|r| matches!(r, Record::Event { .. }))
+            .unwrap();
+        if let Record::Event { time, events, .. } = ev {
+            assert_eq!(*time, 100);
+            assert_eq!(events[2], (paraver::events::FLOPS, 2));
+        }
+    }
+
+    #[test]
+    fn unwraps_32bit_counter() {
+        let mut u = Unwrapper::new();
+        assert_eq!(u.full(10), 10);
+        assert_eq!(u.full(u32::MAX - 1), (u32::MAX - 1) as u64);
+        // Wraparound: small value after a large one.
+        assert_eq!(u.full(5), (1u64 << 32) | 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tag")]
+    fn corrupt_stream_detected() {
+        let _ = decode_stream(&[0xFF], 1, 10);
+    }
+
+    #[test]
+    fn empty_stream_gives_idle_timeline() {
+        let records = decode_stream(&[], 3, 1000);
+        assert_eq!(records.len(), 3);
+        for r in &records {
+            match r {
+                Record::State {
+                    begin, end, state, ..
+                } => {
+                    assert_eq!((*begin, *end), (0, 1000));
+                    assert_eq!(*state, paraver::states::IDLE);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! State recording (§IV-B.1).
+//!
+//! "The current state for each thread is stored in a register. Because the
+//! state can change for multiple threads at once, each time at least one
+//! thread changes its state, we record the current state for all threads
+//! together with the current clock count. Each state is represented as a
+//! 2-bit value ... The size of each state record is 2·N_threads + 32 bits."
+
+use fpga_sim::ThreadState;
+
+/// Binary tag bytes of the buffer stream.
+pub const TAG_STATE: u8 = 0x01;
+pub const TAG_EVENT: u8 = 0x02;
+
+/// Size in bytes of a packed state record for `n` threads (tag byte +
+/// 32-bit cycle + 2 bits per thread rounded up to bytes).
+pub fn state_record_bytes(n: u32) -> usize {
+    1 + 4 + (2 * n as usize).div_ceil(8)
+}
+
+/// Width in bits of the paper's hardware record (without our tag byte).
+pub fn state_record_bits(n: u32) -> u32 {
+    2 * n + 32
+}
+
+/// The state register file + packer.
+#[derive(Clone, Debug)]
+pub struct StateRecorder {
+    states: Vec<ThreadState>,
+    scratch: Vec<u8>,
+}
+
+impl StateRecorder {
+    /// All threads start idle (no context loaded).
+    pub fn new(num_threads: u32) -> Self {
+        StateRecorder {
+            states: vec![ThreadState::Idle; num_threads as usize],
+            scratch: Vec::with_capacity(state_record_bytes(num_threads)),
+        }
+    }
+
+    /// Current state of a thread.
+    pub fn state(&self, tid: u32) -> ThreadState {
+        self.states[tid as usize]
+    }
+
+    /// Apply a state change and pack the full record. Returns `None` when
+    /// the "change" is a no-op (hardware suppresses redundant records).
+    pub fn transition(&mut self, t: u64, tid: u32, state: ThreadState) -> Option<&[u8]> {
+        if self.states[tid as usize] == state {
+            return None;
+        }
+        self.states[tid as usize] = state;
+        self.scratch.clear();
+        self.scratch.push(TAG_STATE);
+        self.scratch
+            .extend_from_slice(&((t & 0xFFFF_FFFF) as u32).to_le_bytes());
+        // Pack 2-bit states little-endian within bytes: thread 0 in bits 1:0.
+        let mut byte = 0u8;
+        for (i, s) in self.states.iter().enumerate() {
+            byte |= s.encode() << ((i % 4) * 2);
+            if i % 4 == 3 {
+                self.scratch.push(byte);
+                byte = 0;
+            }
+        }
+        if !self.states.len().is_multiple_of(4) {
+            self.scratch.push(byte);
+        }
+        Some(&self.scratch)
+    }
+}
+
+/// Unpack a state record payload (everything after the tag byte) produced by
+/// [`StateRecorder::transition`]. Returns `(cycle_lo32, states)`.
+pub fn unpack_state_record(payload: &[u8], n: u32) -> (u32, Vec<ThreadState>) {
+    let cycle = u32::from_le_bytes(payload[0..4].try_into().expect("4-byte cycle"));
+    let mut states = Vec::with_capacity(n as usize);
+    for i in 0..n as usize {
+        let b = payload[4 + i / 4];
+        states.push(ThreadState::decode((b >> ((i % 4) * 2)) & 0b11));
+    }
+    (cycle, states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_width_matches_paper_formula() {
+        // 8 threads: 2*8+32 = 48 bits = 6 bytes (+1 tag byte in our stream).
+        assert_eq!(state_record_bits(8), 48);
+        assert_eq!(state_record_bytes(8), 1 + 6);
+        // 3 threads: 2*3+32 = 38 bits → 5 payload bytes.
+        assert_eq!(state_record_bytes(3), 1 + 5);
+    }
+
+    #[test]
+    fn transition_packs_all_threads() {
+        let mut r = StateRecorder::new(8);
+        let rec = r
+            .transition(0x1234_5678, 5, ThreadState::Running)
+            .expect("real change")
+            .to_vec();
+        assert_eq!(rec[0], TAG_STATE);
+        let (cycle, states) = unpack_state_record(&rec[1..], 8);
+        assert_eq!(cycle, 0x1234_5678);
+        assert_eq!(states[5], ThreadState::Running);
+        for (i, s) in states.iter().enumerate() {
+            if i != 5 {
+                assert_eq!(*s, ThreadState::Idle);
+            }
+        }
+    }
+
+    #[test]
+    fn redundant_transition_suppressed() {
+        let mut r = StateRecorder::new(2);
+        assert!(r.transition(1, 0, ThreadState::Running).is_some());
+        assert!(r.transition(2, 0, ThreadState::Running).is_none());
+        assert_eq!(r.state(0), ThreadState::Running);
+    }
+
+    #[test]
+    fn roundtrip_all_states() {
+        let mut r = StateRecorder::new(4);
+        let _ = r.transition(10, 0, ThreadState::Running);
+        let _ = r.transition(11, 1, ThreadState::Spinning);
+        let _ = r.transition(12, 2, ThreadState::Critical);
+        let rec = r
+            .transition(13, 3, ThreadState::Running)
+            .unwrap()
+            .to_vec();
+        let (_, states) = unpack_state_record(&rec[1..], 4);
+        assert_eq!(
+            states,
+            vec![
+                ThreadState::Running,
+                ThreadState::Spinning,
+                ThreadState::Critical,
+                ThreadState::Running
+            ]
+        );
+    }
+
+    #[test]
+    fn cycle_truncates_to_32_bits() {
+        let mut r = StateRecorder::new(1);
+        let rec = r
+            .transition(0x1_0000_0005, 0, ThreadState::Running)
+            .unwrap()
+            .to_vec();
+        let (cycle, _) = unpack_state_record(&rec[1..], 1);
+        assert_eq!(cycle, 5, "hardware counter is 32-bit");
+    }
+}

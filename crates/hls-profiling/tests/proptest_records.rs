@@ -1,0 +1,142 @@
+//! Property tests of the profiling unit's record path: arbitrary state
+//! transition sequences and counter feeds survive packing → buffering →
+//! flushing → decoding with nothing lost or invented.
+
+use fpga_sim::{Snoop, ThreadState};
+use hls_profiling::{ProfilingConfig, ProfilingUnit};
+use paraver::analysis::{event_total, StateProfile};
+use paraver::model::Record;
+use proptest::prelude::*;
+
+const THREADS: u32 = 4;
+
+#[derive(Clone, Debug)]
+enum Feed {
+    State(u32, ThreadState),
+    Ops(u32, u64, u64, u64),
+    Read(u32, u64),
+    Write(u32, u64),
+    Stall(u32, u64),
+}
+
+fn arb_state() -> impl Strategy<Value = ThreadState> {
+    prop_oneof![
+        Just(ThreadState::Idle),
+        Just(ThreadState::Running),
+        Just(ThreadState::Critical),
+        Just(ThreadState::Spinning),
+    ]
+}
+
+fn arb_feed() -> impl Strategy<Value = Feed> {
+    prop_oneof![
+        (0..THREADS, arb_state()).prop_map(|(t, s)| Feed::State(t, s)),
+        (0..THREADS, 0..100u64, 0..100u64, 0..100u64).prop_map(|(t, i, f, l)| Feed::Ops(t, i, f, l)),
+        (0..THREADS, 0..4096u64).prop_map(|(t, b)| Feed::Read(t, b)),
+        (0..THREADS, 0..4096u64).prop_map(|(t, b)| Feed::Write(t, b)),
+        (0..THREADS, 0..64u64).prop_map(|(t, c)| Feed::Stall(t, c)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Everything fed into the counters appears in the decoded trace, and
+    /// the reconstructed per-thread state timeline tiles the whole run.
+    #[test]
+    fn feed_is_conserved_through_buffer_and_decode(
+        feeds in proptest::collection::vec((arb_feed(), 1u64..50), 1..300),
+        period in 1u64..5_000,
+        buffer_lines in 2usize..64,
+    ) {
+        let mut unit = ProfilingUnit::new("prop", THREADS, ProfilingConfig {
+            sampling_period: period,
+            buffer_lines,
+            ..Default::default()
+        });
+        let mut t = 0u64;
+        let (mut flops, mut int_ops, mut reads, mut writes, mut stalls) = (0u64, 0, 0, 0, 0);
+        for (f, dt) in &feeds {
+            t += dt;
+            match f {
+                Feed::State(tid, s) => unit.state_change(t, *tid, *s),
+                Feed::Ops(tid, i, fl, l) => {
+                    int_ops += i;
+                    flops += fl;
+                    unit.ops(t, *tid, *i, *fl, *l);
+                }
+                Feed::Read(tid, b) => {
+                    reads += b;
+                    unit.mem_read(t, *tid, *b);
+                }
+                Feed::Write(tid, b) => {
+                    writes += b;
+                    unit.mem_write(t, *tid, *b);
+                }
+                Feed::Stall(tid, c) => {
+                    stalls += c;
+                    unit.stall(t, *tid, *c);
+                }
+            }
+        }
+        let end = t + 10;
+        unit.run_end(end);
+        let trace = unit.finish();
+
+        prop_assert_eq!(event_total(&trace.records, paraver::events::FLOPS), flops);
+        prop_assert_eq!(event_total(&trace.records, paraver::events::INT_OPS), int_ops);
+        prop_assert_eq!(event_total(&trace.records, paraver::events::BYTES_READ), reads);
+        prop_assert_eq!(event_total(&trace.records, paraver::events::BYTES_WRITTEN), writes);
+        prop_assert_eq!(event_total(&trace.records, paraver::events::STALLS), stalls);
+
+        // State intervals tile [0, end) per thread.
+        let profile = StateProfile::compute(&trace.records, THREADS);
+        let per_thread_total: Vec<u64> = profile
+            .per_thread
+            .iter()
+            .map(|m| m.values().sum())
+            .collect();
+        for (tid, total) in per_thread_total.iter().enumerate() {
+            prop_assert_eq!(*total, end, "thread {} timeline must tile the run", tid);
+        }
+
+        // Intervals are disjoint and sorted per thread.
+        for tid in 0..THREADS {
+            let mut iv: Vec<(u64, u64)> = trace.records.iter().filter_map(|r| match r {
+                Record::State { thread, begin, end, .. } if *thread == tid => Some((*begin, *end)),
+                _ => None,
+            }).collect();
+            iv.sort_unstable();
+            for w in iv.windows(2) {
+                prop_assert_eq!(w[0].1, w[1].0);
+            }
+        }
+    }
+
+    /// The trace stream stays decodable across any number of forced
+    /// flushes — flushing is transparent to the decoder.
+    #[test]
+    fn tiny_buffers_flush_transparently(n_events in 1usize..200) {
+        let run = |lines: usize| {
+            let mut unit = ProfilingUnit::new("prop", 2, ProfilingConfig {
+                sampling_period: 10,
+                buffer_lines: lines,
+                ..Default::default()
+            });
+            unit.state_change(0, 0, ThreadState::Running);
+            for i in 0..n_events as u64 {
+                unit.ops(i * 7, (i % 2) as u32, 1, 2, 0);
+            }
+            unit.run_end(n_events as u64 * 7 + 1);
+            unit.finish()
+        };
+        let small = run(2);
+        let big = run(4096);
+        prop_assert!(small.flush_count >= big.flush_count);
+        prop_assert_eq!(
+            event_total(&small.records, paraver::events::FLOPS),
+            event_total(&big.records, paraver::events::FLOPS)
+        );
+        prop_assert_eq!(small.records.len(), big.records.len());
+    }
+}

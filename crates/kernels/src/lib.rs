@@ -1,0 +1,22 @@
+//! # kernels — the paper's case-study applications
+//!
+//! The OpenMP-annotated C kernels of the paper's evaluation (§V), expressed
+//! through the `nymble-ir` builder API:
+//!
+//! * [`gemm`] — the five GEMM optimization steps of §V-C: naive with a
+//!   critical section (Fig. 3), *No Critical Sections*, *Partial
+//!   Vectorization* (Fig. 4), *Blocked*, and *double-buffering* (Fig. 5),
+//! * [`pi`] — the infinite-series π kernel of §V-D (Fig. 10),
+//! * [`extra`] — auxiliary workloads (vector add, dot product, Jacobi
+//!   stencil) used by examples and the profiling-overhead sweep,
+//! * [`spmv`] — CSR sparse matrix–vector product (indirect/gather accesses),
+//! * [`reduction`] — barrier-phased tree reduction,
+//! * [`mod@reference`] — CPU gold implementations every kernel is verified
+//!   against.
+
+pub mod extra;
+pub mod gemm;
+pub mod pi;
+pub mod reduction;
+pub mod reference;
+pub mod spmv;

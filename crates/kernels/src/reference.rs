@@ -1,0 +1,144 @@
+//! CPU gold implementations and deterministic input generation.
+
+/// Deterministic pseudo-random matrix in [-1, 1], seeded (xorshift64*; no
+/// external RNG dependency so kernels stay reproducible byte-for-byte).
+pub fn gen_matrix(dim: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..dim * dim)
+        .map(|_| {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            let r = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            ((r >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Row-major single-precision GEMM: `C = A × B`.
+pub fn gemm(a: &[f32], b: &[f32], dim: usize) -> Vec<f32> {
+    assert_eq!(a.len(), dim * dim);
+    assert_eq!(b.len(), dim * dim);
+    let mut c = vec![0.0f32; dim * dim];
+    for i in 0..dim {
+        for k in 0..dim {
+            let av = a[i * dim + k];
+            for j in 0..dim {
+                c[i * dim + j] += av * b[k * dim + j];
+            }
+        }
+    }
+    c
+}
+
+/// The π series of Fig. 10 evaluated in f32, mirroring the kernel's
+/// per-thread, per-lane accumulation order so results match bit-for-bit
+/// under the same schedule. `bs` is the unroll factor (`BS_compute`).
+pub fn pi_series(steps: u64, threads: u32, bs: u32) -> f32 {
+    let step = 1.0f32 / steps as f32;
+    let per_thread = steps / threads as u64;
+    let mut final_sum = 0.0f32;
+    for t in 0..threads as u64 {
+        let start_i = t * per_thread;
+        let mut lane_sums = vec![0.0f32; bs as usize];
+        let mut i = 0u64;
+        while i < per_thread {
+            for j in 0..bs as u64 {
+                let x = ((i + start_i + j) as f32 + 0.5) * step;
+                lane_sums[j as usize] += 4.0 / (1.0 + x * x);
+            }
+            i += bs as u64;
+        }
+        for l in lane_sums {
+            final_sum += l;
+        }
+    }
+    // The kernel accumulates the raw series; the host applies the final
+    // `step` scaling (the listing in Fig. 10 leaves it to the caller).
+    final_sum * step
+}
+
+/// Flops per π-series iteration as counted by the profiling unit (used to
+/// convert counts into the paper's GFLOP/s).
+pub const PI_FLOPS_PER_ITER: u64 = 6;
+
+/// Jacobi 4-point stencil reference (one sweep, interior points).
+pub fn jacobi_sweep(grid: &[f32], n: usize) -> Vec<f32> {
+    assert_eq!(grid.len(), n * n);
+    let mut out = grid.to_vec();
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            out[i * n + j] = 0.25
+                * (grid[(i - 1) * n + j]
+                    + grid[(i + 1) * n + j]
+                    + grid[i * n + j - 1]
+                    + grid[i * n + j + 1]);
+        }
+    }
+    out
+}
+
+/// Dot product reference.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_matrix_is_deterministic_and_bounded() {
+        let m1 = gen_matrix(8, 42);
+        let m2 = gen_matrix(8, 42);
+        assert_eq!(m1, m2);
+        assert!(m1.iter().all(|v| (-1.0..=1.0).contains(v)));
+        let m3 = gen_matrix(8, 43);
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let dim = 4;
+        let mut ident = vec![0.0f32; dim * dim];
+        for i in 0..dim {
+            ident[i * dim + i] = 1.0;
+        }
+        let a = gen_matrix(dim, 7);
+        assert_eq!(gemm(&a, &ident, dim), a);
+    }
+
+    #[test]
+    fn pi_converges() {
+        let p = pi_series(1_000_000, 8, 8);
+        assert!(
+            (p - std::f32::consts::PI).abs() < 1e-3,
+            "series gave {p}"
+        );
+    }
+
+    #[test]
+    fn pi_f32_instability_at_large_counts() {
+        // §V-D: "since we are using only single-precision computation,
+        // further increasing the number of iterations results in numerical
+        // instability." The per-lane partial sums grow until increments are
+        // absorbed; error at 2^31 steps is visibly worse than at 10M.
+        let good = (pi_series(10_000_000, 8, 8) - std::f32::consts::PI).abs();
+        let bad = (pi_series(1 << 31, 8, 8) - std::f32::consts::PI).abs();
+        assert!(bad > good, "expected instability: {bad} vs {good}");
+    }
+
+    #[test]
+    fn jacobi_keeps_boundary() {
+        let n = 6;
+        let mut g = vec![0.0f32; n * n];
+        g[0] = 9.0;
+        let out = jacobi_sweep(&g, n);
+        assert_eq!(out[0], 9.0, "boundary untouched");
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+}

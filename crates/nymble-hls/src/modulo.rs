@@ -1,0 +1,304 @@
+//! Iterative modulo scheduling (Rau-style software pipelining).
+//!
+//! The list scheduler in [`crate::schedule`] derives the initiation interval
+//! from steady-state bounds (port pressure, recurrence latency) but does not
+//! verify that a conflict-free steady state *exists*: two memory operations
+//! landing on the same `cycle mod II` slot would collide every iteration.
+//! This module implements the classical fix — schedule against a **modulo
+//! reservation table** of `II` columns, retrying at `II+1` until every
+//! operation places — and is used both as a verification pass and as an
+//! ablation point (DESIGN.md: "is the cheap II estimate ever optimistic?").
+//!
+//! Only distance-1 carried dependences occur in this IR (accumulators), so
+//! the recurrence constraint is `start(use) + II ≥ finish(def)`.
+
+use crate::dfg::Dfg;
+use crate::op::Resource;
+use crate::schedule::ResourceLimits;
+use std::collections::HashMap;
+
+/// A verified modulo schedule.
+#[derive(Clone, Debug)]
+pub struct ModuloSchedule {
+    /// Start cycle per node.
+    pub start: Vec<u32>,
+    /// The smallest initiation interval at which placement succeeded.
+    pub ii: u32,
+    /// Schedule length (latency of one iteration).
+    pub depth: u32,
+    /// Lower bound that seeded the search (max of resource and recurrence
+    /// minimum II).
+    pub mii: u32,
+}
+
+fn capacity(limits: &ResourceLimits, r: Resource) -> Option<u32> {
+    match r {
+        Resource::MemRead => Some(limits.mem_read_ports),
+        Resource::MemWrite => Some(limits.mem_write_ports),
+        Resource::LocalPort => Some(limits.local_ports),
+        _ => None,
+    }
+}
+
+/// Minimum II from resource pressure.
+pub fn resource_mii(dfg: &Dfg, limits: &ResourceLimits) -> u32 {
+    let mut uses: HashMap<Resource, u32> = HashMap::new();
+    for n in &dfg.nodes {
+        if capacity(limits, n.op.resource()).is_some() {
+            *uses.entry(n.op.resource()).or_default() += 1;
+        }
+    }
+    uses.iter()
+        .filter_map(|(r, u)| capacity(limits, *r).map(|c| u.div_ceil(c)))
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Minimum II from distance-1 recurrences: along any def→use carried edge,
+/// the def→…→def cycle must fit in one II. With our single-edge recurrences
+/// the bound is `latency(path from use to def) within one iteration`,
+/// conservatively approximated by an ASAP pass.
+pub fn recurrence_mii(dfg: &Dfg) -> u32 {
+    if dfg.carried.is_empty() {
+        return 1;
+    }
+    // Unconstrained ASAP start times.
+    let mut start = vec![0u32; dfg.nodes.len()];
+    for (i, n) in dfg.nodes.iter().enumerate() {
+        start[i] = n
+            .deps
+            .iter()
+            .map(|d| start[d.0 as usize] + dfg.nodes[d.0 as usize].op.latency())
+            .max()
+            .unwrap_or(0);
+    }
+    dfg.carried
+        .iter()
+        .map(|(def, use_)| {
+            (start[def.0 as usize] + dfg.nodes[def.0 as usize].op.latency())
+                .saturating_sub(start[use_.0 as usize])
+        })
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Attempt a placement at a fixed `ii`; `None` when some node cannot be
+/// placed within the search budget.
+fn try_place(dfg: &Dfg, limits: &ResourceLimits, ii: u32) -> Option<Vec<u32>> {
+    let n = dfg.nodes.len();
+    let mut start = vec![0u32; n];
+    // table[(resource, slot)] = uses
+    let mut table: HashMap<(Resource, u32), u32> = HashMap::new();
+    for i in 0..n {
+        let node = &dfg.nodes[i];
+        let ready = node
+            .deps
+            .iter()
+            .map(|d| start[d.0 as usize] + dfg.nodes[d.0 as usize].op.latency())
+            .max()
+            .unwrap_or(0);
+        let res = node.op.resource();
+        let cap = capacity(limits, res);
+        let mut placed = false;
+        // Try up to II consecutive slots: beyond that, every modulo class
+        // has been tried.
+        for off in 0..ii.max(1) {
+            let t = ready + off;
+            let ok = match cap {
+                None => true,
+                Some(c) => *table.get(&(res, t % ii)).unwrap_or(&0) < c,
+            };
+            if ok {
+                if cap.is_some() {
+                    *table.entry((res, t % ii)).or_default() += 1;
+                }
+                start[i] = t;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return None;
+        }
+    }
+    // Verify carried recurrences: use in the next iteration starts at
+    // start(use) + ii, which must be >= finish(def).
+    for (def, use_) in &dfg.carried {
+        let finish = start[def.0 as usize] + dfg.nodes[def.0 as usize].op.latency();
+        if start[use_.0 as usize] + ii < finish {
+            return None;
+        }
+    }
+    Some(start)
+}
+
+/// Find the smallest feasible II by iterative deepening from the lower
+/// bound (classical iterative modulo scheduling).
+pub fn modulo_schedule(dfg: &Dfg, limits: &ResourceLimits) -> ModuloSchedule {
+    let mii = resource_mii(dfg, limits).max(recurrence_mii(dfg));
+    let hard_cap = mii + dfg.nodes.len() as u32 + 8;
+    let mut ii = mii;
+    loop {
+        if let Some(start) = try_place(dfg, limits, ii) {
+            let depth = start
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s + dfg.nodes[i].op.latency())
+                .max()
+                .unwrap_or(0);
+            return ModuloSchedule {
+                start,
+                ii,
+                depth,
+                mii,
+            };
+        }
+        ii += 1;
+        assert!(
+            ii <= hard_cap,
+            "modulo scheduling failed to converge below II={hard_cap}"
+        );
+    }
+}
+
+/// Check a schedule against the modulo reservation table (used by tests and
+/// by the verification pass over list-scheduler output).
+pub fn verify_modulo(dfg: &Dfg, limits: &ResourceLimits, start: &[u32], ii: u32) -> bool {
+    let mut table: HashMap<(Resource, u32), u32> = HashMap::new();
+    for (i, n) in dfg.nodes.iter().enumerate() {
+        // Dependences.
+        for d in &n.deps {
+            if start[i] < start[d.0 as usize] + dfg.nodes[d.0 as usize].op.latency() {
+                return false;
+            }
+        }
+        let res = n.op.resource();
+        if let Some(cap) = capacity(limits, res) {
+            let e = table.entry((res, start[i] % ii.max(1))).or_default();
+            *e += 1;
+            if *e > cap {
+                return false;
+            }
+        }
+    }
+    for (def, use_) in &dfg.carried {
+        let finish = start[def.0 as usize] + dfg.nodes[def.0 as usize].op.latency();
+        if start[use_.0 as usize] + ii < finish {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::{DfgNode, NodeId};
+    use crate::op::OpClass;
+
+    fn node(op: OpClass, deps: Vec<u32>) -> DfgNode {
+        DfgNode {
+            op,
+            width: 1,
+            deps: deps.into_iter().map(NodeId).collect(),
+        }
+    }
+
+    #[test]
+    fn two_loads_one_port_needs_ii2_and_distinct_slots() {
+        let dfg = Dfg {
+            nodes: vec![
+                node(OpClass::ExtLoad, vec![]),
+                node(OpClass::ExtLoad, vec![]),
+                node(OpClass::FAdd, vec![0, 1]),
+            ],
+            carried: vec![],
+            approximate_unroll: false,
+        };
+        let limits = ResourceLimits::default();
+        let m = modulo_schedule(&dfg, &limits);
+        assert_eq!(m.ii, 2);
+        assert_ne!(
+            m.start[0] % m.ii,
+            m.start[1] % m.ii,
+            "loads must occupy distinct modulo slots"
+        );
+        assert!(verify_modulo(&dfg, &limits, &m.start, m.ii));
+    }
+
+    #[test]
+    fn accumulator_recurrence_sets_ii() {
+        // load -> fadd with carried edge fadd -> fadd(next iter).
+        let dfg = Dfg {
+            nodes: vec![
+                node(OpClass::ExtLoad, vec![]),
+                node(OpClass::FAdd, vec![0]),
+            ],
+            carried: vec![(NodeId(1), NodeId(1))],
+            approximate_unroll: false,
+        };
+        let m = modulo_schedule(&dfg, &ResourceLimits::default());
+        assert_eq!(m.ii, OpClass::FAdd.latency());
+    }
+
+    #[test]
+    fn modulo_conflict_forces_ii_bump() {
+        // Two loads whose dependence structure pins them to the same parity:
+        // load a; alu chain of exactly II cycles; load b. At the resource
+        // MII both loads collide mod II; the scheduler must locally move
+        // one or raise II, and the verifier must accept the result.
+        let dfg = Dfg {
+            nodes: vec![
+                node(OpClass::ExtLoad, vec![]),  // t=0
+                node(OpClass::IntAlu, vec![0]),  // t=8
+                node(OpClass::IntAlu, vec![1]),  // t=9
+                node(OpClass::ExtLoad, vec![2]), // t=10 → 10 % 2 == 0 % 2
+            ],
+            carried: vec![],
+            approximate_unroll: false,
+        };
+        let limits = ResourceLimits::default();
+        let m = modulo_schedule(&dfg, &limits);
+        assert!(verify_modulo(&dfg, &limits, &m.start, m.ii));
+        assert_ne!(m.start[0] % m.ii, m.start[3] % m.ii);
+    }
+
+    #[test]
+    fn mii_bounds_hold_on_real_kernels() {
+        use nymble_ir::{KernelBuilder, MapDir, ScalarType, Type};
+        let mut kb = KernelBuilder::new("dot", 1);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let b = kb.buffer("B", ScalarType::F32, MapDir::To);
+        let sum = kb.var("sum", Type::F32);
+        let n = kb.c_i64(64);
+        kb.for_range("k", n, |kb, i| {
+            let av = kb.load(a, i, Type::F32);
+            let bv = kb.load(b, i, Type::F32);
+            let cur = kb.get(sum);
+            let s = kb.mul_add(av, bv, cur);
+            kb.set(sum, s);
+        });
+        let k = kb.finish();
+        let body = match &k.body[0] {
+            nymble_ir::Stmt::For { body, .. } => body,
+            _ => unreachable!(),
+        };
+        let dfg = crate::dfg::lower_block(&k, body);
+        let limits = ResourceLimits::default();
+        let m = modulo_schedule(&dfg, &limits);
+        let list = crate::schedule::schedule(&dfg, &limits);
+        assert!(m.mii <= m.ii);
+        assert_eq!(m.ii as u32, list.ii, "both schedulers agree on the dot kernel");
+        assert!(verify_modulo(&dfg, &limits, &m.start, m.ii));
+    }
+
+    #[test]
+    fn empty_dfg_is_trivial() {
+        let dfg = Dfg::default();
+        let m = modulo_schedule(&dfg, &ResourceLimits::default());
+        assert_eq!(m.ii, 1);
+        assert_eq!(m.depth, 0);
+    }
+}

@@ -1,0 +1,463 @@
+//! Fluent kernel builder mirroring the OpenMP constructs used in the paper.
+//!
+//! Example — the inner product loop of the naive GEMM (Fig. 3):
+//!
+//! ```
+//! use nymble_ir::{KernelBuilder, ScalarType, Type, MapDir, BinOp};
+//!
+//! let mut kb = KernelBuilder::new("matmul", 8);
+//! let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+//! let b = kb.buffer("B", ScalarType::F32, MapDir::To);
+//! let c = kb.buffer("C", ScalarType::F32, MapDir::From);
+//! let dim = kb.scalar_arg("DIM", ScalarType::I32);
+//!
+//! let my_id = kb.thread_id();
+//! let nthreads = kb.num_threads_expr();
+//! let dim_e = kb.arg(dim);
+//! let sum = kb.var("sum", Type::F32);
+//! let zero = kb.c_f32(0.0);
+//! kb.set(sum, zero);
+//! kb.for_each("k", my_id, dim_e, nthreads, |kb, k| {
+//!     let av = kb.load(a, k, Type::F32);
+//!     let bv = kb.load(b, k, Type::F32);
+//!     let prod = kb.bin(BinOp::Mul, av, bv);
+//!     let s = kb.get(sum);
+//!     let acc = kb.bin(BinOp::Add, s, prod);
+//!     kb.set(sum, acc);
+//! });
+//! let kernel = kb.finish();
+//! assert_eq!(kernel.num_threads, 8);
+//! ```
+
+use crate::expr::{BinOp, Expr, ExprId, UnOp};
+use crate::kernel::{Arg, ArgId, ArgKind, Kernel, LocalMem, LocalMemId, MapDir, VarDecl, VarId};
+use crate::stmt::{Block, Stmt, Unroll};
+use crate::types::{ScalarType, Type, Value};
+
+/// Builds a [`Kernel`] incrementally. Statements are appended to the
+/// innermost open block; loops/criticals/ifs open nested blocks via closures.
+pub struct KernelBuilder {
+    kernel: Kernel,
+    stack: Vec<Block>,
+}
+
+impl KernelBuilder {
+    /// Start a kernel named `name` executing on `num_threads` hardware
+    /// threads (the `num_threads(N)` clause of `#pragma omp target parallel`).
+    pub fn new(name: &str, num_threads: u32) -> Self {
+        assert!(num_threads >= 1, "kernel needs at least one thread");
+        KernelBuilder {
+            kernel: Kernel {
+                name: name.to_string(),
+                args: Vec::new(),
+                vars: Vec::new(),
+                local_mems: Vec::new(),
+                exprs: Vec::new(),
+                body: Block::new(),
+                num_threads,
+            },
+            stack: vec![Block::new()],
+        }
+    }
+
+    // ----- declarations ---------------------------------------------------
+
+    /// Declare an external buffer argument with a `map` clause.
+    pub fn buffer(&mut self, name: &str, elem: ScalarType, map: MapDir) -> ArgId {
+        let id = ArgId(self.kernel.args.len() as u32);
+        self.kernel.args.push(Arg {
+            name: name.to_string(),
+            kind: ArgKind::Buffer { elem, map },
+        });
+        id
+    }
+
+    /// Declare a scalar argument (passed over the slave interface).
+    pub fn scalar_arg(&mut self, name: &str, ty: ScalarType) -> ArgId {
+        let id = ArgId(self.kernel.args.len() as u32);
+        self.kernel.args.push(Arg {
+            name: name.to_string(),
+            kind: ArgKind::Scalar(ty),
+        });
+        id
+    }
+
+    /// Declare a thread-local variable.
+    pub fn var(&mut self, name: &str, ty: Type) -> VarId {
+        let id = VarId(self.kernel.vars.len() as u32);
+        self.kernel.vars.push(VarDecl {
+            name: name.to_string(),
+            ty,
+        });
+        id
+    }
+
+    /// Declare a per-thread local BRAM memory of `len` elements of `elem`.
+    pub fn local_mem(&mut self, name: &str, elem: Type, len: u64) -> LocalMemId {
+        let id = LocalMemId(self.kernel.local_mems.len() as u32);
+        self.kernel.local_mems.push(LocalMem {
+            name: name.to_string(),
+            elem,
+            len,
+            per_thread: true,
+        });
+        id
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    fn push_expr(&mut self, e: Expr) -> ExprId {
+        let id = ExprId(self.kernel.exprs.len() as u32);
+        self.kernel.exprs.push(e);
+        id
+    }
+
+    /// i32 constant.
+    pub fn c_i32(&mut self, v: i32) -> ExprId {
+        self.push_expr(Expr::Const(Value::I32(v)))
+    }
+
+    /// i64 constant.
+    pub fn c_i64(&mut self, v: i64) -> ExprId {
+        self.push_expr(Expr::Const(Value::I64(v)))
+    }
+
+    /// f32 constant.
+    pub fn c_f32(&mut self, v: f32) -> ExprId {
+        self.push_expr(Expr::Const(Value::F32(v)))
+    }
+
+    /// f64 constant.
+    pub fn c_f64(&mut self, v: f64) -> ExprId {
+        self.push_expr(Expr::Const(Value::F64(v)))
+    }
+
+    /// Read a scalar argument.
+    pub fn arg(&mut self, a: ArgId) -> ExprId {
+        self.push_expr(Expr::Arg(a))
+    }
+
+    /// `omp_get_thread_num()`.
+    pub fn thread_id(&mut self) -> ExprId {
+        self.push_expr(Expr::ThreadId)
+    }
+
+    /// `omp_get_num_threads()`.
+    pub fn num_threads_expr(&mut self) -> ExprId {
+        self.push_expr(Expr::NumThreads)
+    }
+
+    /// Read a variable.
+    pub fn get(&mut self, v: VarId) -> ExprId {
+        self.push_expr(Expr::Var(v))
+    }
+
+    /// Binary operation.
+    pub fn bin(&mut self, op: BinOp, a: ExprId, b: ExprId) -> ExprId {
+        self.push_expr(Expr::Binary(op, a, b))
+    }
+
+    /// Unary operation.
+    pub fn un(&mut self, op: UnOp, a: ExprId) -> ExprId {
+        self.push_expr(Expr::Unary(op, a))
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// `a * b`.
+    pub fn mul(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// `a / b`.
+    pub fn div(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        self.bin(BinOp::Div, a, b)
+    }
+
+    /// Multiply-add convenience: `a*b + c`.
+    pub fn mul_add(&mut self, a: ExprId, b: ExprId, c: ExprId) -> ExprId {
+        let p = self.mul(a, b);
+        self.add(p, c)
+    }
+
+    /// Ternary select.
+    pub fn select(&mut self, cond: ExprId, then_v: ExprId, else_v: ExprId) -> ExprId {
+        self.push_expr(Expr::Select {
+            cond,
+            then_v,
+            else_v,
+        })
+    }
+
+    /// Scalar cast.
+    pub fn cast(&mut self, ty: ScalarType, a: ExprId) -> ExprId {
+        self.push_expr(Expr::Cast(ty, a))
+    }
+
+    /// External load of `ty` from `buf[index]` (vector load when
+    /// `ty.lanes > 1`).
+    pub fn load(&mut self, buf: ArgId, index: ExprId, ty: Type) -> ExprId {
+        self.push_expr(Expr::LoadExt { buf, index, ty })
+    }
+
+    /// Local BRAM load.
+    pub fn load_local(&mut self, mem: LocalMemId, index: ExprId, ty: Type) -> ExprId {
+        self.push_expr(Expr::LoadLocal { mem, index, ty })
+    }
+
+    /// Extract vector lane.
+    pub fn lane(&mut self, v: ExprId, lane: u8) -> ExprId {
+        self.push_expr(Expr::Lane(v, lane))
+    }
+
+    /// Broadcast scalar to vector.
+    pub fn splat(&mut self, v: ExprId, lanes: u8) -> ExprId {
+        self.push_expr(Expr::Splat(v, lanes))
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    fn push_stmt(&mut self, s: Stmt) {
+        self.stack
+            .last_mut()
+            .expect("builder block stack is never empty")
+            .push(s);
+    }
+
+    /// `var = expr`.
+    pub fn set(&mut self, var: VarId, expr: ExprId) {
+        self.push_stmt(Stmt::Assign { var, expr });
+    }
+
+    /// `buf[index] = value` (external store).
+    pub fn store(&mut self, buf: ArgId, index: ExprId, value: ExprId) {
+        self.push_stmt(Stmt::StoreExt { buf, index, value });
+    }
+
+    /// `mem[index] = value` (local BRAM store).
+    pub fn store_local(&mut self, mem: LocalMemId, index: ExprId, value: ExprId) {
+        self.push_stmt(Stmt::StoreLocal { mem, index, value });
+    }
+
+    /// Counted loop with explicit start/end/step expressions. The closure
+    /// receives the builder and an expression reading the induction variable.
+    pub fn for_each(
+        &mut self,
+        var_name: &str,
+        start: ExprId,
+        end: ExprId,
+        step: ExprId,
+        f: impl FnOnce(&mut Self, ExprId),
+    ) {
+        self.for_loop(var_name, start, end, step, Unroll::None, f)
+    }
+
+    /// Like [`Self::for_each`] but fully unrolled (`#pragma unroll`): the
+    /// loop body is inlined into the surrounding dataflow graph by the HLS
+    /// scheduler, so trip count must be compile-time constant.
+    pub fn for_unrolled(
+        &mut self,
+        var_name: &str,
+        start: ExprId,
+        end: ExprId,
+        step: ExprId,
+        f: impl FnOnce(&mut Self, ExprId),
+    ) {
+        self.for_loop(var_name, start, end, step, Unroll::Full, f)
+    }
+
+    fn for_loop(
+        &mut self,
+        var_name: &str,
+        start: ExprId,
+        end: ExprId,
+        step: ExprId,
+        unroll: Unroll,
+        f: impl FnOnce(&mut Self, ExprId),
+    ) {
+        let var = self.var(var_name, Type::I64);
+        let iv = self.get(var);
+        self.stack.push(Block::new());
+        f(self, iv);
+        let body = self.stack.pop().expect("matching block push");
+        self.push_stmt(Stmt::For {
+            var,
+            start,
+            end,
+            step,
+            body,
+            unroll,
+        });
+    }
+
+    /// Simple `for i in 0..n` loop over an i64 range with step 1.
+    pub fn for_range(&mut self, var_name: &str, n: ExprId, f: impl FnOnce(&mut Self, ExprId)) {
+        let zero = self.c_i64(0);
+        let one = self.c_i64(1);
+        self.for_each(var_name, zero, n, one, f)
+    }
+
+    /// Two-sided conditional.
+    pub fn if_(
+        &mut self,
+        cond: ExprId,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        self.stack.push(Block::new());
+        then_f(self);
+        let then_b = self.stack.pop().expect("matching block push");
+        self.stack.push(Block::new());
+        else_f(self);
+        let else_b = self.stack.pop().expect("matching block push");
+        self.push_stmt(Stmt::If {
+            cond,
+            then_b,
+            else_b,
+        });
+    }
+
+    /// One-sided conditional.
+    pub fn if_then(&mut self, cond: ExprId, then_f: impl FnOnce(&mut Self)) {
+        self.if_(cond, then_f, |_| {});
+    }
+
+    /// `#pragma omp critical` region.
+    pub fn critical(&mut self, f: impl FnOnce(&mut Self)) {
+        self.stack.push(Block::new());
+        f(self);
+        let body = self.stack.pop().expect("matching block push");
+        self.push_stmt(Stmt::Critical { body });
+    }
+
+    /// `#pragma omp barrier`.
+    pub fn barrier(&mut self) {
+        self.push_stmt(Stmt::Barrier);
+    }
+
+    /// Preloader burst external→local.
+    pub fn preload(
+        &mut self,
+        mem: LocalMemId,
+        src: ArgId,
+        src_off: ExprId,
+        dst_off: ExprId,
+        len: ExprId,
+    ) {
+        self.push_stmt(Stmt::Preload {
+            mem,
+            src,
+            src_off,
+            dst_off,
+            len,
+        });
+    }
+
+    /// Preloader burst local→external.
+    pub fn write_back(
+        &mut self,
+        mem: LocalMemId,
+        dst: ArgId,
+        dst_off: ExprId,
+        src_off: ExprId,
+        len: ExprId,
+    ) {
+        self.push_stmt(Stmt::WriteBack {
+            mem,
+            dst,
+            dst_off,
+            src_off,
+            len,
+        });
+    }
+
+    /// Inspect the kernel under construction (declarations and expressions
+    /// are complete; the body is only final after [`Self::finish`]).
+    pub fn kernel_in_progress(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Finalise and validate the kernel.
+    ///
+    /// # Panics
+    /// Panics if the kernel fails validation; use [`Self::try_finish`] for a
+    /// `Result`.
+    pub fn finish(self) -> Kernel {
+        self.try_finish().expect("kernel failed validation")
+    }
+
+    /// Finalise, returning validation errors instead of panicking.
+    pub fn try_finish(mut self) -> Result<Kernel, crate::validate::ValidationError> {
+        assert_eq!(
+            self.stack.len(),
+            1,
+            "unbalanced block stack: a loop/if/critical closure escaped"
+        );
+        self.kernel.body = self.stack.pop().unwrap();
+        crate::validate::validate(&self.kernel)?;
+        Ok(self.kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut kb = KernelBuilder::new("nest", 2);
+        let v = kb.var("x", Type::I32);
+        let n = kb.c_i64(4);
+        kb.for_range("i", n, |kb, _i| {
+            kb.critical(|kb| {
+                let one = kb.c_i32(1);
+                kb.set(v, one);
+            });
+        });
+        let k = kb.finish();
+        assert_eq!(k.body.len(), 1);
+        match &k.body[0] {
+            Stmt::For { body, .. } => match &body[0] {
+                Stmt::Critical { body } => assert!(matches!(body[0], Stmt::Assign { .. })),
+                other => panic!("expected critical, got {other:?}"),
+            },
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_builds_both_branches() {
+        let mut kb = KernelBuilder::new("cond", 1);
+        let v = kb.var("x", Type::I32);
+        let c = kb.c_i32(1);
+        let one = kb.c_i32(1);
+        let two = kb.c_i32(2);
+        kb.if_(
+            c,
+            |kb| kb.set(v, one),
+            |kb| kb.set(v, two),
+        );
+        let k = kb.finish();
+        match &k.body[0] {
+            Stmt::If { then_b, else_b, .. } => {
+                assert_eq!(then_b.len(), 1);
+                assert_eq!(else_b.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = KernelBuilder::new("bad", 0);
+    }
+}

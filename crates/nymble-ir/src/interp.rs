@@ -1,0 +1,332 @@
+//! Untimed gold-model interpreter.
+//!
+//! Drives one [`Walker`] per hardware thread with a deterministic
+//! round-robin schedule, honouring critical-section mutual exclusion and
+//! barriers. This is the functional reference the cycle-level simulator (and
+//! the case-study kernels) are verified against.
+
+use crate::kernel::{ArgId, ArgKind, Kernel};
+use crate::loops::LoopMap;
+use crate::opcount::OpCounts;
+use crate::types::{Type, Value};
+use crate::walker::{DataMemory, StepEvent, Walker};
+use std::collections::VecDeque;
+
+/// A launch value for one kernel argument.
+#[derive(Clone, Debug)]
+pub enum LaunchArg {
+    /// Scalar argument value.
+    Scalar(Value),
+    /// Buffer contents (element values). For `map(from:)` buffers, pass the
+    /// desired initial (usually zero) contents; results are read back from
+    /// the interpreter after the run.
+    Buffer(Vec<Value>),
+}
+
+/// Outcome of a gold-model run.
+#[derive(Clone, Debug)]
+pub struct InterpResult {
+    /// Final buffer contents, indexed like the kernel arguments (scalar
+    /// argument slots hold empty vectors).
+    pub buffers: Vec<Vec<Value>>,
+    /// Total dynamic operation counts over all threads.
+    pub ops: OpCounts,
+    /// External-memory traffic in bytes (reads, writes), including preloader
+    /// bursts.
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    /// Number of critical-section entries observed (sanity statistics).
+    pub critical_entries: u64,
+}
+
+struct BufferMem {
+    bufs: Vec<Vec<Value>>,
+}
+
+impl DataMemory for BufferMem {
+    fn load_ext(&mut self, buf: ArgId, elem_idx: u64, ty: Type) -> Value {
+        let b = &self.bufs[buf.0 as usize];
+        let i = elem_idx as usize;
+        assert!(
+            i + (ty.lanes.max(1) as usize - 1) < b.len(),
+            "load out of bounds: buffer {:?} len {} index {} lanes {}",
+            buf,
+            b.len(),
+            i,
+            ty.lanes
+        );
+        if ty.lanes <= 1 {
+            b[i].clone()
+        } else {
+            let lanes: Vec<Value> = (0..ty.lanes as usize).map(|l| b[i + l].clone()).collect();
+            Value::Vec(lanes.into_boxed_slice())
+        }
+    }
+
+    fn store_ext(&mut self, buf: ArgId, elem_idx: u64, v: Value) {
+        let b = &mut self.bufs[buf.0 as usize];
+        let i = elem_idx as usize;
+        match v {
+            Value::Vec(lanes) => {
+                assert!(i + lanes.len() <= b.len(), "vector store out of bounds");
+                for (l, lv) in lanes.iter().enumerate() {
+                    b[i + l] = lv.clone();
+                }
+            }
+            s => {
+                assert!(i < b.len(), "store out of bounds");
+                b[i] = s;
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    Runnable,
+    WaitingLock,
+    InCritical,
+    AtBarrier,
+    Done,
+}
+
+/// The untimed interpreter.
+pub struct Interpreter;
+
+impl Interpreter {
+    /// Run `kernel` to completion with the given launch arguments.
+    ///
+    /// # Panics
+    /// Panics on malformed launches (wrong arg count / types) and on
+    /// deadlock, which cannot occur for kernels accepted by the validator.
+    pub fn run(kernel: &Kernel, launch: &[LaunchArg]) -> InterpResult {
+        assert_eq!(
+            launch.len(),
+            kernel.args.len(),
+            "one launch argument per kernel argument"
+        );
+        let mut scalar_args = Vec::with_capacity(launch.len());
+        let mut bufs = Vec::with_capacity(launch.len());
+        for (arg, la) in kernel.args.iter().zip(launch) {
+            match (&arg.kind, la) {
+                (ArgKind::Scalar(_), LaunchArg::Scalar(v)) => {
+                    scalar_args.push(v.clone());
+                    bufs.push(Vec::new());
+                }
+                (ArgKind::Buffer { .. }, LaunchArg::Buffer(b)) => {
+                    scalar_args.push(Value::I32(0)); // placeholder
+                    bufs.push(b.clone());
+                }
+                _ => panic!("launch argument kind mismatch for `{}`", arg.name),
+            }
+        }
+
+        let loops = LoopMap::build(kernel);
+        let n = kernel.num_threads as usize;
+        let mut walkers: Vec<Walker> = (0..n)
+            .map(|t| Walker::new(kernel, &loops, t as u32, scalar_args.clone()))
+            .collect();
+        let mut mem = BufferMem { bufs };
+        let mut states = vec![ThreadState::Runnable; n];
+        let mut lock_held_by: Option<usize> = None;
+        let mut lock_queue: VecDeque<usize> = VecDeque::new();
+        let mut barrier_count = 0usize;
+        let mut done = 0usize;
+        let mut ops = OpCounts::default();
+        let (mut br, mut bw) = (0u64, 0u64);
+        let mut crit_entries = 0u64;
+
+        // Round-robin over runnable threads. A full sweep with no progress
+        // means deadlock (impossible for validated kernels — defensive).
+        while done < n {
+            let mut progressed = false;
+            for t in 0..n {
+                if states[t] != ThreadState::Runnable && states[t] != ThreadState::InCritical {
+                    continue;
+                }
+                progressed = true;
+                match walkers[t].step(&mut mem) {
+                    StepEvent::Ops(o) => ops.add(o),
+                    StepEvent::Access(a) => {
+                        if a.is_write {
+                            bw += a.bytes as u64;
+                        } else {
+                            br += a.bytes as u64;
+                        }
+                    }
+                    StepEvent::Burst { access, .. } => {
+                        if access.is_write {
+                            bw += access.bytes as u64;
+                        } else {
+                            br += access.bytes as u64;
+                        }
+                    }
+                    StepEvent::LocalRead { .. } => {}
+                    StepEvent::LoopEnter { .. }
+                    | StepEvent::LoopIter { .. }
+                    | StepEvent::LoopExit { .. } => {}
+                    StepEvent::CriticalEnter => {
+                        crit_entries += 1;
+                        if lock_held_by.is_none() {
+                            lock_held_by = Some(t);
+                            states[t] = ThreadState::InCritical;
+                        } else {
+                            states[t] = ThreadState::WaitingLock;
+                            lock_queue.push_back(t);
+                        }
+                    }
+                    StepEvent::CriticalExit => {
+                        assert_eq!(lock_held_by, Some(t), "exit from lock not held");
+                        states[t] = ThreadState::Runnable;
+                        lock_held_by = lock_queue.pop_front();
+                        if let Some(next) = lock_held_by {
+                            states[next] = ThreadState::InCritical;
+                        }
+                    }
+                    StepEvent::Barrier => {
+                        states[t] = ThreadState::AtBarrier;
+                        barrier_count += 1;
+                        // Threads that already finished never reach the
+                        // barrier; all *live* threads must arrive.
+                        if barrier_count == n - done {
+                            barrier_count = 0;
+                            for (s, st) in states.iter_mut().enumerate() {
+                                if *st == ThreadState::AtBarrier {
+                                    let _ = s;
+                                    *st = ThreadState::Runnable;
+                                }
+                            }
+                        }
+                    }
+                    StepEvent::Finished => {
+                        states[t] = ThreadState::Done;
+                        done += 1;
+                    }
+                }
+            }
+            assert!(progressed || done == n, "interpreter deadlock");
+        }
+
+        InterpResult {
+            buffers: mem.bufs,
+            ops,
+            bytes_read: br,
+            bytes_written: bw,
+            critical_entries: crit_entries,
+        }
+    }
+}
+
+/// Convenience: extract an `f32` slice from a result buffer.
+pub fn buffer_as_f32(buf: &[Value]) -> Vec<f32> {
+    buf.iter()
+        .map(|v| match v {
+            Value::F32(x) => *x,
+            other => other.as_f64() as f32,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::types::ScalarType;
+    use crate::{MapDir, Type};
+
+    /// Each of 4 threads increments a shared counter 10 times inside a
+    /// critical section; the result must be exactly 40 (mutual exclusion).
+    #[test]
+    fn critical_increments_are_atomic() {
+        let mut kb = KernelBuilder::new("atomic", 4);
+        let out = kb.buffer("OUT", ScalarType::I32, MapDir::ToFrom);
+        let n = kb.c_i64(10);
+        kb.for_range("i", n, |kb, _| {
+            kb.critical(|kb| {
+                let z = kb.c_i64(0);
+                let cur = kb.load(out, z, Type::I32);
+                let one = kb.c_i32(1);
+                let inc = kb.add(cur, one);
+                let z2 = kb.c_i64(0);
+                kb.store(out, z2, inc);
+            });
+        });
+        let k = kb.finish();
+        let r = Interpreter::run(&k, &[LaunchArg::Buffer(vec![Value::I32(0)])]);
+        assert_eq!(r.buffers[0][0], Value::I32(40));
+        assert_eq!(r.critical_entries, 40);
+    }
+
+    /// Barrier: phase 1 writes per-thread slots, phase 2 reads a neighbour's
+    /// slot. Without the barrier this would read stale zeros under some
+    /// interleavings; with it, every thread must see the neighbour's write.
+    #[test]
+    fn barrier_orders_phases() {
+        let nthreads = 4;
+        let mut kb = KernelBuilder::new("barrier", nthreads);
+        let buf = kb.buffer("BUF", ScalarType::I32, MapDir::ToFrom);
+        let out = kb.buffer("OUT", ScalarType::I32, MapDir::From);
+        let tid = kb.thread_id();
+        let tid64 = kb.cast(ScalarType::I64, tid);
+        let hundred = kb.c_i32(100);
+        let tid2 = kb.thread_id();
+        let val = kb.add(tid2, hundred);
+        kb.store(buf, tid64, val);
+        kb.barrier();
+        // read neighbour (tid+1) % n
+        let tid3 = kb.thread_id();
+        let one = kb.c_i32(1);
+        let np = kb.num_threads_expr();
+        let succ = kb.add(tid3, one);
+        let wrapped = kb.bin(crate::BinOp::Rem, succ, np);
+        let widx = kb.cast(ScalarType::I64, wrapped);
+        let neigh = kb.load(buf, widx, Type::I32);
+        let tid4 = kb.thread_id();
+        let oidx = kb.cast(ScalarType::I64, tid4);
+        kb.store(out, oidx, neigh);
+        let k = kb.finish();
+        let r = Interpreter::run(
+            &k,
+            &[
+                LaunchArg::Buffer(vec![Value::I32(0); nthreads as usize]),
+                LaunchArg::Buffer(vec![Value::I32(0); nthreads as usize]),
+            ],
+        );
+        for t in 0..nthreads as usize {
+            let expect = 100 + ((t + 1) % nthreads as usize) as i32;
+            assert_eq!(r.buffers[1][t], Value::I32(expect), "thread {t}");
+        }
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let mut kb = KernelBuilder::new("traffic", 1);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+        let n = kb.c_i64(8);
+        kb.for_range("i", n, |kb, i| {
+            let v = kb.load(a, i, Type::F32);
+            kb.store(out, i, v);
+        });
+        let k = kb.finish();
+        let r = Interpreter::run(
+            &k,
+            &[
+                LaunchArg::Buffer(vec![Value::F32(1.0); 8]),
+                LaunchArg::Buffer(vec![Value::F32(0.0); 8]),
+            ],
+        );
+        assert_eq!(r.bytes_read, 32);
+        assert_eq!(r.bytes_written, 32);
+        assert_eq!(r.ops.ext_loads, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn launch_kind_mismatch_panics() {
+        let mut kb = KernelBuilder::new("bad", 1);
+        let _ = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let k = kb.finish();
+        let _ = Interpreter::run(&k, &[LaunchArg::Scalar(Value::I32(0))]);
+    }
+}

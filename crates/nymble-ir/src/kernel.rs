@@ -1,0 +1,148 @@
+//! Kernel container: arguments, variables, local memories, expression arena
+//! and the structured statement body.
+
+use crate::expr::Expr;
+use crate::stmt::Block;
+use crate::types::{ScalarType, Type};
+use serde::{Deserialize, Serialize};
+
+/// Index of a kernel argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArgId(pub u32);
+
+/// Index of a thread-local variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+/// Index of an on-chip local memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LocalMemId(pub u32);
+
+/// OpenMP `map` clause direction controlling host↔FPGA data transfers
+/// (§III-A: the OpenMP frontend "allow\[s\] users to clearly specify which and
+/// how data has to be transferred").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapDir {
+    /// `map(to: ...)` — copied host→device before execution.
+    To,
+    /// `map(from: ...)` — copied device→host after execution.
+    From,
+    /// `map(tofrom: ...)` — copied both ways.
+    ToFrom,
+    /// `map(alloc: ...)` — device scratch, never copied.
+    Alloc,
+}
+
+/// Kind of kernel argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArgKind {
+    /// Scalar passed by value over the slave interface (e.g. `DIM`).
+    Scalar(ScalarType),
+    /// Pointer to a buffer in external DRAM, with its element type and
+    /// transfer direction.
+    Buffer { elem: ScalarType, map: MapDir },
+}
+
+/// A kernel argument.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Arg {
+    pub name: String,
+    pub kind: ArgKind,
+}
+
+/// A declared thread-local variable (register in the datapath context).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VarDecl {
+    pub name: String,
+    pub ty: Type,
+}
+
+/// An on-chip local memory (BRAM block).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LocalMem {
+    pub name: String,
+    /// Element type (may be a vector type, as in the blocked GEMM's
+    /// `VECTOR A_local[...]`).
+    pub elem: Type,
+    /// Number of elements.
+    pub len: u64,
+    /// Whether each hardware thread gets a private copy (the only mode used
+    /// by the paper's kernels; shared local memories are reserved).
+    pub per_thread: bool,
+}
+
+/// A complete kernel: the contents of one OpenMP `target` region
+/// (Nymble currently supports one target region per application, §III-A).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Kernel name (used for trace/application naming).
+    pub name: String,
+    /// Launch arguments.
+    pub args: Vec<Arg>,
+    /// Thread-local variables.
+    pub vars: Vec<VarDecl>,
+    /// Local BRAM memories.
+    pub local_mems: Vec<LocalMem>,
+    /// Expression arena.
+    pub exprs: Vec<Expr>,
+    /// Structured body, executed by every hardware thread.
+    pub body: Block,
+    /// `num_threads(N)` clause — number of simultaneous hardware threads
+    /// (the paper uses 8 throughout §V).
+    pub num_threads: u32,
+}
+
+impl Kernel {
+    /// Look up an expression node.
+    pub fn expr(&self, id: crate::expr::ExprId) -> &Expr {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// Argument metadata.
+    pub fn arg(&self, id: ArgId) -> &Arg {
+        &self.args[id.0 as usize]
+    }
+
+    /// Variable metadata.
+    pub fn var(&self, id: VarId) -> &VarDecl {
+        &self.vars[id.0 as usize]
+    }
+
+    /// Local memory metadata.
+    pub fn local_mem(&self, id: LocalMemId) -> &LocalMem {
+        &self.local_mems[id.0 as usize]
+    }
+
+    /// Element size in bytes of a buffer argument. Panics for scalar args.
+    pub fn buffer_elem_size(&self, id: ArgId) -> u32 {
+        match self.arg(id).kind {
+            ArgKind::Buffer { elem, .. } => elem.size_bytes(),
+            ArgKind::Scalar(_) => panic!("arg {:?} is not a buffer", id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_elem_size() {
+        let k = Kernel {
+            name: "t".into(),
+            args: vec![Arg {
+                name: "A".into(),
+                kind: ArgKind::Buffer {
+                    elem: ScalarType::F64,
+                    map: MapDir::To,
+                },
+            }],
+            vars: vec![],
+            local_mems: vec![],
+            exprs: vec![],
+            body: Block::default(),
+            num_threads: 1,
+        };
+        assert_eq!(k.buffer_elem_size(ArgId(0)), 8);
+    }
+}

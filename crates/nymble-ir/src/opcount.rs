@@ -1,0 +1,204 @@
+//! Static operation counting.
+//!
+//! The profiling unit classifies compute performance into integer and
+//! floating-point operations (§IV-B.2b: "Compute performance in Nymble can be
+//! classified as two types: floating-point and integer performance"). The
+//! walker needs per-statement-execution op counts to feed the counters; the
+//! cost model needs per-kernel static counts to size the datapath. Both are
+//! derived here.
+//!
+//! Counting convention: every `Binary`/`Unary`/`Select`/`Cast` evaluation
+//! counts as one operation per lane, classified by its *result* scalar type.
+//! Comparisons count as integer ops (they map to integer compare units even
+//! for float inputs on the paper's Stratix 10 target, where FP compares are
+//! decomposed). Loads/stores are counted separately as memory operations.
+
+use crate::expr::{Expr, ExprId};
+use crate::kernel::Kernel;
+use serde::{Deserialize, Serialize};
+
+/// Operation counts attributed to one evaluation of an expression tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Integer (and address/compare/select) operations.
+    pub int_ops: u64,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// External-memory load operations (requests, not bytes).
+    pub ext_loads: u64,
+    /// Local-memory load operations.
+    pub local_loads: u64,
+}
+
+impl OpCounts {
+    /// Element-wise sum.
+    pub fn add(&mut self, o: OpCounts) {
+        self.int_ops += o.int_ops;
+        self.flops += o.flops;
+        self.ext_loads += o.ext_loads;
+        self.local_loads += o.local_loads;
+    }
+}
+
+/// Count the operations performed by one evaluation of `root` (including all
+/// sub-expressions). The arena is a DAG: a shared sub-expression is one
+/// datapath operator and is counted exactly once.
+pub fn count_expr(k: &Kernel, root: ExprId) -> OpCounts {
+    let mut c = OpCounts::default();
+    let mut seen = vec![false; k.exprs.len()];
+    count_rec(k, root, &mut c, &mut seen);
+    c
+}
+
+fn count_rec(k: &Kernel, id: ExprId, c: &mut OpCounts, seen: &mut [bool]) {
+    if seen[id.0 as usize] {
+        return;
+    }
+    seen[id.0 as usize] = true;
+    let e = k.expr(id);
+    for child in e.children() {
+        count_rec(k, child, c, seen);
+    }
+    match e {
+        Expr::Binary(op, a, _) => {
+            let lanes = expr_lanes(k, *a).max(1) as u64;
+            // Result type decides the counter; comparisons are integer.
+            if op.is_comparison() || !expr_is_float(k, *a) {
+                c.int_ops += lanes;
+            } else {
+                c.flops += lanes;
+            }
+        }
+        Expr::Unary(_, a) => {
+            let lanes = expr_lanes(k, *a).max(1) as u64;
+            if expr_is_float(k, *a) {
+                c.flops += lanes;
+            } else {
+                c.int_ops += lanes;
+            }
+        }
+        Expr::Select { then_v, .. } => {
+            let lanes = expr_lanes(k, *then_v).max(1) as u64;
+            c.int_ops += lanes; // multiplexer
+        }
+        Expr::Cast(_, _) => c.int_ops += 1,
+        Expr::LoadExt { .. } => c.ext_loads += 1,
+        Expr::LoadLocal { .. } => c.local_loads += 1,
+        _ => {}
+    }
+}
+
+/// Number of lanes an expression produces (best-effort static inference;
+/// defaults to 1 when unknown, which is exact for the paper's kernels).
+pub fn expr_lanes(k: &Kernel, id: ExprId) -> u8 {
+    match k.expr(id) {
+        Expr::Const(v) => v.ty().lanes,
+        Expr::LoadExt { ty, .. } | Expr::LoadLocal { ty, .. } => ty.lanes,
+        Expr::Splat(_, lanes) => *lanes,
+        Expr::Lane(_, _) => 1,
+        Expr::Var(v) => k.var(*v).ty.lanes,
+        Expr::Binary(_, a, b) => expr_lanes(k, *a).max(expr_lanes(k, *b)),
+        Expr::Unary(_, a) | Expr::Cast(_, a) => expr_lanes(k, *a),
+        Expr::Select {
+            then_v, else_v, ..
+        } => expr_lanes(k, *then_v).max(expr_lanes(k, *else_v)),
+        _ => 1,
+    }
+}
+
+/// Whether an expression produces a floating-point value (static inference).
+pub fn expr_is_float(k: &Kernel, id: ExprId) -> bool {
+    match k.expr(id) {
+        Expr::Const(v) => v.ty().scalar.is_float(),
+        Expr::Arg(a) => match k.arg(*a).kind {
+            crate::kernel::ArgKind::Scalar(t) => t.is_float(),
+            crate::kernel::ArgKind::Buffer { elem, .. } => elem.is_float(),
+        },
+        Expr::ThreadId | Expr::NumThreads => false,
+        Expr::Var(v) => k.var(*v).ty.scalar.is_float(),
+        Expr::Unary(_, a) | Expr::Splat(a, _) | Expr::Lane(a, _) => expr_is_float(k, *a),
+        Expr::Binary(op, a, _) => !op.is_comparison() && expr_is_float(k, *a),
+        Expr::Select { then_v, .. } => expr_is_float(k, *then_v),
+        Expr::Cast(t, _) => t.is_float(),
+        Expr::LoadExt { ty, .. } | Expr::LoadLocal { ty, .. } => ty.scalar.is_float(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::types::{ScalarType, Type};
+    use crate::{BinOp, MapDir};
+
+    #[test]
+    fn counts_fma_as_two_flops_and_loads() {
+        let mut kb = KernelBuilder::new("t", 1);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let b = kb.buffer("B", ScalarType::F32, MapDir::To);
+        let s = kb.var("sum", Type::F32);
+        let i = kb.c_i64(0);
+        let av = kb.load(a, i, Type::F32);
+        let bv = kb.load(b, i, Type::F32);
+        let sv = kb.get(s);
+        let fma = kb.mul_add(av, bv, sv);
+        kb.set(s, fma);
+        let k = kb.finish();
+        // The final Assign's expr is the fma expression.
+        let root = match &k.body[0] {
+            crate::Stmt::Assign { expr, .. } => *expr,
+            _ => unreachable!(),
+        };
+        let c = count_expr(&k, root);
+        assert_eq!(c.flops, 2);
+        assert_eq!(c.int_ops, 0);
+        assert_eq!(c.ext_loads, 2);
+    }
+
+    #[test]
+    fn vector_ops_count_per_lane() {
+        let mut kb = KernelBuilder::new("t", 1);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let i = kb.c_i64(0);
+        let v4 = Type::vector(ScalarType::F32, 4);
+        let av = kb.load(a, i, v4);
+        let bv = kb.load(a, i, v4);
+        let sum = kb.bin(BinOp::Add, av, bv);
+        let dst = kb.var("d", v4);
+        kb.set(dst, sum);
+        let k = kb.finish();
+        let root = match &k.body[0] {
+            crate::Stmt::Assign { expr, .. } => *expr,
+            _ => unreachable!(),
+        };
+        let c = count_expr(&k, root);
+        assert_eq!(c.flops, 4, "one vector add = 4 lane flops");
+        assert_eq!(c.ext_loads, 2);
+    }
+
+    #[test]
+    fn comparisons_are_integer_ops() {
+        let mut kb = KernelBuilder::new("t", 1);
+        let x = kb.c_f32(1.0);
+        let y = kb.c_f32(2.0);
+        let lt = kb.bin(BinOp::Lt, x, y);
+        let v = kb.var("b", Type::I32);
+        kb.set(v, lt);
+        let k = kb.finish();
+        let root = match &k.body[0] {
+            crate::Stmt::Assign { expr, .. } => *expr,
+            _ => unreachable!(),
+        };
+        let c = count_expr(&k, root);
+        assert_eq!(c.int_ops, 1);
+        assert_eq!(c.flops, 0);
+    }
+
+    #[test]
+    fn lane_inference() {
+        let mut kb = KernelBuilder::new("t", 1);
+        let s = kb.c_f32(1.0);
+        let v = kb.splat(s, 4);
+        assert_eq!(expr_lanes(kb.kernel_in_progress(), v), 4);
+    }
+}

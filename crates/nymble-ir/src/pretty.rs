@@ -1,0 +1,305 @@
+//! Pseudo-C pretty-printer for kernels.
+//!
+//! Renders a kernel roughly in the style of the paper's listings
+//! (Figs. 3–5, 10): OpenMP pragma header, C-like statements, `#pragma omp
+//! critical` blocks. Useful for debugging builder-constructed kernels and
+//! for documentation — the output is *not* meant to be compilable C.
+
+use crate::expr::{BinOp, Expr, ExprId, UnOp};
+use crate::kernel::{ArgKind, Kernel, MapDir};
+use crate::stmt::{Block, Stmt, Unroll};
+use std::fmt::Write as _;
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+    }
+}
+
+fn expr_str(k: &Kernel, id: ExprId) -> String {
+    match k.expr(id) {
+        Expr::Const(v) => match v {
+            crate::Value::I32(x) => format!("{x}"),
+            crate::Value::I64(x) => format!("{x}L"),
+            crate::Value::F32(x) => format!("{x:?}f"),
+            crate::Value::F64(x) => format!("{x:?}"),
+            crate::Value::Vec(l) => format!("{{..{} lanes..}}", l.len()),
+        },
+        Expr::Arg(a) => k.arg(*a).name.clone(),
+        Expr::ThreadId => "omp_get_thread_num()".to_string(),
+        Expr::NumThreads => "omp_get_num_threads()".to_string(),
+        Expr::Var(v) => k.var(*v).name.clone(),
+        Expr::Unary(op, a) => {
+            let a = expr_str(k, *a);
+            match op {
+                UnOp::Neg => format!("-({a})"),
+                UnOp::Not => format!("~({a})"),
+                UnOp::Abs => format!("abs({a})"),
+                UnOp::Sqrt => format!("sqrt({a})"),
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let (sa, sb) = (expr_str(k, *a), expr_str(k, *b));
+            match op {
+                BinOp::Min | BinOp::Max => format!("{}({sa}, {sb})", binop_str(*op)),
+                _ => format!("({sa} {} {sb})", binop_str(*op)),
+            }
+        }
+        Expr::Select {
+            cond,
+            then_v,
+            else_v,
+        } => format!(
+            "({} ? {} : {})",
+            expr_str(k, *cond),
+            expr_str(k, *then_v),
+            expr_str(k, *else_v)
+        ),
+        Expr::Cast(ty, a) => format!("({ty:?})({})", expr_str(k, *a)),
+        Expr::LoadExt { buf, index, ty } => {
+            if ty.lanes > 1 {
+                format!(
+                    "*((VECTOR{}*)&{}[{}])",
+                    ty.lanes,
+                    k.arg(*buf).name,
+                    expr_str(k, *index)
+                )
+            } else {
+                format!("{}[{}]", k.arg(*buf).name, expr_str(k, *index))
+            }
+        }
+        Expr::LoadLocal { mem, index, .. } => format!(
+            "{}[{}]",
+            k.local_mem(*mem).name,
+            expr_str(k, *index)
+        ),
+        Expr::Lane(a, l) => format!("{}[{l}]", expr_str(k, *a)),
+        Expr::Splat(a, l) => format!("splat{l}({})", expr_str(k, *a)),
+    }
+}
+
+fn block(k: &Kernel, b: &Block, out: &mut String, ind: usize) {
+    let pad = "  ".repeat(ind);
+    for s in b {
+        match s {
+            Stmt::Assign { var, expr } => {
+                let _ = writeln!(out, "{pad}{} = {};", k.var(*var).name, expr_str(k, *expr));
+            }
+            Stmt::StoreExt { buf, index, value } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{}[{}] = {};",
+                    k.arg(*buf).name,
+                    expr_str(k, *index),
+                    expr_str(k, *value)
+                );
+            }
+            Stmt::StoreLocal { mem, index, value } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{}[{}] = {};",
+                    k.local_mem(*mem).name,
+                    expr_str(k, *index),
+                    expr_str(k, *value)
+                );
+            }
+            Stmt::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+                unroll,
+            } => {
+                if *unroll == Unroll::Full {
+                    let _ = writeln!(out, "{pad}#pragma unroll");
+                }
+                let v = &k.var(*var).name;
+                let _ = writeln!(
+                    out,
+                    "{pad}for ({v} = {}; {v} < {}; {v} += {}) {{",
+                    expr_str(k, *start),
+                    expr_str(k, *end),
+                    expr_str(k, *step)
+                );
+                block(k, body, out, ind + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let _ = writeln!(out, "{pad}if ({}) {{", expr_str(k, *cond));
+                block(k, then_b, out, ind + 1);
+                if !else_b.is_empty() {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    block(k, else_b, out, ind + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Critical { body } => {
+                let _ = writeln!(out, "{pad}#pragma omp critical\n{pad}{{");
+                block(k, body, out, ind + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Barrier => {
+                let _ = writeln!(out, "{pad}#pragma omp barrier");
+            }
+            Stmt::Preload {
+                mem,
+                src,
+                src_off,
+                dst_off,
+                len,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}preload({} + {}, {} + {}, {});",
+                    k.local_mem(*mem).name,
+                    expr_str(k, *dst_off),
+                    k.arg(*src).name,
+                    expr_str(k, *src_off),
+                    expr_str(k, *len)
+                );
+            }
+            Stmt::WriteBack {
+                mem,
+                dst,
+                dst_off,
+                src_off,
+                len,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}writeback({} + {}, {} + {}, {});",
+                    k.arg(*dst).name,
+                    expr_str(k, *dst_off),
+                    k.local_mem(*mem).name,
+                    expr_str(k, *src_off),
+                    expr_str(k, *len)
+                );
+            }
+        }
+    }
+}
+
+/// Render the kernel as a pseudo-C listing.
+pub fn to_pseudo_c(k: &Kernel) -> String {
+    let mut out = String::new();
+    // Signature with map clauses, in the style of the paper's listings.
+    let mut maps: Vec<String> = Vec::new();
+    let mut params: Vec<String> = Vec::new();
+    for arg in &k.args {
+        match arg.kind {
+            ArgKind::Scalar(t) => params.push(format!("{t:?} {}", arg.name)),
+            ArgKind::Buffer { elem, map } => {
+                params.push(format!("{elem:?}* {}", arg.name));
+                let dir = match map {
+                    MapDir::To => "to",
+                    MapDir::From => "from",
+                    MapDir::ToFrom => "tofrom",
+                    MapDir::Alloc => "alloc",
+                };
+                maps.push(format!("map({dir}: {})", arg.name));
+            }
+        }
+    }
+    let _ = writeln!(out, "void {}({}) {{", k.name, params.join(", "));
+    let _ = writeln!(
+        out,
+        "  #pragma omp target parallel {} num_threads({})",
+        maps.join(" "),
+        k.num_threads
+    );
+    let _ = writeln!(out, "  {{");
+    // Declarations.
+    for m in &k.local_mems {
+        let _ = writeln!(
+            out,
+            "    {:?} {}[{}]; // local (BRAM), {} lane(s)",
+            m.elem.scalar, m.name, m.len, m.elem.lanes
+        );
+    }
+    block(k, &k.body, &mut out, 2);
+    let _ = writeln!(out, "  }}\n}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::types::{ScalarType, Type};
+
+    #[test]
+    fn renders_paperlike_listing() {
+        let mut kb = KernelBuilder::new("matmul", 8);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let c = kb.buffer("C", ScalarType::F32, MapDir::From);
+        let sum = kb.var("sum", Type::F32);
+        let n = kb.c_i64(4);
+        kb.for_range("i", n, |kb, i| {
+            let v = kb.load(a, i, Type::F32);
+            let cur = kb.get(sum);
+            let s = kb.add(cur, v);
+            kb.set(sum, s);
+            kb.critical(|kb| {
+                let sv = kb.get(sum);
+                kb.store(c, i, sv);
+            });
+        });
+        let k = kb.finish();
+        let c_src = to_pseudo_c(&k);
+        assert!(c_src.contains("#pragma omp target parallel"));
+        assert!(c_src.contains("map(to: A)"));
+        assert!(c_src.contains("map(from: C)"));
+        assert!(c_src.contains("num_threads(8)"));
+        assert!(c_src.contains("#pragma omp critical"));
+        assert!(c_src.contains("sum = (sum + A[i]);"));
+        assert!(c_src.contains("for (i = 0L; i < 4L; i += 1L)"));
+    }
+
+    #[test]
+    fn vector_loads_render_as_casts() {
+        let mut kb = KernelBuilder::new("v", 1);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let x = kb.var("x", Type::vector(ScalarType::F32, 4));
+        let i = kb.c_i64(0);
+        let v = kb.load(a, i, Type::vector(ScalarType::F32, 4));
+        kb.set(x, v);
+        let k = kb.finish();
+        let s = to_pseudo_c(&k);
+        assert!(s.contains("*((VECTOR4*)&A[0L])"), "{s}");
+    }
+
+    #[test]
+    fn unrolled_loops_get_pragma() {
+        let mut kb = KernelBuilder::new("u", 1);
+        let x = kb.var("x", Type::I64);
+        let z = kb.c_i64(0);
+        let four = kb.c_i64(4);
+        let one = kb.c_i64(1);
+        kb.for_unrolled("v", z, four, one, |kb, v| kb.set(x, v));
+        let k = kb.finish();
+        let s = to_pseudo_c(&k);
+        assert!(s.contains("#pragma unroll"));
+    }
+}

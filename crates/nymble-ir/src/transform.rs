@@ -1,0 +1,324 @@
+//! IR transformations: constant folding and dead-assignment elimination.
+//!
+//! Nymble's C frontend (Clang-based) hands the HLS middle end already-folded
+//! IR; kernels built programmatically through [`crate::KernelBuilder`] often
+//! contain foldable address arithmetic (`(0 * DIM) + j`, `i + 0`, …) that
+//! would each become a datapath operator. This pass cleans them up before
+//! scheduling, shrinking both the schedule and the area estimate. Semantics
+//! preservation is property-tested against the interpreter.
+
+use crate::expr::{eval_binop, eval_unop, BinOp, Expr, ExprId};
+use crate::kernel::Kernel;
+use crate::stmt::{Block, Stmt};
+use crate::types::Value;
+
+/// Statistics of one optimization run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FoldStats {
+    /// Expression nodes replaced by constants.
+    pub folded: usize,
+    /// Algebraic identities simplified (`x+0`, `x*1`, `x*0`, …).
+    pub identities: usize,
+}
+
+fn const_of(k: &Kernel, id: ExprId) -> Option<&Value> {
+    match k.expr(id) {
+        Expr::Const(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn is_const_zero(k: &Kernel, id: ExprId) -> bool {
+    const_of(k, id).map(|v| match v {
+        Value::I32(0) | Value::I64(0) => true,
+        Value::F32(x) => *x == 0.0,
+        Value::F64(x) => *x == 0.0,
+        _ => false,
+    }) == Some(true)
+}
+
+fn is_const_one(k: &Kernel, id: ExprId) -> bool {
+    const_of(k, id).map(|v| match v {
+        Value::I32(1) | Value::I64(1) => true,
+        Value::F32(x) => *x == 1.0,
+        Value::F64(x) => *x == 1.0,
+        _ => false,
+    }) == Some(true)
+}
+
+/// Fold constants and algebraic identities in place. Returns statistics.
+///
+/// Folding is conservative: only pure scalar operators with fully-constant
+/// operands fold; float folding follows the interpreter's own `eval_binop`
+/// (bit-identical results by construction). Integer `x*0 → 0` is applied;
+/// the float variant is **not** (it would change NaN/−0 behaviour).
+pub fn fold_constants(k: &mut Kernel) -> FoldStats {
+    let mut stats = FoldStats::default();
+    // Iterate to fixpoint: folding a node can expose its user.
+    loop {
+        let mut changed = false;
+        for i in 0..k.exprs.len() {
+            let id = ExprId(i as u32);
+            let replacement: Option<(Value, bool)> = match k.expr(id).clone() {
+                Expr::Binary(op, a, b) => {
+                    if let (Some(va), Some(vb)) = (const_of(k, a), const_of(k, b)) {
+                        // Division by a constant zero stays a runtime op
+                        // (the hardware divider defines it; don't hide it).
+                        let div_by_zero = matches!(op, BinOp::Div | BinOp::Rem)
+                            && is_const_zero(k, b);
+                        if div_by_zero {
+                            None
+                        } else {
+                            Some((eval_binop(op, va, vb), false))
+                        }
+                    } else {
+                        None
+                    }
+                }
+                Expr::Unary(op, a) => {
+                    const_of(k, a).map(|va| (eval_unop(op, va), false))
+                }
+                _ => None,
+            };
+            if let Some((v, _)) = replacement {
+                k.exprs[i] = Expr::Const(v);
+                stats.folded += 1;
+                changed = true;
+                continue;
+            }
+            // Algebraic identities: rewrite the node to an alias of one
+            // operand. We encode the alias as `Binary(Add, x, 0)` → replace
+            // by a copy of the operand's node when that operand is itself a
+            // leaf (keeps the arena's acyclicity trivially intact).
+            if let Expr::Binary(op, a, b) = *k.expr(id) {
+                let alias = match op {
+                    BinOp::Add | BinOp::Sub if is_const_zero(k, b) => Some(a),
+                    BinOp::Add if is_const_zero(k, a) => Some(b),
+                    BinOp::Mul if is_const_one(k, b) => Some(a),
+                    BinOp::Mul if is_const_one(k, a) => Some(b),
+                    BinOp::Div if is_const_one(k, b) => Some(a),
+                    BinOp::Shl | BinOp::Shr if is_const_zero(k, b) => Some(a),
+                    _ => None,
+                };
+                if let Some(src) = alias {
+                    let leaf = matches!(
+                        k.expr(src),
+                        Expr::Const(_)
+                            | Expr::Arg(_)
+                            | Expr::Var(_)
+                            | Expr::ThreadId
+                            | Expr::NumThreads
+                    );
+                    if leaf {
+                        k.exprs[i] = k.expr(src).clone();
+                        stats.identities += 1;
+                        changed = true;
+                        continue;
+                    }
+                }
+                // Integer x * 0 → 0 (either side).
+                if op == BinOp::Mul {
+                    let int_zero = |e: ExprId| {
+                        is_const_zero(k, e)
+                            && const_of(k, e)
+                                .map(|v| matches!(v, Value::I32(_) | Value::I64(_)))
+                                == Some(true)
+                    };
+                    if int_zero(a) || int_zero(b) {
+                        let zty = if int_zero(a) { a } else { b };
+                        let z = const_of(k, zty).unwrap().clone();
+                        k.exprs[i] = Expr::Const(z);
+                        stats.identities += 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return stats;
+        }
+    }
+}
+
+/// Remove assignments to variables that are never read anywhere in the
+/// kernel (conservative: any `Expr::Var(v)` in the arena counts as a read,
+/// loop induction variables are always kept). Returns removed count.
+pub fn eliminate_dead_assigns(k: &mut Kernel) -> usize {
+    let mut read = vec![false; k.vars.len()];
+    for e in &k.exprs {
+        if let Expr::Var(v) = e {
+            read[v.0 as usize] = true;
+        }
+    }
+    // Induction variables are structural.
+    fn mark_loop_vars(b: &Block, read: &mut [bool]) {
+        for s in b {
+            match s {
+                Stmt::For { var, body, .. } => {
+                    read[var.0 as usize] = true;
+                    mark_loop_vars(body, read);
+                }
+                Stmt::Critical { body } => mark_loop_vars(body, read),
+                Stmt::If { then_b, else_b, .. } => {
+                    mark_loop_vars(then_b, read);
+                    mark_loop_vars(else_b, read);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut read2 = read.clone();
+    mark_loop_vars(&k.body, &mut read2);
+
+    fn sweep(b: &mut Block, read: &[bool], removed: &mut usize) {
+        b.retain_mut(|s| match s {
+            Stmt::Assign { var, .. } => {
+                if read[var.0 as usize] {
+                    true
+                } else {
+                    *removed += 1;
+                    false
+                }
+            }
+            Stmt::For { body, .. } | Stmt::Critical { body } => {
+                sweep(body, read, removed);
+                true
+            }
+            Stmt::If { then_b, else_b, .. } => {
+                sweep(then_b, read, removed);
+                sweep(else_b, read, removed);
+                true
+            }
+            _ => true,
+        });
+    }
+    let mut removed = 0;
+    let mut body = std::mem::take(&mut k.body);
+    sweep(&mut body, &read2, &mut removed);
+    k.body = body;
+    removed
+}
+
+/// Run the full pass pipeline.
+pub fn optimize(k: &mut Kernel) -> (FoldStats, usize) {
+    let fs = fold_constants(k);
+    let dead = eliminate_dead_assigns(k);
+    (fs, dead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::interp::{Interpreter, LaunchArg};
+    use crate::types::{ScalarType, Type};
+    use crate::MapDir;
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut kb = KernelBuilder::new("f", 1);
+        let out = kb.buffer("OUT", ScalarType::I64, MapDir::From);
+        let a = kb.c_i64(6);
+        let b = kb.c_i64(7);
+        let p = kb.mul(a, b);
+        let z = kb.c_i64(0);
+        kb.store(out, z, p);
+        let mut k = kb.finish();
+        let s = fold_constants(&mut k);
+        assert_eq!(s.folded, 1);
+        assert!(matches!(k.expr(p), Expr::Const(Value::I64(42))));
+        let r = Interpreter::run(&k, &[LaunchArg::Buffer(vec![Value::I64(0)])]);
+        assert_eq!(r.buffers[0][0].as_i64(), 42);
+    }
+
+    #[test]
+    fn identities_simplify() {
+        let mut kb = KernelBuilder::new("i", 1);
+        let n_arg = kb.scalar_arg("N", ScalarType::I64);
+        let out = kb.buffer("OUT", ScalarType::I64, MapDir::From);
+        let n = kb.arg(n_arg);
+        let zero = kb.c_i64(0);
+        let one = kb.c_i64(1);
+        let x1 = kb.add(n, zero); // n + 0 → n
+        let x2 = kb.mul(x1, one); // (n) * 1 → n
+        let z = kb.c_i64(0);
+        kb.store(out, z, x2);
+        let mut k = kb.finish();
+        let s = fold_constants(&mut k);
+        assert!(s.identities >= 2, "{s:?}");
+        assert!(matches!(k.expr(x2), Expr::Arg(_)));
+        let r = Interpreter::run(
+            &k,
+            &[
+                LaunchArg::Scalar(Value::I64(9)),
+                LaunchArg::Buffer(vec![Value::I64(0)]),
+            ],
+        );
+        assert_eq!(r.buffers[1][0].as_i64(), 9);
+    }
+
+    #[test]
+    fn int_mul_by_zero_folds_but_not_float() {
+        let mut kb = KernelBuilder::new("z", 1);
+        let n_arg = kb.scalar_arg("N", ScalarType::I64);
+        let f_arg = kb.scalar_arg("F", ScalarType::F32);
+        let n = kb.arg(n_arg);
+        let zero = kb.c_i64(0);
+        let iz = kb.mul(n, zero); // folds to 0
+        let f = kb.arg(f_arg);
+        let fz = kb.c_f32(0.0);
+        let fm = kb.mul(f, fz); // must NOT fold (NaN semantics)
+        let vi = kb.var("vi", Type::I64);
+        let vf = kb.var("vf", Type::F32);
+        kb.set(vi, iz);
+        kb.set(vf, fm);
+        // Keep both alive through reads.
+        let out = kb.buffer("OUT", ScalarType::I64, MapDir::From);
+        let rvi = kb.get(vi);
+        let z2 = kb.c_i64(0);
+        kb.store(out, z2, rvi);
+        let mut k = kb.finish();
+        let _ = fold_constants(&mut k);
+        assert!(matches!(k.expr(iz), Expr::Const(Value::I64(0))));
+        assert!(matches!(k.expr(fm), Expr::Binary(..)), "float ×0 kept");
+    }
+
+    #[test]
+    fn division_by_constant_zero_is_kept() {
+        let mut kb = KernelBuilder::new("d", 1);
+        let n_arg = kb.scalar_arg("N", ScalarType::I64);
+        let n = kb.arg(n_arg);
+        let z = kb.c_i64(0);
+        let d = kb.div(n, z);
+        let v = kb.var("v", Type::I64);
+        kb.set(v, d);
+        let mut k = kb.finish();
+        let _ = fold_constants(&mut k);
+        assert!(matches!(k.expr(d), Expr::Binary(..)));
+    }
+
+    #[test]
+    fn dead_assigns_removed_but_loop_vars_kept() {
+        let mut kb = KernelBuilder::new("dead", 1);
+        let unused = kb.var("unused", Type::F32);
+        let live = kb.var("live", Type::I64);
+        let c = kb.c_f32(1.0);
+        kb.set(unused, c); // dead
+        let n = kb.c_i64(4);
+        kb.for_range("i", n, |kb, i| {
+            let cur = kb.get(live);
+            let s = kb.add(cur, i);
+            kb.set(live, s);
+        });
+        let out = kb.buffer("OUT", ScalarType::I64, MapDir::From);
+        let lv = kb.get(live);
+        let z = kb.c_i64(0);
+        kb.store(out, z, lv);
+        let mut k = kb.finish();
+        let removed = eliminate_dead_assigns(&mut k);
+        assert_eq!(removed, 1);
+        let r = Interpreter::run(&k, &[LaunchArg::Buffer(vec![Value::I64(0)])]);
+        assert_eq!(r.buffers[0][0].as_i64(), 0 + 1 + 2 + 3);
+        let _ = unused;
+    }
+}

@@ -1,0 +1,270 @@
+//! Kernel validation: referential integrity and structural rules.
+//!
+//! Nymble rejects programs its execution model cannot realise; this pass
+//! mirrors the checks that matter for the simulator and scheduler:
+//! every id must be in range, fully-unrolled loops may not contain
+//! synchronisation (a barrier inside an unrolled dataflow graph has no
+//! hardware realisation), and critical sections may not nest (the single
+//! hardware semaphore of Fig. 1 is not re-entrant).
+
+use crate::expr::{Expr, ExprId};
+use crate::kernel::{ArgKind, Kernel};
+use crate::stmt::{Block, Stmt, Unroll};
+use std::fmt;
+
+/// A validation failure, with a human-readable description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationError(pub String);
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel validation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn err(msg: impl Into<String>) -> ValidationError {
+    ValidationError(msg.into())
+}
+
+/// Validate a kernel. Called automatically by
+/// [`crate::builder::KernelBuilder::finish`].
+pub fn validate(k: &Kernel) -> Result<(), ValidationError> {
+    if k.num_threads == 0 {
+        return Err(err("num_threads must be >= 1"));
+    }
+    for (i, e) in k.exprs.iter().enumerate() {
+        check_expr(k, ExprId(i as u32), e)?;
+    }
+    check_block(k, &k.body, false, false)?;
+    Ok(())
+}
+
+fn check_expr(k: &Kernel, id: ExprId, e: &Expr) -> Result<(), ValidationError> {
+    // Arena ids must point backwards: the builder always appends operands
+    // before their users, which also guarantees acyclicity.
+    for c in e.children() {
+        if c.0 >= id.0 {
+            return Err(err(format!(
+                "expression {id:?} references non-prior expression {c:?} (cycle?)"
+            )));
+        }
+    }
+    match e {
+        Expr::Arg(a) => {
+            let arg = k
+                .args
+                .get(a.0 as usize)
+                .ok_or_else(|| err(format!("expression {id:?}: unknown arg {a:?}")))?;
+            if matches!(arg.kind, ArgKind::Buffer { .. }) {
+                return Err(err(format!(
+                    "expression {id:?}: buffer argument `{}` read as scalar; use a load",
+                    arg.name
+                )));
+            }
+        }
+        Expr::Var(v)
+            if v.0 as usize >= k.vars.len() => {
+                return Err(err(format!("expression {id:?}: unknown var {v:?}")));
+            }
+        Expr::LoadExt { buf, ty, .. } => {
+            let arg = k
+                .args
+                .get(buf.0 as usize)
+                .ok_or_else(|| err(format!("expression {id:?}: unknown buffer {buf:?}")))?;
+            match arg.kind {
+                ArgKind::Buffer { elem, .. } => {
+                    if elem != ty.scalar {
+                        return Err(err(format!(
+                            "expression {id:?}: loads {:?} from `{}` declared {:?}",
+                            ty.scalar, arg.name, elem
+                        )));
+                    }
+                }
+                ArgKind::Scalar(_) => {
+                    return Err(err(format!(
+                        "expression {id:?}: load from scalar argument `{}`",
+                        arg.name
+                    )))
+                }
+            }
+            if ty.lanes == 0 {
+                return Err(err(format!("expression {id:?}: zero-lane load")));
+            }
+        }
+        Expr::LoadLocal { mem, ty, .. } => {
+            let m = k
+                .local_mems
+                .get(mem.0 as usize)
+                .ok_or_else(|| err(format!("expression {id:?}: unknown local mem {mem:?}")))?;
+            if m.elem.scalar != ty.scalar {
+                return Err(err(format!(
+                    "expression {id:?}: local mem `{}` element type mismatch",
+                    m.name
+                )));
+            }
+        }
+        Expr::Splat(_, lanes)
+            if *lanes < 2 => {
+                return Err(err(format!("expression {id:?}: splat to < 2 lanes")));
+            }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn check_block(
+    k: &Kernel,
+    b: &Block,
+    in_unrolled: bool,
+    in_critical: bool,
+) -> Result<(), ValidationError> {
+    for s in b {
+        match s {
+            Stmt::Assign { var, .. } => {
+                if var.0 as usize >= k.vars.len() {
+                    return Err(err(format!("assign to unknown var {var:?}")));
+                }
+            }
+            Stmt::StoreExt { buf, .. } => {
+                let arg = k
+                    .args
+                    .get(buf.0 as usize)
+                    .ok_or_else(|| err(format!("store to unknown buffer {buf:?}")))?;
+                if !matches!(arg.kind, ArgKind::Buffer { .. }) {
+                    return Err(err(format!("store to scalar argument `{}`", arg.name)));
+                }
+            }
+            Stmt::StoreLocal { mem, .. } => {
+                if mem.0 as usize >= k.local_mems.len() {
+                    return Err(err(format!("store to unknown local mem {mem:?}")));
+                }
+            }
+            Stmt::For { body, unroll, .. } => {
+                check_block(k, body, in_unrolled || *unroll == Unroll::Full, in_critical)?;
+            }
+            Stmt::If { then_b, else_b, .. } => {
+                check_block(k, then_b, in_unrolled, in_critical)?;
+                check_block(k, else_b, in_unrolled, in_critical)?;
+            }
+            Stmt::Critical { body } => {
+                if in_critical {
+                    return Err(err(
+                        "nested critical sections: the hardware semaphore is not re-entrant",
+                    ));
+                }
+                if in_unrolled {
+                    return Err(err("critical section inside a fully-unrolled loop"));
+                }
+                check_block(k, body, in_unrolled, true)?;
+            }
+            Stmt::Barrier => {
+                if in_unrolled {
+                    return Err(err("barrier inside a fully-unrolled loop"));
+                }
+                if in_critical {
+                    return Err(err(
+                        "barrier inside a critical section would deadlock all threads",
+                    ));
+                }
+            }
+            Stmt::Preload { mem, src, .. } => {
+                if mem.0 as usize >= k.local_mems.len() {
+                    return Err(err(format!("preload to unknown local mem {mem:?}")));
+                }
+                let arg = k
+                    .args
+                    .get(src.0 as usize)
+                    .ok_or_else(|| err(format!("preload from unknown buffer {src:?}")))?;
+                if !matches!(arg.kind, ArgKind::Buffer { .. }) {
+                    return Err(err(format!("preload from scalar argument `{}`", arg.name)));
+                }
+            }
+            Stmt::WriteBack { mem, dst, .. } => {
+                if mem.0 as usize >= k.local_mems.len() {
+                    return Err(err(format!("writeback from unknown local mem {mem:?}")));
+                }
+                let arg = k
+                    .args
+                    .get(dst.0 as usize)
+                    .ok_or_else(|| err(format!("writeback to unknown buffer {dst:?}")))?;
+                if !matches!(arg.kind, ArgKind::Buffer { .. }) {
+                    return Err(err(format!("writeback to scalar argument `{}`", arg.name)));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::builder::KernelBuilder;
+    use crate::types::{ScalarType, Type};
+    use crate::MapDir;
+
+    #[test]
+    fn accepts_wellformed() {
+        let mut kb = KernelBuilder::new("ok", 2);
+        let buf = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let v = kb.var("x", Type::F32);
+        let idx = kb.c_i64(0);
+        let ld = kb.load(buf, idx, Type::F32);
+        kb.set(v, ld);
+        assert!(kb.try_finish().is_ok());
+    }
+
+    #[test]
+    fn rejects_nested_critical() {
+        let mut kb = KernelBuilder::new("bad", 2);
+        kb.critical(|kb| {
+            kb.critical(|_| {});
+        });
+        let e = kb.try_finish().unwrap_err();
+        assert!(e.0.contains("nested critical"), "{e}");
+    }
+
+    #[test]
+    fn rejects_barrier_in_critical() {
+        let mut kb = KernelBuilder::new("bad", 2);
+        kb.critical(|kb| kb.barrier());
+        let e = kb.try_finish().unwrap_err();
+        assert!(e.0.contains("deadlock"), "{e}");
+    }
+
+    #[test]
+    fn rejects_barrier_in_unrolled_loop() {
+        let mut kb = KernelBuilder::new("bad", 2);
+        let zero = kb.c_i64(0);
+        let four = kb.c_i64(4);
+        let one = kb.c_i64(1);
+        kb.for_unrolled("i", zero, four, one, |kb, _| kb.barrier());
+        let e = kb.try_finish().unwrap_err();
+        assert!(e.0.contains("unrolled"), "{e}");
+    }
+
+    #[test]
+    fn rejects_type_mismatched_load() {
+        let mut kb = KernelBuilder::new("bad", 1);
+        let buf = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let v = kb.var("x", Type::F64);
+        let idx = kb.c_i64(0);
+        let ld = kb.load(buf, idx, Type::F64); // F64 load from F32 buffer
+        kb.set(v, ld);
+        let e = kb.try_finish().unwrap_err();
+        assert!(e.0.contains("declared"), "{e}");
+    }
+
+    #[test]
+    fn rejects_scalar_read_of_buffer() {
+        let mut kb = KernelBuilder::new("bad", 1);
+        let buf = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let v = kb.var("x", Type::F32);
+        let a = kb.arg(buf);
+        kb.set(v, a);
+        let e = kb.try_finish().unwrap_err();
+        assert!(e.0.contains("read as scalar"), "{e}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Property tests of the semantic engine: the walker and the gold
+//! interpreter agree with direct Rust evaluation for randomly generated
+//! programs, and synchronization semantics hold under arbitrary shapes.
+
+use nymble_ir::interp::{buffer_as_f32, Interpreter, LaunchArg};
+use nymble_ir::{BinOp, KernelBuilder, MapDir, ScalarType, Type, Value};
+use proptest::prelude::*;
+
+/// A random straight-line integer expression over two inputs, evaluated in
+/// parallel by the builder (IR) and directly in Rust.
+#[derive(Clone, Debug)]
+enum E {
+    X,
+    Y,
+    Const(i32),
+    Bin(BinOp, Box<E>, Box<E>),
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::X),
+        Just(E::Y),
+        (-100i32..100).prop_map(E::Const),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Min),
+                Just(BinOp::Max),
+                Just(BinOp::And),
+                Just(BinOp::Or),
+                Just(BinOp::Xor),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b)))
+    })
+}
+
+fn eval_rust(e: &E, x: i64, y: i64) -> i64 {
+    match e {
+        E::X => x,
+        E::Y => y,
+        E::Const(c) => *c as i64,
+        E::Bin(op, a, b) => {
+            let (a, b) = (eval_rust(a, x, y), eval_rust(b, x, y));
+            match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+fn lower(kb: &mut KernelBuilder, e: &E, x: nymble_ir::ExprId, y: nymble_ir::ExprId) -> nymble_ir::ExprId {
+    match e {
+        E::X => x,
+        E::Y => y,
+        E::Const(c) => kb.c_i64(*c as i64),
+        E::Bin(op, a, b) => {
+            let av = lower(kb, a, x, y);
+            let bv = lower(kb, b, x, y);
+            kb.bin(*op, av, bv)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn walker_matches_rust_eval(e in arb_expr(), x in -1000i64..1000, y in -1000i64..1000) {
+        let mut kb = KernelBuilder::new("prop_expr", 1);
+        let out = kb.buffer("OUT", ScalarType::I64, MapDir::From);
+        let xa = kb.scalar_arg("X", ScalarType::I64);
+        let ya = kb.scalar_arg("Y", ScalarType::I64);
+        let xe = kb.arg(xa);
+        let ye = kb.arg(ya);
+        let r = lower(&mut kb, &e, xe, ye);
+        let zero = kb.c_i64(0);
+        kb.store(out, zero, r);
+        let k = kb.finish();
+        let result = Interpreter::run(&k, &[
+            LaunchArg::Buffer(vec![Value::I64(0)]),
+            LaunchArg::Scalar(Value::I64(x)),
+            LaunchArg::Scalar(Value::I64(y)),
+        ]);
+        prop_assert_eq!(result.buffers[0][0].as_i64(), eval_rust(&e, x, y));
+    }
+
+    #[test]
+    fn loop_sum_matches_closed_form(
+        start in -50i64..50,
+        trip in 0i64..100,
+        step in 1i64..7,
+    ) {
+        let end = start + trip * step;
+        let mut kb = KernelBuilder::new("prop_loop", 1);
+        let out = kb.buffer("OUT", ScalarType::I64, MapDir::From);
+        let acc = kb.var("acc", Type::I64);
+        let s = kb.c_i64(start);
+        let e = kb.c_i64(end);
+        let st = kb.c_i64(step);
+        kb.for_each("i", s, e, st, |kb, i| {
+            let cur = kb.get(acc);
+            let sum = kb.add(cur, i);
+            kb.set(acc, sum);
+        });
+        let a = kb.get(acc);
+        let z = kb.c_i64(0);
+        kb.store(out, z, a);
+        let k = kb.finish();
+        let result = Interpreter::run(&k, &[LaunchArg::Buffer(vec![Value::I64(0)])]);
+        let expect: i64 = (0..trip).map(|n| start + n * step).sum();
+        prop_assert_eq!(result.buffers[0][0].as_i64(), expect);
+    }
+
+    #[test]
+    fn critical_reduction_is_exact_for_any_thread_count(
+        threads in 1u32..9,
+        reps in 1i64..20,
+    ) {
+        // Each thread adds its (tid+1) to a shared cell `reps` times inside
+        // a critical; the result is order-independent in integers.
+        let mut kb = KernelBuilder::new("prop_crit", threads);
+        let out = kb.buffer("OUT", ScalarType::I64, MapDir::ToFrom);
+        let n = kb.c_i64(reps);
+        kb.for_range("r", n, |kb, _| {
+            kb.critical(|kb| {
+                let z = kb.c_i64(0);
+                let cur = kb.load(out, z, Type::I64);
+                let tid = kb.thread_id();
+                let tid64 = kb.cast(ScalarType::I64, tid);
+                let one = kb.c_i64(1);
+                let t1 = kb.add(tid64, one);
+                let upd = kb.add(cur, t1);
+                let z2 = kb.c_i64(0);
+                kb.store(out, z2, upd);
+            });
+        });
+        let k = kb.finish();
+        let result = Interpreter::run(&k, &[LaunchArg::Buffer(vec![Value::I64(0)])]);
+        let expect: i64 = (1..=threads as i64).sum::<i64>() * reps;
+        prop_assert_eq!(result.buffers[0][0].as_i64(), expect);
+    }
+
+    #[test]
+    fn vector_load_equals_scalar_loads(len in 4usize..64, idx in 0usize..15) {
+        let idx = (idx * 4).min(len - 4);
+        let data: Vec<f32> = (0..len).map(|i| i as f32 * 0.5).collect();
+        let mut kb = KernelBuilder::new("prop_vec", 1);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+        let i = kb.c_i64(idx as i64);
+        let v = kb.load(a, i, Type::vector(ScalarType::F32, 4));
+        let mut sum = kb.lane(v, 0);
+        for l in 1..4 {
+            let lane = kb.lane(v, l);
+            sum = kb.add(sum, lane);
+        }
+        let z = kb.c_i64(0);
+        kb.store(out, z, sum);
+        let k = kb.finish();
+        let vals: Vec<Value> = data.iter().map(|&x| Value::F32(x)).collect();
+        let result = Interpreter::run(&k, &[
+            LaunchArg::Buffer(vals),
+            LaunchArg::Buffer(vec![Value::F32(0.0)]),
+        ]);
+        let got = buffer_as_f32(&result.buffers[1])[0];
+        let expect: f32 = data[idx..idx + 4].iter().sum();
+        prop_assert!((got - expect).abs() < 1e-4);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Constant folding + dead-assign elimination never change what a
+    /// kernel computes.
+    #[test]
+    fn optimization_preserves_semantics(e in arb_expr(), x in -1000i64..1000, y in -1000i64..1000) {
+        let build = || {
+            let mut kb = KernelBuilder::new("prop_opt", 1);
+            let out = kb.buffer("OUT", ScalarType::I64, MapDir::From);
+            let xa = kb.scalar_arg("X", ScalarType::I64);
+            let ya = kb.scalar_arg("Y", ScalarType::I64);
+            let xe = kb.arg(xa);
+            let ye = kb.arg(ya);
+            let r = lower(&mut kb, &e, xe, ye);
+            // A dead temporary the optimizer should remove.
+            let dead = kb.var("dead", nymble_ir::Type::I64);
+            let c = kb.c_i64(123);
+            kb.set(dead, c);
+            let zero = kb.c_i64(0);
+            kb.store(out, zero, r);
+            kb.finish()
+        };
+        let baseline = build();
+        let mut optimized = build();
+        let (_stats, _removed) = nymble_ir::transform::optimize(&mut optimized);
+        let launch = [
+            LaunchArg::Buffer(vec![Value::I64(0)]),
+            LaunchArg::Scalar(Value::I64(x)),
+            LaunchArg::Scalar(Value::I64(y)),
+        ];
+        let a = Interpreter::run(&baseline, &launch);
+        let b = Interpreter::run(&optimized, &launch);
+        prop_assert_eq!(a.buffers[0][0].as_i64(), b.buffers[0][0].as_i64());
+        // The optimizer never *adds* work.
+        prop_assert!(b.ops.int_ops <= a.ops.int_ops);
+    }
+}

@@ -1,0 +1,132 @@
+//! Trace object model.
+//!
+//! Paraver identifies an actor by the quadruple `cpu:appl:task:thread`
+//! (1-based in the file format). The HLS profiling flow maps one FPGA
+//! hardware thread to one Paraver thread of a single application/task, which
+//! is how the paper's Figs. 6–13 label their rows ("THREAD 1.1.t").
+//!
+//! Times are in Paraver's time unit. The paper notes that "Paraver does not
+//! support the notion of cycles. For all cases in the graphs where
+//! microseconds are used, these are in fact cycles" (§V-A) — we adopt the
+//! same convention: the time field carries *clock cycles*.
+
+use serde::{Deserialize, Serialize};
+
+/// Trace-level metadata that goes into the `.prv` header and `.row` file.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Application (kernel) name; used in file naming and row labels.
+    pub app_name: String,
+    /// Total trace duration in cycles (the header `ftime`).
+    pub duration: u64,
+    /// Number of hardware threads (Paraver threads of task 1).
+    pub num_threads: u32,
+    /// Capture date string embedded in the header, e.g. `04/07/2026 at 12:00`.
+    /// Purely cosmetic; kept fixed-format for reproducible output.
+    pub date: String,
+}
+
+impl TraceMeta {
+    /// Metadata with a canonical date stamp.
+    pub fn new(app_name: &str, duration: u64, num_threads: u32) -> Self {
+        TraceMeta {
+            app_name: app_name.to_string(),
+            duration,
+            num_threads,
+            date: "01/01/2026 at 00:00".to_string(),
+        }
+    }
+}
+
+/// One record of a `.prv` trace body.
+///
+/// `thread` is 0-based here and converted to Paraver's 1-based ids on
+/// write-out.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Record {
+    /// Type 1: `thread` is in `state` during `[begin, end)`.
+    State {
+        thread: u32,
+        begin: u64,
+        end: u64,
+        state: u32,
+    },
+    /// Type 2: point sample of one or more `(type, value)` counters at
+    /// `time`.
+    Event {
+        thread: u32,
+        time: u64,
+        events: Vec<(u32, u64)>,
+    },
+    /// Type 3: a point-to-point communication. Unused by the paper's flow
+    /// (multi-FPGA is future work) but supported for format completeness.
+    Comm {
+        send_thread: u32,
+        recv_thread: u32,
+        logical_send: u64,
+        physical_send: u64,
+        logical_recv: u64,
+        physical_recv: u64,
+        size: u64,
+        tag: u64,
+    },
+}
+
+impl Record {
+    /// The timestamp used for sorting records into file order.
+    pub fn sort_time(&self) -> u64 {
+        match self {
+            Record::State { begin, .. } => *begin,
+            Record::Event { time, .. } => *time,
+            Record::Comm { logical_send, .. } => *logical_send,
+        }
+    }
+
+    /// Paraver record-type discriminator (1/2/3).
+    pub fn kind(&self) -> u8 {
+        match self {
+            Record::State { .. } => 1,
+            Record::Event { .. } => 2,
+            Record::Comm { .. } => 3,
+        }
+    }
+}
+
+/// A state definition for the `.pcf` (id, name, RGB colour).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateDef {
+    pub id: u32,
+    pub name: String,
+    pub color: (u8, u8, u8),
+}
+
+/// An event-type definition for the `.pcf`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventTypeDef {
+    pub id: u32,
+    pub label: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_time_per_kind() {
+        let s = Record::State {
+            thread: 0,
+            begin: 5,
+            end: 9,
+            state: 1,
+        };
+        let e = Record::Event {
+            thread: 0,
+            time: 7,
+            events: vec![(1, 2)],
+        };
+        assert_eq!(s.sort_time(), 5);
+        assert_eq!(e.sort_time(), 7);
+        assert_eq!(s.kind(), 1);
+        assert_eq!(e.kind(), 2);
+    }
+}

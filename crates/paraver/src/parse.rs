@@ -1,0 +1,219 @@
+//! `.prv` parser — reads a trace body back into [`Record`]s.
+//!
+//! Used by round-trip tests, the analysis pipeline, and anyone who wants to
+//! post-process traces produced by the profiling unit (or by real Paraver
+//! tooling) without the GUI.
+
+use crate::model::{Record, TraceMeta};
+use std::fmt;
+
+/// Parse failure with line number and reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".prv parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, reason: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// Parse a complete `.prv` document into its header metadata and records.
+pub fn parse_prv(text: &str) -> Result<(TraceMeta, Vec<Record>), ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| err(0, "empty trace"))?;
+    let meta = parse_header(header).map_err(|r| err(1, r))?;
+    let mut records = Vec::new();
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        records.push(parse_record(line).map_err(|r| err(i + 1, r))?);
+    }
+    Ok((meta, records))
+}
+
+fn parse_header(h: &str) -> Result<TraceMeta, String> {
+    // #Paraver (<date>):<ftime>:<nodes>(<cpus>):<nappl>:<ntasks>(<threads>:<node>)
+    let rest = h
+        .strip_prefix("#Paraver (")
+        .ok_or("header must start with `#Paraver (`")?;
+    let (date, rest) = rest
+        .split_once("):")
+        .ok_or("missing `):` after header date")?;
+    let fields: Vec<&str> = rest.split(':').collect();
+    if fields.len() < 4 {
+        return Err(format!("header has {} fields, expected >= 4", fields.len()));
+    }
+    let duration: u64 = fields[0]
+        .parse()
+        .map_err(|_| format!("bad ftime `{}`", fields[0]))?;
+    // The task list is like "1(8:1)" and itself contains colons, so rejoin
+    // everything after the third field.
+    let tasks = fields[3..].join(":");
+    let threads = tasks
+        .split_once('(')
+        .and_then(|(_, r)| r.split_once(':'))
+        .map(|(t, _)| t)
+        .ok_or_else(|| format!("bad task list `{tasks}`"))?;
+    let num_threads: u32 = threads
+        .parse()
+        .map_err(|_| format!("bad thread count `{threads}`"))?;
+    Ok(TraceMeta {
+        app_name: String::new(),
+        duration,
+        num_threads,
+        date: date.to_string(),
+    })
+}
+
+fn parse_record(line: &str) -> Result<Record, String> {
+    let fields: Vec<&str> = line.split(':').collect();
+    let kind: u8 = fields[0]
+        .parse()
+        .map_err(|_| format!("bad record kind `{}`", fields[0]))?;
+    let num = |i: usize| -> Result<u64, String> {
+        fields
+            .get(i)
+            .ok_or_else(|| format!("record too short (need field {i})"))?
+            .parse()
+            .map_err(|_| format!("bad number `{}` in field {i}", fields[i]))
+    };
+    match kind {
+        1 => {
+            if fields.len() != 8 {
+                return Err(format!("state record has {} fields, want 8", fields.len()));
+            }
+            Ok(Record::State {
+                thread: num(4)? as u32 - 1,
+                begin: num(5)?,
+                end: num(6)?,
+                state: num(7)? as u32,
+            })
+        }
+        2 => {
+            if fields.len() < 8 || !(fields.len() - 6).is_multiple_of(2) {
+                return Err(format!(
+                    "event record has {} fields, want 6 + 2k (k>=1)",
+                    fields.len()
+                ));
+            }
+            let thread = num(4)? as u32 - 1;
+            let time = num(5)?;
+            let mut events = Vec::with_capacity((fields.len() - 6) / 2);
+            let mut i = 6;
+            while i + 1 < fields.len() {
+                events.push((num(i)? as u32, num(i + 1)?));
+                i += 2;
+            }
+            Ok(Record::Event {
+                thread,
+                time,
+                events,
+            })
+        }
+        3 => {
+            if fields.len() != 15 {
+                return Err(format!("comm record has {} fields, want 15", fields.len()));
+            }
+            Ok(Record::Comm {
+                send_thread: num(4)? as u32 - 1,
+                logical_send: num(5)?,
+                physical_send: num(6)?,
+                recv_thread: num(10)? as u32 - 1,
+                logical_recv: num(11)?,
+                physical_recv: num(12)?,
+                size: num(13)?,
+                tag: num(14)?,
+            })
+        }
+        k => Err(format!("unknown record kind {k}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TraceMeta;
+    use crate::prv::TraceWriter;
+
+    fn roundtrip(records: Vec<Record>) -> (TraceMeta, Vec<Record>) {
+        let meta = TraceMeta::new("rt", 1000, 4);
+        let mut w = TraceWriter::new(Vec::new(), meta).unwrap();
+        w.write_all(records.iter()).unwrap();
+        let text = String::from_utf8(w.finish().unwrap()).unwrap();
+        parse_prv(&text).unwrap()
+    }
+
+    #[test]
+    fn state_event_roundtrip() {
+        let records = vec![
+            Record::State {
+                thread: 2,
+                begin: 0,
+                end: 50,
+                state: 1,
+            },
+            Record::Event {
+                thread: 0,
+                time: 25,
+                events: vec![(42_000_001, 3), (42_000_004, 4096)],
+            },
+            Record::State {
+                thread: 2,
+                begin: 50,
+                end: 80,
+                state: 3,
+            },
+        ];
+        let (meta, parsed) = roundtrip(records.clone());
+        assert_eq!(meta.duration, 1000);
+        assert_eq!(meta.num_threads, 4);
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn comm_roundtrip() {
+        let records = vec![Record::Comm {
+            send_thread: 1,
+            recv_thread: 3,
+            logical_send: 10,
+            physical_send: 11,
+            logical_recv: 20,
+            physical_recv: 21,
+            size: 512,
+            tag: 7,
+        }];
+        let (_, parsed) = roundtrip(records.clone());
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_prv("not a header\n").is_err());
+        let bad = "#Paraver (d):100:1(2):1:1(2:1)\n9:1:1:1:1:0\n";
+        let e = parse_prv(bad).unwrap_err();
+        assert!(e.reason.contains("unknown record kind"), "{e}");
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "#Paraver (d):100:1(2):1:1(2:1)\n\n# a comment\n1:1:1:1:1:0:10:1\n";
+        let (_, rs) = parse_prv(text).unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+}

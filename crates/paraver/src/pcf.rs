@@ -1,0 +1,140 @@
+//! `.pcf` configuration-file rendering.
+//!
+//! The `.pcf` tells Paraver how to display a trace: display defaults, the
+//! semantic names of states, their colours, and labels for event types. The
+//! subset rendered here is what Paraver needs to show the paper's state view
+//! (Fig. 6) and counter timelines (Figs. 7–9).
+
+use crate::model::{EventTypeDef, StateDef};
+use std::fmt::Write as _;
+
+/// Render a `.pcf` for the given states and event types.
+pub fn render(states: &[StateDef], event_types: &[EventTypeDef]) -> String {
+    let mut s = String::new();
+    s.push_str("DEFAULT_OPTIONS\n\n");
+    s.push_str("LEVEL               THREAD\n");
+    s.push_str("UNITS               NANOSEC\n");
+    s.push_str("LOOK_BACK           100\n");
+    s.push_str("SPEED               1\n");
+    s.push_str("FLAG_ICONS          ENABLED\n");
+    s.push_str("NUM_OF_STATE_COLORS 1000\n");
+    s.push_str("YMAX_SCALE          37\n\n\n");
+
+    s.push_str("DEFAULT_SEMANTIC\n\n");
+    s.push_str("THREAD_FUNC          State As Is\n\n\n");
+
+    s.push_str("STATES\n");
+    for st in states {
+        let _ = writeln!(s, "{}    {}", st.id, st.name);
+    }
+    s.push('\n');
+    s.push_str("STATES_COLOR\n");
+    for st in states {
+        let (r, g, b) = st.color;
+        let _ = writeln!(s, "{}    {{{},{},{}}}", st.id, r, g, b);
+    }
+    s.push('\n');
+
+    for et in event_types {
+        s.push_str("EVENT_TYPE\n");
+        // `0` is the gradient-render code Paraver uses for numeric counters.
+        let _ = writeln!(s, "0    {}    {}", et.id, et.label);
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse the `STATES` and `EVENT_TYPE` sections back out of a `.pcf`
+/// (used for round-trip testing and by external tooling).
+pub fn parse(pcf: &str) -> (Vec<StateDef>, Vec<EventTypeDef>) {
+    let mut states = Vec::new();
+    let mut events = Vec::new();
+    let mut colors = std::collections::HashMap::new();
+    let mut section = "";
+    for line in pcf.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match trimmed {
+            "STATES" | "STATES_COLOR" | "EVENT_TYPE" | "DEFAULT_OPTIONS" | "DEFAULT_SEMANTIC" => {
+                section = match trimmed {
+                    "STATES" => "states",
+                    "STATES_COLOR" => "colors",
+                    "EVENT_TYPE" => "events",
+                    _ => "",
+                };
+                continue;
+            }
+            _ => {}
+        }
+        let mut parts = trimmed.split_whitespace();
+        match section {
+            "states" => {
+                if let (Some(id), Some(name)) = (parts.next(), parts.next()) {
+                    if let Ok(id) = id.parse() {
+                        states.push(StateDef {
+                            id,
+                            name: name.to_string(),
+                            color: (0, 0, 0),
+                        });
+                    }
+                }
+            }
+            "colors" => {
+                if let (Some(id), Some(rgb)) = (parts.next(), parts.next()) {
+                    if let Ok(id) = id.parse::<u32>() {
+                        let rgb = rgb.trim_matches(['{', '}']);
+                        let c: Vec<u8> =
+                            rgb.split(',').filter_map(|x| x.parse().ok()).collect();
+                        if c.len() == 3 {
+                            colors.insert(id, (c[0], c[1], c[2]));
+                        }
+                    }
+                }
+            }
+            "events" => {
+                if let (Some(_code), Some(id)) = (parts.next(), parts.next()) {
+                    if let Ok(id) = id.parse() {
+                        let label = parts.collect::<Vec<_>>().join(" ");
+                        events.push(EventTypeDef { id, label });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for st in &mut states {
+        if let Some(c) = colors.get(&st.id) {
+            st.color = *c;
+        }
+    }
+    (states, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_states_and_events() {
+        let states = crate::states::defs();
+        let events = crate::events::defs();
+        let pcf = render(&states, &events);
+        let (ps, pe) = parse(&pcf);
+        assert_eq!(ps.len(), states.len());
+        assert_eq!(pe.len(), events.len());
+        assert_eq!(ps[3].name, "Spinning");
+        assert_eq!(ps[3].color, (255, 0, 0), "spinning is red in Fig. 6");
+        assert_eq!(pe[2].id, crate::events::FLOPS);
+        assert!(pe[2].label.contains("Floating-point"));
+    }
+
+    #[test]
+    fn contains_required_sections() {
+        let pcf = render(&crate::states::defs(), &crate::events::defs());
+        for sect in ["DEFAULT_OPTIONS", "STATES", "STATES_COLOR", "EVENT_TYPE"] {
+            assert!(pcf.contains(sect), "missing section {sect}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! `.prv` trace-body writer.
+//!
+//! Line format (all ids 1-based):
+//!
+//! ```text
+//! #Paraver (<date>):<ftime>:<nNodes>(<cpus>):<nAppl>:<nTasks>(<threads>:<node>)
+//! 1:<cpu>:<appl>:<task>:<thread>:<begin>:<end>:<state>
+//! 2:<cpu>:<appl>:<task>:<thread>:<time>:<type>:<value>[:<type>:<value>]...
+//! 3:<cpu>:<a>:<t>:<th>:<lsend>:<psend>:<cpu>:<a>:<t>:<th>:<lrecv>:<precv>:<size>:<tag>
+//! ```
+//!
+//! The writer streams through any [`std::io::Write`]; callers hand it records
+//! in non-decreasing time order (checked in debug builds — Paraver itself
+//! tolerates modest disorder but analysis tools prefer sorted traces).
+
+use crate::model::{Record, TraceMeta};
+use std::io::{self, Write};
+
+/// Streaming `.prv` writer.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    meta: TraceMeta,
+    records_written: u64,
+    last_time: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Create a writer and emit the header line.
+    pub fn new(mut out: W, meta: TraceMeta) -> io::Result<Self> {
+        // One node holding `num_threads` cpus; one application with one task
+        // of `num_threads` threads, all on node 1.
+        writeln!(
+            out,
+            "#Paraver ({}):{}:1({}):1:1({}:1)",
+            meta.date, meta.duration, meta.num_threads, meta.num_threads
+        )?;
+        Ok(TraceWriter {
+            out,
+            meta,
+            records_written: 0,
+            last_time: 0,
+        })
+    }
+
+    /// Write one record.
+    pub fn write(&mut self, r: &Record) -> io::Result<()> {
+        debug_assert!(
+            r.sort_time() >= self.last_time,
+            "records must be written in time order ({} after {})",
+            r.sort_time(),
+            self.last_time
+        );
+        self.last_time = r.sort_time();
+        match r {
+            Record::State {
+                thread,
+                begin,
+                end,
+                state,
+            } => {
+                debug_assert!(*thread < self.meta.num_threads, "thread id out of range");
+                debug_assert!(begin <= end, "state interval reversed");
+                writeln!(
+                    self.out,
+                    "1:{0}:1:1:{0}:{1}:{2}:{3}",
+                    thread + 1,
+                    begin,
+                    end,
+                    state
+                )?;
+            }
+            Record::Event {
+                thread,
+                time,
+                events,
+            } => {
+                debug_assert!(*thread < self.meta.num_threads, "thread id out of range");
+                debug_assert!(!events.is_empty(), "event record with no events");
+                write!(self.out, "2:{0}:1:1:{0}:{1}", thread + 1, time)?;
+                for (ty, v) in events {
+                    write!(self.out, ":{ty}:{v}")?;
+                }
+                writeln!(self.out)?;
+            }
+            Record::Comm {
+                send_thread,
+                recv_thread,
+                logical_send,
+                physical_send,
+                logical_recv,
+                physical_recv,
+                size,
+                tag,
+            } => {
+                writeln!(
+                    self.out,
+                    "3:{0}:1:1:{0}:{1}:{2}:{3}:1:1:{3}:{4}:{5}:{6}:{7}",
+                    send_thread + 1,
+                    logical_send,
+                    physical_send,
+                    recv_thread + 1,
+                    logical_recv,
+                    physical_recv,
+                    size,
+                    tag
+                )?;
+            }
+        }
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// Write many records.
+    pub fn write_all<'a>(&mut self, rs: impl IntoIterator<Item = &'a Record>) -> io::Result<()> {
+        for r in rs {
+            self.write(r)?;
+        }
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Write a full trace bundle (`.prv`, `.pcf`, `.row`) under `path_stem`.
+///
+/// Records are sorted by time before writing, since the profiling unit's
+/// per-thread counters may decode in per-thread rather than global order.
+pub fn write_bundle(
+    path_stem: &std::path::Path,
+    meta: &TraceMeta,
+    records: &mut [Record],
+    states: &[crate::model::StateDef],
+    event_types: &[crate::model::EventTypeDef],
+) -> io::Result<()> {
+    records.sort_by_key(|r| r.sort_time());
+    let prv = std::fs::File::create(path_stem.with_extension("prv"))?;
+    let mut w = TraceWriter::new(io::BufWriter::new(prv), meta.clone())?;
+    w.write_all(records.iter())?;
+    w.finish()?;
+    std::fs::write(
+        path_stem.with_extension("pcf"),
+        crate::pcf::render(states, event_types),
+    )?;
+    std::fs::write(path_stem.with_extension("row"), crate::row::render(meta))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> TraceMeta {
+        TraceMeta::new("test", 100, 2)
+    }
+
+    #[test]
+    fn header_format() {
+        let w = TraceWriter::new(Vec::new(), meta()).unwrap();
+        let buf = w.finish().unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s, "#Paraver (01/01/2026 at 00:00):100:1(2):1:1(2:1)\n");
+    }
+
+    #[test]
+    fn state_and_event_lines() {
+        let mut w = TraceWriter::new(Vec::new(), meta()).unwrap();
+        w.write(&Record::State {
+            thread: 0,
+            begin: 0,
+            end: 10,
+            state: 1,
+        })
+        .unwrap();
+        w.write(&Record::Event {
+            thread: 1,
+            time: 5,
+            events: vec![(42_000_001, 7), (42_000_003, 9)],
+        })
+        .unwrap();
+        let s = String::from_utf8(w.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1], "1:1:1:1:1:0:10:1");
+        assert_eq!(lines[2], "2:2:1:1:2:5:42000001:7:42000003:9");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time order")]
+    fn rejects_unordered_in_debug() {
+        let mut w = TraceWriter::new(Vec::new(), meta()).unwrap();
+        w.write(&Record::Event {
+            thread: 0,
+            time: 10,
+            events: vec![(1, 1)],
+        })
+        .unwrap();
+        let _ = w.write(&Record::Event {
+            thread: 0,
+            time: 5,
+            events: vec![(1, 1)],
+        });
+    }
+
+    #[test]
+    fn comm_line_roundtrip_shape() {
+        let mut w = TraceWriter::new(Vec::new(), meta()).unwrap();
+        w.write(&Record::Comm {
+            send_thread: 0,
+            recv_thread: 1,
+            logical_send: 1,
+            physical_send: 2,
+            logical_recv: 3,
+            physical_recv: 4,
+            size: 64,
+            tag: 9,
+        })
+        .unwrap();
+        let s = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert!(s.lines().nth(1).unwrap().starts_with("3:1:1:1:1:1:2:2:"));
+    }
+}

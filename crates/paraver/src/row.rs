@@ -1,0 +1,49 @@
+//! `.row` label-file rendering: names for each timeline row at the CPU,
+//! node and thread levels. The thread labels are what Paraver shows on the
+//! left edge of the state view (the "THREAD 1.1.t" rows of Fig. 6).
+
+use crate::model::TraceMeta;
+use std::fmt::Write as _;
+
+/// Render the `.row` file for a trace.
+pub fn render(meta: &TraceMeta) -> String {
+    let n = meta.num_threads;
+    let mut s = String::new();
+    let _ = writeln!(s, "LEVEL CPU SIZE {n}");
+    for i in 1..=n {
+        let _ = writeln!(s, "{i}.{}", meta.app_name);
+    }
+    s.push('\n');
+    let _ = writeln!(s, "LEVEL NODE SIZE 1");
+    let _ = writeln!(s, "{}", meta.app_name);
+    s.push('\n');
+    let _ = writeln!(s, "LEVEL THREAD SIZE {n}");
+    for i in 1..=n {
+        let _ = writeln!(s, "THREAD 1.1.{i}");
+    }
+    s
+}
+
+/// Number of thread rows declared in a `.row` file (for validation).
+pub fn parse_thread_count(row: &str) -> Option<u32> {
+    for line in row.lines() {
+        if let Some(rest) = line.strip_prefix("LEVEL THREAD SIZE ") {
+            return rest.trim().parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_thread_rows() {
+        let meta = TraceMeta::new("gemm", 10, 8);
+        let r = render(&meta);
+        assert!(r.contains("LEVEL THREAD SIZE 8"));
+        assert!(r.contains("THREAD 1.1.8"));
+        assert_eq!(parse_thread_count(&r), Some(8));
+    }
+}

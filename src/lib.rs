@@ -1,0 +1,22 @@
+//! # hls-paraver — façade crate
+//!
+//! One-stop re-export of the whole HLS-to-Paraver performance-visualization
+//! stack reproducing the CLUSTER 2020 paper *"Extending High-Level Synthesis
+//! with High-Performance Computing Performance Visualization"*:
+//!
+//! * [`ir`] — kernel IR with an OpenMP-style builder ([`ir::KernelBuilder`]),
+//! * [`hls`] — the Nymble-style HLS compiler (scheduling, stages, cost model),
+//! * [`sim`] — the cycle-level FPGA simulator (Avalon bus, DRAM, semaphore…),
+//! * [`profiling`] — the in-fabric profiling unit (states, events, buffer),
+//! * [`paraver`] — Paraver `.prv`/`.pcf`/`.row` writers, parser and analysis,
+//! * [`kernels`] — the paper's case-study kernels (GEMM ×5, π).
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every table/figure.
+
+pub use fpga_sim as sim;
+pub use hls_profiling as profiling;
+pub use kernels;
+pub use nymble_hls as hls;
+pub use nymble_ir as ir;
+pub use paraver;

@@ -1,0 +1,113 @@
+//! The automated §V-C loop: run each GEMM version and the π study through
+//! the trace-based bottleneck classifier and check it reads the traces the
+//! way the paper's authors did.
+
+use hls_paraver::hls::accel::{compile, HlsConfig};
+use hls_paraver::ir::Value;
+use hls_paraver::kernels::gemm::{build, GemmParams, GemmVersion};
+use hls_paraver::kernels::pi::{self, PiParams};
+use hls_paraver::kernels::reference;
+use hls_paraver::profiling::diagnose::{diagnose, Bottleneck, DiagnoseConfig};
+use hls_paraver::profiling::{ProfilingConfig, ProfilingUnit};
+use hls_paraver::sim::memimg::LaunchArg;
+use hls_paraver::sim::{Executor, SimConfig};
+
+fn diagnose_gemm(v: GemmVersion, sim: &SimConfig) -> Bottleneck {
+    let p = GemmParams {
+        dim: 32,
+        threads: 4,
+        vec: 4,
+        block: 8,
+    };
+    let kernel = build(v, &p);
+    let acc = compile(&kernel, &HlsConfig::default());
+    let d = p.dim as usize;
+    let a = reference::gen_matrix(d, 1);
+    let vals = |m: &[f32]| m.iter().map(|&x| Value::F32(x)).collect::<Vec<_>>();
+    let mut unit = ProfilingUnit::new(
+        &kernel.name,
+        p.threads,
+        ProfilingConfig {
+            sampling_period: 200,
+            ..Default::default()
+        },
+    );
+    let r = Executor::run(
+        &kernel,
+        &acc,
+        sim,
+        &[
+            LaunchArg::Buffer(vals(&a)),
+            LaunchArg::Buffer(vals(&a)),
+            LaunchArg::Buffer(vec![Value::F32(0.0); d * d]),
+        ],
+        &mut unit,
+    );
+    let trace = unit.finish();
+    diagnose(&trace, &r.stats, sim, &DiagnoseConfig::default()).bottleneck
+}
+
+#[test]
+fn naive_gemm_reads_as_synchronization_bound() {
+    let sim = SimConfig::default().with_fast_launch();
+    assert_eq!(
+        diagnose_gemm(GemmVersion::Naive, &sim),
+        Bottleneck::Synchronization
+    );
+}
+
+#[test]
+fn nocritical_gemm_reads_as_memory_latency_bound() {
+    let sim = SimConfig::default().with_fast_launch();
+    assert_eq!(
+        diagnose_gemm(GemmVersion::NoCritical, &sim),
+        Bottleneck::MemoryLatency
+    );
+}
+
+#[test]
+fn blocked_gemm_reads_as_phased() {
+    let sim = SimConfig::default().with_fast_launch();
+    assert_eq!(
+        diagnose_gemm(GemmVersion::Blocked, &sim),
+        Bottleneck::PhasedTransfers
+    );
+}
+
+#[test]
+fn double_buffered_gemm_is_not_phased() {
+    let sim = SimConfig::default().with_fast_launch();
+    let b = diagnose_gemm(GemmVersion::DoubleBuffered, &sim);
+    assert_ne!(b, Bottleneck::PhasedTransfers);
+    assert_ne!(b, Bottleneck::Synchronization);
+}
+
+#[test]
+fn small_pi_reads_as_host_overhead_bound() {
+    // Full launch interval, tiny workload: the π study's Fig. 11 regime.
+    let sim = SimConfig::default();
+    let p = PiParams {
+        steps: 512_000,
+        threads: 8,
+        bs: 8,
+    };
+    let kernel = pi::build(&p);
+    let acc = compile(&kernel, &HlsConfig::default());
+    let (step, spt) = pi::launch_scalars(&p);
+    let mut unit = ProfilingUnit::new("pi", 8, ProfilingConfig::default());
+    let r = Executor::run(
+        &kernel,
+        &acc,
+        &sim,
+        &[
+            LaunchArg::Scalar(Value::F32(step)),
+            LaunchArg::Scalar(Value::I64(spt)),
+            LaunchArg::Buffer(vec![Value::F32(0.0)]),
+        ],
+        &mut unit,
+    );
+    let trace = unit.finish();
+    let d = diagnose(&trace, &r.stats, &sim, &DiagnoseConfig::default());
+    assert_eq!(d.bottleneck, Bottleneck::HostOverhead, "{d:?}");
+    assert!(d.advice.contains("host"), "{}", d.advice);
+}
