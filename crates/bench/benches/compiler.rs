@@ -1,32 +1,26 @@
-//! Criterion bench of the HLS compiler itself (the paper notes its
-//! "additions have negligible impact on the overall compile time" — this
-//! bench tracks scheduling/fit cost per kernel so that claim stays honest
-//! for the reproduction too).
+//! Bench of the HLS compiler itself (the paper notes its "additions have
+//! negligible impact on the overall compile time" — this bench tracks
+//! scheduling/fit cost per kernel so that claim stays honest for the
+//! reproduction too).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::Group;
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use kernels::pi::{self, PiParams};
 use nymble_hls::accel::{compile, HlsConfig};
 
-fn bench_compiler(c: &mut Criterion) {
+fn main() {
     let hls = HlsConfig::default();
     let gp = GemmParams::default();
-    let mut g = c.benchmark_group("hls_compile");
+    let g = Group::new("hls_compile", 10);
     for v in GemmVersion::ALL {
         let kernel = gemm::build(v, &gp);
-        g.bench_with_input(
-            BenchmarkId::new("gemm", v.name()),
-            &kernel,
-            |b, kernel| b.iter(|| compile(kernel, &hls).fit.alms),
-        );
+        g.bench(&format!("gemm/{}", v.name()), || {
+            compile(&kernel, &hls).fit.alms
+        });
     }
     let pk = pi::build(&PiParams::default());
-    g.bench_function("pi", |b| b.iter(|| compile(&pk, &hls).fit.alms));
-    g.bench_function("build_ir_gemm_dbuf", |b| {
-        b.iter(|| gemm::build(GemmVersion::DoubleBuffered, &gp).exprs.len())
+    g.bench("pi", || compile(&pk, &hls).fit.alms);
+    g.bench("build_ir_gemm_dbuf", || {
+        gemm::build(GemmVersion::DoubleBuffered, &gp).exprs.len()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_compiler);
-criterion_main!(benches);

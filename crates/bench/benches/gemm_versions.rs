@@ -1,13 +1,13 @@
-//! Criterion bench behind T-GEMM / Fig. 7: simulates each GEMM optimization
-//! step end to end (compile → cycle-level run → trace decode) at a reduced
-//! size and reports both wall time and, via a custom measurement printout,
-//! the simulated cycle counts whose ratios reproduce the paper's speedups.
+//! Bench behind T-GEMM / Fig. 7: simulates each GEMM optimization step end
+//! to end (compile → cycle-level run → trace decode) at a reduced size and
+//! reports both wall time and the simulated cycle counts whose ratios
+//! reproduce the paper's speedups.
 
+use bench::harness::Group;
 use bench::{gemm_sim_config, run_gemm};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kernels::gemm::{GemmParams, GemmVersion};
 
-fn bench_versions(c: &mut Criterion) {
+fn main() {
     let p = GemmParams {
         dim: 32,
         threads: 4,
@@ -17,7 +17,7 @@ fn bench_versions(c: &mut Criterion) {
     let sim = gemm_sim_config();
 
     // Print the simulated-cycle table once so bench logs carry the paper's
-    // metric alongside Criterion's wall-clock numbers.
+    // metric alongside the wall-clock numbers.
     let mut naive = 0u64;
     for v in GemmVersion::ALL {
         let r = run_gemm(v, &p, &sim);
@@ -32,15 +32,8 @@ fn bench_versions(c: &mut Criterion) {
         );
     }
 
-    let mut g = c.benchmark_group("gemm_versions");
-    g.sample_size(10);
+    let g = Group::new("gemm_versions", 10);
     for v in GemmVersion::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(v.name()), &v, |b, &v| {
-            b.iter(|| run_gemm(v, &p, &sim).result.total_cycles)
-        });
+        g.bench(v.name(), || run_gemm(v, &p, &sim).result.total_cycles);
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_versions);
-criterion_main!(benches);

@@ -1,13 +1,13 @@
-//! Criterion bench behind Figs. 11–13: the π kernel at increasing iteration
-//! counts under the full host launch overhead. The `[gflops]` lines printed
-//! once per size carry the paper's metric.
+//! Bench behind Figs. 11–13: the π kernel at increasing iteration counts
+//! under the full host launch overhead. The `[gflops]` lines printed once
+//! per size carry the paper's metric.
 
+use bench::harness::Group;
 use bench::{pi_sim_config, run_pi};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hls_profiling::ProfilingConfig;
 use kernels::pi::PiParams;
 
-fn bench_pi(c: &mut Criterion) {
+fn main() {
     let sim = pi_sim_config();
     let prof = ProfilingConfig {
         sampling_period: 100_000,
@@ -29,20 +29,15 @@ fn bench_pi(c: &mut Criterion) {
         );
     }
 
-    let mut g = c.benchmark_group("pi_scaling");
-    g.sample_size(10);
+    let g = Group::new("pi_scaling", 10);
     for steps in [64_000u64, 256_000, 1_024_000] {
         let p = PiParams {
             steps,
             threads: 8,
             bs: 8,
         };
-        g.bench_with_input(BenchmarkId::from_parameter(steps), &p, |b, p| {
-            b.iter(|| run_pi(p, &sim, &prof).0.result.total_cycles)
+        g.bench(&steps.to_string(), || {
+            run_pi(&p, &sim, &prof).0.result.total_cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_pi);
-criterion_main!(benches);

@@ -1,17 +1,17 @@
-//! Criterion bench behind the §V-B overhead study (E1/E2): the runtime cost
-//! of attaching the profiling unit versus the `NullSnoop` baseline, the
+//! Bench behind the §V-B overhead study (E1/E2): the runtime cost of
+//! attaching the profiling unit versus the `NullSnoop` baseline, the
 //! per-counter area ablation, and the sampling-period sweep (the paper notes
 //! the period trades trace size for temporal resolution).
 
+use bench::harness::Group;
 use bench::{gemm_launch, gemm_sim_config, run_profiled, run_unprofiled};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hls_profiling::counters::CounterSet;
 use hls_profiling::overhead::{instrumented_fit, OverheadParams};
 use hls_profiling::ProfilingConfig;
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use nymble_hls::accel::{compile, HlsConfig};
 
-fn bench_overhead(c: &mut Criterion) {
+fn main() {
     let p = GemmParams {
         dim: 32,
         threads: 4,
@@ -39,31 +39,29 @@ fn bench_overhead(c: &mut Criterion) {
         o.alms_pct, o.registers_pct, o.fmax_delta_mhz
     );
 
-    let mut g = c.benchmark_group("profiling_overhead");
-    g.sample_size(10);
-    g.bench_function("unprofiled", |b| {
-        b.iter(|| run_unprofiled(&kernel, &sim, &launch).total_cycles)
+    let g = Group::new("profiling_overhead", 10);
+    g.bench("unprofiled", || {
+        run_unprofiled(&kernel, &sim, &launch).total_cycles
     });
     for period in [1_000u64, 10_000, 100_000] {
         let prof = ProfilingConfig {
             sampling_period: period,
             ..Default::default()
         };
-        g.bench_with_input(
-            BenchmarkId::new("profiled_period", period),
-            &prof,
-            |b, prof| b.iter(|| run_profiled(&kernel, &sim, prof, &launch).trace.flushed_bytes),
-        );
+        g.bench(&format!("profiled_period/{period}"), || {
+            run_profiled(&kernel, &sim, &prof, &launch)
+                .trace
+                .flushed_bytes
+        });
     }
     let states_only = ProfilingConfig {
         counters: CounterSet::NONE,
         ..Default::default()
     };
-    g.bench_function("states_only", |b| {
-        b.iter(|| run_profiled(&kernel, &sim, &states_only, &launch).trace.records.len())
+    g.bench("states_only", || {
+        run_profiled(&kernel, &sim, &states_only, &launch)
+            .trace
+            .records
+            .len()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

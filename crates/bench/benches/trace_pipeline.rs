@@ -1,0 +1,120 @@
+//! Bench of the tentpole streaming refactor: materialized vs streaming
+//! trace path on double-buffered GEMM and π. Both variants produce the same
+//! `.prv`/`.pcf`/`.row` bundle; the wall time and the `[trace-mem]` lines
+//! (peak in-flight trace-pipeline bytes) are the comparison.
+
+use bench::harness::Group;
+use bench::{
+    bundle_sink, gemm_launch, gemm_sim_config, pi_sim_config, run_profiled, run_profiled_streaming,
+};
+use fpga_sim::memimg::LaunchArg;
+use hls_profiling::{PipelineConfig, ProfilingConfig, StreamReport};
+use kernels::gemm::{self, GemmParams, GemmVersion};
+use kernels::pi::{self, PiParams};
+use nymble_ir::{Kernel, Value};
+use paraver::model::Record;
+use std::path::PathBuf;
+
+fn stem(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("trace_pipeline_bench_{name}"))
+}
+
+/// Approximate peak resident bytes of the materialized path: the retained
+/// flush stream plus the fully decoded record set.
+fn materialized_peak(records: usize, flushed_bytes: u64) -> u64 {
+    flushed_bytes + (records as u64) * std::mem::size_of::<Record>() as u64
+}
+
+/// Approximate peak resident bytes of the streaming path: staging buffer +
+/// bounded channel + bounded sorter.
+fn streaming_peak(prof: &ProfilingConfig, pipe: &PipelineConfig, r: &StreamReport) -> u64 {
+    (prof.buffer_lines * 64) as u64
+        + (pipe.channel_capacity * r.peak_chunk_bytes) as u64
+        + (r.peak_resident_records * std::mem::size_of::<Record>()) as u64
+}
+
+fn compare(
+    g: &Group,
+    name: &str,
+    kernel: &Kernel,
+    sim: &fpga_sim::SimConfig,
+    launch: &[LaunchArg],
+) {
+    // Dense sampling so the trace volume is large enough that the two
+    // paths' memory behaviour actually diverges; a tightly bounded pipeline
+    // (small channel, small sorter) shows the streaming bound is a config
+    // constant, not a function of run length.
+    let prof = ProfilingConfig {
+        sampling_period: 20,
+        buffer_lines: 32,
+        ..Default::default()
+    };
+    let pipe = PipelineConfig {
+        channel_capacity: 4,
+        max_in_memory_records: 512,
+        ..Default::default()
+    };
+
+    let mut mat_stats = (0usize, 0u64);
+    g.bench(&format!("{name}/materialized"), || {
+        let run = run_profiled(kernel, sim, &prof, launch);
+        mat_stats = (run.trace.records.len(), run.trace.flushed_bytes);
+        run.trace.write_bundle(&stem(name)).unwrap();
+        run.result.total_cycles
+    });
+
+    let mut st_report = None;
+    g.bench(&format!("{name}/streaming"), || {
+        let (result, report) = run_profiled_streaming(
+            kernel,
+            sim,
+            &prof,
+            pipe.clone(),
+            bundle_sink(stem(&format!("{name}_streamed"))),
+            launch,
+        )
+        .unwrap();
+        st_report = Some(report);
+        result.total_cycles
+    });
+
+    let r = st_report.unwrap();
+    eprintln!(
+        "[trace-mem] {name}: materialized ≈{} B ({} records), streaming ≈{} B \
+         (peak chunk {} B, peak sorted {}, spilled runs {})",
+        materialized_peak(mat_stats.0, mat_stats.1),
+        mat_stats.0,
+        streaming_peak(&prof, &pipe, &r),
+        r.peak_chunk_bytes,
+        r.peak_resident_records,
+        r.spilled_runs,
+    );
+}
+
+fn main() {
+    let g = Group::new("trace_pipeline", 10);
+
+    let gp = GemmParams {
+        dim: 32,
+        threads: 4,
+        vec: 4,
+        block: 8,
+    };
+    let gemm_kernel = gemm::build(GemmVersion::DoubleBuffered, &gp);
+    let launch = gemm_launch(&gp);
+    compare(&g, "gemm_v5", &gemm_kernel, &gemm_sim_config(), &launch);
+
+    let pp = PiParams {
+        steps: 256_000,
+        threads: 8,
+        bs: 8,
+    };
+    let pi_kernel = pi::build(&pp);
+    let (step, spt) = pi::launch_scalars(&pp);
+    let pi_launch = vec![
+        LaunchArg::Scalar(Value::F32(step)),
+        LaunchArg::Scalar(Value::I64(spt)),
+        LaunchArg::Buffer(vec![Value::F32(0.0)]),
+    ];
+    compare(&g, "pi", &pi_kernel, &pi_sim_config(), &pi_launch);
+}

@@ -1,8 +1,8 @@
-//! Criterion bench of the Paraver toolchain itself: `.prv` writing, parsing
-//! and analysis throughput (trace handling is the HPC-side cost the paper's
+//! Bench of the Paraver toolchain itself: `.prv` writing, parsing and
+//! analysis throughput (trace handling is the HPC-side cost the paper's
 //! infrastructure feeds; "tens of GBs of trace-data" is the norm it cites).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::harness::Group;
 use paraver::analysis::{event_series, StateProfile};
 use paraver::model::{Record, TraceMeta};
 use paraver::prv::TraceWriter;
@@ -33,19 +33,16 @@ fn synth_records(n: usize, threads: u32) -> Vec<Record> {
     records
 }
 
-fn bench_toolchain(c: &mut Criterion) {
+fn main() {
     let threads = 8;
     let records = synth_records(100_000, threads);
     let meta = TraceMeta::new("bench", 1_000_000, threads);
 
-    let mut g = c.benchmark_group("trace_toolchain");
-    g.throughput(Throughput::Elements(records.len() as u64));
-    g.bench_function("prv_write_100k", |b| {
-        b.iter(|| {
-            let mut w = TraceWriter::new(Vec::with_capacity(4 << 20), meta.clone()).unwrap();
-            w.write_all(records.iter()).unwrap();
-            w.finish().unwrap().len()
-        })
+    let g = Group::new("trace_toolchain", 10);
+    g.bench("prv_write_100k", || {
+        let mut w = TraceWriter::new(Vec::with_capacity(4 << 20), meta.clone()).unwrap();
+        w.write_all(records.iter()).unwrap();
+        w.finish().unwrap().len()
     });
 
     let text = {
@@ -53,17 +50,13 @@ fn bench_toolchain(c: &mut Criterion) {
         w.write_all(records.iter()).unwrap();
         String::from_utf8(w.finish().unwrap()).unwrap()
     };
-    g.bench_function("prv_parse_100k", |b| {
-        b.iter(|| paraver::parse::parse_prv(&text).unwrap().1.len())
+    g.bench("prv_parse_100k", || {
+        paraver::parse::parse_prv(&text).unwrap().1.len()
     });
-    g.bench_function("state_profile_100k", |b| {
-        b.iter(|| StateProfile::compute(&records, threads).total_time)
+    g.bench("state_profile_100k", || {
+        StateProfile::compute(&records, threads).total_time
     });
-    g.bench_function("event_series_100k", |b| {
-        b.iter(|| event_series(&records, paraver::events::FLOPS, 1_000, 1_000_000).total())
+    g.bench("event_series_100k", || {
+        event_series(&records, paraver::events::FLOPS, 1_000, 1_000_000).total()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_toolchain);
-criterion_main!(benches);

@@ -34,7 +34,10 @@ fn main() {
     let v3 = gemm::build(GemmVersion::Vectorized, &p);
 
     println!("== MSHR depth: what Partial Vectorization's gain depends on ==\n");
-    println!("{:>6} {:>14} {:>14} {:>8}", "MSHRs", "v2 cycles", "v3 cycles", "v3 gain");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "MSHRs", "v2 cycles", "v3 cycles", "v3 gain"
+    );
     for mshrs in [1u32, 2, 4, 8] {
         let cfg = SimConfig {
             port_mshrs: mshrs,

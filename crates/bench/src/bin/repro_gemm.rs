@@ -63,7 +63,12 @@ fn main() {
     }
     println!("\n-- automated trace diagnosis (hls_profiling::diagnose) --\n");
     for (v, run) in &runs {
-        let d = diagnose(&run.trace, &run.result.stats, &sim, &DiagnoseConfig::default());
+        let d = diagnose(
+            &run.trace,
+            &run.result.stats,
+            &sim,
+            &DiagnoseConfig::default(),
+        );
         println!("{:<24} {:?}: {}", v.name(), d.bottleneck, d.advice);
     }
     println!(
@@ -72,7 +77,9 @@ fn main() {
 
     // ---- Fig. 6: state view of the naive version -------------------------
     let (_, naive) = &runs[0];
-    println!("\n== Fig. 6: Paraver state view, naive GEMM (R=Running S=Spinning C=Critical .=Idle) ==\n");
+    println!(
+        "\n== Fig. 6: Paraver state view, naive GEMM (R=Running S=Spinning C=Critical .=Idle) ==\n"
+    );
     let opts = TimelineOptions {
         width: 100,
         window: None,
@@ -104,7 +111,12 @@ fn main() {
         };
         println!(
             "{}",
-            render_states(&naive.trace.records, threads, naive.trace.meta.duration, &zopts)
+            render_states(
+                &naive.trace.records,
+                threads,
+                naive.trace.meta.duration,
+                &zopts
+            )
         );
     }
 
@@ -113,7 +125,12 @@ fn main() {
     for (v, run) in &runs {
         let dur = run.trace.meta.duration.max(1);
         let bins = 100u64;
-        let series_r = event_series(&run.trace.records, events::BYTES_READ, dur.div_ceil(bins), dur);
+        let series_r = event_series(
+            &run.trace.records,
+            events::BYTES_READ,
+            dur.div_ceil(bins),
+            dur,
+        );
         let series_w = event_series(
             &run.trace.records,
             events::BYTES_WRITTEN,
@@ -135,15 +152,43 @@ fn main() {
         let run = &runs.iter().find(|(rv, _)| *rv == v).unwrap().1;
         let dur = run.trace.meta.duration.max(1);
         let bins = 100u64;
-        let bw = event_series(&run.trace.records, events::BYTES_READ, dur.div_ceil(bins), dur);
+        let bw = event_series(
+            &run.trace.records,
+            events::BYTES_READ,
+            dur.div_ceil(bins),
+            dur,
+        );
         let fl = event_series(&run.trace.records, events::FLOPS, dur.div_ceil(bins), dur);
         let st = event_series(&run.trace.records, events::STALLS, dur.div_ceil(bins), dur);
-        println!("\n== Fig. {fig}: {} — throughput (top) vs compute (middle) vs stalls (bottom) ==\n", v.name());
-        println!("{}", render_series(&bw.bins.iter().map(|&b| b as f64).collect::<Vec<_>>(), "DRAM bytes"));
-        println!("{}", render_series(&fl.bins.iter().map(|&b| b as f64).collect::<Vec<_>>(), "FLOPs"));
-        println!("{}", render_series(&st.bins.iter().map(|&b| b as f64).collect::<Vec<_>>(), "stalls"));
+        println!(
+            "\n== Fig. {fig}: {} — throughput (top) vs compute (middle) vs stalls (bottom) ==\n",
+            v.name()
+        );
+        println!(
+            "{}",
+            render_series(
+                &bw.bins.iter().map(|&b| b as f64).collect::<Vec<_>>(),
+                "DRAM bytes"
+            )
+        );
+        println!(
+            "{}",
+            render_series(
+                &fl.bins.iter().map(|&b| b as f64).collect::<Vec<_>>(),
+                "FLOPs"
+            )
+        );
+        println!(
+            "{}",
+            render_series(
+                &st.bins.iter().map(|&b| b as f64).collect::<Vec<_>>(),
+                "stalls"
+            )
+        );
     }
-    println!("\n(Fig. 8: alternating load/compute phases; Fig. 9: reads overlap compute — flatter both)");
+    println!(
+        "\n(Fig. 8: alternating load/compute phases; Fig. 9: reads overlap compute — flatter both)"
+    );
     println!("\ntrace bundles written to {}", out.display());
 }
 

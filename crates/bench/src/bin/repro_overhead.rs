@@ -25,7 +25,16 @@ fn main() {
     println!("== E1: hardware footprint of the profiling unit — study 1 (GEMM accelerators) ==\n");
     println!(
         "{:<24} {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8} | {:>7} {:>7} {:>9}",
-        "design", "ALMs", "regs", "fmax", "ALMs+PU", "regs+PU", "fmax+PU", "ΔALM%", "Δreg%", "Δfmax MHz"
+        "design",
+        "ALMs",
+        "regs",
+        "fmax",
+        "ALMs+PU",
+        "regs+PU",
+        "fmax+PU",
+        "ΔALM%",
+        "Δreg%",
+        "Δfmax MHz"
     );
     let mut alm_pcts = Vec::new();
     let mut reg_pcts = Vec::new();
@@ -89,7 +98,9 @@ fn main() {
     );
     println!("  (paper: registers +1.3%, ALMs +1.5%, fmax −1 MHz at 148 MHz)");
 
-    println!("\n== per-counter contribution (§V-B: \"each of the counters contributes similarly\") ==\n");
+    println!(
+        "\n== per-counter contribution (§V-B: \"each of the counters contributes similarly\") ==\n"
+    );
     let none = profiling_fit(
         threads,
         &ProfilingConfig {
@@ -98,7 +109,14 @@ fn main() {
         },
         &op,
     );
-    let names = ["stalls", "int_ops", "flops", "mem_read", "mem_write", "local_ops"];
+    let names = [
+        "stalls",
+        "int_ops",
+        "flops",
+        "mem_read",
+        "mem_write",
+        "local_ops",
+    ];
     for (i, name) in names.iter().enumerate() {
         let mut set = CounterSet::NONE;
         match i {

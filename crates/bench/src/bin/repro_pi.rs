@@ -25,7 +25,11 @@ fn main() {
         ..Default::default()
     };
 
-    let paper = [(1_000_000u64, 0.146, 11), (4_000_000, 0.556, 12), (10_000_000, 1.507, 13)];
+    let paper = [
+        (1_000_000u64, 0.146, 11),
+        (4_000_000, 0.556, 12),
+        (10_000_000, 1.507, 13),
+    ];
     let mut per_iter_cycles = 0.0f64;
     for (steps, paper_gflops, fig) in paper {
         let p = PiParams {
@@ -35,9 +39,7 @@ fn main() {
         };
         let (run, est) = run_pi(&p, &sim, &prof);
         let gflops = run.result.gflops(&sim);
-        println!(
-            "== Fig. {fig}: π with {steps} iterations on {threads} threads ==\n"
-        );
+        println!("== Fig. {fig}: π with {steps} iterations on {threads} threads ==\n");
         let opts = TimelineOptions {
             width: 100,
             window: None,
@@ -67,8 +69,7 @@ fn main() {
 
         // Steady-state compute rate for the extrapolation below.
         let t7 = &run.result.stats.per_thread[threads as usize - 1];
-        per_iter_cycles =
-            (t7.end_cycle - t7.start_cycle) as f64 / (steps as f64 / threads as f64);
+        per_iter_cycles = (t7.end_cycle - t7.start_cycle) as f64 / (steps as f64 / threads as f64);
     }
 
     // §V-D extrapolation: "increasing the number of iterations to 15·10^9

@@ -1,18 +1,26 @@
 //! # bench — experiment harness regenerating every table and figure of §V
 //!
-//! Shared plumbing for the `repro_*` binaries and the Criterion benches:
-//! compile a case-study kernel, run it through the cycle-level simulator
-//! with the profiling unit attached, decode the Paraver trace, and derive
-//! the paper's metrics. See `EXPERIMENTS.md` for the experiment↔binary map.
+//! Shared plumbing for the `repro_*` binaries and the wall-clock benches
+//! (see [`harness`]): compile a case-study kernel, run it through the
+//! cycle-level simulator with the profiling unit attached, decode the
+//! Paraver trace, and derive the paper's metrics. See `EXPERIMENTS.md` for
+//! the experiment↔binary map.
+
+pub mod harness;
 
 use fpga_sim::memimg::LaunchArg;
 use fpga_sim::{Executor, NullSnoop, RunResult, SimConfig};
-use hls_profiling::{ProfilingConfig, ProfilingUnit, TraceData};
+use hls_profiling::{
+    PipelineConfig, PipelineError, ProfilingConfig, ProfilingUnit, SinkFactory, StreamReport,
+    TraceData,
+};
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use kernels::pi::{self, PiParams};
 use kernels::reference;
 use nymble_hls::accel::{compile, Accelerator, HlsConfig};
 use nymble_ir::{Kernel, Value};
+use paraver::TraceSink;
+use std::path::PathBuf;
 
 /// Convert an `f32` slice into a buffer launch argument.
 pub fn f32_buffer(data: &[f32]) -> LaunchArg {
@@ -54,6 +62,44 @@ pub fn run_profiled(
     }
 }
 
+/// Compile and run a kernel with the profiling unit in streaming mode:
+/// every trace-buffer flush feeds the background decode → bounded-sort →
+/// sink pipeline instead of accumulating in memory.
+pub fn run_profiled_streaming(
+    kernel: &Kernel,
+    sim: &SimConfig,
+    prof: &ProfilingConfig,
+    pipeline: PipelineConfig,
+    sink_factory: SinkFactory,
+    launch: &[LaunchArg],
+) -> Result<(RunResult, StreamReport), PipelineError> {
+    let accel = compile(kernel, &HlsConfig::default());
+    let mut unit = ProfilingUnit::new_streaming(
+        &kernel.name,
+        kernel.num_threads,
+        prof.clone(),
+        pipeline,
+        sink_factory,
+    );
+    let result = Executor::run(kernel, &accel, sim, launch, &mut unit);
+    let report = unit.finish_streaming()?;
+    Ok((result, report))
+}
+
+/// Sink factory that streams the trace into a `.prv`/`.pcf`/`.row` bundle
+/// under `path_stem` (for [`run_profiled_streaming`]).
+pub fn bundle_sink(path_stem: PathBuf) -> SinkFactory {
+    Box::new(move |meta| {
+        let w = paraver::BundleWriter::create(
+            &path_stem,
+            meta,
+            &paraver::states::defs(),
+            &paraver::events::defs(),
+        )?;
+        Ok(Box::new(w) as Box<dyn TraceSink + Send>)
+    })
+}
+
 /// Compile and run a kernel without profiling (the overhead-study baseline).
 pub fn run_unprofiled(kernel: &Kernel, sim: &SimConfig, launch: &[LaunchArg]) -> RunResult {
     let accel = compile(kernel, &HlsConfig::default());
@@ -75,12 +121,7 @@ pub fn gemm_launch(p: &GemmParams) -> Vec<LaunchArg> {
 /// Run one GEMM version end to end with profiling.
 pub fn run_gemm(version: GemmVersion, p: &GemmParams, sim: &SimConfig) -> ProfiledRun {
     let kernel = gemm::build(version, p);
-    run_profiled(
-        &kernel,
-        sim,
-        &ProfilingConfig::default(),
-        &gemm_launch(p),
-    )
+    run_profiled(&kernel, sim, &ProfilingConfig::default(), &gemm_launch(p))
 }
 
 /// Run the π kernel with profiling; returns the run plus the achieved π

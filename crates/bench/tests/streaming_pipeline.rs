@@ -1,0 +1,186 @@
+//! Acceptance tests of the streaming trace pipeline (the tentpole refactor):
+//!
+//! * **Golden**: for every GEMM version and the π kernel, the streaming
+//!   path's `.prv`/`.pcf`/`.row` bundle is byte-identical to the
+//!   materialized path's.
+//! * **Bounded memory**: peak in-flight trace state is bounded by the
+//!   configured buffer/channel/sorter capacities, not by run length.
+
+use bench::{
+    bundle_sink, gemm_launch, gemm_sim_config, pi_sim_config, run_profiled, run_profiled_streaming,
+};
+use fpga_sim::memimg::LaunchArg;
+use hls_profiling::{PipelineConfig, ProfilingConfig};
+use kernels::gemm::{self, GemmParams, GemmVersion};
+use kernels::pi::{self, PiParams};
+use nymble_ir::{Kernel, Value};
+use std::path::PathBuf;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("streaming_pipeline_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Run both paths and assert the three bundle files match byte for byte.
+fn assert_bundles_identical(
+    tag: &str,
+    kernel: &Kernel,
+    sim: &fpga_sim::SimConfig,
+    prof: &ProfilingConfig,
+    pipe: PipelineConfig,
+    launch: &[LaunchArg],
+) {
+    let dir = fresh_dir(tag);
+    let mat_stem = dir.join("materialized");
+    let st_stem = dir.join("streamed");
+
+    let run = run_profiled(kernel, sim, prof, launch);
+    run.trace.write_bundle(&mat_stem).unwrap();
+
+    let (_result, report) = run_profiled_streaming(
+        kernel,
+        sim,
+        prof,
+        pipe,
+        bundle_sink(st_stem.clone()),
+        launch,
+    )
+    .unwrap();
+    assert_eq!(
+        report.records as usize,
+        run.trace.records.len(),
+        "{tag}: same number of decoded records"
+    );
+
+    for ext in ["prv", "pcf", "row"] {
+        let a = std::fs::read(mat_stem.with_extension(ext)).unwrap();
+        let b = std::fs::read(st_stem.with_extension(ext)).unwrap();
+        assert_eq!(
+            a, b,
+            "{tag}: .{ext} must be byte-identical between materialized and streaming paths"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gemm_all_versions_stream_byte_identical_bundles() {
+    let p = GemmParams {
+        dim: 24,
+        threads: 4,
+        vec: 4,
+        block: 8,
+    };
+    let sim = gemm_sim_config();
+    let prof = ProfilingConfig {
+        sampling_period: 500,
+        buffer_lines: 16,
+        ..Default::default()
+    };
+    let launch = gemm_launch(&p);
+    for v in GemmVersion::ALL {
+        let kernel = gemm::build(v, &p);
+        // A tiny sorter capacity forces external-merge spills, proving the
+        // byte-identical guarantee does not rely on in-memory sorting.
+        let pipe = PipelineConfig {
+            channel_capacity: 2,
+            max_in_memory_records: 64,
+            spill_dir: None,
+        };
+        assert_bundles_identical(v.name(), &kernel, &sim, &prof, pipe, &launch);
+    }
+}
+
+#[test]
+fn pi_streams_byte_identical_bundle() {
+    let p = PiParams {
+        steps: 64_000,
+        threads: 4,
+        bs: 8,
+    };
+    let kernel = pi::build(&p);
+    let (step, spt) = pi::launch_scalars(&p);
+    let launch = vec![
+        LaunchArg::Scalar(Value::F32(step)),
+        LaunchArg::Scalar(Value::I64(spt)),
+        LaunchArg::Buffer(vec![Value::F32(0.0)]),
+    ];
+    let prof = ProfilingConfig {
+        sampling_period: 1_000,
+        buffer_lines: 8,
+        ..Default::default()
+    };
+    let pipe = PipelineConfig {
+        channel_capacity: 2,
+        max_in_memory_records: 128,
+        spill_dir: None,
+    };
+    assert_bundles_identical("pi", &kernel, &pi_sim_config(), &prof, pipe, &launch);
+}
+
+#[test]
+fn long_run_memory_is_bounded_by_config_not_run_length() {
+    // Two runs, one ~4× the trace volume of the other, under the same tight
+    // pipeline budget: the in-flight bounds must not grow with run length.
+    let sim = gemm_sim_config();
+    let measure = |dim: i64| {
+        let p = GemmParams {
+            dim,
+            threads: 4,
+            vec: 4,
+            block: 8,
+        };
+        let kernel = gemm::build(GemmVersion::NoCritical, &p);
+        let prof = ProfilingConfig {
+            sampling_period: 200, // fine-grained: lots of event records
+            buffer_lines: 8,      // 512 B staging buffer
+            ..Default::default()
+        };
+        let cap = 96;
+        let pipe = PipelineConfig {
+            channel_capacity: 2,
+            max_in_memory_records: cap,
+            spill_dir: None,
+        };
+        let (_r, report) = run_profiled_streaming(
+            &kernel,
+            &sim,
+            &prof,
+            pipe,
+            Box::new(|_| Ok(Box::new(paraver::NullSink::default()) as Box<_>)),
+            &gemm_launch(&p),
+        )
+        .unwrap();
+        (report, cap, prof.buffer_lines * 64)
+    };
+
+    let (short, cap, buf_bytes) = measure(16);
+    let (long, _, _) = measure(48);
+
+    assert!(
+        long.records > short.records * 3,
+        "the long run must produce much more trace data ({} vs {})",
+        long.records,
+        short.records
+    );
+    for (name, r) in [("short", &short), ("long", &long)] {
+        assert!(
+            r.peak_resident_records <= cap,
+            "{name}: sorter residency {} exceeds configured cap {cap}",
+            r.peak_resident_records
+        );
+        assert!(
+            r.peak_chunk_bytes <= buf_bytes,
+            "{name}: chunk {} exceeds staging buffer {buf_bytes}",
+            r.peak_chunk_bytes
+        );
+    }
+    assert!(
+        long.spilled_runs > 0,
+        "the long run must have spilled ({} records through cap {cap})",
+        long.records
+    );
+    // The bound itself is run-length independent.
+    assert!(short.peak_resident_records.max(long.peak_resident_records) <= cap);
+}

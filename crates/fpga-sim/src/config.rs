@@ -1,11 +1,9 @@
 //! Simulator configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Timing parameters of the simulated platform (defaults approximate the
 /// paper's Intel D5005 PAC: Stratix 10, four DDR4 banks behind a 512-bit
 /// Avalon interconnect, accelerator clock in the 140–150 MHz band).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Accelerator clock in MHz (the paper's designs close timing at
     /// 140–148 MHz; used only to convert cycles to seconds/GB/s/GFLOP/s).

@@ -16,10 +16,9 @@
 //! dramatically.
 
 use crate::config::SimConfig;
-use serde::{Deserialize, Serialize};
 
 /// Aggregate DRAM statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Line fetches served (misses in the port line buffers).
     pub line_fetches: u64,
@@ -125,7 +124,7 @@ impl Dram {
 }
 
 /// One-line read buffer in front of a (thread, buffer) port pair.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct LineBuffer {
     line_addr: u64,
     valid: bool,

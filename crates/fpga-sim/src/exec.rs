@@ -5,8 +5,8 @@ use crate::config::SimConfig;
 use crate::dram::{Dram, LineBuffer};
 use crate::memimg::{LaunchArg, MemImage};
 use crate::semaphore::{Acquire, Semaphore};
-use crate::snoop::{Snoop, ThreadState};
-use crate::stats::{RunStats, ThreadStats};
+use crate::snoop::{Snoop, SnoopMux, StatsSnoop, ThreadState};
+use crate::stats::RunStats;
 use nymble_hls::accel::Accelerator;
 use nymble_hls::op::OpClass;
 use nymble_ir::loops::{LoopId, LoopMap};
@@ -51,8 +51,6 @@ struct Thread<'k> {
     write_port_free: u64,
     line_bufs: Vec<LineBuffer>,
     mem_ready: Vec<u64>,
-    spin_since: u64,
-    crit_since: u64,
     /// Outstanding line-fetch completion times on the read port (MSHRs).
     inflight: VecDeque<u64>,
     /// Worst VLO delay beyond the scheduled minimum accrued in the current
@@ -60,7 +58,6 @@ struct Thread<'k> {
     /// Loads within one iteration overlap (the stage waits for all of them),
     /// so the stall is the max, not the sum.
     iter_stall: u64,
-    stats: ThreadStats,
 }
 
 impl Thread<'_> {
@@ -130,29 +127,25 @@ impl Executor {
         let n_mems = kernel.local_mems.len();
 
         let mut threads: Vec<Thread> = (0..n)
-            .map(|t| {
-                let start = t as u64 * cfg.launch_interval;
-                let st = ThreadStats {
-                    start_cycle: start,
-                    ..Default::default()
-                };
-                Thread {
-                    walker: Walker::new(kernel, &loop_map, t as u32, scalars.clone()),
-                    time: start,
-                    status: Status::Ready,
-                    loops: Vec::new(),
-                    read_port_free: 0,
-                    write_port_free: 0,
-                    line_bufs: vec![LineBuffer::default(); n_bufs],
-                    mem_ready: vec![0; n_mems],
-                    spin_since: 0,
-                    crit_since: 0,
-                    inflight: VecDeque::new(),
-                    iter_stall: 0,
-                    stats: st,
-                }
+            .map(|t| Thread {
+                walker: Walker::new(kernel, &loop_map, t as u32, scalars.clone()),
+                time: t as u64 * cfg.launch_interval,
+                status: Status::Ready,
+                loops: Vec::new(),
+                read_port_free: 0,
+                write_port_free: 0,
+                line_bufs: vec![LineBuffer::default(); n_bufs],
+                mem_ready: vec![0; n_mems],
+                inflight: VecDeque::new(),
+                iter_stall: 0,
             })
             .collect();
+
+        // The executor's ground-truth statistics are just another observer
+        // of the snooped signals, fanned out alongside the caller's snoop.
+        let mut stats_snoop = StatsSnoop::new(kernel.num_threads);
+        let mut mux = SnoopMux::new(vec![&mut stats_snoop, snoop]);
+        let snoop = &mut mux;
 
         // Initial state timeline: every thread idle from cycle 0 until the
         // host software starts it.
@@ -162,6 +155,7 @@ impl Executor {
         }
 
         let mut done = 0usize;
+        let mut total_cycles = 0u64;
         let mut barrier_arrivals: Vec<usize> = Vec::new();
 
         while done < n {
@@ -180,14 +174,11 @@ impl Executor {
             match ev {
                 StepEvent::Ops(c) => {
                     let th = &mut threads[ti];
-                    th.stats.int_ops += c.int_ops;
-                    th.stats.flops += c.flops;
-                    th.stats.local_ops += c.local_loads;
                     snoop.ops(th.time, tid, c.int_ops, c.flops, c.local_loads);
                     if th.innermost_pipelined().is_none() {
                         let work = c.int_ops + c.flops + c.local_loads;
-                        th.time += cfg.stmt_base_cost
-                            + work.div_ceil(cfg.seq_issue_width.max(1) as u64);
+                        th.time +=
+                            cfg.stmt_base_cost + work.div_ceil(cfg.seq_issue_width.max(1) as u64);
                     }
                 }
                 StepEvent::LocalRead { mem: lm } => {
@@ -196,7 +187,6 @@ impl Executor {
                     if ready > th.time {
                         let stall = ready - th.time;
                         th.time = ready;
-                        th.stats.stall_cycles += stall;
                         snoop.stall(th.time, tid, stall);
                     }
                 }
@@ -208,7 +198,6 @@ impl Executor {
                         th.write_port_free = issue + 1;
                         let _ = dram.transfer(issue, addr, a.bytes, true);
                         th.line_bufs[a.buf.0 as usize].invalidate();
-                        th.stats.bytes_written += a.bytes as u64;
                         snoop.mem_write(th.time, tid, a.bytes as u64);
                     } else {
                         let issue0 = th.time.max(th.read_port_free);
@@ -232,7 +221,6 @@ impl Executor {
                         if !hit {
                             th.inflight.push_back(ready);
                         }
-                        th.stats.bytes_read += a.bytes as u64;
                         snoop.mem_read(th.time, tid, a.bytes as u64);
                         if th.innermost_pipelined().is_some() {
                             // The scheduler budgeted the assumed minimum;
@@ -246,7 +234,6 @@ impl Executor {
                             let stall = ready.saturating_sub(th.time);
                             if stall > 0 {
                                 th.time += stall;
-                                th.stats.stall_cycles += stall;
                                 snoop.stall(th.time, tid, stall);
                             }
                         }
@@ -260,12 +247,10 @@ impl Executor {
                     let addr = mem.abs_addr(access.buf, access.byte_off);
                     let dma_done = dram.dma_transfer(ti, th.time, addr, access.bytes);
                     if access.is_write {
-                        th.stats.bytes_written += access.bytes as u64;
                         snoop.mem_write(th.time, tid, access.bytes as u64);
                     } else {
                         let r = &mut th.mem_ready[lm.0 as usize];
                         *r = (*r).max(dma_done);
-                        th.stats.bytes_read += access.bytes as u64;
                         snoop.mem_read(th.time, tid, access.bytes as u64);
                     }
                     th.time += cfg.burst_issue_cost;
@@ -279,7 +264,7 @@ impl Executor {
                 }
                 StepEvent::LoopIter { .. } => {
                     let th = &mut threads[ti];
-                    th.stats.iterations += 1;
+                    snoop.iteration(th.time, tid);
                     let ctx = th.loops.last_mut().expect("iter outside loop");
                     match ctx.mode {
                         LoopMode::Pipelined { ii, .. } => {
@@ -291,7 +276,6 @@ impl Executor {
                                 th.time += stall;
                             }
                             if stall > 0 {
-                                th.stats.stall_cycles += stall;
                                 snoop.stall(th.time, tid, stall);
                             }
                         }
@@ -311,7 +295,6 @@ impl Executor {
                             let stall = std::mem::take(&mut th.iter_stall);
                             th.time += depth + stall;
                             if stall > 0 {
-                                th.stats.stall_cycles += stall;
                                 snoop.stall(th.time, tid, stall);
                             }
                         }
@@ -320,15 +303,11 @@ impl Executor {
                 }
                 StepEvent::CriticalEnter => {
                     let th = &mut threads[ti];
-                    th.stats.critical_entries += 1;
                     snoop.state_change(th.time, tid, ThreadState::Spinning);
-                    th.spin_since = th.time;
                     let t_req = th.time + cfg.sem_acquire_latency;
                     match sem.acquire(tid, t_req) {
                         Acquire::Granted(g) => {
-                            th.stats.spin_cycles += g - th.time;
                             th.time = g;
-                            th.crit_since = g;
                             snoop.state_change(g, tid, ThreadState::Critical);
                         }
                         Acquire::Queued => {
@@ -340,7 +319,6 @@ impl Executor {
                     let release_t = {
                         let th = &mut threads[ti];
                         th.time += cfg.sem_release_latency;
-                        th.stats.critical_cycles += th.time - th.crit_since;
                         snoop.state_change(th.time, tid, ThreadState::Running);
                         th.time
                     };
@@ -349,9 +327,7 @@ impl Executor {
                     {
                         let nt = &mut threads[next as usize];
                         debug_assert_eq!(nt.status, Status::SpinWait);
-                        nt.stats.spin_cycles += grant.saturating_sub(nt.spin_since);
                         nt.time = grant.max(nt.time);
-                        nt.crit_since = nt.time;
                         nt.status = Status::Ready;
                         snoop.state_change(nt.time, next, ThreadState::Critical);
                     }
@@ -378,7 +354,7 @@ impl Executor {
                 StepEvent::Finished => {
                     let th = &mut threads[ti];
                     th.status = Status::Done;
-                    th.stats.end_cycle = th.time;
+                    total_cycles = total_cycles.max(th.time);
                     snoop.state_change(th.time, tid, ThreadState::Idle);
                     done += 1;
                     // A finished thread never reaches the barrier: re-check
@@ -401,11 +377,11 @@ impl Executor {
             }
         }
 
-        let total_cycles = threads.iter().map(|t| t.stats.end_cycle).max().unwrap_or(0);
         snoop.run_end(total_cycles);
+        drop(mux);
 
         let mut stats = RunStats {
-            per_thread: threads.into_iter().map(|t| t.stats).collect(),
+            per_thread: stats_snoop.into_stats(),
             line_fetches: dram.stats.line_fetches,
             channel_bytes: dram.stats.channel_bytes,
             dram_contended: dram.stats.contended,

@@ -10,10 +10,9 @@
 
 use crate::config::SimConfig;
 use nymble_ir::{ArgKind, Kernel, MapDir};
-use serde::{Deserialize, Serialize};
 
 /// Host-interface timing parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HostConfig {
     /// Host→device DMA bandwidth in bytes per accelerator cycle
     /// (PCIe Gen3 x16 ≈ 12 GB/s ≈ 81 B/cycle at 148 MHz).
@@ -35,7 +34,7 @@ impl Default for HostConfig {
 }
 
 /// Cycle cost of the data movement a launch implies.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TransferCost {
     /// Host→device cycles before the kernel can start.
     pub h2d_cycles: u64,
@@ -92,11 +91,7 @@ pub fn transfer_cost(kernel: &Kernel, buffer_lens: &[usize], cfg: &HostConfig) -
 }
 
 /// End-to-end launch cost: transfers + thread-start ramp + kernel cycles.
-pub fn end_to_end_cycles(
-    kernel_cycles: u64,
-    transfers: &TransferCost,
-    _sim: &SimConfig,
-) -> u64 {
+pub fn end_to_end_cycles(kernel_cycles: u64, transfers: &TransferCost, _sim: &SimConfig) -> u64 {
     transfers.h2d_cycles + kernel_cycles + transfers.d2h_cycles
 }
 

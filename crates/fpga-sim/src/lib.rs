@@ -37,4 +37,4 @@ pub mod stats;
 
 pub use config::SimConfig;
 pub use exec::{Executor, RunResult};
-pub use snoop::{NullSnoop, Snoop, ThreadState};
+pub use snoop::{NullSnoop, Snoop, SnoopMux, StatsSnoop, ThreadState};

@@ -48,8 +48,8 @@ impl MemImage {
                     scalars.push(Value::I32(0));
                     base.push(cursor);
                     elem_size.push(elem.size_bytes());
-                    cursor += (b.len() as u64 * elem.size_bytes() as u64).div_ceil(ALIGN) * ALIGN
-                        + ALIGN;
+                    cursor +=
+                        (b.len() as u64 * elem.size_bytes() as u64).div_ceil(ALIGN) * ALIGN + ALIGN;
                     bufs.push(b.clone());
                 }
                 _ => panic!("launch argument kind mismatch for `{}`", arg.name),
@@ -165,11 +165,7 @@ mod tests {
         let (mut img, _) = MemImage::new(&k, &[LaunchArg::Buffer(vec![Value::F32(0.0); 8])]);
         img.store_ext(a, 3, Value::F32(7.5));
         assert_eq!(img.load_ext(a, 3, Type::F32), Value::F32(7.5));
-        let v = img.load_ext(
-            a,
-            2,
-            Type::vector(ScalarType::F32, 2),
-        );
+        let v = img.load_ext(a, 2, Type::vector(ScalarType::F32, 2));
         assert_eq!(v.lane(1), &Value::F32(7.5));
     }
 }

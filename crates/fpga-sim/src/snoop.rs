@@ -11,11 +11,11 @@
 //!   (§IV-B.2b),
 //! * read/write request bytes at the central Avalon interface (§IV-B.2c).
 
-use serde::{Deserialize, Serialize};
+use crate::stats::ThreadStats;
 
 /// Hardware-thread execution state, mirroring the Paraver state ids of
 /// `paraver::states`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ThreadState {
     /// No context loaded / context finished.
     Idle,
@@ -61,20 +61,28 @@ impl ThreadState {
 }
 
 /// Observer interface the profiling unit implements.
+///
+/// Every method defaults to a no-op, so observers only implement the wires
+/// they actually tap. Multiple observers attach to one datapath through
+/// [`SnoopMux`]; the executor's own ground-truth statistics are themselves
+/// just an observer ([`StatsSnoop`]).
 pub trait Snoop {
     /// Thread `tid` transitions to `state` at cycle `t`.
-    fn state_change(&mut self, t: u64, tid: u32, state: ThreadState);
+    fn state_change(&mut self, _t: u64, _tid: u32, _state: ThreadState) {}
     /// Thread `tid` stalled for `cycles` ending at cycle `t`.
-    fn stall(&mut self, t: u64, tid: u32, cycles: u64);
+    fn stall(&mut self, _t: u64, _tid: u32, _cycles: u64) {}
     /// Thread `tid` retired operations at cycle `t`.
-    fn ops(&mut self, t: u64, tid: u32, int_ops: u64, flops: u64, local_ops: u64);
+    fn ops(&mut self, _t: u64, _tid: u32, _int_ops: u64, _flops: u64, _local_ops: u64) {}
     /// Thread `tid` issued a read request of `bytes` at cycle `t`
     /// (request bytes at the Avalon interface, not DRAM line traffic).
-    fn mem_read(&mut self, t: u64, tid: u32, bytes: u64);
+    fn mem_read(&mut self, _t: u64, _tid: u32, _bytes: u64) {}
     /// Thread `tid` issued a write request of `bytes` at cycle `t`.
-    fn mem_write(&mut self, t: u64, tid: u32, bytes: u64);
+    fn mem_write(&mut self, _t: u64, _tid: u32, _bytes: u64) {}
+    /// Thread `tid` completed one loop iteration at cycle `t` (the loop
+    /// controller's continue signal).
+    fn iteration(&mut self, _t: u64, _tid: u32) {}
     /// The run completed at cycle `t` (flush point for trace buffers).
-    fn run_end(&mut self, t: u64);
+    fn run_end(&mut self, _t: u64) {}
 }
 
 /// A snoop that observes nothing — simulating an accelerator built without
@@ -82,13 +90,166 @@ pub trait Snoop {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NullSnoop;
 
-impl Snoop for NullSnoop {
-    fn state_change(&mut self, _t: u64, _tid: u32, _state: ThreadState) {}
-    fn stall(&mut self, _t: u64, _tid: u32, _cycles: u64) {}
-    fn ops(&mut self, _t: u64, _tid: u32, _int: u64, _fl: u64, _lo: u64) {}
-    fn mem_read(&mut self, _t: u64, _tid: u32, _bytes: u64) {}
-    fn mem_write(&mut self, _t: u64, _tid: u32, _bytes: u64) {}
-    fn run_end(&mut self, _t: u64) {}
+impl Snoop for NullSnoop {}
+
+/// Fan-out multiplexer: one datapath, many observers.
+///
+/// Broadcasts every snooped signal to each tap in order. This is how the
+/// executor attaches its internal [`StatsSnoop`] alongside the caller's
+/// profiling unit without either knowing about the other.
+pub struct SnoopMux<'a> {
+    taps: Vec<&'a mut dyn Snoop>,
+}
+
+impl<'a> SnoopMux<'a> {
+    /// Build a mux over `taps` (signals fan out in the given order).
+    pub fn new(taps: Vec<&'a mut dyn Snoop>) -> Self {
+        SnoopMux { taps }
+    }
+}
+
+impl Snoop for SnoopMux<'_> {
+    fn state_change(&mut self, t: u64, tid: u32, state: ThreadState) {
+        for s in &mut self.taps {
+            s.state_change(t, tid, state);
+        }
+    }
+    fn stall(&mut self, t: u64, tid: u32, cycles: u64) {
+        for s in &mut self.taps {
+            s.stall(t, tid, cycles);
+        }
+    }
+    fn ops(&mut self, t: u64, tid: u32, int_ops: u64, flops: u64, local_ops: u64) {
+        for s in &mut self.taps {
+            s.ops(t, tid, int_ops, flops, local_ops);
+        }
+    }
+    fn mem_read(&mut self, t: u64, tid: u32, bytes: u64) {
+        for s in &mut self.taps {
+            s.mem_read(t, tid, bytes);
+        }
+    }
+    fn mem_write(&mut self, t: u64, tid: u32, bytes: u64) {
+        for s in &mut self.taps {
+            s.mem_write(t, tid, bytes);
+        }
+    }
+    fn iteration(&mut self, t: u64, tid: u32) {
+        for s in &mut self.taps {
+            s.iteration(t, tid);
+        }
+    }
+    fn run_end(&mut self, t: u64) {
+        for s in &mut self.taps {
+            s.run_end(t);
+        }
+    }
+}
+
+/// Derives the executor's ground-truth [`ThreadStats`] purely from the
+/// snooped signal stream — the same signals the profiling unit sees.
+///
+/// Timing fields come from the state timeline: a thread starts at its first
+/// `Running` transition, ends at its `Idle` transition, spends
+/// `Spinning → Critical` deltas spinning and `Critical → Running` deltas in
+/// critical sections, and enters a critical region each time it begins
+/// spinning (the semaphore request is issued from the spin state even when
+/// granted immediately).
+#[derive(Clone, Debug)]
+pub struct StatsSnoop {
+    per_thread: Vec<ThreadStats>,
+    /// Current (state, entered-at) per thread.
+    cur: Vec<(ThreadState, u64)>,
+    started: Vec<bool>,
+}
+
+impl StatsSnoop {
+    /// Observer for `num_threads` hardware threads (all initially Idle at 0).
+    pub fn new(num_threads: u32) -> Self {
+        let n = num_threads as usize;
+        StatsSnoop {
+            per_thread: vec![ThreadStats::default(); n],
+            cur: vec![(ThreadState::Idle, 0); n],
+            started: vec![false; n],
+        }
+    }
+
+    /// Largest observed end cycle — the run's total duration.
+    pub fn max_end_cycle(&self) -> u64 {
+        self.per_thread
+            .iter()
+            .map(|t| t.end_cycle)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The derived per-thread statistics, indexed by thread id.
+    pub fn per_thread(&self) -> &[ThreadStats] {
+        &self.per_thread
+    }
+
+    /// Consume the observer, yielding the per-thread statistics.
+    pub fn into_stats(self) -> Vec<ThreadStats> {
+        self.per_thread
+    }
+}
+
+impl Snoop for StatsSnoop {
+    fn state_change(&mut self, t: u64, tid: u32, state: ThreadState) {
+        let i = tid as usize;
+        let (prev, since) = self.cur[i];
+        if prev == state {
+            return; // redundant transition (e.g. the initial Idle)
+        }
+        // Charge the state being left.
+        match prev {
+            ThreadState::Spinning => {
+                self.per_thread[i].spin_cycles += t.saturating_sub(since);
+            }
+            ThreadState::Critical => {
+                self.per_thread[i].critical_cycles += t.saturating_sub(since);
+            }
+            _ => {}
+        }
+        // Account the state being entered.
+        match state {
+            ThreadState::Running if !self.started[i] => {
+                self.started[i] = true;
+                self.per_thread[i].start_cycle = t;
+            }
+            ThreadState::Spinning => {
+                self.per_thread[i].critical_entries += 1;
+            }
+            ThreadState::Idle if self.started[i] => {
+                self.per_thread[i].end_cycle = t;
+            }
+            _ => {}
+        }
+        self.cur[i] = (state, t);
+    }
+
+    fn stall(&mut self, _t: u64, tid: u32, cycles: u64) {
+        self.per_thread[tid as usize].stall_cycles += cycles;
+    }
+
+    fn ops(&mut self, _t: u64, tid: u32, int_ops: u64, flops: u64, local_ops: u64) {
+        let s = &mut self.per_thread[tid as usize];
+        s.int_ops += int_ops;
+        s.flops += flops;
+        s.local_ops += local_ops;
+    }
+
+    fn mem_read(&mut self, _t: u64, tid: u32, bytes: u64) {
+        self.per_thread[tid as usize].bytes_read += bytes;
+    }
+
+    fn mem_write(&mut self, _t: u64, tid: u32, bytes: u64) {
+        self.per_thread[tid as usize].bytes_written += bytes;
+    }
+
+    fn iteration(&mut self, _t: u64, tid: u32) {
+        self.per_thread[tid as usize].iterations += 1;
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +278,69 @@ mod tests {
         assert_eq!(ThreadState::Running.paraver_state(), 1);
         assert_eq!(ThreadState::Critical.paraver_state(), 2);
         assert_eq!(ThreadState::Spinning.paraver_state(), 3);
+    }
+
+    #[derive(Default)]
+    struct CountingSnoop {
+        calls: usize,
+    }
+
+    impl Snoop for CountingSnoop {
+        fn state_change(&mut self, _t: u64, _tid: u32, _s: ThreadState) {
+            self.calls += 1;
+        }
+        fn ops(&mut self, _t: u64, _tid: u32, _i: u64, _f: u64, _l: u64) {
+            self.calls += 1;
+        }
+        fn run_end(&mut self, _t: u64) {
+            self.calls += 1;
+        }
+    }
+
+    #[test]
+    fn mux_fans_out_to_every_tap() {
+        let mut a = CountingSnoop::default();
+        let mut b = CountingSnoop::default();
+        {
+            let mut mux = SnoopMux::new(vec![&mut a, &mut b]);
+            mux.state_change(0, 0, ThreadState::Running);
+            mux.ops(1, 0, 1, 2, 3);
+            mux.iteration(2, 0); // default no-op on taps
+            mux.run_end(10);
+        }
+        assert_eq!(a.calls, 3);
+        assert_eq!(b.calls, 3);
+    }
+
+    #[test]
+    fn stats_snoop_derives_timeline_fields() {
+        let mut s = StatsSnoop::new(2);
+        // Thread 0: idle(0) → running(5) → spin(20) → critical(26) →
+        // running(40) → idle(100).
+        s.state_change(0, 0, ThreadState::Idle); // redundant: ignored
+        s.state_change(5, 0, ThreadState::Running);
+        s.state_change(20, 0, ThreadState::Spinning);
+        s.state_change(26, 0, ThreadState::Critical);
+        s.state_change(40, 0, ThreadState::Running);
+        s.stall(50, 0, 7);
+        s.ops(60, 0, 1, 2, 3);
+        s.mem_read(61, 0, 64);
+        s.mem_write(62, 0, 32);
+        s.iteration(63, 0);
+        s.iteration(64, 0);
+        s.state_change(100, 0, ThreadState::Idle);
+        // Thread 1 never starts.
+        let st = &s.per_thread()[0];
+        assert_eq!(st.start_cycle, 5);
+        assert_eq!(st.end_cycle, 100);
+        assert_eq!(st.spin_cycles, 6);
+        assert_eq!(st.critical_cycles, 14);
+        assert_eq!(st.critical_entries, 1);
+        assert_eq!(st.stall_cycles, 7);
+        assert_eq!((st.int_ops, st.flops, st.local_ops), (1, 2, 3));
+        assert_eq!((st.bytes_read, st.bytes_written), (64, 32));
+        assert_eq!(st.iterations, 2);
+        assert_eq!(s.per_thread()[1], ThreadStats::default());
+        assert_eq!(s.max_end_cycle(), 100);
     }
 }

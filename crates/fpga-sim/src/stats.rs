@@ -2,10 +2,8 @@
 //! unit — these are the simulator's ground truth, which the decoded Paraver
 //! traces are validated against in the integration tests).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-thread counters.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ThreadStats {
     /// Cycle the host started this thread.
     pub start_cycle: u64,
@@ -34,7 +32,7 @@ pub struct ThreadStats {
 }
 
 /// Whole-run statistics.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunStats {
     pub per_thread: Vec<ThreadStats>,
     /// DRAM model statistics.

@@ -164,7 +164,10 @@ fn extreme_mshr_and_tiny_dram_still_correct() {
     };
     let rs = run(&k, &slow, &mk());
     let rf = run(&k, &fast, &mk());
-    assert_eq!(rs.buffers[1], rf.buffers[1], "timing must not change values");
+    assert_eq!(
+        rs.buffers[1], rf.buffers[1],
+        "timing must not change values"
+    );
     assert!(
         rs.total_cycles > rf.total_cycles * 2,
         "pathological config must actually be slower: {} vs {}",

@@ -8,11 +8,25 @@
 //! The buffer stores the packed byte stream of records; a flush drains it as
 //! one burst whose size and timestamp are reported so the simulator level
 //! can account for the DRAM bandwidth the tracing consumes.
-
-use serde::{Deserialize, Serialize};
+//!
+//! Two drain modes mirror the two host-side consumption models:
+//!
+//! * **retaining** ([`TraceBuffer::new`]) — every flush appends to an
+//!   in-memory copy of the full stream, read back at end of run (the
+//!   materialized path);
+//! * **draining** ([`TraceBuffer::draining`]) — every flush hands its bytes
+//!   to a caller-supplied callback and the buffer forgets them (the
+//!   streaming path: resident bytes stay bounded by the buffer capacity for
+//!   arbitrarily long runs).
+//!
+//! Records are never split across a flush: a record that would cross the
+//! high-water mark triggers a flush *before* it is staged, and a record
+//! larger than the high-water mark itself is flushed immediately after
+//! staging. `flush_count()`/`flushed_bytes()` stay consistent with the
+//! per-flush log/callbacks in both modes.
 
 /// One flush of the trace buffer to external memory.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Flush {
     /// Cycle at which the flush was triggered.
     pub at_cycle: u64,
@@ -21,23 +35,39 @@ pub struct Flush {
 }
 
 /// Byte-accurate trace buffer with 512-bit (64 B) line organisation.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct TraceBuffer {
     line_bytes: usize,
     capacity_bytes: usize,
     /// Fill level (in bytes) at which a flush triggers ("nearly full").
     high_water: usize,
     staged: Vec<u8>,
-    /// The complete flushed stream, in flush order (this is what the host
-    /// reads back from external memory after the run).
+    /// The complete flushed stream, in flush order (retaining mode only —
+    /// this is what the host reads back from external memory after the run).
     flushed: Vec<u8>,
-    /// Flush log for bandwidth accounting.
-    pub flushes: Vec<Flush>,
+    /// Per-flush log for bandwidth accounting (retaining mode only; in
+    /// draining mode the callback receives each [`Flush`] instead).
+    flush_log: Vec<Flush>,
+    retain: bool,
+    flush_count: usize,
+    flushed_bytes: u64,
+    peak_staged: usize,
 }
 
 impl TraceBuffer {
-    /// A buffer of `lines` 512-bit lines.
+    /// A retaining buffer of `lines` 512-bit lines (the materialized path).
     pub fn new(lines: usize) -> Self {
+        Self::build(lines, true)
+    }
+
+    /// A draining buffer of `lines` 512-bit lines: flushes must go through
+    /// [`Self::push_with`]/[`Self::flush_with`], which hand the bytes to a
+    /// callback instead of accumulating them.
+    pub fn draining(lines: usize) -> Self {
+        Self::build(lines, false)
+    }
+
+    fn build(lines: usize, retain: bool) -> Self {
         let line_bytes = 64;
         let capacity = lines.max(2) * line_bytes;
         TraceBuffer {
@@ -46,7 +76,11 @@ impl TraceBuffer {
             high_water: capacity - capacity / 8, // flush at 7/8 full
             staged: Vec::with_capacity(capacity),
             flushed: Vec::new(),
-            flushes: Vec::new(),
+            flush_log: Vec::new(),
+            retain,
+            flush_count: 0,
+            flushed_bytes: 0,
+            peak_staged: 0,
         }
     }
 
@@ -61,36 +95,99 @@ impl TraceBuffer {
     }
 
     /// Append a packed record at cycle `t`; flushes first if it would cross
-    /// the high-water mark.
+    /// the high-water mark. Retaining mode only.
     pub fn push(&mut self, t: u64, record: &[u8]) {
-        if self.staged.len() + record.len() > self.high_water {
-            self.flush(t);
-        }
-        self.staged.extend_from_slice(record);
+        assert!(
+            self.retain,
+            "draining TraceBuffer requires push_with (a plain push would drop flushed bytes)"
+        );
+        self.push_impl(t, record, &mut |_, _| {});
     }
 
-    /// Force a flush (used at end of run so no records are lost).
+    /// Append a packed record at cycle `t`, handing any triggered flush's
+    /// bytes to `drain`.
+    pub fn push_with(&mut self, t: u64, record: &[u8], drain: &mut dyn FnMut(Flush, &[u8])) {
+        self.push_impl(t, record, drain);
+    }
+
+    fn push_impl(&mut self, t: u64, record: &[u8], drain: &mut dyn FnMut(Flush, &[u8])) {
+        // Flush *before* a record that doesn't fit: records are atomic and
+        // never straddle a flush boundary.
+        if self.staged.len() + record.len() > self.high_water {
+            self.flush_impl(t, drain);
+        }
+        self.staged.extend_from_slice(record);
+        self.peak_staged = self.peak_staged.max(self.staged.len());
+        // A record larger than the whole staging area can't wait for the
+        // next push to displace it.
+        if record.len() > self.high_water {
+            self.flush_impl(t, drain);
+        }
+    }
+
+    /// Force a flush (used at end of run so no records are lost). Retaining
+    /// mode only.
     pub fn flush(&mut self, t: u64) {
+        assert!(
+            self.retain,
+            "draining TraceBuffer requires flush_with (a plain flush would drop flushed bytes)"
+        );
+        self.flush_impl(t, &mut |_, _| {});
+    }
+
+    /// Force a flush, handing the staged bytes to `drain`.
+    pub fn flush_with(&mut self, t: u64, drain: &mut dyn FnMut(Flush, &[u8])) {
+        self.flush_impl(t, drain);
+    }
+
+    fn flush_impl(&mut self, t: u64, drain: &mut dyn FnMut(Flush, &[u8])) {
         if self.staged.is_empty() {
             return;
         }
         // The DMA writes whole 512-bit lines: pad the tail.
         let padded = self.staged.len().div_ceil(self.line_bytes) * self.line_bytes;
-        self.flushes.push(Flush {
+        let f = Flush {
             at_cycle: t,
             bytes: padded as u64,
-        });
-        self.flushed.append(&mut self.staged);
+        };
+        self.flush_count += 1;
+        self.flushed_bytes += padded as u64;
+        if self.retain {
+            self.flush_log.push(f);
+            self.flushed.append(&mut self.staged);
+        } else {
+            drain(f, &self.staged);
+            self.staged.clear();
+        }
     }
 
-    /// The full flushed stream (call after the final [`Self::flush`]).
+    /// The full flushed stream (retaining mode; call after the final
+    /// [`Self::flush`]).
     pub fn stream(&self) -> &[u8] {
+        debug_assert!(self.retain, "draining buffers do not keep the stream");
         &self.flushed
     }
 
-    /// Total bytes written to external memory by flushes (with padding).
+    /// Per-flush log (retaining mode).
+    pub fn flush_log(&self) -> &[Flush] {
+        &self.flush_log
+    }
+
+    /// Number of flushes so far (both modes).
+    pub fn flush_count(&self) -> usize {
+        self.flush_count
+    }
+
+    /// Total bytes written to external memory by flushes, with line padding
+    /// (both modes).
     pub fn flushed_bytes(&self) -> u64 {
-        self.flushes.iter().map(|f| f.bytes).sum()
+        self.flushed_bytes
+    }
+
+    /// Largest staged fill level ever reached — the buffer's actual
+    /// in-fabric memory bound.
+    pub fn peak_staged_bytes(&self) -> usize {
+        self.peak_staged
     }
 }
 
@@ -105,7 +202,7 @@ mod tests {
             b.push(i, &[i as u8; 10]);
         }
         assert!(
-            !b.flushes.is_empty(),
+            b.flush_count() > 0,
             "130 bytes through a 128 B buffer must flush"
         );
         b.flush(99);
@@ -120,9 +217,14 @@ mod tests {
         let mut b = TraceBuffer::new(8);
         b.push(5, &[1, 2, 3]);
         b.flush(10);
-        assert_eq!(b.flushes.len(), 1);
-        assert_eq!(b.flushes[0].bytes, 64, "3 bytes pad to one 512-bit line");
-        assert_eq!(b.flushes[0].at_cycle, 10);
+        assert_eq!(b.flush_count(), 1);
+        assert_eq!(b.flush_log().len(), 1);
+        assert_eq!(
+            b.flush_log()[0].bytes,
+            64,
+            "3 bytes pad to one 512-bit line"
+        );
+        assert_eq!(b.flush_log()[0].at_cycle, 10);
         assert_eq!(b.stream(), &[1, 2, 3]);
     }
 
@@ -130,7 +232,7 @@ mod tests {
     fn empty_flush_is_noop() {
         let mut b = TraceBuffer::new(4);
         b.flush(0);
-        assert!(b.flushes.is_empty());
+        assert_eq!(b.flush_count(), 0);
         assert_eq!(b.flushed_bytes(), 0);
     }
 
@@ -138,5 +240,85 @@ mod tests {
     fn capacity_kbits() {
         let b = TraceBuffer::new(512);
         assert_eq!(b.capacity_kbits(), 512 * 64 * 8 / 1024);
+    }
+
+    #[test]
+    fn exact_high_water_boundary_never_splits_records() {
+        // 128 B capacity → high water 112. Records of 16 B: exactly 7 fill
+        // the buffer to the mark without flushing; the 8th flushes first.
+        let mut b = TraceBuffer::new(2);
+        let rec = |v: u8| [v; 16];
+        for v in 0..7 {
+            b.push(v as u64, &rec(v));
+            assert_eq!(b.flush_count(), 0, "record {v} still fits");
+        }
+        b.push(7, &rec(7));
+        assert_eq!(b.flush_count(), 1, "8th record must flush the first 7");
+        assert_eq!(
+            b.flush_log()[0].bytes,
+            128,
+            "7×16 B staged pads to two 512-bit lines"
+        );
+        b.flush(99);
+        // All 8 records intact and in order — no record split by the flush.
+        let s = b.stream();
+        assert_eq!(s.len(), 128);
+        for v in 0..8u8 {
+            assert_eq!(&s[v as usize * 16..(v as usize + 1) * 16], &rec(v));
+        }
+        assert_eq!(
+            b.flushed_bytes(),
+            b.flush_log().iter().map(|f| f.bytes).sum::<u64>(),
+            "counter and log must agree"
+        );
+        assert_eq!(b.flush_count(), b.flush_log().len());
+    }
+
+    #[test]
+    fn oversized_record_flushes_around_itself() {
+        let mut b = TraceBuffer::new(2); // high water 112
+        b.push(1, &[7; 10]);
+        let big = [9u8; 200]; // larger than the whole staging area
+        b.push(2, &big);
+        // Flush 1: the 10 staged bytes (before). Flush 2: the big record
+        // itself (after) — it never merges with neighbours.
+        assert_eq!(b.flush_count(), 2);
+        assert_eq!(b.flush_log()[0].bytes, 64);
+        assert_eq!(b.flush_log()[1].bytes, 256, "200 B pads to 4 lines");
+        b.push(3, &[1; 4]);
+        b.flush(4);
+        assert_eq!(b.stream().len(), 10 + 200 + 4);
+        assert_eq!(b.peak_staged_bytes(), 200);
+    }
+
+    #[test]
+    fn draining_mode_hands_bytes_to_callback() {
+        let mut b = TraceBuffer::draining(2);
+        let mut chunks: Vec<(Flush, Vec<u8>)> = Vec::new();
+        for i in 0..13 {
+            b.push_with(i, &[i as u8; 10], &mut |f, bytes| {
+                chunks.push((f, bytes.to_vec()));
+            });
+        }
+        b.flush_with(99, &mut |f, bytes| chunks.push((f, bytes.to_vec())));
+        let total: usize = chunks.iter().map(|(_, c)| c.len()).sum();
+        assert_eq!(total, 130, "drained chunks carry the unpadded stream");
+        assert_eq!(b.flush_count(), chunks.len());
+        assert_eq!(
+            b.flushed_bytes(),
+            chunks.iter().map(|(f, _)| f.bytes).sum::<u64>()
+        );
+        // Resident memory stays bounded: nothing accumulates after flushes.
+        assert!(b.peak_staged_bytes() <= b.capacity_bytes());
+        let reassembled: Vec<u8> = chunks.iter().flat_map(|(_, c)| c.clone()).collect();
+        assert_eq!(&reassembled[0..10], &[0; 10]);
+        assert_eq!(&reassembled[120..130], &[12; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "push_with")]
+    fn draining_buffer_rejects_plain_push_overflow() {
+        let mut b = TraceBuffer::draining(2);
+        b.push(0, &[1; 8]);
     }
 }

@@ -9,12 +9,11 @@
 //! period is user-adjustable."
 
 use crate::recorder::TAG_EVENT;
-use serde::{Deserialize, Serialize};
 
 /// Which counter modules are instantiated (per-counter ablation of the
 /// §V-B observation that "each of the counters contributes similarly to the
 /// hardware overhead").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CounterSet {
     pub stalls: bool,
     pub int_ops: bool,

@@ -15,10 +15,9 @@ use fpga_sim::stats::RunStats;
 use fpga_sim::SimConfig;
 use paraver::analysis::{event_series, StateProfile};
 use paraver::{events, states};
-use serde::{Deserialize, Serialize};
 
 /// The dominant performance limiter of a run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Bottleneck {
     /// Significant time spinning on / executing inside critical sections.
     Synchronization,
@@ -39,7 +38,7 @@ pub enum Bottleneck {
 }
 
 /// A quantified diagnosis.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Diagnosis {
     pub bottleneck: Bottleneck,
     /// Fraction of aggregate thread time spent idle (not yet started or
@@ -60,7 +59,7 @@ pub struct Diagnosis {
 }
 
 /// Tunable decision thresholds.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DiagnoseConfig {
     pub sync_threshold: f64,
     pub idle_threshold: f64,
@@ -201,10 +200,14 @@ mod tests {
     use fpga_sim::{Snoop, ThreadState};
 
     fn mk_trace(f: impl FnOnce(&mut ProfilingUnit)) -> TraceData {
-        let mut u = ProfilingUnit::new("t", 2, ProfilingConfig {
-            sampling_period: 100,
-            ..Default::default()
-        });
+        let mut u = ProfilingUnit::new(
+            "t",
+            2,
+            ProfilingConfig {
+                sampling_period: 100,
+                ..Default::default()
+            },
+        );
         f(&mut u);
         u.finish()
     }

@@ -23,10 +23,12 @@
 
 pub mod buffer;
 pub mod counters;
-pub mod diagnose;
 pub mod decode;
+pub mod diagnose;
 pub mod overhead;
+pub mod pipeline;
 pub mod recorder;
 pub mod unit;
 
+pub use pipeline::{PipelineConfig, PipelineError, SinkFactory, StreamReport};
 pub use unit::{ProfilingConfig, ProfilingUnit, TraceData};

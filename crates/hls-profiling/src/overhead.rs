@@ -11,10 +11,9 @@
 
 use crate::unit::ProfilingConfig;
 use nymble_hls::cost::{fmax_model, CostParams, FitReport};
-use serde::{Deserialize, Serialize};
 
 /// Per-module area parameters of the profiling hardware.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct OverheadParams {
     /// Adder/valid-gating logic of one counter module.
     pub counter_alms_base: u32,
@@ -55,11 +54,7 @@ impl Default for OverheadParams {
 }
 
 /// Fit of the profiling unit alone.
-pub fn profiling_fit(
-    num_threads: u32,
-    cfg: &ProfilingConfig,
-    p: &OverheadParams,
-) -> FitReport {
+pub fn profiling_fit(num_threads: u32, cfg: &ProfilingConfig, p: &OverheadParams) -> FitReport {
     let n = num_threads as u64;
     let mut alms = 0u64;
     let mut regs = 0u64;
@@ -133,10 +128,14 @@ mod tests {
         // §V-B: "each of the counters contributes similarly to the hardware
         // overhead, none ... remarkably expensive".
         let p = OverheadParams::default();
-        let base = profiling_fit(8, &ProfilingConfig {
-            counters: CounterSet::NONE,
-            ..cfg()
-        }, &p);
+        let base = profiling_fit(
+            8,
+            &ProfilingConfig {
+                counters: CounterSet::NONE,
+                ..cfg()
+            },
+            &p,
+        );
         let mut costs = Vec::new();
         for i in 0..6 {
             let mut set = CounterSet::NONE;
@@ -148,7 +147,14 @@ mod tests {
                 4 => set.mem_write = true,
                 _ => set.local_ops = true,
             }
-            let f = profiling_fit(8, &ProfilingConfig { counters: set, ..cfg() }, &p);
+            let f = profiling_fit(
+                8,
+                &ProfilingConfig {
+                    counters: set,
+                    ..cfg()
+                },
+                &p,
+            );
             costs.push(f.alms - base.alms);
         }
         let min = *costs.iter().min().unwrap();
@@ -184,17 +190,24 @@ mod tests {
         assert!(so.alms_pct < 10.0 && so.alms_pct > 0.5, "{so:?}");
         assert!(bo.alms_pct < 2.5, "{bo:?}");
         // fmax degradation exists but is small.
-        assert!(so.fmax_delta_mhz >= 0.0 && so.fmax_delta_mhz < 10.0, "{so:?}");
+        assert!(
+            so.fmax_delta_mhz >= 0.0 && so.fmax_delta_mhz < 10.0,
+            "{so:?}"
+        );
     }
 
     #[test]
     fn disabled_unit_costs_nothing_but_bram() {
         let p = OverheadParams::default();
-        let f = profiling_fit(8, &ProfilingConfig {
-            counters: CounterSet::NONE,
-            record_states: false,
-            ..cfg()
-        }, &p);
+        let f = profiling_fit(
+            8,
+            &ProfilingConfig {
+                counters: CounterSet::NONE,
+                record_states: false,
+                ..cfg()
+            },
+            &p,
+        );
         assert_eq!(f.alms, 0);
         assert_eq!(f.registers, 0);
     }

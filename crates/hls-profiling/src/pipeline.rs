@@ -1,0 +1,395 @@
+//! The background trace pipeline: decode + sort + write off the simulation
+//! thread, behind a bounded channel.
+//!
+//! In the materialized path, the whole flushed stream accumulates in memory
+//! and is decoded/sorted/written after the run. This module is the streaming
+//! alternative: each trace-buffer flush is handed (as one bounded-size
+//! chunk) to a worker thread over a [`std::sync::mpsc::sync_channel`], which
+//! incrementally decodes it and feeds the records through a
+//! [`paraver::SpillSorter`] into whatever [`TraceSink`] the caller's factory
+//! builds once the run's final metadata is known (the `.prv` header needs
+//! the total duration, which only exists at `run_end`).
+//!
+//! Memory stays bounded by construction, independent of run length:
+//!
+//! * simulation side — one trace buffer (`buffer_lines × 64 B`);
+//! * in flight — at most [`PipelineConfig::channel_capacity`] chunks, each at
+//!   most one buffer flush;
+//! * worker side — at most [`PipelineConfig::max_in_memory_records`] decoded
+//!   records plus one record per spilled run during the final merge.
+//!
+//! The bounded channel provides backpressure: if decoding falls behind, the
+//! simulator blocks on the next flush rather than queueing unboundedly —
+//! the software analogue of the hardware buffer stalling the datapath when
+//! the DRAM port is busy.
+
+use crate::buffer::Flush;
+use crate::decode::StreamDecoder;
+use paraver::spill::DEFAULT_MAX_IN_MEMORY;
+use paraver::{SpillSorter, TraceError, TraceMeta, TraceSink};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// Builds the terminal sink once the run's final metadata is known.
+pub type SinkFactory =
+    Box<dyn FnOnce(&TraceMeta) -> Result<Box<dyn TraceSink + Send>, TraceError> + Send + 'static>;
+
+/// Tuning knobs of the background pipeline.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Maximum flush chunks in flight between simulator and worker.
+    pub channel_capacity: usize,
+    /// Maximum decoded records the sorter holds in RAM before spilling a
+    /// run to disk.
+    pub max_in_memory_records: usize,
+    /// Spill directory override (defaults to the system temp dir).
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            channel_capacity: 8,
+            max_in_memory_records: DEFAULT_MAX_IN_MEMORY,
+            spill_dir: None,
+        }
+    }
+}
+
+/// What the pipeline did, returned after the worker drains and closes.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Final trace metadata (duration = total cycles of the run).
+    pub meta: TraceMeta,
+    /// Records pushed through the sorter into the sink (decoded records
+    /// plus the synthetic closing state intervals).
+    pub records: u64,
+    /// Bytes of trace data flushed to external memory (with line padding).
+    pub flushed_bytes: u64,
+    /// Number of buffer flushes during the run.
+    pub flush_count: usize,
+    /// Chunks received over the channel.
+    pub chunks: u64,
+    /// Largest single chunk in bytes (bounded by the trace buffer size).
+    pub peak_chunk_bytes: usize,
+    /// Peak records resident in the sorter — the pipeline's actual RAM
+    /// bound, `<=` [`PipelineConfig::max_in_memory_records`].
+    pub peak_resident_records: usize,
+    /// Sort runs spilled to disk.
+    pub spilled_runs: usize,
+}
+
+/// Terminal failure of the background pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A pipeline stage returned a typed error (I/O, ordering, corrupt run).
+    Trace(TraceError),
+    /// The worker thread panicked (e.g. on a corrupt trace stream).
+    WorkerPanicked,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Trace(e) => write!(f, "trace pipeline failed: {e}"),
+            PipelineError::WorkerPanicked => write!(f, "trace pipeline worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Trace(e) => Some(e),
+            PipelineError::WorkerPanicked => None,
+        }
+    }
+}
+
+impl From<TraceError> for PipelineError {
+    fn from(e: TraceError) -> Self {
+        PipelineError::Trace(e)
+    }
+}
+
+enum Msg {
+    Chunk(Flush, Vec<u8>),
+    End {
+        total_cycles: u64,
+        flushed_bytes: u64,
+        flush_count: usize,
+    },
+}
+
+/// Sender side of the pipeline, owned by the profiling unit.
+pub(crate) struct PipelineHandle {
+    tx: Option<SyncSender<Msg>>,
+    join: Option<JoinHandle<Result<StreamReport, TraceError>>>,
+}
+
+impl PipelineHandle {
+    pub(crate) fn spawn(
+        app_name: String,
+        num_threads: u32,
+        cfg: PipelineConfig,
+        factory: SinkFactory,
+    ) -> Self {
+        let (tx, rx) = sync_channel(cfg.channel_capacity.max(1));
+        let join = std::thread::Builder::new()
+            .name("trace-pipeline".into())
+            .spawn(move || worker(rx, app_name, num_threads, cfg, factory))
+            .expect("spawn trace-pipeline thread");
+        PipelineHandle {
+            tx: Some(tx),
+            join: Some(join),
+        }
+    }
+
+    /// Ship one flushed chunk; blocks when `channel_capacity` chunks are
+    /// already in flight (backpressure). A send to a dead worker is
+    /// dropped — the worker's error surfaces at [`Self::finish`].
+    pub(crate) fn send_chunk(&self, flush: Flush, bytes: Vec<u8>) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(Msg::Chunk(flush, bytes));
+        }
+    }
+
+    /// Signal end of run and wait for the worker to drain, merge and close
+    /// the sink.
+    pub(crate) fn finish(
+        mut self,
+        total_cycles: u64,
+        flushed_bytes: u64,
+        flush_count: usize,
+    ) -> Result<StreamReport, PipelineError> {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::End {
+                total_cycles,
+                flushed_bytes,
+                flush_count,
+            });
+        }
+        match self.join.take().expect("pipeline joined twice").join() {
+            Ok(result) => result.map_err(PipelineError::from),
+            Err(_) => Err(PipelineError::WorkerPanicked),
+        }
+    }
+}
+
+impl Drop for PipelineHandle {
+    fn drop(&mut self) {
+        // Abandoned without finish(): close the channel so the worker exits,
+        // then reap it (its error, if any, is intentionally discarded).
+        self.tx.take();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Sink whose target is installed late — after the run, once the final
+/// metadata exists. The sorter only pushes during its `close`, which happens
+/// after installation.
+struct LateSink {
+    inner: Option<Box<dyn TraceSink + Send>>,
+}
+
+impl TraceSink for LateSink {
+    fn push(&mut self, r: paraver::Record) -> Result<(), TraceError> {
+        self.inner
+            .as_mut()
+            .expect("terminal sink installed before merge")
+            .push(r)
+    }
+
+    fn close(&mut self) -> Result<(), TraceError> {
+        match self.inner.as_mut() {
+            Some(s) => s.close(),
+            None => Ok(()),
+        }
+    }
+}
+
+fn worker(
+    rx: Receiver<Msg>,
+    app_name: String,
+    num_threads: u32,
+    cfg: PipelineConfig,
+    factory: SinkFactory,
+) -> Result<StreamReport, TraceError> {
+    let mut decoder = Some(StreamDecoder::new(num_threads));
+    let late = LateSink { inner: None };
+    let cap = cfg.max_in_memory_records.max(1);
+    let mut sorter = match cfg.spill_dir {
+        Some(dir) => SpillSorter::with_spill_dir(late, cap, dir),
+        None => SpillSorter::new(late, cap),
+    };
+    let mut first_err: Option<TraceError> = None;
+    let mut chunks = 0u64;
+    let mut peak_chunk_bytes = 0usize;
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Chunk(_flush, bytes) => {
+                // Keep draining after an error so the sender never blocks
+                // on a full channel; the error is reported at End.
+                if first_err.is_some() {
+                    continue;
+                }
+                chunks += 1;
+                peak_chunk_bytes = peak_chunk_bytes.max(bytes.len());
+                let dec = decoder.as_mut().expect("decoder live until End");
+                dec.feed(&bytes, &mut |r| {
+                    if first_err.is_none() {
+                        if let Err(e) = sorter.push(r) {
+                            first_err = Some(e);
+                        }
+                    }
+                });
+            }
+            Msg::End {
+                total_cycles,
+                flushed_bytes,
+                flush_count,
+            } => {
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
+                let dec = decoder.take().expect("single End message");
+                let mut close_err: Option<TraceError> = None;
+                dec.finish(total_cycles, &mut |r| {
+                    if close_err.is_none() {
+                        if let Err(e) = sorter.push(r) {
+                            close_err = Some(e);
+                        }
+                    }
+                });
+                if let Some(e) = close_err {
+                    return Err(e);
+                }
+                let meta = TraceMeta::new(&app_name, total_cycles, num_threads);
+                sorter.inner_mut().inner = Some(factory(&meta)?);
+                sorter.close()?;
+                return Ok(StreamReport {
+                    meta,
+                    records: sorter.total_records(),
+                    flushed_bytes,
+                    flush_count,
+                    chunks,
+                    peak_chunk_bytes,
+                    peak_resident_records: sorter.peak_in_memory(),
+                    spilled_runs: sorter.spilled_runs(),
+                });
+            }
+        }
+    }
+    Err(TraceError::CorruptRun(
+        "trace pipeline channel closed without an End message".into(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{CounterBank, CounterSet};
+    use crate::recorder::StateRecorder;
+    use fpga_sim::ThreadState;
+    use paraver::{Record, VecSink};
+    use std::sync::{Arc, Mutex};
+
+    /// Sink that shares its collected records with the test thread.
+    struct SharedSink(Arc<Mutex<Vec<Record>>>);
+
+    impl TraceSink for SharedSink {
+        fn push(&mut self, r: Record) -> Result<(), TraceError> {
+            self.0.lock().unwrap().push(r);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_materialized_decode() {
+        // Build a stream, decode it materialized, then pump the same bytes
+        // through the background pipeline and compare.
+        let mut stream = Vec::new();
+        let mut rec = StateRecorder::new(2);
+        let mut bank = CounterBank::new(2, CounterSet::default());
+        for i in 1..100u64 {
+            let tid = (i % 2) as u32;
+            let s = if i % 3 == 0 {
+                ThreadState::Running
+            } else {
+                ThreadState::Spinning
+            };
+            if let Some(r) = rec.transition(i * 7, tid, s) {
+                let r = r.to_vec();
+                stream.extend_from_slice(&r);
+            }
+            bank.add_ops(tid, i, i, i);
+            if let Some(r) = bank.sample(i * 7 + 3, tid) {
+                stream.extend_from_slice(&r);
+            }
+        }
+        let expect = crate::decode::decode_stream(&stream, 2, 10_000);
+
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let sink_records = collected.clone();
+        let handle = PipelineHandle::spawn(
+            "t".into(),
+            2,
+            PipelineConfig {
+                channel_capacity: 2,
+                max_in_memory_records: 16, // force spilling
+                spill_dir: None,
+            },
+            Box::new(move |_meta| Ok(Box::new(SharedSink(sink_records)) as Box<_>)),
+        );
+        for chunk in stream.chunks(64) {
+            handle.send_chunk(
+                Flush {
+                    at_cycle: 0,
+                    bytes: 64,
+                },
+                chunk.to_vec(),
+            );
+        }
+        let report = handle.finish(10_000, 12_345, 7).unwrap();
+        assert_eq!(report.flushed_bytes, 12_345);
+        assert_eq!(report.flush_count, 7);
+        assert!(report.peak_resident_records <= 16);
+        assert!(report.spilled_runs > 0, "16-record cap must spill");
+        assert_eq!(report.records as usize, expect.len());
+        let got = collected.lock().unwrap();
+        assert_eq!(*got, expect, "streamed records == materialized records");
+    }
+
+    #[test]
+    fn abandoned_pipeline_reaps_worker() {
+        let handle = PipelineHandle::spawn(
+            "t".into(),
+            1,
+            PipelineConfig::default(),
+            Box::new(|_| Ok(Box::new(VecSink::new()) as Box<_>)),
+        );
+        drop(handle); // must not hang or leak the thread
+    }
+
+    #[test]
+    fn sink_factory_error_propagates() {
+        let handle = PipelineHandle::spawn(
+            "t".into(),
+            1,
+            PipelineConfig::default(),
+            Box::new(|_| {
+                Err(TraceError::Io(std::io::Error::new(
+                    std::io::ErrorKind::PermissionDenied,
+                    "no",
+                )))
+            }),
+        );
+        let err = handle.finish(100, 0, 0).unwrap_err();
+        assert!(matches!(err, PipelineError::Trace(TraceError::Io(_))));
+    }
+}

@@ -128,10 +128,7 @@ mod tests {
         let _ = r.transition(10, 0, ThreadState::Running);
         let _ = r.transition(11, 1, ThreadState::Spinning);
         let _ = r.transition(12, 2, ThreadState::Critical);
-        let rec = r
-            .transition(13, 3, ThreadState::Running)
-            .unwrap()
-            .to_vec();
+        let rec = r.transition(13, 3, ThreadState::Running).unwrap().to_vec();
         let (_, states) = unpack_state_record(&rec[1..], 4);
         assert_eq!(
             states,

@@ -4,13 +4,13 @@
 use crate::buffer::TraceBuffer;
 use crate::counters::{CounterBank, CounterSet};
 use crate::decode;
+use crate::pipeline::{PipelineConfig, PipelineError, PipelineHandle, SinkFactory, StreamReport};
 use crate::recorder::StateRecorder;
 use fpga_sim::{Snoop, ThreadState};
 use paraver::model::{Record, TraceMeta};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the generated profiling hardware.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ProfilingConfig {
     /// Event sampling period in cycles ("user-adjustable, ... a proxy over
     /// \[how\] fine-grained information is required, but ... the higher the
@@ -64,6 +64,16 @@ impl TraceData {
 }
 
 /// The profiling unit. Implements [`Snoop`] — the hardware's tap points.
+///
+/// Two drain modes:
+///
+/// * [`ProfilingUnit::new`] — materialized: the flushed stream accumulates
+///   in memory and [`ProfilingUnit::finish`] decodes it after the run.
+/// * [`ProfilingUnit::new_streaming`] — streaming: every buffer flush is
+///   shipped to a background pipeline thread (decode → bounded sort →
+///   sink) over a bounded channel, and
+///   [`ProfilingUnit::finish_streaming`] joins it. Peak memory is bounded
+///   by buffer + channel + sorter capacity, not by run length.
 pub struct ProfilingUnit {
     cfg: ProfilingConfig,
     app_name: String,
@@ -71,19 +81,53 @@ pub struct ProfilingUnit {
     recorder: StateRecorder,
     counters: CounterBank,
     buffer: TraceBuffer,
+    pipeline: Option<PipelineHandle>,
     next_sample: u64,
     total_cycles: u64,
     ended: bool,
 }
 
 impl ProfilingUnit {
-    /// Instantiate for an accelerator with `num_threads` hardware threads.
+    /// Instantiate for an accelerator with `num_threads` hardware threads
+    /// (materialized drain mode).
     pub fn new(app_name: &str, num_threads: u32, cfg: ProfilingConfig) -> Self {
+        Self::build(app_name, num_threads, cfg, None)
+    }
+
+    /// Instantiate in streaming mode: flushes feed a background pipeline
+    /// which ultimately writes into the sink built by `sink_factory` (called
+    /// once, with the final metadata, after the run ends).
+    pub fn new_streaming(
+        app_name: &str,
+        num_threads: u32,
+        cfg: ProfilingConfig,
+        pipeline_cfg: PipelineConfig,
+        sink_factory: SinkFactory,
+    ) -> Self {
+        let pipeline = PipelineHandle::spawn(
+            app_name.to_string(),
+            num_threads,
+            pipeline_cfg,
+            sink_factory,
+        );
+        Self::build(app_name, num_threads, cfg, Some(pipeline))
+    }
+
+    fn build(
+        app_name: &str,
+        num_threads: u32,
+        cfg: ProfilingConfig,
+        pipeline: Option<PipelineHandle>,
+    ) -> Self {
         let sampling = cfg.sampling_period.max(1);
         ProfilingUnit {
             recorder: StateRecorder::new(num_threads),
             counters: CounterBank::new(num_threads, cfg.counters),
-            buffer: TraceBuffer::new(cfg.buffer_lines),
+            buffer: match pipeline {
+                Some(_) => TraceBuffer::draining(cfg.buffer_lines),
+                None => TraceBuffer::new(cfg.buffer_lines),
+            },
+            pipeline,
             next_sample: sampling,
             cfg,
             app_name: app_name.to_string(),
@@ -98,13 +142,29 @@ impl ProfilingUnit {
         &self.cfg
     }
 
+    /// Whether this unit drains through the background pipeline.
+    pub fn is_streaming(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// Stage one packed record, draining any triggered flush to the
+    /// pipeline in streaming mode.
+    fn buf_push(&mut self, t: u64, rec: &[u8]) {
+        match &self.pipeline {
+            None => self.buffer.push(t, rec),
+            Some(p) => self
+                .buffer
+                .push_with(t, rec, &mut |f, bytes| p.send_chunk(f, bytes.to_vec())),
+        }
+    }
+
     /// Sample every thread's aggregates for all boundaries up to `t`.
     fn advance_sampling(&mut self, t: u64) {
         while t >= self.next_sample {
             let boundary = self.next_sample;
             for tid in 0..self.num_threads {
                 if let Some(rec) = self.counters.sample(boundary, tid) {
-                    self.buffer.push(boundary, &rec);
+                    self.buf_push(boundary, &rec);
                 }
             }
             self.next_sample += self.cfg.sampling_period.max(1);
@@ -112,23 +172,42 @@ impl ProfilingUnit {
     }
 
     /// Consume the unit after the run and decode the buffer stream into
-    /// Paraver records.
+    /// Paraver records (materialized mode only).
     pub fn finish(self) -> TraceData {
         assert!(
             self.ended,
             "finish() before run_end(): trace buffer not flushed"
         );
-        let records = decode::decode_stream(
-            self.buffer.stream(),
-            self.num_threads,
-            self.total_cycles,
+        assert!(
+            self.pipeline.is_none(),
+            "streaming unit: use finish_streaming()"
         );
+        let records =
+            decode::decode_stream(self.buffer.stream(), self.num_threads, self.total_cycles);
         TraceData {
             records,
             meta: TraceMeta::new(&self.app_name, self.total_cycles, self.num_threads),
             flushed_bytes: self.buffer.flushed_bytes(),
-            flush_count: self.buffer.flushes.len(),
+            flush_count: self.buffer.flush_count(),
         }
+    }
+
+    /// Consume the unit after the run, joining the background pipeline
+    /// (streaming mode only).
+    pub fn finish_streaming(mut self) -> Result<StreamReport, PipelineError> {
+        assert!(
+            self.ended,
+            "finish_streaming() before run_end(): trace buffer not flushed"
+        );
+        let pipeline = self
+            .pipeline
+            .take()
+            .expect("materialized unit: use finish()");
+        pipeline.finish(
+            self.total_cycles,
+            self.buffer.flushed_bytes(),
+            self.buffer.flush_count(),
+        )
     }
 }
 
@@ -140,7 +219,7 @@ impl Snoop for ProfilingUnit {
         }
         if let Some(rec) = self.recorder.transition(t, tid, state) {
             let rec = rec.to_vec();
-            self.buffer.push(t, &rec);
+            self.buf_push(t, &rec);
         }
     }
 
@@ -169,11 +248,16 @@ impl Snoop for ProfilingUnit {
         // Final partial-period sample so no counts are lost.
         for tid in 0..self.num_threads {
             if let Some(rec) = self.counters.sample(t, tid) {
-                self.buffer.push(t, &rec);
+                self.buf_push(t, &rec);
             }
         }
         self.total_cycles = t;
-        self.buffer.flush(t);
+        match &self.pipeline {
+            None => self.buffer.flush(t),
+            Some(p) => self
+                .buffer
+                .flush_with(t, &mut |f, bytes| p.send_chunk(f, bytes.to_vec())),
+        }
         self.ended = true;
     }
 }
@@ -185,10 +269,14 @@ mod tests {
 
     #[test]
     fn end_to_end_state_and_event_decode() {
-        let mut u = ProfilingUnit::new("t", 2, ProfilingConfig {
-            sampling_period: 100,
-            ..Default::default()
-        });
+        let mut u = ProfilingUnit::new(
+            "t",
+            2,
+            ProfilingConfig {
+                sampling_period: 100,
+                ..Default::default()
+            },
+        );
         u.state_change(0, 0, ThreadState::Idle); // suppressed (already idle)
         u.state_change(10, 0, ThreadState::Running);
         u.ops(20, 0, 4, 8, 0);
@@ -220,10 +308,14 @@ mod tests {
     #[test]
     fn sampling_period_controls_record_count() {
         let run = |period: u64| {
-            let mut u = ProfilingUnit::new("t", 1, ProfilingConfig {
-                sampling_period: period,
-                ..Default::default()
-            });
+            let mut u = ProfilingUnit::new(
+                "t",
+                1,
+                ProfilingConfig {
+                    sampling_period: period,
+                    ..Default::default()
+                },
+            );
             u.state_change(0, 0, ThreadState::Running);
             for t in 0..100 {
                 u.ops(t * 10, 0, 1, 1, 0);
@@ -252,10 +344,14 @@ mod tests {
 
     #[test]
     fn states_disabled_still_counts_events() {
-        let mut u = ProfilingUnit::new("t", 1, ProfilingConfig {
-            record_states: false,
-            ..Default::default()
-        });
+        let mut u = ProfilingUnit::new(
+            "t",
+            1,
+            ProfilingConfig {
+                record_states: false,
+                ..Default::default()
+            },
+        );
         u.state_change(0, 0, ThreadState::Running);
         u.ops(5, 0, 1, 2, 3);
         u.run_end(100);
@@ -263,8 +359,9 @@ mod tests {
         // No transitions were recorded, so the only state records are the
         // synthetic whole-run Idle intervals the decoder closes.
         assert!(td.records.iter().all(|r| match r {
-            Record::State { state, begin, end, .. } =>
-                *state == paraver::states::IDLE && (*begin, *end) == (0, 100),
+            Record::State {
+                state, begin, end, ..
+            } => *state == paraver::states::IDLE && (*begin, *end) == (0, 100),
             _ => true,
         }));
         assert_eq!(

@@ -1,12 +1,17 @@
 //! Property tests of the profiling unit's record path: arbitrary state
 //! transition sequences and counter feeds survive packing → buffering →
-//! flushing → decoding with nothing lost or invented.
+//! flushing → decoding with nothing lost or invented, and the streaming
+//! pipeline reproduces the materialized decode exactly.
 
 use fpga_sim::{Snoop, ThreadState};
-use hls_profiling::{ProfilingConfig, ProfilingUnit};
+use hls_profiling::counters::{unpack_event_record, CounterBank, CounterSet, EVENT_RECORD_BYTES};
+use hls_profiling::recorder::{unpack_state_record, StateRecorder};
+use hls_profiling::{PipelineConfig, ProfilingConfig, ProfilingUnit};
+use miniprop::{forall, Rng};
 use paraver::analysis::{event_total, StateProfile};
 use paraver::model::Record;
-use proptest::prelude::*;
+use paraver::{TraceError, TraceSink};
+use std::sync::{Arc, Mutex};
 
 const THREADS: u32 = 4;
 
@@ -19,75 +24,94 @@ enum Feed {
     Stall(u32, u64),
 }
 
-fn arb_state() -> impl Strategy<Value = ThreadState> {
-    prop_oneof![
-        Just(ThreadState::Idle),
-        Just(ThreadState::Running),
-        Just(ThreadState::Critical),
-        Just(ThreadState::Spinning),
-    ]
+const STATES: [ThreadState; 4] = [
+    ThreadState::Idle,
+    ThreadState::Running,
+    ThreadState::Critical,
+    ThreadState::Spinning,
+];
+
+fn arb_feed(g: &mut Rng) -> Feed {
+    let tid = g.range_u32(0, THREADS);
+    match g.range_u32(0, 5) {
+        0 => Feed::State(tid, *g.pick(&STATES)),
+        1 => Feed::Ops(
+            tid,
+            g.range_u64(0, 100),
+            g.range_u64(0, 100),
+            g.range_u64(0, 100),
+        ),
+        2 => Feed::Read(tid, g.range_u64(0, 4096)),
+        3 => Feed::Write(tid, g.range_u64(0, 4096)),
+        _ => Feed::Stall(tid, g.range_u64(0, 64)),
+    }
 }
 
-fn arb_feed() -> impl Strategy<Value = Feed> {
-    prop_oneof![
-        (0..THREADS, arb_state()).prop_map(|(t, s)| Feed::State(t, s)),
-        (0..THREADS, 0..100u64, 0..100u64, 0..100u64).prop_map(|(t, i, f, l)| Feed::Ops(t, i, f, l)),
-        (0..THREADS, 0..4096u64).prop_map(|(t, b)| Feed::Read(t, b)),
-        (0..THREADS, 0..4096u64).prop_map(|(t, b)| Feed::Write(t, b)),
-        (0..THREADS, 0..64u64).prop_map(|(t, c)| Feed::Stall(t, c)),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Everything fed into the counters appears in the decoded trace, and
-    /// the reconstructed per-thread state timeline tiles the whole run.
-    #[test]
-    fn feed_is_conserved_through_buffer_and_decode(
-        feeds in proptest::collection::vec((arb_feed(), 1u64..50), 1..300),
-        period in 1u64..5_000,
-        buffer_lines in 2usize..64,
-    ) {
-        let mut unit = ProfilingUnit::new("prop", THREADS, ProfilingConfig {
-            sampling_period: period,
-            buffer_lines,
-            ..Default::default()
-        });
-        let mut t = 0u64;
-        let (mut flops, mut int_ops, mut reads, mut writes, mut stalls) = (0u64, 0, 0, 0, 0);
-        for (f, dt) in &feeds {
-            t += dt;
-            match f {
-                Feed::State(tid, s) => unit.state_change(t, *tid, *s),
-                Feed::Ops(tid, i, fl, l) => {
-                    int_ops += i;
-                    flops += fl;
-                    unit.ops(t, *tid, *i, *fl, *l);
-                }
-                Feed::Read(tid, b) => {
-                    reads += b;
-                    unit.mem_read(t, *tid, *b);
-                }
-                Feed::Write(tid, b) => {
-                    writes += b;
-                    unit.mem_write(t, *tid, *b);
-                }
-                Feed::Stall(tid, c) => {
-                    stalls += c;
-                    unit.stall(t, *tid, *c);
-                }
+fn apply_feeds(unit: &mut ProfilingUnit, feeds: &[(Feed, u64)]) -> (u64, u64, u64, u64, u64, u64) {
+    let mut t = 0u64;
+    let (mut flops, mut int_ops, mut reads, mut writes, mut stalls) = (0u64, 0, 0, 0, 0);
+    for (f, dt) in feeds {
+        t += dt;
+        match f {
+            Feed::State(tid, s) => unit.state_change(t, *tid, *s),
+            Feed::Ops(tid, i, fl, l) => {
+                int_ops += i;
+                flops += fl;
+                unit.ops(t, *tid, *i, *fl, *l);
+            }
+            Feed::Read(tid, b) => {
+                reads += b;
+                unit.mem_read(t, *tid, *b);
+            }
+            Feed::Write(tid, b) => {
+                writes += b;
+                unit.mem_write(t, *tid, *b);
+            }
+            Feed::Stall(tid, c) => {
+                stalls += c;
+                unit.stall(t, *tid, *c);
             }
         }
+    }
+    (t, flops, int_ops, reads, writes, stalls)
+}
+
+/// Everything fed into the counters appears in the decoded trace, and
+/// the reconstructed per-thread state timeline tiles the whole run.
+#[test]
+fn feed_is_conserved_through_buffer_and_decode() {
+    forall(64, |g| {
+        let feeds = g.vec(1, 300, |g| (arb_feed(g), g.range_u64(1, 50)));
+        let period = g.range_u64(1, 5_000);
+        let buffer_lines = g.range_usize(2, 64);
+        let mut unit = ProfilingUnit::new(
+            "prop",
+            THREADS,
+            ProfilingConfig {
+                sampling_period: period,
+                buffer_lines,
+                ..Default::default()
+            },
+        );
+        let (t, flops, int_ops, reads, writes, stalls) = apply_feeds(&mut unit, &feeds);
         let end = t + 10;
         unit.run_end(end);
         let trace = unit.finish();
 
-        prop_assert_eq!(event_total(&trace.records, paraver::events::FLOPS), flops);
-        prop_assert_eq!(event_total(&trace.records, paraver::events::INT_OPS), int_ops);
-        prop_assert_eq!(event_total(&trace.records, paraver::events::BYTES_READ), reads);
-        prop_assert_eq!(event_total(&trace.records, paraver::events::BYTES_WRITTEN), writes);
-        prop_assert_eq!(event_total(&trace.records, paraver::events::STALLS), stalls);
+        assert_eq!(event_total(&trace.records, paraver::events::FLOPS), flops);
+        assert_eq!(
+            event_total(&trace.records, paraver::events::INT_OPS),
+            int_ops
+        );
+        assert_eq!(
+            event_total(&trace.records, paraver::events::BYTES_READ),
+            reads
+        );
+        assert_eq!(
+            event_total(&trace.records, paraver::events::BYTES_WRITTEN),
+            writes
+        );
+        assert_eq!(event_total(&trace.records, paraver::events::STALLS), stalls);
 
         // State intervals tile [0, end) per thread.
         let profile = StateProfile::compute(&trace.records, THREADS);
@@ -97,32 +121,45 @@ proptest! {
             .map(|m| m.values().sum())
             .collect();
         for (tid, total) in per_thread_total.iter().enumerate() {
-            prop_assert_eq!(*total, end, "thread {} timeline must tile the run", tid);
+            assert_eq!(*total, end, "thread {tid} timeline must tile the run");
         }
 
         // Intervals are disjoint and sorted per thread.
         for tid in 0..THREADS {
-            let mut iv: Vec<(u64, u64)> = trace.records.iter().filter_map(|r| match r {
-                Record::State { thread, begin, end, .. } if *thread == tid => Some((*begin, *end)),
-                _ => None,
-            }).collect();
+            let mut iv: Vec<(u64, u64)> = trace
+                .records
+                .iter()
+                .filter_map(|r| match r {
+                    Record::State {
+                        thread, begin, end, ..
+                    } if *thread == tid => Some((*begin, *end)),
+                    _ => None,
+                })
+                .collect();
             iv.sort_unstable();
             for w in iv.windows(2) {
-                prop_assert_eq!(w[0].1, w[1].0);
+                assert_eq!(w[0].1, w[1].0);
             }
         }
-    }
+    });
+}
 
-    /// The trace stream stays decodable across any number of forced
-    /// flushes — flushing is transparent to the decoder.
-    #[test]
-    fn tiny_buffers_flush_transparently(n_events in 1usize..200) {
+/// The trace stream stays decodable across any number of forced
+/// flushes — flushing is transparent to the decoder.
+#[test]
+fn tiny_buffers_flush_transparently() {
+    forall(64, |g| {
+        let n_events = g.range_usize(1, 200);
         let run = |lines: usize| {
-            let mut unit = ProfilingUnit::new("prop", 2, ProfilingConfig {
-                sampling_period: 10,
-                buffer_lines: lines,
-                ..Default::default()
-            });
+            let mut unit = ProfilingUnit::new(
+                "prop",
+                2,
+                ProfilingConfig {
+                    sampling_period: 10,
+                    buffer_lines: lines,
+                    ..Default::default()
+                },
+            );
             unit.state_change(0, 0, ThreadState::Running);
             for i in 0..n_events as u64 {
                 unit.ops(i * 7, (i % 2) as u32, 1, 2, 0);
@@ -132,11 +169,129 @@ proptest! {
         };
         let small = run(2);
         let big = run(4096);
-        prop_assert!(small.flush_count >= big.flush_count);
-        prop_assert_eq!(
+        assert!(small.flush_count >= big.flush_count);
+        assert_eq!(
             event_total(&small.records, paraver::events::FLOPS),
             event_total(&big.records, paraver::events::FLOPS)
         );
-        prop_assert_eq!(small.records.len(), big.records.len());
+        assert_eq!(small.records.len(), big.records.len());
+    });
+}
+
+/// `unpack(pack(x)) == x` for the hardware record codecs, for arbitrary
+/// inputs within hardware ranges.
+#[test]
+fn packed_records_roundtrip() {
+    forall(128, |g| {
+        // State records: arbitrary transition sequences.
+        let n = g.range_u32(1, 16);
+        let mut rec = StateRecorder::new(n);
+        for _ in 0..g.range_usize(1, 20) {
+            let t = g.range_u64(0, u32::MAX as u64);
+            let tid = g.range_u32(0, n);
+            let s = *g.pick(&STATES);
+            let before = rec.state(tid);
+            if let Some(packed) = rec.transition(t, tid, s) {
+                let packed = packed.to_vec();
+                let (cycle, states) = unpack_state_record(&packed[1..], n);
+                assert_eq!(cycle as u64, t & 0xFFFF_FFFF);
+                assert_eq!(states[tid as usize], s);
+                assert_ne!(before, s, "emitted record implies a real change");
+                for (i, got) in states.iter().enumerate() {
+                    assert_eq!(*got, rec.state(i as u32), "thread {i} snapshot");
+                }
+            } else {
+                assert_eq!(before, s, "suppressed record implies no change");
+            }
+        }
+
+        // Event records: aggregates below u32::MAX round-trip exactly.
+        let mut bank = CounterBank::new(n, CounterSet::default());
+        let tid = g.range_u32(0, n);
+        let (i, f, l) = (
+            g.range_u64(1, 1 << 20),
+            g.range_u64(0, 1 << 20),
+            g.range_u64(0, 1 << 20),
+        );
+        let (rd, wr, st) = (
+            g.range_u64(0, 1 << 20),
+            g.range_u64(0, 1 << 20),
+            g.range_u64(0, 1 << 20),
+        );
+        bank.add_ops(tid, i, f, l);
+        bank.add_read(tid, rd);
+        bank.add_write(tid, wr);
+        bank.add_stalls(tid, st);
+        let t = g.range_u64(0, u32::MAX as u64);
+        let packed = bank.sample(t, tid).expect("nonzero aggregate");
+        assert_eq!(packed.len(), EVENT_RECORD_BYTES);
+        let (tid2, cycle, a) = unpack_event_record(&packed[1..]);
+        assert_eq!(tid2, tid);
+        assert_eq!(cycle as u64, t);
+        assert_eq!(
+            (
+                a.int_ops,
+                a.flops,
+                a.local_ops,
+                a.bytes_read,
+                a.bytes_written,
+                a.stalls
+            ),
+            (i, f, l, rd, wr, st)
+        );
+    });
+}
+
+struct SharedSink(Arc<Mutex<Vec<Record>>>);
+
+impl TraceSink for SharedSink {
+    fn push(&mut self, r: Record) -> Result<(), TraceError> {
+        self.0.lock().unwrap().push(r);
+        Ok(())
     }
+}
+
+/// The streaming pipeline produces exactly the records of the materialized
+/// path, in the same (sorted) order, for arbitrary feeds — with aggressive
+/// spilling and a tiny channel.
+#[test]
+fn streaming_equals_materialized() {
+    forall(32, |g| {
+        let feeds = g.vec(1, 200, |g| (arb_feed(g), g.range_u64(1, 50)));
+        let period = g.range_u64(1, 500);
+        let buffer_lines = g.range_usize(2, 8);
+        let cfg = ProfilingConfig {
+            sampling_period: period,
+            buffer_lines,
+            ..Default::default()
+        };
+
+        let mut mat = ProfilingUnit::new("prop", THREADS, cfg.clone());
+        let (t, ..) = apply_feeds(&mut mat, &feeds);
+        mat.run_end(t + 10);
+        let trace = mat.finish();
+
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let sink_records = collected.clone();
+        let mut st = ProfilingUnit::new_streaming(
+            "prop",
+            THREADS,
+            cfg,
+            PipelineConfig {
+                channel_capacity: 1,
+                max_in_memory_records: g.range_usize(1, 32),
+                spill_dir: None,
+            },
+            Box::new(move |_| Ok(Box::new(SharedSink(sink_records)) as Box<_>)),
+        );
+        let _ = apply_feeds(&mut st, &feeds);
+        st.run_end(t + 10);
+        let report = st.finish_streaming().unwrap();
+
+        assert_eq!(report.flushed_bytes, trace.flushed_bytes);
+        assert_eq!(report.flush_count, trace.flush_count);
+        assert_eq!(report.records as usize, trace.records.len());
+        let got = collected.lock().unwrap();
+        assert_eq!(*got, trace.records);
+    });
 }

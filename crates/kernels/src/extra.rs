@@ -246,10 +246,7 @@ mod histogram_tests {
                 LaunchArg::Buffer(vec![Value::I32(0); bins]),
             ],
         );
-        let got: Vec<i32> = r.buffers[1]
-            .iter()
-            .map(|v| v.as_i64() as i32)
-            .collect();
+        let got: Vec<i32> = r.buffers[1].iter().map(|v| v.as_i64() as i32).collect();
         assert_eq!(got, gold);
         assert_eq!(
             r.critical_entries, n as u64,

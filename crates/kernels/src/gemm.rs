@@ -477,11 +477,7 @@ fn blocked(p: &GemmParams, double_buffer: bool) -> Kernel {
                     let past_first = kb.bin(BinOp::Gt, kbi, zero4);
                     kb.if_then(past_first, |kb| {
                         // Parity of kbi-1 is the opposite of kbi's.
-                        kb.if_(
-                            even,
-                            |kb| compute_tiles(kb, 1),
-                            |kb| compute_tiles(kb, 0),
-                        );
+                        kb.if_(even, |kb| compute_tiles(kb, 1), |kb| compute_tiles(kb, 0));
                     });
                 });
             }

@@ -117,10 +117,7 @@ pub fn build(p: &PiParams) -> Kernel {
 
 /// Launch scalar values for the kernel: `(STEP, STEPS_PER_THREAD)`.
 pub fn launch_scalars(p: &PiParams) -> (f32, i64) {
-    (
-        1.0f32 / p.steps as f32,
-        (p.steps / p.threads as u64) as i64,
-    )
+    (1.0f32 / p.steps as f32, (p.steps / p.threads as u64) as i64)
 }
 
 #[cfg(test)]

@@ -14,7 +14,10 @@ use nymble_ir::{BinOp, Kernel, KernelBuilder, MapDir, ScalarType, Type};
 /// sums, then all threads barrier before the next phase.
 pub fn build(n: i64, threads: u32) -> Kernel {
     assert!(n.count_ones() == 1 && threads.count_ones() == 1);
-    assert!((threads as i64) <= n / 2, "need at least two elements per thread");
+    assert!(
+        (threads as i64) <= n / 2,
+        "need at least two elements per thread"
+    );
     let mut kb = KernelBuilder::new("tree_reduce", threads);
     let data = kb.buffer("DATA", ScalarType::F32, MapDir::ToFrom);
 

@@ -111,10 +111,7 @@ mod tests {
     #[test]
     fn pi_converges() {
         let p = pi_series(1_000_000, 8, 8);
-        assert!(
-            (p - std::f32::consts::PI).abs() < 1e-3,
-            "series gave {p}"
-        );
+        assert!((p - std::f32::consts::PI).abs() < 1e-3, "series gave {p}");
     }
 
     #[test]

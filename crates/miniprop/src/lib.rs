@@ -1,0 +1,160 @@
+//! # miniprop — a minimal property-testing harness
+//!
+//! A tiny, dependency-free stand-in for `proptest`: the build environment is
+//! fully offline, so the workspace's randomized tests run on this local
+//! harness instead. It provides a deterministic splitmix/xorshift generator,
+//! a small combinator surface ([`Rng`]) and a case runner ([`forall`]) that
+//! reports the failing case seed so any counterexample can be replayed with
+//! `MINIPROP_SEED=<seed> cargo test`.
+//!
+//! There is no shrinking: generators should therefore keep their sizes
+//! modest so counterexamples stay readable.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Deterministic pseudo-random generator (xorshift64* seeded via splitmix64).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        // splitmix64 scramble so consecutive seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`. Panics when the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.u64() % (hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add((self.u64() % lo.abs_diff(hi)) as i64)
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.range_u64(0, den) < num
+    }
+
+    /// Uniformly pick one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// A vector of `len in [min_len, max_len)` elements drawn from `gen`.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut gen: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let n = self.range_usize(min_len, max_len);
+        (0..n).map(|_| gen(self)).collect()
+    }
+}
+
+/// Base seed: `MINIPROP_SEED` env var when set, a fixed default otherwise.
+fn base_seed() -> (u64, bool) {
+    match std::env::var("MINIPROP_SEED") {
+        Ok(s) => (s.trim().parse().expect("MINIPROP_SEED must be a u64"), true),
+        Err(_) => (0x5EED_0000_0000_0001, false),
+    }
+}
+
+/// Run `prop` over `cases` generated inputs. Each case gets an [`Rng`] seeded
+/// from the base seed plus the case index; on failure the case seed is
+/// printed so `MINIPROP_SEED=<seed> cargo test <name>` replays exactly that
+/// input (a replay runs the single failing case).
+pub fn forall(cases: u64, prop: impl Fn(&mut Rng)) {
+    let (seed, pinned) = base_seed();
+    let cases = if pinned { 1 } else { cases };
+    for case in 0..cases {
+        let case_seed = seed.wrapping_add(case);
+        let mut rng = Rng::new(case_seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| prop(&mut rng))) {
+            eprintln!(
+                "miniprop: case {case}/{cases} failed; \
+                 replay with MINIPROP_SEED={case_seed}"
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        forall(100, |g| {
+            let v = g.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let u = g.range_usize(0, 3);
+            assert!(u < 3);
+            let i = g.range_i64(-5, 5);
+            assert!((-5..5).contains(&i));
+        });
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).u64(), c.u64());
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        forall(50, |g| {
+            let v = g.vec(2, 10, |g| g.bool());
+            assert!((2..10).contains(&v.len()));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        forall(10, |_| panic!("boom"));
+    }
+}

@@ -6,10 +6,9 @@ use crate::schedule::{schedule, LoopSchedule, ResourceLimits};
 use nymble_ir::loops::{LoopId, LoopMap};
 use nymble_ir::stmt::{Block, Stmt};
 use nymble_ir::Kernel;
-use serde::{Deserialize, Serialize};
 
 /// HLS compiler configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HlsConfig {
     /// Per-thread resource limits for scheduling.
     pub limits: ResourceLimits,
@@ -86,11 +85,7 @@ impl Accelerator {
 
 /// Collect `(LoopId, &Block)` for every loop (unrolled ones included; the
 /// caller skips them when scheduling).
-fn collect_loop_bodies<'k>(
-    lm: &LoopMap,
-    block: &'k Block,
-    out: &mut Vec<(LoopId, &'k Block)>,
-) {
+fn collect_loop_bodies<'k>(lm: &LoopMap, block: &'k Block, out: &mut Vec<(LoopId, &'k Block)>) {
     for s in block {
         match s {
             Stmt::For { body, .. } => {

@@ -20,10 +20,9 @@
 use crate::dfg::Dfg;
 use crate::schedule::LoopSchedule;
 use nymble_ir::Kernel;
-use serde::{Deserialize, Serialize};
 
 /// Tunable parameters of the cost model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CostParams {
     /// Registers latched per live value per stage (value width + valid).
     pub regs_per_live_value: u32,
@@ -63,7 +62,7 @@ impl Default for CostParams {
 }
 
 /// Post-"fit" resource/frequency summary.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FitReport {
     /// Adaptive logic modules.
     pub alms: u64,
@@ -111,7 +110,7 @@ impl FitReport {
 }
 
 /// Relative overhead report (the numbers of §V-B).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Overhead {
     pub registers_pct: f64,
     pub alms_pct: f64,

@@ -296,11 +296,8 @@ impl<'k> Lowerer<'k> {
                     self.stmt(s);
                 }
                 let else_defs = std::mem::replace(&mut self.var_def, saved);
-                let mut merged: Vec<VarId> = then_defs
-                    .keys()
-                    .chain(else_defs.keys())
-                    .copied()
-                    .collect();
+                let mut merged: Vec<VarId> =
+                    then_defs.keys().chain(else_defs.keys()).copied().collect();
                 merged.sort_unstable();
                 merged.dedup();
                 for v in merged {
@@ -503,7 +500,9 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(stores.len(), 2);
-        assert!(dfg.nodes[stores[1]].deps.contains(&NodeId(stores[0] as u32)));
+        assert!(dfg.nodes[stores[1]]
+            .deps
+            .contains(&NodeId(stores[0] as u32)));
     }
 
     #[test]

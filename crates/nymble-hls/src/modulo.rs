@@ -232,10 +232,7 @@ mod tests {
     fn accumulator_recurrence_sets_ii() {
         // load -> fadd with carried edge fadd -> fadd(next iter).
         let dfg = Dfg {
-            nodes: vec![
-                node(OpClass::ExtLoad, vec![]),
-                node(OpClass::FAdd, vec![0]),
-            ],
+            nodes: vec![node(OpClass::ExtLoad, vec![]), node(OpClass::FAdd, vec![0])],
             carried: vec![(NodeId(1), NodeId(1))],
             approximate_unroll: false,
         };
@@ -290,7 +287,10 @@ mod tests {
         let m = modulo_schedule(&dfg, &limits);
         let list = crate::schedule::schedule(&dfg, &limits);
         assert!(m.mii <= m.ii);
-        assert_eq!(m.ii as u32, list.ii, "both schedulers agree on the dot kernel");
+        assert_eq!(
+            m.ii as u32, list.ii,
+            "both schedulers agree on the dot kernel"
+        );
         assert!(verify_modulo(&dfg, &limits, &m.start, m.ii));
     }
 

@@ -8,10 +8,9 @@
 //! scheduler-assumed *minimum* appears here.
 
 use nymble_ir::{BinOp, ScalarType, UnOp};
-use serde::{Deserialize, Serialize};
 
 /// Functional class of a datapath operator instance.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// Integer add/sub/logic/compare/select (ALM logic).
     IntAlu,
@@ -117,7 +116,7 @@ impl OpClass {
 }
 
 /// Shared resource pools constraining the initiation interval.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Resource {
     /// Avalon read port (one per hardware thread, §IV-B.2c).
     MemRead,
@@ -179,14 +178,8 @@ mod tests {
 
     #[test]
     fn classification() {
-        assert_eq!(
-            classify_binop(BinOp::Mul, ScalarType::F32),
-            OpClass::FMul
-        );
-        assert_eq!(
-            classify_binop(BinOp::Add, ScalarType::I64),
-            OpClass::IntAlu
-        );
+        assert_eq!(classify_binop(BinOp::Mul, ScalarType::F32), OpClass::FMul);
+        assert_eq!(classify_binop(BinOp::Add, ScalarType::I64), OpClass::IntAlu);
         assert_eq!(
             classify_binop(BinOp::Lt, ScalarType::F32),
             OpClass::IntAlu,

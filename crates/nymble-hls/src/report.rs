@@ -63,10 +63,7 @@ pub fn schedule_report(kernel: &Kernel, acc: &Accelerator) -> String {
 }
 
 /// Lookup helper: the schedule for the n-th loop in pre-order.
-pub fn nth_loop_schedule(
-    acc: &Accelerator,
-    n: u32,
-) -> Option<&crate::schedule::LoopSchedule> {
+pub fn nth_loop_schedule(acc: &Accelerator, n: u32) -> Option<&crate::schedule::LoopSchedule> {
     acc.loop_schedules
         .get(LoopId(n).0 as usize)
         .and_then(|o| o.as_ref())

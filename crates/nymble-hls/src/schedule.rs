@@ -18,11 +18,10 @@
 
 use crate::dfg::{Dfg, NodeId};
 use crate::op::{OpClass, Resource};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Resource capacities visible to one hardware thread's pipeline.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ResourceLimits {
     /// Avalon read ports per thread (paper: 1).
     pub mem_read_ports: u32,
@@ -59,7 +58,7 @@ impl ResourceLimits {
 /// Nymble's controller "orchestrates the execution at the granularity of
 /// stages" (§III-B); stages containing VLOs become *reordering* stages in
 /// Nymble-MT (they must hold per-thread contexts).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Stage {
     /// Start cycle of this stage within the iteration schedule.
     pub cycle: u32,
@@ -76,7 +75,7 @@ pub struct Stage {
 }
 
 /// Schedule of one loop (or region) body.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LoopSchedule {
     /// Start cycle per node.
     pub start: Vec<u32>,
@@ -164,7 +163,12 @@ pub fn schedule(dfg: &Dfg, limits: &ResourceLimits) -> LoopSchedule {
         start[i] = t;
         finish[i] = t + node.op.latency();
         start0[i] = ready0;
-        finish0[i] = ready0 + if is_region(node.op) { 0 } else { node.op.latency() };
+        finish0[i] = ready0
+            + if is_region(node.op) {
+                0
+            } else {
+                node.op.latency()
+            };
         match node.op {
             OpClass::ExtLoad => reads += 1,
             OpClass::ExtStore => writes += 1,
@@ -213,9 +217,7 @@ pub fn schedule(dfg: &Dfg, limits: &ResourceLimits) -> LoopSchedule {
                 o.sort_unstable();
                 o
             };
-            let has_vlo = ops
-                .iter()
-                .any(|&i| dfg.nodes[i as usize].op.is_vlo());
+            let has_vlo = ops.iter().any(|&i| dfg.nodes[i as usize].op.is_vlo());
             // Live values: nodes started at or before this stage whose
             // results are consumed strictly after it.
             let live = dfg
@@ -224,9 +226,10 @@ pub fn schedule(dfg: &Dfg, limits: &ResourceLimits) -> LoopSchedule {
                 .enumerate()
                 .filter(|(i, _)| start[*i] <= cy)
                 .filter(|(i, _)| {
-                    dfg.nodes.iter().enumerate().any(|(j, nj)| {
-                        start[j] > cy && nj.deps.contains(&NodeId(*i as u32))
-                    })
+                    dfg.nodes
+                        .iter()
+                        .enumerate()
+                        .any(|(j, nj)| start[j] > cy && nj.deps.contains(&NodeId(*i as u32)))
                 })
                 .count() as u32;
             Stage {

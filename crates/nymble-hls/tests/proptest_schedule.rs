@@ -2,76 +2,77 @@
 //! dependences are respected, capacity limits are never exceeded within a
 //! cycle, and the initiation-interval bounds hold.
 
+use miniprop::{forall, Rng};
 use nymble_hls::dfg::{Dfg, DfgNode, NodeId};
 use nymble_hls::op::{OpClass, Resource};
 use nymble_hls::schedule::{schedule, ResourceLimits};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-fn arb_opclass() -> impl Strategy<Value = OpClass> {
-    prop_oneof![
-        Just(OpClass::IntAlu),
-        Just(OpClass::IntMul),
-        Just(OpClass::FAdd),
-        Just(OpClass::FMul),
-        Just(OpClass::Cast),
-        Just(OpClass::ExtLoad),
-        Just(OpClass::ExtStore),
-        Just(OpClass::LocalLoad),
-        Just(OpClass::LocalStore),
-    ]
-}
+const OP_CLASSES: [OpClass; 9] = [
+    OpClass::IntAlu,
+    OpClass::IntMul,
+    OpClass::FAdd,
+    OpClass::FMul,
+    OpClass::Cast,
+    OpClass::ExtLoad,
+    OpClass::ExtStore,
+    OpClass::LocalLoad,
+    OpClass::LocalStore,
+];
 
 /// A random DAG: node i depends on a random subset of nodes < i.
-fn arb_dfg() -> impl Strategy<Value = Dfg> {
-    proptest::collection::vec((arb_opclass(), proptest::collection::vec(any::<prop::sample::Index>(), 0..3)), 1..40)
-        .prop_map(|nodes| {
-            let mut dfg = Dfg::default();
-            for (i, (op, dep_sel)) in nodes.into_iter().enumerate() {
-                let deps: Vec<NodeId> = if i == 0 {
-                    Vec::new()
-                } else {
-                    let mut d: Vec<NodeId> = dep_sel
-                        .iter()
-                        .map(|s| NodeId(s.index(i) as u32))
-                        .collect();
-                    d.sort_unstable();
-                    d.dedup();
-                    d
-                };
-                dfg.nodes.push(DfgNode {
-                    op,
-                    width: 1,
-                    deps,
-                });
-            }
-            dfg
-        })
+fn arb_dfg(g: &mut Rng) -> Dfg {
+    let n = g.range_usize(1, 40);
+    let mut dfg = Dfg::default();
+    for i in 0..n {
+        let deps: Vec<NodeId> = if i == 0 {
+            Vec::new()
+        } else {
+            let mut d: Vec<NodeId> = (0..g.range_usize(0, 3))
+                .map(|_| NodeId(g.range_usize(0, i) as u32))
+                .collect();
+            d.sort_unstable();
+            d.dedup();
+            d
+        };
+        dfg.nodes.push(DfgNode {
+            op: *g.pick(&OP_CLASSES),
+            width: 1,
+            deps,
+        });
+    }
+    dfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn dependences_are_respected(dfg in arb_dfg()) {
+#[test]
+fn dependences_are_respected() {
+    forall(128, |g| {
+        let dfg = arb_dfg(g);
         let limits = ResourceLimits::default();
         let s = schedule(&dfg, &limits);
         for (i, node) in dfg.nodes.iter().enumerate() {
             for d in &node.deps {
                 let dep_finish = s.start[d.0 as usize] + dfg.nodes[d.0 as usize].op.latency();
-                prop_assert!(
+                assert!(
                     s.start[i] >= dep_finish,
                     "node {} starts at {} before dep {:?} finishes at {}",
-                    i, s.start[i], d, dep_finish
+                    i,
+                    s.start[i],
+                    d,
+                    dep_finish
                 );
             }
         }
-        prop_assert!(s.ii >= 1);
-        prop_assert!(s.depth >= s.start.iter().copied().max().unwrap_or(0));
-    }
+        assert!(s.ii >= 1);
+        assert!(s.depth >= s.start.iter().copied().max().unwrap_or(0));
+    });
+}
 
-    #[test]
-    fn port_capacity_never_exceeded_in_a_cycle(dfg in arb_dfg(), ports in 1u32..3) {
+#[test]
+fn port_capacity_never_exceeded_in_a_cycle() {
+    forall(128, |g| {
+        let dfg = arb_dfg(g);
+        let ports = g.range_u32(1, 3);
         let limits = ResourceLimits {
             mem_read_ports: ports,
             mem_write_ports: ports,
@@ -81,87 +82,111 @@ proptest! {
         let mut usage: HashMap<(Resource, u32), u32> = HashMap::new();
         for (i, node) in dfg.nodes.iter().enumerate() {
             let r = node.op.resource();
-            if matches!(r, Resource::MemRead | Resource::MemWrite | Resource::LocalPort) {
+            if matches!(
+                r,
+                Resource::MemRead | Resource::MemWrite | Resource::LocalPort
+            ) {
                 *usage.entry((r, s.start[i])).or_default() += 1;
             }
         }
         for ((r, cy), n) in usage {
-            prop_assert!(n <= ports, "{r:?} oversubscribed at cycle {cy}: {n} > {ports}");
+            assert!(
+                n <= ports,
+                "{r:?} oversubscribed at cycle {cy}: {n} > {ports}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn ii_lower_bound_from_port_pressure(dfg in arb_dfg()) {
+#[test]
+fn ii_lower_bound_from_port_pressure() {
+    forall(128, |g| {
+        let dfg = arb_dfg(g);
         let limits = ResourceLimits::default();
         let s = schedule(&dfg, &limits);
         let reads = dfg.count(OpClass::ExtLoad) as u32;
         let writes = dfg.count(OpClass::ExtStore) as u32;
-        prop_assert!(s.ii >= reads.max(1).max(writes));
-        prop_assert_eq!(s.ext_reads_per_iter, reads);
-        prop_assert_eq!(s.ext_writes_per_iter, writes);
-    }
+        assert!(s.ii >= reads.max(1).max(writes));
+        assert_eq!(s.ext_reads_per_iter, reads);
+        assert_eq!(s.ext_writes_per_iter, writes);
+    });
+}
 
-    #[test]
-    fn stages_cover_all_nodes_exactly_once(dfg in arb_dfg()) {
+#[test]
+fn stages_cover_all_nodes_exactly_once() {
+    forall(128, |g| {
+        let dfg = arb_dfg(g);
         let s = schedule(&dfg, &ResourceLimits::default());
         let mut seen = vec![false; dfg.len()];
         for st in &s.stages {
             for &op in &st.ops {
-                prop_assert!(!seen[op as usize], "node {} in two stages", op);
+                assert!(!seen[op as usize], "node {} in two stages", op);
                 seen[op as usize] = true;
-                prop_assert_eq!(s.start[op as usize], st.cycle);
+                assert_eq!(s.start[op as usize], st.cycle);
             }
             // Reordering exactly when a VLO is present.
             let has_vlo = st.ops.iter().any(|&o| dfg.nodes[o as usize].op.is_vlo());
-            prop_assert_eq!(st.has_vlo, has_vlo);
-            prop_assert_eq!(st.reordering, has_vlo);
+            assert_eq!(st.has_vlo, has_vlo);
+            assert_eq!(st.reordering, has_vlo);
         }
-        prop_assert!(seen.into_iter().all(|s| s), "every node must be staged");
-    }
-
-    #[test]
-    fn more_ports_never_hurt(dfg in arb_dfg()) {
-        let one = schedule(&dfg, &ResourceLimits {
-            mem_read_ports: 1,
-            mem_write_ports: 1,
-            local_ports: 1,
-        });
-        let four = schedule(&dfg, &ResourceLimits {
-            mem_read_ports: 4,
-            mem_write_ports: 4,
-            local_ports: 4,
-        });
-        prop_assert!(four.depth <= one.depth);
-        prop_assert!(four.ii <= one.ii);
-    }
+        assert!(seen.into_iter().all(|s| s), "every node must be staged");
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+#[test]
+fn more_ports_never_hurt() {
+    forall(128, |g| {
+        let dfg = arb_dfg(g);
+        let one = schedule(
+            &dfg,
+            &ResourceLimits {
+                mem_read_ports: 1,
+                mem_write_ports: 1,
+                local_ports: 1,
+            },
+        );
+        let four = schedule(
+            &dfg,
+            &ResourceLimits {
+                mem_read_ports: 4,
+                mem_write_ports: 4,
+                local_ports: 4,
+            },
+        );
+        assert!(four.depth <= one.depth);
+        assert!(four.ii <= one.ii);
+    });
+}
 
-    /// The iterative modulo scheduler always produces a verified schedule at
-    /// an II no smaller than its own lower bound, and its reservation table
-    /// never overflows (checked independently by `verify_modulo`).
-    #[test]
-    fn modulo_schedule_is_always_verifiable(dfg in arb_dfg(), ports in 1u32..3) {
-        use nymble_hls::modulo::{modulo_schedule, recurrence_mii, resource_mii, verify_modulo};
+/// The iterative modulo scheduler always produces a verified schedule at
+/// an II no smaller than its own lower bound, and its reservation table
+/// never overflows (checked independently by `verify_modulo`).
+#[test]
+fn modulo_schedule_is_always_verifiable() {
+    use nymble_hls::modulo::{modulo_schedule, recurrence_mii, resource_mii, verify_modulo};
+    forall(96, |g| {
+        let dfg = arb_dfg(g);
+        let ports = g.range_u32(1, 3);
         let limits = ResourceLimits {
             mem_read_ports: ports,
             mem_write_ports: ports,
             local_ports: ports,
         };
         let m = modulo_schedule(&dfg, &limits);
-        prop_assert!(m.ii >= resource_mii(&dfg, &limits).max(recurrence_mii(&dfg)));
-        prop_assert!(verify_modulo(&dfg, &limits, &m.start, m.ii));
-    }
+        assert!(m.ii >= resource_mii(&dfg, &limits).max(recurrence_mii(&dfg)));
+        assert!(verify_modulo(&dfg, &limits, &m.start, m.ii));
+    });
+}
 
-    /// The list scheduler's II estimate is never below the modulo lower
-    /// bound (it may be above: it does not search).
-    #[test]
-    fn list_ii_respects_modulo_lower_bound(dfg in arb_dfg()) {
-        use nymble_hls::modulo::resource_mii;
+/// The list scheduler's II estimate is never below the modulo lower
+/// bound (it may be above: it does not search).
+#[test]
+fn list_ii_respects_modulo_lower_bound() {
+    use nymble_hls::modulo::resource_mii;
+    forall(96, |g| {
+        let dfg = arb_dfg(g);
         let limits = ResourceLimits::default();
         let list = schedule(&dfg, &limits);
-        prop_assert!(list.ii >= resource_mii(&dfg, &limits));
-    }
+        assert!(list.ii >= resource_mii(&dfg, &limits));
+    });
 }

@@ -440,11 +440,7 @@ mod tests {
         let c = kb.c_i32(1);
         let one = kb.c_i32(1);
         let two = kb.c_i32(2);
-        kb.if_(
-            c,
-            |kb| kb.set(v, one),
-            |kb| kb.set(v, two),
-        );
+        kb.if_(c, |kb| kb.set(v, one), |kb| kb.set(v, two));
         let k = kb.finish();
         match &k.body[0] {
             Stmt::If { then_b, else_b, .. } => {

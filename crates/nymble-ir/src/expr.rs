@@ -7,16 +7,15 @@
 
 use crate::kernel::{ArgId, LocalMemId, VarId};
 use crate::types::{ScalarType, Type, Value};
-use serde::{Deserialize, Serialize};
 
 /// Index of an expression in the kernel's expression arena.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ExprId(pub u32);
 
 /// Binary operators. Integer and floating-point flavours are distinguished by
 /// the operand type, not the opcode (as in LLVM IR before instruction
 /// selection); the scheduler assigns latencies accordingly.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BinOp {
     Add,
     Sub,
@@ -49,7 +48,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum UnOp {
     Neg,
     Not,
@@ -58,7 +57,7 @@ pub enum UnOp {
 }
 
 /// One node in the expression arena.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Expr {
     /// Compile-time constant.
     Const(Value),
@@ -85,11 +84,7 @@ pub enum Expr {
     /// Load of `ty` from an external (DRAM) buffer argument at an element
     /// index; with `ty.lanes > 1` this is the paper's vectorized 128-bit
     /// access (`*((VECTOR*)&A[...])`). A variable-latency operation.
-    LoadExt {
-        buf: ArgId,
-        index: ExprId,
-        ty: Type,
-    },
+    LoadExt { buf: ArgId, index: ExprId, ty: Type },
     /// Load from an on-chip local memory (BRAM); fixed low latency.
     LoadLocal {
         mem: LocalMemId,

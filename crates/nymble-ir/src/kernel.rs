@@ -4,24 +4,23 @@
 use crate::expr::Expr;
 use crate::stmt::Block;
 use crate::types::{ScalarType, Type};
-use serde::{Deserialize, Serialize};
 
 /// Index of a kernel argument.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ArgId(pub u32);
 
 /// Index of a thread-local variable.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId(pub u32);
 
 /// Index of an on-chip local memory.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LocalMemId(pub u32);
 
 /// OpenMP `map` clause direction controlling host↔FPGA data transfers
 /// (§III-A: the OpenMP frontend "allow\[s\] users to clearly specify which and
 /// how data has to be transferred").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MapDir {
     /// `map(to: ...)` — copied host→device before execution.
     To,
@@ -34,7 +33,7 @@ pub enum MapDir {
 }
 
 /// Kind of kernel argument.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ArgKind {
     /// Scalar passed by value over the slave interface (e.g. `DIM`).
     Scalar(ScalarType),
@@ -44,21 +43,21 @@ pub enum ArgKind {
 }
 
 /// A kernel argument.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Arg {
     pub name: String,
     pub kind: ArgKind,
 }
 
 /// A declared thread-local variable (register in the datapath context).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VarDecl {
     pub name: String,
     pub ty: Type,
 }
 
 /// An on-chip local memory (BRAM block).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LocalMem {
     pub name: String,
     /// Element type (may be a vector type, as in the blocked GEMM's
@@ -73,7 +72,7 @@ pub struct LocalMem {
 
 /// A complete kernel: the contents of one OpenMP `target` region
 /// (Nymble currently supports one target region per application, §III-A).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Kernel {
     /// Kernel name (used for trace/application naming).
     pub name: String,

@@ -94,9 +94,7 @@ fn block_has_vlo(k: &Kernel, b: &Block) -> bool {
     b.iter().any(|s| match s {
         Stmt::Assign { expr, .. } => expr_has_vlo(k, *expr),
         Stmt::StoreExt { .. } | Stmt::Preload { .. } | Stmt::WriteBack { .. } => true,
-        Stmt::StoreLocal { index, value, .. } => {
-            expr_has_vlo(k, *index) || expr_has_vlo(k, *value)
-        }
+        Stmt::StoreLocal { index, value, .. } => expr_has_vlo(k, *index) || expr_has_vlo(k, *value),
         Stmt::For { body, .. } | Stmt::Critical { body } => block_has_vlo(k, body),
         Stmt::If {
             cond,

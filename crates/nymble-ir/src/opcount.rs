@@ -15,10 +15,9 @@
 
 use crate::expr::{Expr, ExprId};
 use crate::kernel::Kernel;
-use serde::{Deserialize, Serialize};
 
 /// Operation counts attributed to one evaluation of an expression tree.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OpCounts {
     /// Integer (and address/compare/select) operations.
     pub int_ops: u64,
@@ -99,9 +98,7 @@ pub fn expr_lanes(k: &Kernel, id: ExprId) -> u8 {
         Expr::Var(v) => k.var(*v).ty.lanes,
         Expr::Binary(_, a, b) => expr_lanes(k, *a).max(expr_lanes(k, *b)),
         Expr::Unary(_, a) | Expr::Cast(_, a) => expr_lanes(k, *a),
-        Expr::Select {
-            then_v, else_v, ..
-        } => expr_lanes(k, *then_v).max(expr_lanes(k, *else_v)),
+        Expr::Select { then_v, else_v, .. } => expr_lanes(k, *then_v).max(expr_lanes(k, *else_v)),
         _ => 1,
     }
 }

@@ -85,11 +85,9 @@ fn expr_str(k: &Kernel, id: ExprId) -> String {
                 format!("{}[{}]", k.arg(*buf).name, expr_str(k, *index))
             }
         }
-        Expr::LoadLocal { mem, index, .. } => format!(
-            "{}[{}]",
-            k.local_mem(*mem).name,
-            expr_str(k, *index)
-        ),
+        Expr::LoadLocal { mem, index, .. } => {
+            format!("{}[{}]", k.local_mem(*mem).name, expr_str(k, *index))
+        }
         Expr::Lane(a, l) => format!("{}[{l}]", expr_str(k, *a)),
         Expr::Splat(a, l) => format!("splat{l}({})", expr_str(k, *a)),
     }

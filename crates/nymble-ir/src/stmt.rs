@@ -7,13 +7,12 @@
 
 use crate::expr::ExprId;
 use crate::kernel::{ArgId, LocalMemId, VarId};
-use serde::{Deserialize, Serialize};
 
 /// A sequence of statements.
 pub type Block = Vec<Stmt>;
 
 /// Loop unrolling annotation (`#pragma unroll`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Unroll {
     /// Not unrolled: the loop is pipelined with its scheduled initiation
     /// interval.
@@ -25,7 +24,7 @@ pub enum Unroll {
 }
 
 /// One structured statement.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Stmt {
     /// Write `expr` into thread-local variable `var`. Used for both initial
     /// bindings and accumulator updates (`sum += ...` becomes
@@ -145,9 +144,7 @@ mod tests {
             body: vec![inner],
             unroll: Unroll::None,
         };
-        let crit = Stmt::Critical {
-            body: vec![loop_s],
-        };
+        let crit = Stmt::Critical { body: vec![loop_s] };
         let mut n = 0;
         visit_stmts(&vec![crit], &mut |_| n += 1);
         assert_eq!(n, 3);

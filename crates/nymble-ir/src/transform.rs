@@ -64,8 +64,8 @@ pub fn fold_constants(k: &mut Kernel) -> FoldStats {
                     if let (Some(va), Some(vb)) = (const_of(k, a), const_of(k, b)) {
                         // Division by a constant zero stays a runtime op
                         // (the hardware divider defines it; don't hide it).
-                        let div_by_zero = matches!(op, BinOp::Div | BinOp::Rem)
-                            && is_const_zero(k, b);
+                        let div_by_zero =
+                            matches!(op, BinOp::Div | BinOp::Rem) && is_const_zero(k, b);
                         if div_by_zero {
                             None
                         } else {
@@ -75,9 +75,7 @@ pub fn fold_constants(k: &mut Kernel) -> FoldStats {
                         None
                     }
                 }
-                Expr::Unary(op, a) => {
-                    const_of(k, a).map(|va| (eval_unop(op, va), false))
-                }
+                Expr::Unary(op, a) => const_of(k, a).map(|va| (eval_unop(op, va), false)),
                 _ => None,
             };
             if let Some((v, _)) = replacement {
@@ -120,8 +118,7 @@ pub fn fold_constants(k: &mut Kernel) -> FoldStats {
                 if op == BinOp::Mul {
                     let int_zero = |e: ExprId| {
                         is_const_zero(k, e)
-                            && const_of(k, e)
-                                .map(|v| matches!(v, Value::I32(_) | Value::I64(_)))
+                            && const_of(k, e).map(|v| matches!(v, Value::I32(_) | Value::I64(_)))
                                 == Some(true)
                     };
                     if int_zero(a) || int_zero(b) {
@@ -318,7 +315,7 @@ mod tests {
         let removed = eliminate_dead_assigns(&mut k);
         assert_eq!(removed, 1);
         let r = Interpreter::run(&k, &[LaunchArg::Buffer(vec![Value::I64(0)])]);
-        assert_eq!(r.buffers[0][0].as_i64(), 0 + 1 + 2 + 3);
+        assert_eq!(r.buffers[0][0].as_i64(), 1 + 2 + 3);
         let _ = unused;
     }
 }

@@ -5,10 +5,8 @@
 //! four `float` lanes). A [`Type`] is a scalar element type plus a lane count;
 //! `lanes == 1` denotes a scalar.
 
-use serde::{Deserialize, Serialize};
-
 /// Element type of a value flowing through the datapath.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ScalarType {
     /// 32-bit signed integer.
     I32,
@@ -38,7 +36,7 @@ impl ScalarType {
 }
 
 /// A (possibly vector) datapath type.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Type {
     /// Element type.
     pub scalar: ScalarType,
@@ -73,7 +71,7 @@ impl Type {
 ///
 /// Vector values hold their lanes in a boxed slice; all lanes share the same
 /// scalar type. Mixed-lane vectors are rejected by [`crate::validate`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Value {
     I32(i32),
     I64(i64),

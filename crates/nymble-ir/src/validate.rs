@@ -64,10 +64,9 @@ fn check_expr(k: &Kernel, id: ExprId, e: &Expr) -> Result<(), ValidationError> {
                 )));
             }
         }
-        Expr::Var(v)
-            if v.0 as usize >= k.vars.len() => {
-                return Err(err(format!("expression {id:?}: unknown var {v:?}")));
-            }
+        Expr::Var(v) if v.0 as usize >= k.vars.len() => {
+            return Err(err(format!("expression {id:?}: unknown var {v:?}")));
+        }
         Expr::LoadExt { buf, ty, .. } => {
             let arg = k
                 .args
@@ -105,10 +104,9 @@ fn check_expr(k: &Kernel, id: ExprId, e: &Expr) -> Result<(), ValidationError> {
                 )));
             }
         }
-        Expr::Splat(_, lanes)
-            if *lanes < 2 => {
-                return Err(err(format!("expression {id:?}: splat to < 2 lanes")));
-            }
+        Expr::Splat(_, lanes) if *lanes < 2 => {
+            return Err(err(format!("expression {id:?}: splat to < 2 lanes")));
+        }
         _ => {}
     }
     Ok(())
@@ -200,7 +198,7 @@ fn check_block(
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::builder::KernelBuilder;
     use crate::types::{ScalarType, Type};
     use crate::MapDir;

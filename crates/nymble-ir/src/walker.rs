@@ -244,7 +244,11 @@ impl<'k> Walker<'k> {
                     unrolled,
                     pending_iter,
                 } => {
-                    let done = if *step >= 0 { *next >= *end } else { *next <= *end };
+                    let done = if *step >= 0 {
+                        *next >= *end
+                    } else {
+                        *next <= *end
+                    };
                     if done {
                         let unrolled = *unrolled;
                         let loop_id = self.loops.id_of(stmt);
@@ -312,7 +316,11 @@ impl<'k> Walker<'k> {
                 }));
                 self.emit_ops(ops)
             }
-            Stmt::StoreLocal { mem: lm, index, value } => {
+            Stmt::StoreLocal {
+                mem: lm,
+                index,
+                value,
+            } => {
                 let mut ops = OpCounts::default();
                 let idx = self.eval(*index, mem, &mut ops).as_i64() as usize;
                 let v = self.eval(*value, mem, &mut ops);
@@ -668,7 +676,15 @@ mod tests {
         assert_eq!(enters, vec![4]);
         let loads = evs
             .iter()
-            .filter(|e| matches!(e, StepEvent::Access(MemAccess { is_write: false, .. })))
+            .filter(|e| {
+                matches!(
+                    e,
+                    StepEvent::Access(MemAccess {
+                        is_write: false,
+                        ..
+                    })
+                )
+            })
             .count();
         assert_eq!(loads, 4);
         let stores = evs
@@ -733,7 +749,9 @@ mod tests {
         assert!(
             !evs.iter().any(|e| matches!(
                 e,
-                StepEvent::LoopEnter { .. } | StepEvent::LoopIter { .. } | StepEvent::LoopExit { .. }
+                StepEvent::LoopEnter { .. }
+                    | StepEvent::LoopIter { .. }
+                    | StepEvent::LoopExit { .. }
             )),
             "unrolled loop must be invisible to the timing model: {evs:?}"
         );

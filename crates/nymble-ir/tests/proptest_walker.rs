@@ -2,9 +2,9 @@
 //! interpreter agree with direct Rust evaluation for randomly generated
 //! programs, and synchronization semantics hold under arbitrary shapes.
 
+use miniprop::{forall, Rng};
 use nymble_ir::interp::{buffer_as_f32, Interpreter, LaunchArg};
 use nymble_ir::{BinOp, KernelBuilder, MapDir, ScalarType, Type, Value};
-use proptest::prelude::*;
 
 /// A random straight-line integer expression over two inputs, evaluated in
 /// parallel by the builder (IR) and directly in Rust.
@@ -16,29 +16,31 @@ enum E {
     Bin(BinOp, Box<E>, Box<E>),
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        Just(E::X),
-        Just(E::Y),
-        (-100i32..100).prop_map(E::Const),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        (
-            prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::Min),
-                Just(BinOp::Max),
-                Just(BinOp::And),
-                Just(BinOp::Or),
-                Just(BinOp::Xor),
-            ],
-            inner.clone(),
-            inner,
+const OPS: [BinOp; 8] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Min,
+    BinOp::Max,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+];
+
+fn arb_expr(g: &mut Rng, depth: usize) -> E {
+    if depth == 0 || g.chance(35, 100) {
+        match g.range_u32(0, 3) {
+            0 => E::X,
+            1 => E::Y,
+            _ => E::Const(g.range_i64(-100, 100) as i32),
+        }
+    } else {
+        E::Bin(
+            *g.pick(&OPS),
+            Box::new(arb_expr(g, depth - 1)),
+            Box::new(arb_expr(g, depth - 1)),
         )
-            .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b)))
-    })
+    }
 }
 
 fn eval_rust(e: &E, x: i64, y: i64) -> i64 {
@@ -63,7 +65,12 @@ fn eval_rust(e: &E, x: i64, y: i64) -> i64 {
     }
 }
 
-fn lower(kb: &mut KernelBuilder, e: &E, x: nymble_ir::ExprId, y: nymble_ir::ExprId) -> nymble_ir::ExprId {
+fn lower(
+    kb: &mut KernelBuilder,
+    e: &E,
+    x: nymble_ir::ExprId,
+    y: nymble_ir::ExprId,
+) -> nymble_ir::ExprId {
     match e {
         E::X => x,
         E::Y => y,
@@ -76,11 +83,12 @@ fn lower(kb: &mut KernelBuilder, e: &E, x: nymble_ir::ExprId, y: nymble_ir::Expr
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn walker_matches_rust_eval(e in arb_expr(), x in -1000i64..1000, y in -1000i64..1000) {
+#[test]
+fn walker_matches_rust_eval() {
+    forall(128, |g| {
+        let e = arb_expr(g, 4);
+        let x = g.range_i64(-1000, 1000);
+        let y = g.range_i64(-1000, 1000);
         let mut kb = KernelBuilder::new("prop_expr", 1);
         let out = kb.buffer("OUT", ScalarType::I64, MapDir::From);
         let xa = kb.scalar_arg("X", ScalarType::I64);
@@ -91,20 +99,24 @@ proptest! {
         let zero = kb.c_i64(0);
         kb.store(out, zero, r);
         let k = kb.finish();
-        let result = Interpreter::run(&k, &[
-            LaunchArg::Buffer(vec![Value::I64(0)]),
-            LaunchArg::Scalar(Value::I64(x)),
-            LaunchArg::Scalar(Value::I64(y)),
-        ]);
-        prop_assert_eq!(result.buffers[0][0].as_i64(), eval_rust(&e, x, y));
-    }
+        let result = Interpreter::run(
+            &k,
+            &[
+                LaunchArg::Buffer(vec![Value::I64(0)]),
+                LaunchArg::Scalar(Value::I64(x)),
+                LaunchArg::Scalar(Value::I64(y)),
+            ],
+        );
+        assert_eq!(result.buffers[0][0].as_i64(), eval_rust(&e, x, y));
+    });
+}
 
-    #[test]
-    fn loop_sum_matches_closed_form(
-        start in -50i64..50,
-        trip in 0i64..100,
-        step in 1i64..7,
-    ) {
+#[test]
+fn loop_sum_matches_closed_form() {
+    forall(128, |g| {
+        let start = g.range_i64(-50, 50);
+        let trip = g.range_i64(0, 100);
+        let step = g.range_i64(1, 7);
         let end = start + trip * step;
         let mut kb = KernelBuilder::new("prop_loop", 1);
         let out = kb.buffer("OUT", ScalarType::I64, MapDir::From);
@@ -123,14 +135,15 @@ proptest! {
         let k = kb.finish();
         let result = Interpreter::run(&k, &[LaunchArg::Buffer(vec![Value::I64(0)])]);
         let expect: i64 = (0..trip).map(|n| start + n * step).sum();
-        prop_assert_eq!(result.buffers[0][0].as_i64(), expect);
-    }
+        assert_eq!(result.buffers[0][0].as_i64(), expect);
+    });
+}
 
-    #[test]
-    fn critical_reduction_is_exact_for_any_thread_count(
-        threads in 1u32..9,
-        reps in 1i64..20,
-    ) {
+#[test]
+fn critical_reduction_is_exact_for_any_thread_count() {
+    forall(64, |g| {
+        let threads = g.range_u32(1, 9);
+        let reps = g.range_i64(1, 20);
         // Each thread adds its (tid+1) to a shared cell `reps` times inside
         // a critical; the result is order-independent in integers.
         let mut kb = KernelBuilder::new("prop_crit", threads);
@@ -152,12 +165,15 @@ proptest! {
         let k = kb.finish();
         let result = Interpreter::run(&k, &[LaunchArg::Buffer(vec![Value::I64(0)])]);
         let expect: i64 = (1..=threads as i64).sum::<i64>() * reps;
-        prop_assert_eq!(result.buffers[0][0].as_i64(), expect);
-    }
+        assert_eq!(result.buffers[0][0].as_i64(), expect);
+    });
+}
 
-    #[test]
-    fn vector_load_equals_scalar_loads(len in 4usize..64, idx in 0usize..15) {
-        let idx = (idx * 4).min(len - 4);
+#[test]
+fn vector_load_equals_scalar_loads() {
+    forall(64, |g| {
+        let len = g.range_usize(4, 64);
+        let idx = (g.range_usize(0, 15) * 4).min(len - 4);
         let data: Vec<f32> = (0..len).map(|i| i as f32 * 0.5).collect();
         let mut kb = KernelBuilder::new("prop_vec", 1);
         let a = kb.buffer("A", ScalarType::F32, MapDir::To);
@@ -173,23 +189,27 @@ proptest! {
         kb.store(out, z, sum);
         let k = kb.finish();
         let vals: Vec<Value> = data.iter().map(|&x| Value::F32(x)).collect();
-        let result = Interpreter::run(&k, &[
-            LaunchArg::Buffer(vals),
-            LaunchArg::Buffer(vec![Value::F32(0.0)]),
-        ]);
+        let result = Interpreter::run(
+            &k,
+            &[
+                LaunchArg::Buffer(vals),
+                LaunchArg::Buffer(vec![Value::F32(0.0)]),
+            ],
+        );
         let got = buffer_as_f32(&result.buffers[1])[0];
         let expect: f32 = data[idx..idx + 4].iter().sum();
-        prop_assert!((got - expect).abs() < 1e-4);
-    }
+        assert!((got - expect).abs() < 1e-4);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Constant folding + dead-assign elimination never change what a
-    /// kernel computes.
-    #[test]
-    fn optimization_preserves_semantics(e in arb_expr(), x in -1000i64..1000, y in -1000i64..1000) {
+/// Constant folding + dead-assign elimination never change what a
+/// kernel computes.
+#[test]
+fn optimization_preserves_semantics() {
+    forall(128, |g| {
+        let e = arb_expr(g, 4);
+        let x = g.range_i64(-1000, 1000);
+        let y = g.range_i64(-1000, 1000);
         let build = || {
             let mut kb = KernelBuilder::new("prop_opt", 1);
             let out = kb.buffer("OUT", ScalarType::I64, MapDir::From);
@@ -216,8 +236,8 @@ proptest! {
         ];
         let a = Interpreter::run(&baseline, &launch);
         let b = Interpreter::run(&optimized, &launch);
-        prop_assert_eq!(a.buffers[0][0].as_i64(), b.buffers[0][0].as_i64());
+        assert_eq!(a.buffers[0][0].as_i64(), b.buffers[0][0].as_i64());
         // The optimizer never *adds* work.
-        prop_assert!(b.ops.int_ops <= a.ops.int_ops);
-    }
+        assert!(b.ops.int_ops <= a.ops.int_ops);
+    });
 }

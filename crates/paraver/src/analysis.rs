@@ -126,12 +126,7 @@ impl Series {
 
 /// Bin the values of `event_type` (over all threads) into windows of
 /// `bin_width` cycles across `[0, duration)`.
-pub fn event_series(
-    records: &[Record],
-    event_type: u32,
-    bin_width: u64,
-    duration: u64,
-) -> Series {
+pub fn event_series(records: &[Record], event_type: u32, bin_width: u64, duration: u64) -> Series {
     assert!(bin_width > 0, "bin width must be positive");
     let nbins = duration.div_ceil(bin_width).max(1) as usize;
     let mut bins = vec![0u64; nbins];

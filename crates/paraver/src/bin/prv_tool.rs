@@ -17,8 +17,8 @@ use paraver::{diff, events, states};
 use std::process::ExitCode;
 
 fn load(path: &str) -> (paraver::TraceMeta, Vec<paraver::Record>) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     parse_prv(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
 }
 
@@ -68,10 +68,7 @@ fn main() -> ExitCode {
         }
         Some("timeline") if args.len() >= 2 => {
             let (meta, records) = load(&args[1]);
-            let width = args
-                .get(2)
-                .and_then(|w| w.parse().ok())
-                .unwrap_or(100usize);
+            let width = args.get(2).and_then(|w| w.parse().ok()).unwrap_or(100usize);
             let opts = TimelineOptions {
                 width,
                 ..Default::default()
@@ -111,10 +108,7 @@ fn main() -> ExitCode {
                     .iter()
                     .filter_map(|r| match r {
                         paraver::Record::State {
-                            thread,
-                            begin,
-                            end,
-                            ..
+                            thread, begin, end, ..
                         } if *thread == t => Some((*begin, *end)),
                         _ => None,
                     })

@@ -21,10 +21,7 @@ pub struct TraceDiff {
 
 /// Compare two traces. Both must describe the same thread count (the same
 /// accelerator with different code or inputs).
-pub fn diff(
-    a: (&TraceMeta, &[Record]),
-    b: (&TraceMeta, &[Record]),
-) -> TraceDiff {
+pub fn diff(a: (&TraceMeta, &[Record]), b: (&TraceMeta, &[Record])) -> TraceDiff {
     assert_eq!(
         a.0.num_threads, b.0.num_threads,
         "traces come from different accelerators"
@@ -71,7 +68,11 @@ impl TraceDiff {
             "trace diff: {name_a} ({} cy) → {name_b} ({} cy): {:.2}x",
             self.duration_a, self.duration_b, self.speedup
         );
-        let _ = writeln!(s, "  {:<10} {:>9} {:>9} {:>9}", "state", name_a, name_b, "Δ pp");
+        let _ = writeln!(
+            s,
+            "  {:<10} {:>9} {:>9} {:>9}",
+            "state", name_a, name_b, "Δ pp"
+        );
         for (st, fa, fb) in &self.state_fracs {
             let name = match *st {
                 crate::states::IDLE => "Idle",
@@ -89,7 +90,11 @@ impl TraceDiff {
                 (fb - fa) * 100.0
             );
         }
-        let _ = writeln!(s, "  {:<10} {:>12} {:>12} {:>8}", "event", name_a, name_b, "ratio");
+        let _ = writeln!(
+            s,
+            "  {:<10} {:>12} {:>12} {:>8}",
+            "event", name_a, name_b, "ratio"
+        );
         for (ty, ta, tb) in &self.event_totals {
             let name = match *ty {
                 crate::events::STALLS => "stalls",

@@ -97,11 +97,7 @@ pub fn log2_edges(max: u64) -> Vec<u64> {
 
 /// Histogram of state-interval *durations* for one state (Paraver's
 /// "useful duration" view — the paper reads load balance off it).
-pub fn state_duration_histogram(
-    records: &[Record],
-    num_threads: u32,
-    state: u32,
-) -> Histogram2D {
+pub fn state_duration_histogram(records: &[Record], num_threads: u32, state: u32) -> Histogram2D {
     let max = records
         .iter()
         .filter_map(|r| match r {
@@ -138,11 +134,7 @@ pub fn state_duration_histogram(
 
 /// Histogram of sampled event *values* for one event type (e.g. bytes per
 /// sampling period — bimodal for phased transfer/compute behaviour).
-pub fn event_value_histogram(
-    records: &[Record],
-    num_threads: u32,
-    event_type: u32,
-) -> Histogram2D {
+pub fn event_value_histogram(records: &[Record], num_threads: u32, event_type: u32) -> Histogram2D {
     let max = records
         .iter()
         .filter_map(|r| match r {
@@ -161,10 +153,7 @@ pub fn event_value_histogram(
         format!("value histogram of event {event_type} (log2 buckets)"),
     );
     for r in records {
-        if let Record::Event {
-            thread, events, ..
-        } = r
-        {
+        if let Record::Event { thread, events, .. } = r {
             for (ty, v) in events {
                 if *ty == event_type {
                     h.add(*thread, *v);

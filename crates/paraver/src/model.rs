@@ -10,10 +10,8 @@
 //! microseconds are used, these are in fact cycles" (§V-A) — we adopt the
 //! same convention: the time field carries *clock cycles*.
 
-use serde::{Deserialize, Serialize};
-
 /// Trace-level metadata that goes into the `.prv` header and `.row` file.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceMeta {
     /// Application (kernel) name; used in file naming and row labels.
     pub app_name: String,
@@ -42,7 +40,7 @@ impl TraceMeta {
 ///
 /// `thread` is 0-based here and converted to Paraver's 1-based ids on
 /// write-out.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Record {
     /// Type 1: `thread` is in `state` during `[begin, end)`.
     State {
@@ -93,7 +91,7 @@ impl Record {
 }
 
 /// A state definition for the `.pcf` (id, name, RGB colour).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StateDef {
     pub id: u32,
     pub name: String,
@@ -101,7 +99,7 @@ pub struct StateDef {
 }
 
 /// An event-type definition for the `.pcf`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EventTypeDef {
     pub id: u32,
     pub label: String,

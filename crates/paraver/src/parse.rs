@@ -32,9 +32,7 @@ fn err(line: usize, reason: impl Into<String>) -> ParseError {
 /// Parse a complete `.prv` document into its header metadata and records.
 pub fn parse_prv(text: &str) -> Result<(TraceMeta, Vec<Record>), ParseError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| err(0, "empty trace"))?;
+    let (_, header) = lines.next().ok_or_else(|| err(0, "empty trace"))?;
     let meta = parse_header(header).map_err(|r| err(1, r))?;
     let mut records = Vec::new();
     for (i, line) in lines {

@@ -85,8 +85,7 @@ pub fn parse(pcf: &str) -> (Vec<StateDef>, Vec<EventTypeDef>) {
                 if let (Some(id), Some(rgb)) = (parts.next(), parts.next()) {
                     if let Ok(id) = id.parse::<u32>() {
                         let rgb = rgb.trim_matches(['{', '}']);
-                        let c: Vec<u8> =
-                            rgb.split(',').filter_map(|x| x.parse().ok()).collect();
+                        let c: Vec<u8> = rgb.split(',').filter_map(|x| x.parse().ok()).collect();
                         if c.len() == 3 {
                             colors.insert(id, (c[0], c[1], c[2]));
                         }

@@ -10,10 +10,14 @@
 //! ```
 //!
 //! The writer streams through any [`std::io::Write`]; callers hand it records
-//! in non-decreasing time order (checked in debug builds — Paraver itself
-//! tolerates modest disorder but analysis tools prefer sorted traces).
+//! in non-decreasing time order. Order and thread-range violations surface as
+//! typed [`TraceError`]s — the streaming pipeline's merge stage feeds this
+//! writer from a background thread, where a recoverable error (propagated to
+//! the join point) is required rather than a panic.
 
+use crate::error::TraceError;
 use crate::model::{Record, TraceMeta};
+use crate::sink::TraceSink;
 use std::io::{self, Write};
 
 /// Streaming `.prv` writer.
@@ -42,15 +46,29 @@ impl<W: Write> TraceWriter<W> {
         })
     }
 
+    fn check_thread(&self, thread: u32) -> Result<(), TraceError> {
+        if thread >= self.meta.num_threads {
+            return Err(TraceError::ThreadOutOfRange {
+                thread,
+                num_threads: self.meta.num_threads,
+            });
+        }
+        Ok(())
+    }
+
     /// Write one record.
-    pub fn write(&mut self, r: &Record) -> io::Result<()> {
-        debug_assert!(
-            r.sort_time() >= self.last_time,
-            "records must be written in time order ({} after {})",
-            r.sort_time(),
-            self.last_time
-        );
-        self.last_time = r.sort_time();
+    ///
+    /// Returns [`TraceError::OutOfOrder`] if `r.sort_time()` is earlier than
+    /// the previous record's, and [`TraceError::ThreadOutOfRange`] for a
+    /// thread id beyond the trace's thread count; the record is not written
+    /// in either case, and the writer stays usable.
+    pub fn write(&mut self, r: &Record) -> Result<(), TraceError> {
+        if r.sort_time() < self.last_time {
+            return Err(TraceError::OutOfOrder {
+                prev: self.last_time,
+                next: r.sort_time(),
+            });
+        }
         match r {
             Record::State {
                 thread,
@@ -58,7 +76,7 @@ impl<W: Write> TraceWriter<W> {
                 end,
                 state,
             } => {
-                debug_assert!(*thread < self.meta.num_threads, "thread id out of range");
+                self.check_thread(*thread)?;
                 debug_assert!(begin <= end, "state interval reversed");
                 writeln!(
                     self.out,
@@ -74,7 +92,7 @@ impl<W: Write> TraceWriter<W> {
                 time,
                 events,
             } => {
-                debug_assert!(*thread < self.meta.num_threads, "thread id out of range");
+                self.check_thread(*thread)?;
                 debug_assert!(!events.is_empty(), "event record with no events");
                 write!(self.out, "2:{0}:1:1:{0}:{1}", thread + 1, time)?;
                 for (ty, v) in events {
@@ -92,6 +110,8 @@ impl<W: Write> TraceWriter<W> {
                 size,
                 tag,
             } => {
+                self.check_thread(*send_thread)?;
+                self.check_thread(*recv_thread)?;
                 writeln!(
                     self.out,
                     "3:{0}:1:1:{0}:{1}:{2}:{3}:1:1:{3}:{4}:{5}:{6}:{7}",
@@ -106,12 +126,16 @@ impl<W: Write> TraceWriter<W> {
                 )?;
             }
         }
+        self.last_time = r.sort_time();
         self.records_written += 1;
         Ok(())
     }
 
     /// Write many records.
-    pub fn write_all<'a>(&mut self, rs: impl IntoIterator<Item = &'a Record>) -> io::Result<()> {
+    pub fn write_all<'a>(
+        &mut self,
+        rs: impl IntoIterator<Item = &'a Record>,
+    ) -> Result<(), TraceError> {
         for r in rs {
             self.write(r)?;
         }
@@ -130,10 +154,89 @@ impl<W: Write> TraceWriter<W> {
     }
 }
 
+impl<W: Write> TraceSink for TraceWriter<W> {
+    fn push(&mut self, r: Record) -> Result<(), TraceError> {
+        self.write(&r)
+    }
+
+    fn close(&mut self) -> Result<(), TraceError> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Streaming writer for a full trace bundle (`.prv` + `.pcf` + `.row`).
+///
+/// The `.prv` body streams record-by-record through a [`TraceWriter`] (so the
+/// bundle never holds the record set in memory); the `.pcf` and `.row`
+/// sidecars are derived from metadata alone and are emitted on [`close`].
+///
+/// [`close`]: TraceSink::close
+pub struct BundleWriter {
+    writer: TraceWriter<io::BufWriter<std::fs::File>>,
+    path_stem: std::path::PathBuf,
+    meta: TraceMeta,
+    states: Vec<crate::model::StateDef>,
+    event_types: Vec<crate::model::EventTypeDef>,
+    closed: bool,
+}
+
+impl BundleWriter {
+    /// Create `<path_stem>.prv` (header written immediately); `.pcf`/`.row`
+    /// follow at close time.
+    pub fn create(
+        path_stem: &std::path::Path,
+        meta: &TraceMeta,
+        states: &[crate::model::StateDef],
+        event_types: &[crate::model::EventTypeDef],
+    ) -> io::Result<Self> {
+        let prv = std::fs::File::create(path_stem.with_extension("prv"))?;
+        let writer = TraceWriter::new(io::BufWriter::new(prv), meta.clone())?;
+        Ok(BundleWriter {
+            writer,
+            path_stem: path_stem.to_path_buf(),
+            meta: meta.clone(),
+            states: states.to_vec(),
+            event_types: event_types.to_vec(),
+            closed: false,
+        })
+    }
+
+    /// Number of `.prv` records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.writer.records_written()
+    }
+}
+
+impl TraceSink for BundleWriter {
+    fn push(&mut self, r: Record) -> Result<(), TraceError> {
+        self.writer.write(&r)
+    }
+
+    fn close(&mut self) -> Result<(), TraceError> {
+        if self.closed {
+            return Ok(());
+        }
+        self.closed = true;
+        self.writer.close()?;
+        std::fs::write(
+            self.path_stem.with_extension("pcf"),
+            crate::pcf::render(&self.states, &self.event_types),
+        )?;
+        std::fs::write(
+            self.path_stem.with_extension("row"),
+            crate::row::render(&self.meta),
+        )?;
+        Ok(())
+    }
+}
+
 /// Write a full trace bundle (`.prv`, `.pcf`, `.row`) under `path_stem`.
 ///
-/// Records are sorted by time before writing, since the profiling unit's
-/// per-thread counters may decode in per-thread rather than global order.
+/// Thin adapter over [`BundleWriter`] for the materialized path: records are
+/// sorted by time (stable, so equal-time records keep their decode order —
+/// the same order the streaming merge produces) and pushed through the
+/// bundle sink.
 pub fn write_bundle(
     path_stem: &std::path::Path,
     meta: &TraceMeta,
@@ -142,15 +245,11 @@ pub fn write_bundle(
     event_types: &[crate::model::EventTypeDef],
 ) -> io::Result<()> {
     records.sort_by_key(|r| r.sort_time());
-    let prv = std::fs::File::create(path_stem.with_extension("prv"))?;
-    let mut w = TraceWriter::new(io::BufWriter::new(prv), meta.clone())?;
-    w.write_all(records.iter())?;
-    w.finish()?;
-    std::fs::write(
-        path_stem.with_extension("pcf"),
-        crate::pcf::render(states, event_types),
-    )?;
-    std::fs::write(path_stem.with_extension("row"), crate::row::render(meta))?;
+    let mut w = BundleWriter::create(path_stem, meta, states, event_types)?;
+    for r in records.iter() {
+        w.push(r.clone())?;
+    }
+    w.close()?;
     Ok(())
 }
 
@@ -193,9 +292,7 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "time order")]
-    fn rejects_unordered_in_debug() {
+    fn out_of_order_is_a_typed_recoverable_error() {
         let mut w = TraceWriter::new(Vec::new(), meta()).unwrap();
         w.write(&Record::Event {
             thread: 0,
@@ -203,11 +300,44 @@ mod tests {
             events: vec![(1, 1)],
         })
         .unwrap();
-        let _ = w.write(&Record::Event {
+        let err = w
+            .write(&Record::Event {
+                thread: 0,
+                time: 5,
+                events: vec![(1, 1)],
+            })
+            .unwrap_err();
+        assert!(matches!(err, TraceError::OutOfOrder { prev: 10, next: 5 }));
+        // The writer stays usable: the bad record was not written and a
+        // later in-order record still succeeds.
+        w.write(&Record::Event {
             thread: 0,
-            time: 5,
+            time: 12,
             events: vec![(1, 1)],
-        });
+        })
+        .unwrap();
+        assert_eq!(w.records_written(), 2);
+        let s = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert_eq!(s.lines().count(), 3, "header + two good records");
+    }
+
+    #[test]
+    fn thread_out_of_range_is_a_typed_error() {
+        let mut w = TraceWriter::new(Vec::new(), meta()).unwrap();
+        let err = w
+            .write(&Record::Event {
+                thread: 7,
+                time: 1,
+                events: vec![(1, 1)],
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TraceError::ThreadOutOfRange {
+                thread: 7,
+                num_threads: 2
+            }
+        ));
     }
 
     #[test]
@@ -226,5 +356,30 @@ mod tests {
         .unwrap();
         let s = String::from_utf8(w.finish().unwrap()).unwrap();
         assert!(s.lines().nth(1).unwrap().starts_with("3:1:1:1:1:1:2:2:"));
+    }
+
+    #[test]
+    fn bundle_writer_emits_all_three_files() {
+        let dir = std::env::temp_dir().join(format!("prv-bundle-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("t");
+        let mut b = BundleWriter::create(
+            &stem,
+            &meta(),
+            &crate::states::defs(),
+            &crate::events::defs(),
+        )
+        .unwrap();
+        b.push(Record::Event {
+            thread: 0,
+            time: 3,
+            events: vec![(42_000_001, 1)],
+        })
+        .unwrap();
+        b.close().unwrap();
+        for ext in ["prv", "pcf", "row"] {
+            assert!(stem.with_extension(ext).exists(), ".{ext} missing");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

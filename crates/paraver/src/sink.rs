@@ -1,0 +1,136 @@
+//! The [`TraceSink`] abstraction: a consumer of [`Record`]s in nondecreasing
+//! `sort_time()` order.
+//!
+//! Every stage of the streaming trace pipeline ends in a sink: the `.prv`
+//! writer ([`crate::prv::TraceWriter`]), the full-bundle writer
+//! ([`crate::prv::BundleWriter`]), an in-memory collector ([`VecSink`]) or a
+//! discard/count stage ([`NullSink`]). The spill sorter
+//! ([`crate::spill::SpillSorter`]) adapts an *unordered* record stream onto
+//! any ordered sink with bounded memory.
+
+use crate::error::TraceError;
+use crate::model::Record;
+
+/// A consumer of time-ordered trace records.
+///
+/// Contract: `push` is called with records whose `sort_time()` never
+/// decreases; `close` is called exactly once after the final record. Sinks
+/// that enforce the contract report violations as
+/// [`TraceError::OutOfOrder`].
+pub trait TraceSink {
+    /// Consume one record.
+    fn push(&mut self, r: Record) -> Result<(), TraceError>;
+
+    /// Flush and finalize. Called once, after the last `push`.
+    fn close(&mut self) -> Result<(), TraceError> {
+        Ok(())
+    }
+}
+
+/// Collects records in memory (the materialized path's backing store).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    pub records: Vec<Record>,
+}
+
+impl VecSink {
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+}
+
+impl TraceSink for VecSink {
+    fn push(&mut self, r: Record) -> Result<(), TraceError> {
+        self.records.push(r);
+        Ok(())
+    }
+}
+
+/// Discards records, keeping only a count — for overhead measurements and
+/// contract tests.
+#[derive(Debug, Default)]
+pub struct NullSink {
+    pub records_seen: u64,
+}
+
+impl TraceSink for NullSink {
+    fn push(&mut self, _r: Record) -> Result<(), TraceError> {
+        self.records_seen += 1;
+        Ok(())
+    }
+}
+
+/// Asserts the ordering contract without writing anywhere; useful to wrap
+/// any stage under test.
+#[derive(Debug, Default)]
+pub struct OrderCheckSink {
+    last: u64,
+    pub records_seen: u64,
+}
+
+impl TraceSink for OrderCheckSink {
+    fn push(&mut self, r: Record) -> Result<(), TraceError> {
+        let t = r.sort_time();
+        if t < self.last {
+            return Err(TraceError::OutOfOrder {
+                prev: self.last,
+                next: t,
+            });
+        }
+        self.last = t;
+        self.records_seen += 1;
+        Ok(())
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for Box<S> {
+    fn push(&mut self, r: Record) -> Result<(), TraceError> {
+        (**self).push(r)
+    }
+
+    fn close(&mut self) -> Result<(), TraceError> {
+        (**self).close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64) -> Record {
+        Record::Event {
+            thread: 0,
+            time,
+            events: vec![(1, 1)],
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut s = VecSink::new();
+        s.push(ev(1)).unwrap();
+        s.push(ev(2)).unwrap();
+        s.close().unwrap();
+        assert_eq!(s.into_records().len(), 2);
+    }
+
+    #[test]
+    fn order_check_sink_rejects_regressions() {
+        let mut s = OrderCheckSink::default();
+        s.push(ev(5)).unwrap();
+        s.push(ev(5)).unwrap();
+        let err = s.push(ev(4)).unwrap_err();
+        assert!(matches!(err, TraceError::OutOfOrder { prev: 5, next: 4 }));
+    }
+
+    #[test]
+    fn boxed_sinks_delegate() {
+        let mut s: Box<dyn TraceSink> = Box::new(NullSink::default());
+        s.push(ev(1)).unwrap();
+        s.close().unwrap();
+    }
+}

@@ -1,0 +1,490 @@
+//! Memory-bounded stable sorting of record streams: spill-to-disk runs plus
+//! a k-way timestamp merge.
+//!
+//! The streaming trace pipeline decodes records incrementally, but a `.prv`
+//! body is globally sorted by time while state intervals only become known
+//! at their *end* — a thread running for the whole kernel yields one interval
+//! whose file position is near the start. A single-pass writer therefore
+//! needs a full sort, and [`SpillSorter`] provides it without materializing
+//! the run in RAM: records accumulate in a bounded buffer; each full buffer
+//! is stably sorted and written to a temporary *run* file; `close()` merges
+//! all runs with a k-way heap into the inner [`TraceSink`], holding only one
+//! head record per run.
+//!
+//! Stability (and therefore byte-identical output with the materialized
+//! `sort_by_key(sort_time)` path) follows from two facts: each run is sorted
+//! with a stable sort, and arrival order assigns every record of run *i* a
+//! smaller sequence number than any record of run *i+1* — so breaking merge
+//! ties by run index reproduces the global stable order exactly.
+
+use crate::error::TraceError;
+use crate::model::Record;
+use crate::sink::TraceSink;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default in-memory record budget (~64 B/record → a few MiB).
+pub const DEFAULT_MAX_IN_MEMORY: usize = 64 * 1024;
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A bounded-memory stable sorter in front of an ordered [`TraceSink`].
+pub struct SpillSorter<S: TraceSink> {
+    inner: S,
+    buf: Vec<Record>,
+    max_in_memory: usize,
+    spill_dir: PathBuf,
+    dir_created: bool,
+    runs: Vec<PathBuf>,
+    runs_spilled: usize,
+    peak_in_memory: usize,
+    total_records: u64,
+}
+
+impl<S: TraceSink> SpillSorter<S> {
+    /// Sorter holding at most `max_in_memory` records in RAM, spilling runs
+    /// to a fresh directory under the system temp dir.
+    pub fn new(inner: S, max_in_memory: usize) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "hls-paraver-spill-{}-{}",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        Self::with_spill_dir(inner, max_in_memory, dir)
+    }
+
+    /// Sorter spilling into an explicit directory (created on first spill).
+    pub fn with_spill_dir(inner: S, max_in_memory: usize, spill_dir: PathBuf) -> Self {
+        SpillSorter {
+            inner,
+            buf: Vec::new(),
+            max_in_memory: max_in_memory.max(1),
+            spill_dir,
+            dir_created: false,
+            runs: Vec::new(),
+            runs_spilled: 0,
+            peak_in_memory: 0,
+            total_records: 0,
+        }
+    }
+
+    /// Largest number of records ever resident in the in-memory buffer —
+    /// the sorter's actual RAM bound, `<= max_in_memory`.
+    pub fn peak_in_memory(&self) -> usize {
+        self.peak_in_memory
+    }
+
+    /// Number of runs spilled to disk over the sorter's lifetime.
+    pub fn spilled_runs(&self) -> usize {
+        self.runs_spilled
+    }
+
+    /// Total records accepted.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Access the inner sink (e.g. to read a collector after `close`).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the inner sink. The sorter only pushes to the
+    /// inner sink during [`TraceSink::close`], so a deferred sink (one whose
+    /// target needs end-of-run metadata, like the `.prv` header's duration)
+    /// can be installed any time before `close`.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Consume the sorter, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        // Field move is fine: Drop cleanup only removes files, which
+        // `close()` already did; std::mem::forget pattern not needed because
+        // SpillSorter's Drop is on the struct — destructure via ManuallyDrop.
+        let mut me = std::mem::ManuallyDrop::new(self);
+        me.cleanup();
+        // SAFETY: `me` is ManuallyDrop; `inner` is read exactly once and the
+        // remaining fields are dropped by ptr::drop_in_place-free leak of
+        // plain data (Vec/PathBuf) — avoid that by taking them too.
+        unsafe {
+            let inner = std::ptr::read(&me.inner);
+            std::ptr::drop_in_place(&mut me.buf);
+            std::ptr::drop_in_place(&mut me.spill_dir);
+            std::ptr::drop_in_place(&mut me.runs);
+            inner
+        }
+    }
+
+    fn spill(&mut self) -> Result<(), TraceError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        if !self.dir_created {
+            std::fs::create_dir_all(&self.spill_dir)?;
+            self.dir_created = true;
+        }
+        // Stable sort: ties keep arrival order within the run.
+        self.buf.sort_by_key(Record::sort_time);
+        let path = self
+            .spill_dir
+            .join(format!("run-{:06}.bin", self.runs.len()));
+        let mut w = BufWriter::new(File::create(&path)?);
+        for r in &self.buf {
+            encode_record(&mut w, r)?;
+        }
+        w.flush()?;
+        self.runs.push(path);
+        self.runs_spilled += 1;
+        self.buf.clear();
+        Ok(())
+    }
+
+    fn cleanup(&mut self) {
+        if self.dir_created {
+            let _ = std::fs::remove_dir_all(&self.spill_dir);
+            self.dir_created = false;
+        }
+        self.runs.clear();
+    }
+
+    /// Merge all spilled runs plus the in-memory tail into the inner sink.
+    fn merge(&mut self) -> Result<(), TraceError> {
+        self.buf.sort_by_key(Record::sort_time);
+        let mut readers = Vec::with_capacity(self.runs.len());
+        for path in &self.runs {
+            readers.push(RunReader::open(path)?);
+        }
+        // Heap of (Reverse(time), Reverse(run index)): pop smallest time,
+        // ties resolved toward the earliest run — the stable global order.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let tail_idx = readers.len();
+        let mut tail = self
+            .buf
+            .drain(..)
+            .collect::<std::collections::VecDeque<_>>();
+        for (i, r) in readers.iter_mut().enumerate() {
+            if let Some(t) = r.peek_time() {
+                heap.push(Reverse((t, i)));
+            }
+        }
+        if let Some(front) = tail.front() {
+            heap.push(Reverse((front.sort_time(), tail_idx)));
+        }
+        while let Some(Reverse((_, idx))) = heap.pop() {
+            let rec = if idx == tail_idx {
+                let rec = tail.pop_front().expect("tail run non-empty");
+                if let Some(front) = tail.front() {
+                    heap.push(Reverse((front.sort_time(), tail_idx)));
+                }
+                rec
+            } else {
+                let rec = readers[idx].next()?.expect("heap entry implies a record");
+                if let Some(t) = readers[idx].peek_time() {
+                    heap.push(Reverse((t, idx)));
+                }
+                rec
+            };
+            self.inner.push(rec)?;
+        }
+        Ok(())
+    }
+}
+
+impl<S: TraceSink> TraceSink for SpillSorter<S> {
+    fn push(&mut self, r: Record) -> Result<(), TraceError> {
+        self.buf.push(r);
+        self.total_records += 1;
+        self.peak_in_memory = self.peak_in_memory.max(self.buf.len());
+        if self.buf.len() >= self.max_in_memory {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), TraceError> {
+        let result = self.merge();
+        self.cleanup();
+        result?;
+        self.inner.close()
+    }
+}
+
+impl<S: TraceSink> Drop for SpillSorter<S> {
+    fn drop(&mut self) {
+        self.cleanup();
+    }
+}
+
+/// Sequential reader over one spilled run with one-record lookahead.
+struct RunReader {
+    rdr: BufReader<File>,
+    peeked: Option<Record>,
+}
+
+impl RunReader {
+    fn open(path: &PathBuf) -> Result<Self, TraceError> {
+        let mut r = RunReader {
+            rdr: BufReader::new(File::open(path)?),
+            peeked: None,
+        };
+        r.peeked = decode_record(&mut r.rdr)?;
+        Ok(r)
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.peeked.as_ref().map(Record::sort_time)
+    }
+
+    fn next(&mut self) -> Result<Option<Record>, TraceError> {
+        let out = self.peeked.take();
+        if out.is_some() {
+            self.peeked = decode_record(&mut self.rdr)?;
+        }
+        Ok(out)
+    }
+}
+
+// Compact little-endian codec for spilled records (internal format; the
+// public trace formats remain the textual `.prv`/`.pcf`/`.row`).
+
+const RUN_TAG_STATE: u8 = 1;
+const RUN_TAG_EVENT: u8 = 2;
+const RUN_TAG_COMM: u8 = 3;
+
+fn encode_record(w: &mut impl Write, r: &Record) -> Result<(), TraceError> {
+    match r {
+        Record::State {
+            thread,
+            begin,
+            end,
+            state,
+        } => {
+            w.write_all(&[RUN_TAG_STATE])?;
+            w.write_all(&thread.to_le_bytes())?;
+            w.write_all(&begin.to_le_bytes())?;
+            w.write_all(&end.to_le_bytes())?;
+            w.write_all(&state.to_le_bytes())?;
+        }
+        Record::Event {
+            thread,
+            time,
+            events,
+        } => {
+            w.write_all(&[RUN_TAG_EVENT])?;
+            w.write_all(&thread.to_le_bytes())?;
+            w.write_all(&time.to_le_bytes())?;
+            w.write_all(&(events.len() as u32).to_le_bytes())?;
+            for (ty, v) in events {
+                w.write_all(&ty.to_le_bytes())?;
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Record::Comm {
+            send_thread,
+            recv_thread,
+            logical_send,
+            physical_send,
+            logical_recv,
+            physical_recv,
+            size,
+            tag,
+        } => {
+            w.write_all(&[RUN_TAG_COMM])?;
+            w.write_all(&send_thread.to_le_bytes())?;
+            w.write_all(&recv_thread.to_le_bytes())?;
+            for v in [
+                logical_send,
+                physical_send,
+                logical_recv,
+                physical_recv,
+                size,
+                tag,
+            ] {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_exact_or_corrupt(r: &mut impl Read, buf: &mut [u8]) -> Result<(), TraceError> {
+    r.read_exact(buf)
+        .map_err(|_| TraceError::CorruptRun("truncated record".into()))
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, TraceError> {
+    let mut b = [0u8; 4];
+    read_exact_or_corrupt(r, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, TraceError> {
+    let mut b = [0u8; 8];
+    read_exact_or_corrupt(r, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn decode_record(r: &mut impl Read) -> Result<Option<Record>, TraceError> {
+    let mut tag = [0u8; 1];
+    match r.read_exact(&mut tag) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let rec = match tag[0] {
+        RUN_TAG_STATE => Record::State {
+            thread: read_u32(r)?,
+            begin: read_u64(r)?,
+            end: read_u64(r)?,
+            state: read_u32(r)?,
+        },
+        RUN_TAG_EVENT => {
+            let thread = read_u32(r)?;
+            let time = read_u64(r)?;
+            let n = read_u32(r)? as usize;
+            let mut events = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                events.push((read_u32(r)?, read_u64(r)?));
+            }
+            Record::Event {
+                thread,
+                time,
+                events,
+            }
+        }
+        RUN_TAG_COMM => Record::Comm {
+            send_thread: read_u32(r)?,
+            recv_thread: read_u32(r)?,
+            logical_send: read_u64(r)?,
+            physical_send: read_u64(r)?,
+            logical_recv: read_u64(r)?,
+            physical_recv: read_u64(r)?,
+            size: read_u64(r)?,
+            tag: read_u64(r)?,
+        },
+        other => {
+            return Err(TraceError::CorruptRun(format!("unknown tag {other:#x}")));
+        }
+    };
+    Ok(Some(rec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{OrderCheckSink, VecSink};
+
+    fn ev(thread: u32, time: u64, v: u64) -> Record {
+        Record::Event {
+            thread,
+            time,
+            events: vec![(42_000_001, v)],
+        }
+    }
+
+    fn st(thread: u32, begin: u64, end: u64) -> Record {
+        Record::State {
+            thread,
+            begin,
+            end,
+            state: 1,
+        }
+    }
+
+    #[test]
+    fn matches_materialized_stable_sort() {
+        // Adversarial: lots of equal timestamps so stability is observable.
+        let mut input = Vec::new();
+        for i in 0..1000u64 {
+            input.push(ev(0, (i * 37) % 100, i));
+            input.push(st(1, (i * 53) % 100, (i * 53) % 100 + 5));
+        }
+        let mut expect = input.clone();
+        expect.sort_by_key(Record::sort_time);
+
+        for cap in [7usize, 100, 5000] {
+            let mut sorter = SpillSorter::new(VecSink::new(), cap);
+            for r in input.iter().cloned() {
+                sorter.push(r).unwrap();
+            }
+            sorter.close().unwrap();
+            assert!(sorter.peak_in_memory() <= cap);
+            if cap < input.len() {
+                assert!(sorter.spilled_runs() > 0, "cap {cap} must spill");
+            }
+            assert_eq!(sorter.inner().records, expect, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn merged_output_is_nondecreasing() {
+        let mut sorter = SpillSorter::new(OrderCheckSink::default(), 16);
+        for i in (0..500u64).rev() {
+            sorter.push(ev(0, i, i)).unwrap();
+        }
+        sorter.close().unwrap();
+        assert_eq!(sorter.inner().records_seen, 500);
+    }
+
+    #[test]
+    fn codec_roundtrips_all_kinds() {
+        let records = vec![
+            st(3, 10, 20),
+            ev(1, 5, 99),
+            Record::Event {
+                thread: 2,
+                time: 8,
+                events: vec![(1, 2), (3, 4), (5, 6)],
+            },
+            Record::Comm {
+                send_thread: 0,
+                recv_thread: 1,
+                logical_send: 1,
+                physical_send: 2,
+                logical_recv: 3,
+                physical_recv: 4,
+                size: 64,
+                tag: 7,
+            },
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            encode_record(&mut bytes, r).unwrap();
+        }
+        let mut rdr = std::io::Cursor::new(bytes);
+        let mut back = Vec::new();
+        while let Some(r) = decode_record(&mut rdr).unwrap() {
+            back.push(r);
+        }
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn spill_dir_is_cleaned_up() {
+        let dir =
+            std::env::temp_dir().join(format!("hls-paraver-spill-test-{}", std::process::id()));
+        let mut sorter = SpillSorter::with_spill_dir(VecSink::new(), 2, dir.clone());
+        for i in 0..10 {
+            sorter.push(ev(0, i, i)).unwrap();
+        }
+        assert!(dir.exists(), "runs must hit the explicit dir");
+        sorter.close().unwrap();
+        assert!(!dir.exists(), "close must remove the spill dir");
+    }
+
+    #[test]
+    fn into_inner_returns_collector() {
+        let mut sorter = SpillSorter::new(VecSink::new(), 4);
+        sorter.push(ev(0, 2, 0)).unwrap();
+        sorter.push(ev(0, 1, 1)).unwrap();
+        sorter.close().unwrap();
+        let sink = sorter.into_inner();
+        assert_eq!(sink.records.len(), 2);
+        assert_eq!(sink.records[0].sort_time(), 1);
+    }
+}

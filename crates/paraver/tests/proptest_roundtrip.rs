@@ -1,114 +1,162 @@
 //! Property tests: the `.prv` writer and parser are inverses for arbitrary
-//! record streams, and the analysis primitives conserve what they bin.
+//! record streams, the analysis primitives conserve what they bin, and the
+//! spill-sorting merge always hands sinks a nondecreasing stream.
 
+use miniprop::{forall, Rng};
 use paraver::analysis::{event_series, event_total, zoom, StateProfile};
 use paraver::model::{Record, TraceMeta};
 use paraver::parse::parse_prv;
 use paraver::prv::TraceWriter;
-use proptest::prelude::*;
+use paraver::sink::{OrderCheckSink, VecSink};
+use paraver::spill::SpillSorter;
+use paraver::TraceSink;
 
 const THREADS: u32 = 8;
 
-fn arb_record(max_t: u64) -> impl Strategy<Value = Record> {
-    prop_oneof![
-        (0..THREADS, 0..max_t, 0..1000u64, 0..4u32).prop_map(|(thread, begin, len, state)| {
-            Record::State {
-                thread,
-                begin,
-                end: begin + len,
-                state,
-            }
-        }),
-        (
-            0..THREADS,
-            0..max_t,
-            proptest::collection::vec((1..5u32, 0..1_000_000u64), 1..4)
-        )
-            .prop_map(|(thread, time, events)| Record::Event {
-                thread,
-                time,
-                events: events
-                    .into_iter()
-                    .map(|(ty, v)| (42_000_000 + ty, v))
-                    .collect(),
+fn arb_record(g: &mut Rng, max_t: u64) -> Record {
+    if g.bool() {
+        let begin = g.range_u64(0, max_t);
+        Record::State {
+            thread: g.range_u32(0, THREADS),
+            begin,
+            end: begin + g.range_u64(0, 1000),
+            state: g.range_u32(0, 4),
+        }
+    } else {
+        Record::Event {
+            thread: g.range_u32(0, THREADS),
+            time: g.range_u64(0, max_t),
+            events: g.vec(1, 4, |g| {
+                (42_000_000 + g.range_u32(1, 5), g.range_u64(0, 1_000_000))
             }),
-    ]
+        }
+    }
 }
 
-fn arb_trace() -> impl Strategy<Value = Vec<Record>> {
-    proptest::collection::vec(arb_record(100_000), 0..200).prop_map(|mut rs| {
-        rs.sort_by_key(|r| r.sort_time());
-        rs
-    })
+/// An arbitrary record set, sorted into valid write order.
+fn arb_trace(g: &mut Rng) -> Vec<Record> {
+    let mut rs = g.vec(0, 200, |g| arb_record(g, 100_000));
+    rs.sort_by_key(|r| r.sort_time());
+    rs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn prv_write_parse_roundtrip(records in arb_trace()) {
+#[test]
+fn prv_write_parse_roundtrip() {
+    forall(64, |g| {
+        let records = arb_trace(g);
         let meta = TraceMeta::new("prop", 200_000, THREADS);
         let mut w = TraceWriter::new(Vec::new(), meta).unwrap();
         w.write_all(records.iter()).unwrap();
         let text = String::from_utf8(w.finish().unwrap()).unwrap();
         let (meta2, parsed) = parse_prv(&text).unwrap();
-        prop_assert_eq!(meta2.num_threads, THREADS);
-        prop_assert_eq!(parsed, records);
-    }
+        assert_eq!(meta2.num_threads, THREADS);
+        assert_eq!(parsed, records);
+    });
+}
 
-    #[test]
-    fn event_series_conserves_totals(records in arb_trace(), bin in 1u64..10_000) {
+#[test]
+fn event_series_conserves_totals() {
+    forall(64, |g| {
+        let records = arb_trace(g);
+        let bin = g.range_u64(1, 10_000);
         for ty in 42_000_001..42_000_005u32 {
             let total = event_total(&records, ty);
             let series = event_series(&records, ty, bin, 200_000);
-            prop_assert_eq!(series.total(), total, "binning must conserve type {}", ty);
+            assert_eq!(series.total(), total, "binning must conserve type {ty}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn state_profile_total_equals_interval_sum(records in arb_trace()) {
+#[test]
+fn state_profile_total_equals_interval_sum() {
+    forall(64, |g| {
+        let records = arb_trace(g);
         let profile = StateProfile::compute(&records, THREADS);
-        let expect: u64 = records.iter().filter_map(|r| match r {
-            Record::State { begin, end, .. } => Some(end - begin),
-            _ => None,
-        }).sum();
-        prop_assert_eq!(profile.total_time, expect);
+        let expect: u64 = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::State { begin, end, .. } => Some(end - begin),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(profile.total_time, expect);
         // Per-thread sums add up to the total.
         let per: u64 = profile.per_thread.iter().flat_map(|m| m.values()).sum();
-        prop_assert_eq!(per, expect);
-    }
+        assert_eq!(per, expect);
+    });
+}
 
-    #[test]
-    fn zoom_never_grows_time(records in arb_trace(), t0 in 0u64..50_000, len in 1u64..50_000) {
+#[test]
+fn zoom_never_grows_time() {
+    forall(64, |g| {
+        let records = arb_trace(g);
+        let t0 = g.range_u64(0, 50_000);
+        let len = g.range_u64(1, 50_000);
         let z = zoom(&records, t0, t0 + len);
         for r in &z {
             match r {
                 Record::State { begin, end, .. } => {
-                    prop_assert!(*begin >= t0 && *end <= t0 + len);
+                    assert!(*begin >= t0 && *end <= t0 + len);
                 }
                 Record::Event { time, .. } => {
-                    prop_assert!(*time >= t0 && *time < t0 + len);
+                    assert!(*time >= t0 && *time < t0 + len);
                 }
                 Record::Comm { logical_send, .. } => {
-                    prop_assert!(*logical_send >= t0 && *logical_send < t0 + len);
+                    assert!(*logical_send >= t0 && *logical_send < t0 + len);
                 }
             }
         }
         // Zoomed state time never exceeds the original.
         let orig = StateProfile::compute(&records, THREADS).total_time;
         let zoomed = StateProfile::compute(&z, THREADS).total_time;
-        prop_assert!(zoomed <= orig);
-    }
+        assert!(zoomed <= orig);
+    });
+}
 
-    #[test]
-    fn relative_series_is_normalised(records in arb_trace(), bin in 1u64..10_000) {
+#[test]
+fn relative_series_is_normalised() {
+    forall(64, |g| {
+        let records = arb_trace(g);
+        let bin = g.range_u64(1, 10_000);
         let series = event_series(&records, 42_000_001, bin, 200_000);
         let rel = series.relative();
         for v in &rel {
-            prop_assert!((0.0..=1.0).contains(v));
+            assert!((0.0..=1.0).contains(v));
         }
         if series.peak() > 0 {
-            prop_assert!(rel.iter().any(|&v| (v - 1.0).abs() < 1e-12));
+            assert!(rel.iter().any(|&v| (v - 1.0).abs() < 1e-12));
         }
-    }
+    });
+}
+
+#[test]
+fn spill_merge_is_always_nondecreasing() {
+    forall(64, |g| {
+        // Unsorted input this time: the sorter's whole job.
+        let records = g.vec(0, 400, |g| arb_record(g, 100_000));
+        let cap = g.range_usize(1, 64);
+        let mut sorter = SpillSorter::new(OrderCheckSink::default(), cap);
+        for r in records.iter().cloned() {
+            sorter.push(r).unwrap();
+        }
+        sorter.close().unwrap();
+        assert_eq!(sorter.inner().records_seen, records.len() as u64);
+        assert!(sorter.peak_in_memory() <= cap);
+    });
+}
+
+#[test]
+fn spill_merge_equals_materialized_stable_sort() {
+    forall(32, |g| {
+        let records = g.vec(0, 300, |g| arb_record(g, 500));
+        let mut expect = records.clone();
+        expect.sort_by_key(Record::sort_time);
+        let cap = g.range_usize(1, 48);
+        let mut sorter = SpillSorter::new(VecSink::new(), cap);
+        for r in records.iter().cloned() {
+            sorter.push(r).unwrap();
+        }
+        sorter.close().unwrap();
+        assert_eq!(sorter.inner().records, expect);
+    });
 }

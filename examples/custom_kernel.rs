@@ -7,15 +7,15 @@
 //! cargo run --release --example custom_kernel
 //! ```
 
-use hls_paraver::kernels::{extra, reference};
-use hls_paraver::ir::interp::{buffer_as_f32, Interpreter, LaunchArg as GoldArg};
-use hls_paraver::ir::Value;
 use hls_paraver::hls::accel::{compile, HlsConfig};
 use hls_paraver::hls::report;
+use hls_paraver::ir::interp::{buffer_as_f32, Interpreter, LaunchArg as GoldArg};
+use hls_paraver::ir::Value;
+use hls_paraver::kernels::{extra, reference};
+use hls_paraver::paraver::{analysis, events};
 use hls_paraver::profiling::{ProfilingConfig, ProfilingUnit};
 use hls_paraver::sim::memimg::LaunchArg;
 use hls_paraver::sim::{Executor, SimConfig};
-use hls_paraver::paraver::{analysis, events};
 
 fn main() {
     let n = 96usize;
@@ -39,7 +39,10 @@ fn main() {
             assert!((got[i * n + j] - expect[i * n + j]).abs() < 1e-5);
         }
     }
-    println!("gold model matches CPU reference ({} flops)", gold.ops.flops);
+    println!(
+        "gold model matches CPU reference ({} flops)",
+        gold.ops.flops
+    );
 
     // Step 2: compile and inspect the schedule.
     let acc = compile(&kernel, &HlsConfig::default());

@@ -6,15 +6,15 @@
 //! cargo run --release --example gemm_tuning -- [dim]
 //! ```
 
+use hls_paraver::hls::accel::{compile, HlsConfig};
+use hls_paraver::ir::Value;
 use hls_paraver::kernels::gemm::{build, GemmParams, GemmVersion};
 use hls_paraver::kernels::reference;
-use hls_paraver::profiling::{ProfilingConfig, ProfilingUnit};
-use hls_paraver::hls::accel::{compile, HlsConfig};
-use hls_paraver::sim::memimg::LaunchArg;
-use hls_paraver::sim::{Executor, SimConfig};
 use hls_paraver::paraver::analysis::StateProfile;
 use hls_paraver::paraver::states;
-use hls_paraver::ir::Value;
+use hls_paraver::profiling::{ProfilingConfig, ProfilingUnit};
+use hls_paraver::sim::memimg::LaunchArg;
+use hls_paraver::sim::{Executor, SimConfig};
 
 fn main() {
     let dim: i64 = std::env::args()

@@ -42,8 +42,14 @@ fn main() {
     // Kernel cycles from the paper-scale measurement (EXPERIMENTS.md).
     let kernel_cycles = 69_898_123u64; // double-buffered GEMM @512
 
-    println!("GEMM {dim}x{dim} launch, f32 ({} MB per matrix)\n", n * 4 / 1_000_000);
-    for (name, c) in [("map(to:A,B) map(from:C)", &p), ("pessimistic tofrom all", &q)] {
+    println!(
+        "GEMM {dim}x{dim} launch, f32 ({} MB per matrix)\n",
+        n * 4 / 1_000_000
+    );
+    for (name, c) in [
+        ("map(to:A,B) map(from:C)", &p),
+        ("pessimistic tofrom all", &q),
+    ] {
         println!(
             "{name:<26} H2D {:>9} cy ({:>8} B)   D2H {:>9} cy ({:>8} B)   end-to-end {:>10} cy",
             c.h2d_cycles,

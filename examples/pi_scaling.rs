@@ -6,13 +6,13 @@
 //! cargo run --release --example pi_scaling
 //! ```
 
-use hls_paraver::kernels::pi::{build, launch_scalars, PiParams};
-use hls_paraver::profiling::{ProfilingConfig, ProfilingUnit};
 use hls_paraver::hls::accel::{compile, HlsConfig};
+use hls_paraver::ir::Value;
+use hls_paraver::kernels::pi::{build, launch_scalars, PiParams};
+use hls_paraver::paraver::timeline::{render_states, TimelineOptions};
+use hls_paraver::profiling::{ProfilingConfig, ProfilingUnit};
 use hls_paraver::sim::memimg::LaunchArg;
 use hls_paraver::sim::{Executor, SimConfig};
-use hls_paraver::paraver::timeline::{render_states, TimelineOptions};
-use hls_paraver::ir::Value;
 
 fn main() {
     let sim = SimConfig::default();

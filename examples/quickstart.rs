@@ -6,14 +6,14 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hls_paraver::ir::{KernelBuilder, MapDir, ScalarType, Type, Value};
 use hls_paraver::hls::accel::{compile, HlsConfig};
 use hls_paraver::hls::report;
+use hls_paraver::ir::{KernelBuilder, MapDir, ScalarType, Type, Value};
+use hls_paraver::paraver::analysis::StateProfile;
+use hls_paraver::paraver::timeline::{render_states, TimelineOptions};
 use hls_paraver::profiling::{ProfilingConfig, ProfilingUnit};
 use hls_paraver::sim::memimg::LaunchArg;
 use hls_paraver::sim::{Executor, SimConfig};
-use hls_paraver::paraver::analysis::StateProfile;
-use hls_paraver::paraver::timeline::{render_states, TimelineOptions};
 
 fn main() {
     // 1. Write a kernel with the OpenMP-flavoured builder: a dot product
@@ -56,7 +56,11 @@ fn main() {
     let mut unit = ProfilingUnit::new(&kernel.name, kernel.num_threads, ProfilingConfig::default());
     let launch = vec![
         LaunchArg::Buffer((0..n).map(|i| Value::F32(i as f32 * 1e-3)).collect()),
-        LaunchArg::Buffer((0..n).map(|i| Value::F32(((i % 7) as f32) * 0.25)).collect()),
+        LaunchArg::Buffer(
+            (0..n)
+                .map(|i| Value::F32(((i % 7) as f32) * 0.25))
+                .collect(),
+        ),
         LaunchArg::Buffer(vec![Value::F32(0.0)]),
     ];
     let result = Executor::run(&kernel, &acc, &sim, &launch, &mut unit);
@@ -85,7 +89,12 @@ fn main() {
     };
     println!(
         "{}",
-        render_states(&trace.records, kernel.num_threads, trace.meta.duration, &opts)
+        render_states(
+            &trace.records,
+            kernel.num_threads,
+            trace.meta.duration,
+            &opts
+        )
     );
     let prof = StateProfile::compute(&trace.records, kernel.num_threads);
     println!(

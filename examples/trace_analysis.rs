@@ -7,33 +7,56 @@
 //! cargo run --release --example trace_analysis -- [path/to/trace.prv]
 //! ```
 //!
-//! With no argument it first generates a trace by running the naive GEMM.
+//! With no argument it first generates a trace by running the naive GEMM
+//! through the *streaming* trace pipeline: the simulator's buffer flushes
+//! feed a background decode → sort → [`TraceSink`] thread which writes the
+//! bundle straight to disk, so the full record set is never materialized.
+//!
+//! [`TraceSink`]: hls_paraver::paraver::TraceSink
 
-use hls_paraver::paraver::analysis::{
-    event_series, find_critical_overlap, StateProfile,
-};
+use hls_paraver::paraver::analysis::{event_series, find_critical_overlap, StateProfile};
 use hls_paraver::paraver::histogram;
 use hls_paraver::paraver::parse::parse_prv;
 use hls_paraver::paraver::{events, states, timeline};
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| {
-        // Generate a fresh trace with the profiled naive GEMM.
+        // Generate a fresh trace with the profiled naive GEMM, streamed
+        // through a TraceSink instead of materialized in memory.
+        use hls_paraver::hls::accel::{compile, HlsConfig};
+        use hls_paraver::ir::Value;
         use hls_paraver::kernels::gemm::{build, GemmParams, GemmVersion};
         use hls_paraver::kernels::reference;
-        use hls_paraver::profiling::{ProfilingConfig, ProfilingUnit};
-        use hls_paraver::hls::accel::{compile, HlsConfig};
+        use hls_paraver::paraver::{BundleWriter, TraceSink};
+        use hls_paraver::profiling::{PipelineConfig, ProfilingConfig, ProfilingUnit};
         use hls_paraver::sim::memimg::LaunchArg;
         use hls_paraver::sim::{Executor, SimConfig};
-        use hls_paraver::ir::Value;
         let p = GemmParams {
             dim: 64,
             ..Default::default()
         };
         let kernel = build(GemmVersion::Naive, &p);
         let acc = compile(&kernel, &HlsConfig::default());
-        let mut unit =
-            ProfilingUnit::new(&kernel.name, p.threads, ProfilingConfig::default());
+        std::fs::create_dir_all("target/traces").unwrap();
+        let stem = std::path::PathBuf::from("target/traces/analysis_demo");
+        let sink_stem = stem.clone();
+        // The sink factory runs on the pipeline thread once the run's final
+        // metadata (duration) is known; any TraceSink works here.
+        let mut unit = ProfilingUnit::new_streaming(
+            &kernel.name,
+            p.threads,
+            ProfilingConfig::default(),
+            PipelineConfig::default(),
+            Box::new(move |meta| {
+                let w = BundleWriter::create(
+                    &sink_stem,
+                    meta,
+                    &hls_paraver::paraver::states::defs(),
+                    &hls_paraver::paraver::events::defs(),
+                )?;
+                Ok(Box::new(w) as Box<dyn TraceSink + Send>)
+            }),
+        );
         let d = p.dim as usize;
         let vals = |m: &[f32]| m.iter().map(|&x| Value::F32(x)).collect::<Vec<_>>();
         let a = reference::gen_matrix(d, 1);
@@ -48,10 +71,11 @@ fn main() {
             ],
             &mut unit,
         );
-        let trace = unit.finish();
-        std::fs::create_dir_all("target/traces").unwrap();
-        let stem = std::path::Path::new("target/traces/analysis_demo");
-        trace.write_bundle(stem).unwrap();
+        let report = unit.finish_streaming().expect("streaming pipeline");
+        println!(
+            "streamed {} records in {} flushes ({} B) without materializing\n",
+            report.records, report.flush_count, report.flushed_bytes
+        );
         format!("{}.prv", stem.display())
     });
 
@@ -89,18 +113,19 @@ fn main() {
     println!(
         "\nread-bandwidth timeline (peak bin {} B):\n{}",
         bw.peak(),
-        timeline::render_series(&bw.bins.iter().map(|&b| b as f64).collect::<Vec<_>>(), "bytes read")
+        timeline::render_series(
+            &bw.bins.iter().map(|&b| b as f64).collect::<Vec<_>>(),
+            "bytes read"
+        )
     );
     // Paraver-style 2D histograms.
     println!(
         "\n{}",
-        histogram::state_duration_histogram(&records, meta.num_threads, states::CRITICAL)
-            .render()
+        histogram::state_duration_histogram(&records, meta.num_threads, states::CRITICAL).render()
     );
     println!(
         "{}",
-        histogram::event_value_histogram(&records, meta.num_threads, events::BYTES_READ)
-            .render()
+        histogram::event_value_histogram(&records, meta.num_threads, events::BYTES_READ).render()
     );
 
     println!(

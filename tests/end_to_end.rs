@@ -134,10 +134,7 @@ fn states_partition_the_run() {
             .iter()
             .filter_map(|rec| match rec {
                 hls_paraver::paraver::Record::State {
-                    thread,
-                    begin,
-                    end,
-                    ..
+                    thread, begin, end, ..
                 } if *thread == t => Some((*begin, *end)),
                 _ => None,
             })
@@ -255,10 +252,7 @@ fn pi_end_to_end() {
     assert!((est - std::f32::consts::PI).abs() < 1e-2, "pi = {est}");
     // Ramp: thread i starts at i × launch_interval, visible as Idle time.
     let prof = StateProfile::compute(&trace.records, p.threads);
-    let idle3 = prof.per_thread[3]
-        .get(&states::IDLE)
-        .copied()
-        .unwrap_or(0);
+    let idle3 = prof.per_thread[3].get(&states::IDLE).copied().unwrap_or(0);
     assert!(
         idle3 >= 3 * sim.launch_interval,
         "last thread idles through the ramp: {idle3}"
@@ -290,13 +284,7 @@ fn profiling_is_observation_only() {
     let sim = SimConfig::default().with_fast_launch();
     let mut unit = ProfilingUnit::new(&kernel.name, p.threads, ProfilingConfig::default());
     let with = Executor::run(&kernel, &acc, &sim, &mk(), &mut unit);
-    let without = Executor::run(
-        &kernel,
-        &acc,
-        &sim,
-        &mk(),
-        &mut hls_paraver::sim::NullSnoop,
-    );
+    let without = Executor::run(&kernel, &acc, &sim, &mk(), &mut hls_paraver::sim::NullSnoop);
     assert_eq!(with.total_cycles, without.total_cycles);
     assert_eq!(with.buffers[2], without.buffers[2]);
 }

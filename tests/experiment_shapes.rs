@@ -31,7 +31,10 @@ fn gemm_cycles(v: GemmVersion, p: &GemmParams, sim: &SimConfig) -> (u64, u64) {
         ],
         &mut NullSnoop,
     );
-    (r.total_cycles, r.stats.total(|t| t.bytes_read + t.bytes_written))
+    (
+        r.total_cycles,
+        r.stats.total(|t| t.bytes_read + t.bytes_written),
+    )
 }
 
 /// T-GEMM: the optimization steps keep their paper ordering and rough
@@ -51,10 +54,16 @@ fn gemm_speedup_progression_holds() {
         .collect();
     let (naive, nocrit, vec, blocked, dbuf) = (c[0].0, c[1].0, c[2].0, c[3].0, c[4].0);
     // Strict ordering, as in the paper.
-    assert!(naive > nocrit, "removing criticals helps: {naive} vs {nocrit}");
+    assert!(
+        naive > nocrit,
+        "removing criticals helps: {naive} vs {nocrit}"
+    );
     assert!(nocrit > vec, "vectorization helps: {nocrit} vs {vec}");
     assert!(vec > blocked, "blocking helps: {vec} vs {blocked}");
-    assert!(blocked > dbuf, "double-buffering helps: {blocked} vs {dbuf}");
+    assert!(
+        blocked > dbuf,
+        "double-buffering helps: {blocked} vs {dbuf}"
+    );
     // Rough factors: v2 gains 5–100% (paper: 14% at 512²; the critical-
     // section share grows as the problem shrinks, so the scaled-down test
     // sees a larger gain — at the default 128² it is ~19%); v3 gains
@@ -92,7 +101,10 @@ fn gemm_bandwidth_story_holds() {
         blocked < vecb,
         "blocked trades external for local bandwidth: {blocked} vs {vecb}"
     );
-    assert!(dbuf > blocked, "overlap raises throughput: {dbuf} vs {blocked}");
+    assert!(
+        dbuf > blocked,
+        "overlap raises throughput: {dbuf} vs {blocked}"
+    );
 }
 
 /// Figs. 11–13: with the host's sequential starts, small π runs are
@@ -115,7 +127,7 @@ fn pi_ramp_and_scaling_hold() {
         let acc = compile(&kernel, &HlsConfig::default());
         let (step, spt) = pi::launch_scalars(&p);
         let mut unit = ProfilingUnit::new("pi", 8, ProfilingConfig::default());
-        
+
         Executor::run(
             &kernel,
             &acc,
