@@ -1,0 +1,56 @@
+//! Wall-clock scaling of the parallel batch engine: the five-version GEMM
+//! sweep at `--jobs 1` vs `--jobs 4`.
+//!
+//! On a machine with ≥ 4 hardware threads the parallel sweep must be at
+//! least 2× faster (compile-once cache + four workers); on smaller
+//! machines the measured speedup is still printed, but the threshold is
+//! not asserted — oversubscribed workers cannot beat wall-clock physics.
+//!
+//! Run with `cargo bench --bench batch_engine`.
+
+use bench::harness::Group;
+use bench::sweep::{gemm_sweep, GemmSweepConfig};
+use bench::{args::default_jobs, gemm_sim_config};
+use hls_profiling::{PipelineConfig, ProfilingConfig};
+use kernels::gemm::GemmParams;
+
+fn sweep_at(jobs: usize) -> usize {
+    let sweep = gemm_sweep(&GemmSweepConfig {
+        params: GemmParams {
+            dim: 64,
+            threads: 4,
+            ..Default::default()
+        },
+        sim: gemm_sim_config(),
+        prof: ProfilingConfig::default(),
+        pipeline: PipelineConfig::default(),
+        out: None,
+        jobs,
+    });
+    sweep.runs.iter().filter(|(_, r)| r.outcome.is_ok()).count()
+}
+
+fn main() {
+    let g = Group::new("batch_engine", 3);
+    let serial = g.bench("gemm_sweep/jobs=1", || {
+        assert_eq!(sweep_at(1), 5);
+    });
+    let parallel = g.bench("gemm_sweep/jobs=4", || {
+        assert_eq!(sweep_at(4), 5);
+    });
+    let speedup = serial.as_secs_f64() / parallel.as_secs_f64();
+    let hw = default_jobs();
+    eprintln!(
+        "[bench] batch_engine/speedup                    jobs=4 is {speedup:.2}x vs jobs=1 ({hw} hardware threads)"
+    );
+    if hw >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >= 2x at --jobs 4 on a {hw}-thread machine, measured {speedup:.2}x"
+        );
+    } else {
+        eprintln!(
+            "[bench] batch_engine/speedup                    threshold skipped: only {hw} hardware thread(s)"
+        );
+    }
+}

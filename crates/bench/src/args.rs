@@ -1,0 +1,102 @@
+//! Tiny command-line flag parser shared by the `repro_*` binaries
+//! (stand-in for clap, which this build environment cannot fetch).
+//!
+//! Flags are `--name value` pairs; unknown flags are ignored so the
+//! binaries stay forgiving about each other's options.
+
+use std::path::PathBuf;
+
+/// Parsed process arguments.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Capture `std::env::args()`.
+    pub fn parse() -> Self {
+        Args {
+            raw: std::env::args().collect(),
+        }
+    }
+
+    /// For tests: parse an explicit argument list.
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Args { raw }
+    }
+
+    /// The raw value following `flag`, if present.
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    /// `--flag N` as `u32`.
+    pub fn u32(&self, flag: &str) -> Option<u32> {
+        self.value_of(flag).and_then(|v| v.parse().ok())
+    }
+
+    /// `--flag N` as `u64`.
+    pub fn u64(&self, flag: &str) -> Option<u64> {
+        self.value_of(flag).and_then(|v| v.parse().ok())
+    }
+
+    /// `--flag N` as `i64`.
+    pub fn i64(&self, flag: &str) -> Option<i64> {
+        self.value_of(flag).and_then(|v| v.parse().ok())
+    }
+
+    /// `--flag PATH`.
+    pub fn path(&self, flag: &str) -> Option<PathBuf> {
+        self.value_of(flag).map(PathBuf::from)
+    }
+
+    /// The `--jobs N` worker count: explicit value clamped to ≥ 1, or the
+    /// machine's available parallelism by default.
+    pub fn jobs(&self) -> usize {
+        self.u64("--jobs")
+            .map(|n| (n as usize).max(1))
+            .unwrap_or_else(default_jobs)
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args::parse()
+    }
+}
+
+/// Default worker count: one worker per available hardware thread.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_vec(s.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn flags_parse_and_missing_flags_default() {
+        let a = args(&["prog", "--dim", "64", "--out", "/tmp/x", "--jobs", "3"]);
+        assert_eq!(a.u32("--dim"), Some(64));
+        assert_eq!(a.i64("--dim"), Some(64));
+        assert_eq!(a.path("--out"), Some(PathBuf::from("/tmp/x")));
+        assert_eq!(a.jobs(), 3);
+        assert_eq!(a.u32("--threads"), None);
+    }
+
+    #[test]
+    fn jobs_clamps_to_one_and_defaults_to_parallelism() {
+        assert_eq!(args(&["prog", "--jobs", "0"]).jobs(), 1);
+        assert_eq!(args(&["prog"]).jobs(), default_jobs());
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -11,19 +11,24 @@
 //! * **sampling period** — the §IV-B.2 trade-off: "the higher the period,
 //!   the more data is produced" (rate vs. volume).
 //!
-//! Usage: `repro_ablations [--dim N]`
+//! Usage: `repro_ablations [--dim N] [--jobs N]`
+//!
+//! The whole 16-run grid executes on the batch engine with one shared
+//! compile cache (two kernels compiled once each); a run that fails with a
+//! typed simulator error becomes a diagnostic row, not an abort.
 
-use bench::{gemm_launch, gemm_sim_config, run_profiled, run_unprofiled};
-use fpga_sim::SimConfig;
+use bench::args::Args;
+use bench::engine::{BatchEngine, RunCtx, RunSpec};
+use bench::{gemm_launch, gemm_sim_config, run_profiled_in, run_unprofiled_in};
+use fpga_sim::{RunResult, SimConfig};
 use hls_profiling::ProfilingConfig;
 use kernels::gemm::{self, GemmParams, GemmVersion};
+use nymble_hls::AccelCache;
 
 fn main() {
-    let dim = std::env::args()
-        .skip_while(|a| a != "--dim")
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64i64);
+    let args = Args::parse();
+    let dim = args.i64("--dim").unwrap_or(64);
+    let jobs = args.jobs();
     let p = GemmParams {
         dim,
         ..Default::default()
@@ -32,54 +37,97 @@ fn main() {
     let launch = gemm_launch(&p);
     let v2 = gemm::build(GemmVersion::NoCritical, &p);
     let v3 = gemm::build(GemmVersion::Vectorized, &p);
+    let cache = AccelCache::new();
+    let engine = BatchEngine::new(jobs);
 
     println!("== MSHR depth: what Partial Vectorization's gain depends on ==\n");
     println!(
         "{:>6} {:>14} {:>14} {:>8}",
         "MSHRs", "v2 cycles", "v3 cycles", "v3 gain"
     );
-    for mshrs in [1u32, 2, 4, 8] {
-        let cfg = SimConfig {
-            port_mshrs: mshrs,
-            ..base.clone()
-        };
-        let c2 = run_unprofiled(&v2, &cfg, &launch).total_cycles;
-        let c3 = run_unprofiled(&v3, &cfg, &launch).total_cycles;
-        println!(
-            "{:>6} {:>14} {:>14} {:>7.2}x",
-            mshrs,
-            c2,
-            c3,
-            c2 as f64 / c3 as f64
-        );
+    const MSHRS: [u32; 4] = [1, 2, 4, 8];
+    let specs: Vec<RunSpec<'_, RunResult>> = MSHRS
+        .iter()
+        .flat_map(|&mshrs| {
+            [(&v2, "v2"), (&v3, "v3")].map(|(kernel, tag)| {
+                let cfg = SimConfig {
+                    port_mshrs: mshrs,
+                    ..base.clone()
+                };
+                let (cache, launch) = (&cache, &launch);
+                RunSpec::new(format!("mshr{mshrs}_{tag}"), move |_: &RunCtx| {
+                    run_unprofiled_in(cache, kernel, &cfg, launch).map_err(Into::into)
+                })
+            })
+        })
+        .collect();
+    let reports = engine.run(specs);
+    for (i, &mshrs) in MSHRS.iter().enumerate() {
+        match (&reports[2 * i].outcome, &reports[2 * i + 1].outcome) {
+            (Ok(r2), Ok(r3)) => println!(
+                "{:>6} {:>14} {:>14} {:>7.2}x",
+                mshrs,
+                r2.total_cycles,
+                r3.total_cycles,
+                r2.total_cycles as f64 / r3.total_cycles as f64
+            ),
+            (a, b) => {
+                let e = a.as_ref().err().or(b.as_ref().err()).unwrap();
+                println!("{mshrs:>6} failed: {e}");
+            }
+        }
     }
 
     println!("\n== DRAM bank hashing: power-of-2 strides vs the bank map ==\n");
-    for (label, hash) in [("hashed", true), ("linear", false)] {
-        let cfg = SimConfig {
-            dram_bank_hash: hash,
-            ..base.clone()
-        };
-        let r2 = run_unprofiled(&v2, &cfg, &launch);
-        println!(
-            "  {label:<7} v2: {:>12} cycles, {:>9} contended requests",
-            r2.total_cycles, r2.stats.dram_contended
-        );
+    const HASHING: [(&str, bool); 2] = [("hashed", true), ("linear", false)];
+    let specs: Vec<RunSpec<'_, RunResult>> = HASHING
+        .iter()
+        .map(|&(label, hash)| {
+            let cfg = SimConfig {
+                dram_bank_hash: hash,
+                ..base.clone()
+            };
+            let (cache, launch, v2) = (&cache, &launch, &v2);
+            RunSpec::new(label, move |_: &RunCtx| {
+                run_unprofiled_in(cache, v2, &cfg, launch).map_err(Into::into)
+            })
+        })
+        .collect();
+    for ((label, _), report) in HASHING.iter().zip(engine.run(specs)) {
+        match &report.outcome {
+            Ok(r2) => println!(
+                "  {label:<7} v2: {:>12} cycles, {:>9} contended requests",
+                r2.total_cycles, r2.stats.dram_contended
+            ),
+            Err(e) => println!("  {label:<7} failed: {e}"),
+        }
     }
 
     println!("\n== per-port line buffers: sequential-stream reuse ==\n");
-    for (label, lbuf) in [("enabled", true), ("disabled", false)] {
-        let cfg = SimConfig {
-            line_buffers: lbuf,
-            ..base.clone()
-        };
-        let r2 = run_unprofiled(&v2, &cfg, &launch);
-        println!(
-            "  {label:<9} v2: {:>12} cycles, hit rate {:>5.1}%, {:>9} line fetches",
-            r2.total_cycles,
-            r2.stats.read_hit_rate() * 100.0,
-            r2.stats.line_fetches
-        );
+    const LINE_BUFS: [(&str, bool); 2] = [("enabled", true), ("disabled", false)];
+    let specs: Vec<RunSpec<'_, RunResult>> = LINE_BUFS
+        .iter()
+        .map(|&(label, lbuf)| {
+            let cfg = SimConfig {
+                line_buffers: lbuf,
+                ..base.clone()
+            };
+            let (cache, launch, v2) = (&cache, &launch, &v2);
+            RunSpec::new(label, move |_: &RunCtx| {
+                run_unprofiled_in(cache, v2, &cfg, launch).map_err(Into::into)
+            })
+        })
+        .collect();
+    for ((label, _), report) in LINE_BUFS.iter().zip(engine.run(specs)) {
+        match &report.outcome {
+            Ok(r2) => println!(
+                "  {label:<9} v2: {:>12} cycles, hit rate {:>5.1}%, {:>9} line fetches",
+                r2.total_cycles,
+                r2.stats.read_hit_rate() * 100.0,
+                r2.stats.line_fetches
+            ),
+            Err(e) => println!("  {label:<9} failed: {e}"),
+        }
     }
 
     println!("\n== sampling period: trace volume vs temporal resolution (§IV-B.2) ==\n");
@@ -87,18 +135,38 @@ fn main() {
         "{:>10} {:>12} {:>10} {:>8}",
         "period", "trace bytes", "records", "flushes"
     );
-    for period in [500u64, 2_000, 10_000, 50_000] {
-        let prof = ProfilingConfig {
-            sampling_period: period,
-            ..Default::default()
-        };
-        let run = run_profiled(&v3, &base, &prof, &launch);
-        println!(
-            "{:>10} {:>12} {:>10} {:>8}",
-            period,
-            run.trace.flushed_bytes,
-            run.trace.records.len(),
-            run.trace.flush_count
-        );
+    const PERIODS: [u64; 4] = [500, 2_000, 10_000, 50_000];
+    let specs: Vec<RunSpec<'_, (u64, usize, usize)>> = PERIODS
+        .iter()
+        .map(|&period| {
+            let prof = ProfilingConfig {
+                sampling_period: period,
+                ..Default::default()
+            };
+            let (cache, launch, v3, base) = (&cache, &launch, &v3, &base);
+            RunSpec::new(format!("period{period}"), move |_: &RunCtx| {
+                let run = run_profiled_in(cache, v3, base, &prof, launch)?;
+                Ok((
+                    run.trace.flushed_bytes,
+                    run.trace.records.len(),
+                    run.trace.flush_count,
+                ))
+            })
+        })
+        .collect();
+    for (&period, report) in PERIODS.iter().zip(&engine.run(specs)) {
+        match &report.outcome {
+            Ok((bytes, records, flushes)) => {
+                println!("{period:>10} {bytes:>12} {records:>10} {flushes:>8}")
+            }
+            Err(e) => println!("{period:>10} failed: {e}"),
+        }
     }
+
+    let stats = cache.stats();
+    println!(
+        "\n({jobs} workers; {} runs shared {} compiled kernels)",
+        stats.hits + stats.misses,
+        stats.entries
+    );
 }

@@ -2,14 +2,19 @@
 //! the text, the Paraver state view of Fig. 6 (with its zoom), the relative
 //! bandwidth comparison of Fig. 7, and the phase plots of Figs. 8 and 9.
 //!
-//! Usage: `repro_gemm [--dim N] [--threads N] [--out DIR]`
+//! Usage: `repro_gemm [--dim N] [--threads N] [--out DIR] [--jobs N]`
 //!
 //! `--dim 512` runs at the paper's scale (slow); the default 128 preserves
 //! every ratio (see EXPERIMENTS.md). Trace bundles (`.prv`/`.pcf`/`.row`)
-//! are written under `--out` (default `target/traces`).
+//! are written under `--out` (default `target/traces`). The five versions
+//! run in parallel on the batch engine (`--jobs`, default: all hardware
+//! threads); tables and bundles are byte-identical for any worker count.
 
-use bench::{gemm_sim_config, run_gemm};
+use bench::args::Args;
+use bench::gemm_sim_config;
+use bench::sweep::{bundles_footer, gemm_sweep, gemm_table, GemmSweep, GemmSweepConfig};
 use hls_profiling::diagnose::{diagnose, DiagnoseConfig};
+use hls_profiling::{PipelineConfig, ProfilingConfig};
 use kernels::gemm::{GemmParams, GemmVersion};
 use paraver::analysis::{event_series, StateProfile};
 use paraver::timeline::{render_series, render_states, TimelineOptions};
@@ -17,11 +22,11 @@ use paraver::{events, states};
 use std::path::PathBuf;
 
 fn main() {
-    let dim = arg_u32("--dim").unwrap_or(128) as i64;
-    let threads = arg_u32("--threads").unwrap_or(8);
-    let out: PathBuf = arg_str("--out")
-        .unwrap_or_else(|| "target/traces".to_string())
-        .into();
+    let args = Args::parse();
+    let dim = args.u32("--dim").unwrap_or(128) as i64;
+    let threads = args.u32("--threads").unwrap_or(8);
+    let jobs = args.jobs();
+    let out: PathBuf = args.path("--out").unwrap_or_else(|| "target/traces".into());
     std::fs::create_dir_all(&out).expect("create trace output dir");
 
     let p = GemmParams {
@@ -31,52 +36,49 @@ fn main() {
     };
     let sim = gemm_sim_config();
 
+    let sweep: GemmSweep = gemm_sweep(&GemmSweepConfig {
+        params: p,
+        sim: sim.clone(),
+        prof: ProfilingConfig::default(),
+        pipeline: PipelineConfig::default(),
+        out: Some(out.clone()),
+        jobs,
+    });
     println!("== T-GEMM: execution time and speedups (§V-C text) ==\n");
+    print!("{}", gemm_table(&sweep, &sim, threads));
     println!(
-        "{:<24} {:>14} {:>9} {:>9} {:>8} {:>8} {:>8}",
-        "version", "cycles", "vs naive", "vs prev", "GB/s", "spin%", "crit%"
+        "\n({} workers; compile cache: {} kernels compiled once, {} shared reuses)",
+        jobs, sweep.cache.misses, sweep.cache.hits
     );
-    let mut runs = Vec::new();
-    let (mut naive_c, mut prev_c) = (0u64, 0u64);
-    for v in GemmVersion::ALL {
-        let run = run_gemm(v, &p, &sim);
-        let c = run.result.total_cycles;
-        if v == GemmVersion::Naive {
-            naive_c = c;
-            prev_c = c;
-        }
-        let prof = StateProfile::compute(&run.trace.records, threads);
-        println!(
-            "{:<24} {:>14} {:>8.2}x {:>8.2}x {:>8.3} {:>7.2}% {:>7.2}%",
-            v.name(),
-            c,
-            naive_c as f64 / c as f64,
-            prev_c as f64 / c as f64,
-            run.result.throughput_gbps(&sim),
-            prof.fraction(states::SPINNING) * 100.0,
-            prof.fraction(states::CRITICAL) * 100.0
-        );
-        prev_c = c;
-        let stem = out.join(format!("gemm_{dim}_{}", run.trace.meta.app_name));
-        run.trace.write_bundle(&stem).expect("write trace bundle");
-        runs.push((v, run));
-    }
+
     println!("\n-- automated trace diagnosis (hls_profiling::diagnose) --\n");
-    for (v, run) in &runs {
-        let d = diagnose(
-            &run.trace,
-            &run.result.stats,
-            &sim,
-            &DiagnoseConfig::default(),
-        );
-        println!("{:<24} {:?}: {}", v.name(), d.bottleneck, d.advice);
+    for (v, report) in &sweep.runs {
+        match &report.outcome {
+            Ok(run) => {
+                let d = diagnose(
+                    &run.trace,
+                    &run.result.stats,
+                    &sim,
+                    &DiagnoseConfig::default(),
+                );
+                println!("{:<24} {:?}: {}", v.name(), d.bottleneck, d.advice);
+            }
+            Err(e) => println!("{:<24} run failed, no trace to diagnose: {e}", v.name()),
+        }
     }
     println!(
         "\n(paper @512: naive 853,522,308 cycles; 1.14x, 1.93x over previous, 5.28x and 19x over naive)"
     );
 
     // ---- Fig. 6: state view of the naive version -------------------------
-    let (_, naive) = &runs[0];
+    let naive = match &sweep.runs[0].1.outcome {
+        Ok(run) => run,
+        Err(e) => {
+            println!("\nnaive run failed ({e}); skipping the figure renders");
+            println!("\n{}", bundles_footer(&out));
+            return;
+        }
+    };
     println!(
         "\n== Fig. 6: Paraver state view, naive GEMM (R=Running S=Spinning C=Critical .=Idle) ==\n"
     );
@@ -122,7 +124,8 @@ fn main() {
 
     // ---- Fig. 7: relative bandwidth over relative execution time --------
     println!("\n== Fig. 7: relative external-memory bandwidth over each version's execution ==\n");
-    for (v, run) in &runs {
+    for (v, report) in &sweep.runs {
+        let Ok(run) = &report.outcome else { continue };
         let dur = run.trace.meta.duration.max(1);
         let bins = 100u64;
         let series_r = event_series(
@@ -149,7 +152,8 @@ fn main() {
 
     // ---- Figs. 8 & 9: load/compute phases, blocked vs double-buffered ----
     for (v, fig) in [(GemmVersion::Blocked, 8), (GemmVersion::DoubleBuffered, 9)] {
-        let run = &runs.iter().find(|(rv, _)| *rv == v).unwrap().1;
+        let report = &sweep.runs.iter().find(|(rv, _)| *rv == v).unwrap().1;
+        let Ok(run) = &report.outcome else { continue };
         let dur = run.trace.meta.duration.max(1);
         let bins = 100u64;
         let bw = event_series(
@@ -189,7 +193,7 @@ fn main() {
     println!(
         "\n(Fig. 8: alternating load/compute phases; Fig. 9: reads overlap compute — flatter both)"
     );
-    println!("\ntrace bundles written to {}", out.display());
+    println!("\n{}", bundles_footer(&out));
 }
 
 /// Find a window around the first sizeable spinning interval.
@@ -212,20 +216,4 @@ fn find_spin_window(records: &[paraver::Record]) -> Option<(u64, u64)> {
         let pad = (e - b).max(50);
         (b.saturating_sub(pad), e + pad)
     })
-}
-
-fn arg_u32(flag: &str) -> Option<u32> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
-fn arg_str(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
 }

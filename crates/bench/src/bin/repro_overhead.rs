@@ -6,21 +6,33 @@
 //! 1.5% ALMs, 1 MHz at ~148 MHz. Also verifies the per-counter claim:
 //! "each of the counters contributes similarly to the hardware overhead".
 //!
-//! Usage: `repro_overhead [--threads N]`
+//! Usage: `repro_overhead [--threads N] [--jobs N]`
+//!
+//! The six accelerator compiles (five GEMM versions plus π) run in
+//! parallel on the batch engine through a shared compile cache; the
+//! printed tables are identical for any `--jobs` value.
 
+use bench::args::Args;
+use bench::engine::{BatchEngine, RunCtx, RunSpec};
 use hls_profiling::counters::CounterSet;
 use hls_profiling::overhead::{instrumented_fit, profiling_fit, OverheadParams};
 use hls_profiling::ProfilingConfig;
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use kernels::pi::{self, PiParams};
-use nymble_hls::accel::{compile, HlsConfig};
+use nymble_hls::accel::{Accelerator, HlsConfig};
 use nymble_hls::cost::geo_mean;
+use nymble_hls::AccelCache;
+use std::sync::Arc;
 
 fn main() {
-    let threads = arg_u32("--threads").unwrap_or(8);
+    let args = Args::parse();
+    let threads = args.u32("--threads").unwrap_or(8);
+    let jobs = args.jobs();
     let hls = HlsConfig::default();
     let prof = ProfilingConfig::default();
     let op = OverheadParams::default();
+    let cache = AccelCache::new();
+    let engine = BatchEngine::new(jobs);
 
     println!("== E1: hardware footprint of the profiling unit — study 1 (GEMM accelerators) ==\n");
     println!(
@@ -42,9 +54,23 @@ fn main() {
         threads,
         ..GemmParams::paper_scale()
     };
-    for v in GemmVersion::ALL {
-        let k = gemm::build(v, &gp);
-        let acc = compile(&k, &hls);
+    // Compile every study design on the worker pool; reports come back in
+    // submission order, so the table below never depends on `--jobs`.
+    let specs: Vec<RunSpec<'_, Arc<Accelerator>>> = GemmVersion::ALL
+        .iter()
+        .map(|&v| {
+            let (cache, hls, gp) = (&cache, &hls, &gp);
+            RunSpec::new(v.name(), move |_: &RunCtx| {
+                Ok(cache.get_or_compile(&gemm::build(v, gp), hls))
+            })
+        })
+        .collect();
+    let accs: Vec<Arc<Accelerator>> = engine
+        .run(specs)
+        .into_iter()
+        .map(|r| r.outcome.expect("compilation cannot fail"))
+        .collect();
+    for (v, acc) in GemmVersion::ALL.iter().zip(&accs) {
         let with = instrumented_fit(&acc.fit, threads, &prof, &op, &hls.cost);
         let o = with.overhead_vs(&acc.fit);
         alm_pcts.push(o.alms_pct);
@@ -80,8 +106,7 @@ fn main() {
         threads,
         ..Default::default()
     };
-    let k = pi::build(&pp);
-    let acc = compile(&k, &hls);
+    let acc = cache.get_or_compile(&pi::build(&pp), &hls);
     let with = instrumented_fit(&acc.fit, threads, &prof, &op, &hls.cost);
     let o = with.overhead_vs(&acc.fit);
     println!(
@@ -142,12 +167,9 @@ fn main() {
             f.registers - none.registers
         );
     }
-}
-
-fn arg_u32(flag: &str) -> Option<u32> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+    let stats = cache.stats();
+    println!(
+        "\n({jobs} workers; {} designs compiled once each)",
+        stats.entries
+    );
 }

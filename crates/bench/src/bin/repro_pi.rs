@@ -3,21 +3,26 @@
 //! GFLOP/s at 1 M / 4 M / 10 M iterations, and the paper's 15·10⁹-iteration
 //! extrapolation.
 //!
-//! Usage: `repro_pi [--threads N] [--out DIR]`
+//! Usage: `repro_pi [--threads N] [--out DIR] [--jobs N]`
+//!
+//! The three problem sizes run in parallel on the batch engine; the π
+//! kernel's IR is step-count-independent, so the whole sweep shares one
+//! HLS compile. Output is byte-identical for any `--jobs` value.
 
-use bench::{pi_sim_config, run_pi};
-use hls_profiling::ProfilingConfig;
-use kernels::pi::PiParams;
+use bench::args::Args;
+use bench::pi_sim_config;
+use bench::sweep::{bundles_footer, pi_sweep, pi_table, PiSweepConfig};
+use hls_profiling::{PipelineConfig, ProfilingConfig};
 use paraver::analysis::StateProfile;
 use paraver::states;
 use paraver::timeline::{render_states, TimelineOptions};
 use std::path::PathBuf;
 
 fn main() {
-    let threads = arg_u32("--threads").unwrap_or(8);
-    let out: PathBuf = arg_str("--out")
-        .unwrap_or_else(|| "target/traces".to_string())
-        .into();
+    let args = Args::parse();
+    let threads = args.u32("--threads").unwrap_or(8);
+    let jobs = args.jobs();
+    let out: PathBuf = args.path("--out").unwrap_or_else(|| "target/traces".into());
     std::fs::create_dir_all(&out).expect("create trace output dir");
     let sim = pi_sim_config();
     let prof = ProfilingConfig {
@@ -30,14 +35,27 @@ fn main() {
         (4_000_000, 0.556, 12),
         (10_000_000, 1.507, 13),
     ];
+    let sweep = pi_sweep(&PiSweepConfig {
+        steps: paper.iter().map(|&(s, _, _)| s).collect(),
+        threads,
+        bs: 8,
+        sim: sim.clone(),
+        prof,
+        pipeline: PipelineConfig::default(),
+        out: Some(out.clone()),
+        jobs,
+    });
+
     let mut per_iter_cycles = 0.0f64;
-    for (steps, paper_gflops, fig) in paper {
-        let p = PiParams {
-            steps,
-            threads,
-            bs: 8,
+    for ((steps, paper_gflops, fig), (_, report)) in paper.iter().zip(&sweep.runs) {
+        let pr = match &report.outcome {
+            Ok(pr) => pr,
+            Err(e) => {
+                println!("== Fig. {fig}: π with {steps} iterations — run failed: {e} ==\n");
+                continue;
+            }
         };
-        let (run, est) = run_pi(&p, &sim, &prof);
+        let (run, est) = (&pr.run, pr.estimate);
         let gflops = run.result.gflops(&sim);
         println!("== Fig. {fig}: π with {steps} iterations on {threads} threads ==\n");
         let opts = TimelineOptions {
@@ -64,13 +82,18 @@ fn main() {
             , threads - 1);
         }
         println!();
-        let stem = out.join(format!("pi_{steps}"));
-        run.trace.write_bundle(&stem).expect("write trace bundle");
 
         // Steady-state compute rate for the extrapolation below.
         let t7 = &run.result.stats.per_thread[threads as usize - 1];
-        per_iter_cycles = (t7.end_cycle - t7.start_cycle) as f64 / (steps as f64 / threads as f64);
+        per_iter_cycles = (t7.end_cycle - t7.start_cycle) as f64 / (*steps as f64 / threads as f64);
     }
+
+    println!(
+        "== summary ({jobs} workers; {} compile for {} runs) ==\n",
+        sweep.cache.misses,
+        sweep.runs.len()
+    );
+    print!("{}", pi_table(&sweep, &sim));
 
     // §V-D extrapolation: "increasing the number of iterations to 15·10^9
     // would give us 36.84 GFLOP/s" (ignoring f32 instability).
@@ -79,26 +102,10 @@ fn main() {
     let total_cycles = launch_span + big / threads as f64 * per_iter_cycles;
     let flops = big * kernels::reference::PI_FLOPS_PER_ITER as f64;
     let gflops = flops / (total_cycles / sim.clock_hz()) / 1e9;
-    println!("== extrapolation to 15·10⁹ iterations (paper: 36.84 GFLOP/s, ignoring f32 instability) ==\n");
+    println!("\n== extrapolation to 15·10⁹ iterations (paper: 36.84 GFLOP/s, ignoring f32 instability) ==\n");
     println!(
         "  predicted {total_cycles:.3e} cycles → {gflops:.2} GFLOP/s at {} MHz",
         sim.clock_mhz
     );
-    println!("\ntrace bundles written to {}", out.display());
-}
-
-fn arg_u32(flag: &str) -> Option<u32> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
-fn arg_str(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    println!("\n{}", bundles_footer(&out));
 }

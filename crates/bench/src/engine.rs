@@ -1,0 +1,269 @@
+//! # engine — parallel batch-run scheduler for experiment sweeps
+//!
+//! A sweep (the GEMM version table, the π scaling study, an ablation grid)
+//! is a list of independent simulator runs. [`BatchEngine`] executes such a
+//! list on a fixed pool of worker threads while keeping every observable
+//! output — tables, trace bundles, error reports — **byte-identical to a
+//! serial run**:
+//!
+//! * jobs are claimed from a shared queue in submission order, but results
+//!   are collected into a slot vector indexed by submission order, so the
+//!   returned `Vec` never depends on which worker finished first;
+//! * each run gets its own [`RunCtx`] with an isolated scratch directory
+//!   (for trace-pipeline spill files), so concurrent runs never share
+//!   mutable on-disk state;
+//! * run failures are values ([`crate::BenchError`] inside
+//!   [`RunReport::outcome`]), not panics — one deadlocked configuration
+//!   must not abort the remaining ninety-nine runs of a sweep;
+//! * compilation is shared through [`nymble_hls::AccelCache`] by the
+//!   closures themselves (see [`crate::sweep`]), so adding workers never
+//!   repeats the expensive HLS front-end work.
+//!
+//! The pool is plain `std::thread::scope` + `Mutex<VecDeque>` + an mpsc
+//! results channel — no external runtime — mirroring the streaming trace
+//! pipeline's single-worker design from `hls_profiling::pipeline`.
+
+use crate::BenchError;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-run context handed to each job closure.
+#[derive(Clone, Debug)]
+pub struct RunCtx {
+    /// Submission index of this run (0-based, stable across worker counts).
+    pub index: usize,
+    /// Worker that executed the run (informational; never affects output).
+    pub worker: usize,
+    /// Private scratch directory for this run, created before the job
+    /// starts and removed with the engine's scratch root afterwards. Used
+    /// as the trace pipeline's spill directory so concurrent runs never
+    /// interleave spill files.
+    pub scratch_dir: PathBuf,
+}
+
+/// One schedulable run: a stable label plus the work itself.
+pub struct RunSpec<'a, T> {
+    /// Stable identifier used in tables and trace-bundle names; must not
+    /// depend on scheduling.
+    pub label: String,
+    /// The run body. Receives this run's [`RunCtx`].
+    #[allow(clippy::type_complexity)]
+    pub task: Box<dyn FnOnce(&RunCtx) -> Result<T, BenchError> + Send + 'a>,
+}
+
+impl<'a, T> RunSpec<'a, T> {
+    /// Build a spec from a label and a closure.
+    pub fn new(
+        label: impl Into<String>,
+        task: impl FnOnce(&RunCtx) -> Result<T, BenchError> + Send + 'a,
+    ) -> Self {
+        RunSpec {
+            label: label.into(),
+            task: Box::new(task),
+        }
+    }
+}
+
+/// Outcome of one run, returned in submission order.
+pub struct RunReport<T> {
+    /// The spec's label.
+    pub label: String,
+    /// Submission index (equals this report's position in the result vec).
+    pub index: usize,
+    /// Worker that ran the job.
+    pub worker: usize,
+    /// Wall-clock time of the job body.
+    pub wall: Duration,
+    /// The run's value, or its typed failure.
+    pub outcome: Result<T, BenchError>,
+}
+
+/// Process-unique scratch-root counter (no wall-clock involved, so batch
+/// runs stay reproducible byte for byte).
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Fixed-size worker pool executing [`RunSpec`] lists deterministically.
+pub struct BatchEngine {
+    jobs: usize,
+    scratch_root: PathBuf,
+}
+
+impl BatchEngine {
+    /// An engine with `jobs` workers (clamped to at least one). Scratch
+    /// space lives under the system temp dir in a process-unique root.
+    pub fn new(jobs: usize) -> Self {
+        let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+        let scratch_root =
+            std::env::temp_dir().join(format!("hls-paraver-batch-{}-{}", std::process::id(), seq));
+        BatchEngine {
+            jobs: jobs.max(1),
+            scratch_root,
+        }
+    }
+
+    /// Number of worker threads this engine will use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run every spec and return one [`RunReport`] per spec, **in
+    /// submission order**, regardless of worker count or completion order.
+    pub fn run<'a, T: Send>(&self, specs: Vec<RunSpec<'a, T>>) -> Vec<RunReport<T>> {
+        let n = specs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        std::fs::create_dir_all(&self.scratch_root).expect("create batch scratch root");
+
+        let queue: Mutex<VecDeque<(usize, RunSpec<'a, T>)>> =
+            Mutex::new(specs.into_iter().enumerate().collect());
+        let (tx, rx) = mpsc::channel::<RunReport<T>>();
+
+        let workers = self.jobs.min(n);
+        std::thread::scope(|s| {
+            for worker in 0..workers {
+                let queue = &queue;
+                let tx = tx.clone();
+                let scratch_root = &self.scratch_root;
+                s.spawn(move || loop {
+                    let job = queue.lock().expect("job queue poisoned").pop_front();
+                    let Some((index, spec)) = job else { break };
+                    let ctx = RunCtx {
+                        index,
+                        worker,
+                        scratch_dir: scratch_root.join(format!("run-{index:04}")),
+                    };
+                    std::fs::create_dir_all(&ctx.scratch_dir).expect("create run scratch dir");
+                    let t0 = Instant::now();
+                    let outcome = (spec.task)(&ctx);
+                    let report = RunReport {
+                        label: spec.label,
+                        index,
+                        worker,
+                        wall: t0.elapsed(),
+                        outcome,
+                    };
+                    if tx.send(report).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            // Ordered collector: slot by submission index.
+            let mut slots: Vec<Option<RunReport<T>>> = (0..n).map(|_| None).collect();
+            for report in rx {
+                let idx = report.index;
+                slots[idx] = Some(report);
+            }
+            let _ = std::fs::remove_dir_all(&self.scratch_root);
+            slots
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| r.unwrap_or_else(|| panic!("run {i} produced no report")))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_sim::SimError;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let engine = BatchEngine::new(4);
+        let specs: Vec<RunSpec<'_, usize>> = (0..32)
+            .map(|i| {
+                RunSpec::new(format!("job{i}"), move |ctx: &RunCtx| {
+                    assert_eq!(ctx.index, i);
+                    // Uneven work so completion order differs from
+                    // submission order.
+                    let spin = (31 - i) * 1000;
+                    std::hint::black_box((0..spin).sum::<usize>());
+                    Ok(i * 10)
+                })
+            })
+            .collect();
+        let reports = engine.run(specs);
+        assert_eq!(reports.len(), 32);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.label, format!("job{i}"));
+            assert_eq!(*r.outcome.as_ref().unwrap(), i * 10);
+        }
+    }
+
+    #[test]
+    fn a_failing_run_does_not_abort_the_sweep() {
+        let engine = BatchEngine::new(2);
+        let specs: Vec<RunSpec<'_, u32>> = (0..6)
+            .map(|i| {
+                RunSpec::new(format!("r{i}"), move |_: &RunCtx| {
+                    if i == 3 {
+                        Err(SimError::InvalidConfig("injected".into()).into())
+                    } else {
+                        Ok(i)
+                    }
+                })
+            })
+            .collect();
+        let reports = engine.run(specs);
+        assert_eq!(reports.len(), 6);
+        assert!(reports[3].outcome.is_err());
+        for (i, r) in reports.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(*r.outcome.as_ref().unwrap(), i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_dirs_are_isolated_and_cleaned_up() {
+        let engine = BatchEngine::new(3);
+        let root = engine.scratch_root.clone();
+        let specs: Vec<RunSpec<'_, PathBuf>> = (0..5)
+            .map(|i| {
+                RunSpec::new(format!("s{i}"), move |ctx: &RunCtx| {
+                    assert!(ctx.scratch_dir.is_dir(), "scratch dir pre-created");
+                    std::fs::write(ctx.scratch_dir.join("spill.tmp"), b"x").unwrap();
+                    Ok(ctx.scratch_dir.clone())
+                })
+            })
+            .collect();
+        let reports = engine.run(specs);
+        let dirs: Vec<_> = reports
+            .iter()
+            .map(|r| r.outcome.as_ref().unwrap().clone())
+            .collect();
+        for (i, d) in dirs.iter().enumerate() {
+            for other in &dirs[i + 1..] {
+                assert_ne!(d, other, "each run has a private dir");
+            }
+        }
+        assert!(!root.exists(), "scratch root removed after the sweep");
+    }
+
+    #[test]
+    fn borrowed_state_can_be_shared_across_jobs() {
+        // RunSpec is lifetime-generic: jobs may borrow sweep-local state
+        // (kernels, caches) without 'static gymnastics.
+        let data = [1u64, 2, 3, 4];
+        let engine = BatchEngine::new(2);
+        let specs: Vec<RunSpec<'_, u64>> = data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| RunSpec::new(format!("b{i}"), move |_: &RunCtx| Ok(v * 2)))
+            .collect();
+        let out: Vec<u64> = engine
+            .run(specs)
+            .into_iter()
+            .map(|r| r.outcome.unwrap())
+            .collect();
+        assert_eq!(out, vec![2, 4, 6, 8]);
+    }
+}

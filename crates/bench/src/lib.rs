@@ -6,10 +6,13 @@
 //! Paraver trace, and derive the paper's metrics. See `EXPERIMENTS.md` for
 //! the experiment↔binary map.
 
+pub mod args;
+pub mod engine;
 pub mod harness;
+pub mod sweep;
 
 use fpga_sim::memimg::LaunchArg;
-use fpga_sim::{Executor, NullSnoop, RunResult, SimConfig};
+use fpga_sim::{Executor, NullSnoop, RunResult, SimConfig, SimError};
 use hls_profiling::{
     PipelineConfig, PipelineError, ProfilingConfig, ProfilingUnit, SinkFactory, StreamReport,
     TraceData,
@@ -17,10 +20,52 @@ use hls_profiling::{
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use kernels::pi::{self, PiParams};
 use kernels::reference;
-use nymble_hls::accel::{compile, Accelerator, HlsConfig};
+use nymble_hls::accel::{Accelerator, HlsConfig};
+use nymble_hls::AccelCache;
 use nymble_ir::{Kernel, Value};
 use paraver::TraceSink;
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Anything that can fail inside one batch-engine run: the simulator
+/// (typed deadlock / config errors) or the streaming trace pipeline.
+#[derive(Debug)]
+pub enum BenchError {
+    /// The cycle-level simulator rejected the run.
+    Sim(SimError),
+    /// The background trace pipeline failed.
+    Pipeline(PipelineError),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Sim(e) => write!(f, "{e}"),
+            BenchError::Pipeline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Sim(e) => Some(e),
+            BenchError::Pipeline(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for BenchError {
+    fn from(e: SimError) -> Self {
+        BenchError::Sim(e)
+    }
+}
+
+impl From<PipelineError> for BenchError {
+    fn from(e: PipelineError) -> Self {
+        BenchError::Pipeline(e)
+    }
+}
 
 /// Convert an `f32` slice into a buffer launch argument.
 pub fn f32_buffer(data: &[f32]) -> LaunchArg {
@@ -38,42 +83,60 @@ pub fn f32_result(r: &RunResult, arg: usize) -> Vec<f32> {
         .collect()
 }
 
-/// Outcome of one profiled experiment run.
+/// Outcome of one profiled experiment run. The compiled accelerator is
+/// [`Arc`]-shared so a batch sweep's runs of the same kernel hold one
+/// artifact (see [`nymble_hls::AccelCache`]).
 pub struct ProfiledRun {
     pub result: RunResult,
     pub trace: TraceData,
-    pub accel: Accelerator,
+    pub accel: Arc<Accelerator>,
+}
+
+/// [`run_profiled`] against a shared compile cache: the kernel is compiled
+/// at most once per cache however many runs (or worker threads) request it.
+pub fn run_profiled_in(
+    cache: &AccelCache,
+    kernel: &Kernel,
+    sim: &SimConfig,
+    prof: &ProfilingConfig,
+    launch: &[LaunchArg],
+) -> Result<ProfiledRun, SimError> {
+    let accel = cache.get_or_compile(kernel, &HlsConfig::default());
+    let mut unit = ProfilingUnit::new(&kernel.name, kernel.num_threads, prof.clone());
+    let result = Executor::run(kernel, &accel, sim, launch, &mut unit)?;
+    Ok(ProfiledRun {
+        result,
+        trace: unit.finish(),
+        accel,
+    })
 }
 
 /// Compile and run a kernel with the profiling unit attached.
+///
+/// # Panics
+/// Panics on simulator errors; batch sweeps that must survive a failing
+/// run use [`run_profiled_in`] and report the typed [`SimError`] instead.
 pub fn run_profiled(
     kernel: &Kernel,
     sim: &SimConfig,
     prof: &ProfilingConfig,
     launch: &[LaunchArg],
 ) -> ProfiledRun {
-    let accel = compile(kernel, &HlsConfig::default());
-    let mut unit = ProfilingUnit::new(&kernel.name, kernel.num_threads, prof.clone());
-    let result = Executor::run(kernel, &accel, sim, launch, &mut unit);
-    ProfiledRun {
-        result,
-        trace: unit.finish(),
-        accel,
-    }
+    run_profiled_in(&AccelCache::new(), kernel, sim, prof, launch).expect("simulation failed")
 }
 
-/// Compile and run a kernel with the profiling unit in streaming mode:
-/// every trace-buffer flush feeds the background decode → bounded-sort →
-/// sink pipeline instead of accumulating in memory.
-pub fn run_profiled_streaming(
+/// [`run_profiled_streaming`] against a shared compile cache, with
+/// simulator failures surfaced as typed [`BenchError::Sim`] values.
+pub fn run_profiled_streaming_in(
+    cache: &AccelCache,
     kernel: &Kernel,
     sim: &SimConfig,
     prof: &ProfilingConfig,
     pipeline: PipelineConfig,
     sink_factory: SinkFactory,
     launch: &[LaunchArg],
-) -> Result<(RunResult, StreamReport), PipelineError> {
-    let accel = compile(kernel, &HlsConfig::default());
+) -> Result<(RunResult, StreamReport), BenchError> {
+    let accel = cache.get_or_compile(kernel, &HlsConfig::default());
     let mut unit = ProfilingUnit::new_streaming(
         &kernel.name,
         kernel.num_threads,
@@ -82,8 +145,40 @@ pub fn run_profiled_streaming(
         sink_factory,
     );
     let result = Executor::run(kernel, &accel, sim, launch, &mut unit);
-    let report = unit.finish_streaming()?;
-    Ok((result, report))
+    // Drain the pipeline even when the simulator failed mid-run, so the
+    // worker thread is always joined; the simulator error takes precedence.
+    let report = unit.finish_streaming();
+    let result = result?;
+    Ok((result, report?))
+}
+
+/// Compile and run a kernel with the profiling unit in streaming mode:
+/// every trace-buffer flush feeds the background decode → bounded-sort →
+/// sink pipeline instead of accumulating in memory.
+///
+/// # Panics
+/// Panics on simulator errors (see [`run_profiled_streaming_in`]).
+pub fn run_profiled_streaming(
+    kernel: &Kernel,
+    sim: &SimConfig,
+    prof: &ProfilingConfig,
+    pipeline: PipelineConfig,
+    sink_factory: SinkFactory,
+    launch: &[LaunchArg],
+) -> Result<(RunResult, StreamReport), PipelineError> {
+    match run_profiled_streaming_in(
+        &AccelCache::new(),
+        kernel,
+        sim,
+        prof,
+        pipeline,
+        sink_factory,
+        launch,
+    ) {
+        Ok(ok) => Ok(ok),
+        Err(BenchError::Pipeline(e)) => Err(e),
+        Err(BenchError::Sim(e)) => panic!("simulation failed: {e}"),
+    }
 }
 
 /// Sink factory that streams the trace into a `.prv`/`.pcf`/`.row` bundle
@@ -100,10 +195,23 @@ pub fn bundle_sink(path_stem: PathBuf) -> SinkFactory {
     })
 }
 
-/// Compile and run a kernel without profiling (the overhead-study baseline).
-pub fn run_unprofiled(kernel: &Kernel, sim: &SimConfig, launch: &[LaunchArg]) -> RunResult {
-    let accel = compile(kernel, &HlsConfig::default());
+/// [`run_unprofiled`] against a shared compile cache.
+pub fn run_unprofiled_in(
+    cache: &AccelCache,
+    kernel: &Kernel,
+    sim: &SimConfig,
+    launch: &[LaunchArg],
+) -> Result<RunResult, SimError> {
+    let accel = cache.get_or_compile(kernel, &HlsConfig::default());
     Executor::run(kernel, &accel, sim, launch, &mut NullSnoop)
+}
+
+/// Compile and run a kernel without profiling (the overhead-study baseline).
+///
+/// # Panics
+/// Panics on simulator errors (see [`run_unprofiled_in`]).
+pub fn run_unprofiled(kernel: &Kernel, sim: &SimConfig, launch: &[LaunchArg]) -> RunResult {
+    run_unprofiled_in(&AccelCache::new(), kernel, sim, launch).expect("simulation failed")
 }
 
 /// GEMM launch arguments (A, B, C) with deterministic contents.
@@ -118,25 +226,58 @@ pub fn gemm_launch(p: &GemmParams) -> Vec<LaunchArg> {
     ]
 }
 
+/// [`run_gemm`] against a shared compile cache.
+pub fn run_gemm_in(
+    cache: &AccelCache,
+    version: GemmVersion,
+    p: &GemmParams,
+    sim: &SimConfig,
+) -> Result<ProfiledRun, SimError> {
+    let kernel = gemm::build(version, p);
+    run_profiled_in(
+        cache,
+        &kernel,
+        sim,
+        &ProfilingConfig::default(),
+        &gemm_launch(p),
+    )
+}
+
 /// Run one GEMM version end to end with profiling.
 pub fn run_gemm(version: GemmVersion, p: &GemmParams, sim: &SimConfig) -> ProfiledRun {
-    let kernel = gemm::build(version, p);
-    run_profiled(&kernel, sim, &ProfilingConfig::default(), &gemm_launch(p))
+    run_gemm_in(&AccelCache::new(), version, p, sim).expect("simulation failed")
+}
+
+/// The π kernel's launch arguments for `p`.
+pub fn pi_launch(p: &PiParams) -> Vec<LaunchArg> {
+    let (step, spt) = pi::launch_scalars(p);
+    vec![
+        LaunchArg::Scalar(Value::F32(step)),
+        LaunchArg::Scalar(Value::I64(spt)),
+        f32_buffer(&[0.0]),
+    ]
+}
+
+/// [`run_pi`] against a shared compile cache. The π kernel's IR does not
+/// depend on the step count (it arrives as launch scalars), so every
+/// problem size of the §V-D study shares one compile.
+pub fn run_pi_in(
+    cache: &AccelCache,
+    p: &PiParams,
+    sim: &SimConfig,
+    prof: &ProfilingConfig,
+) -> Result<(ProfiledRun, f32), SimError> {
+    let kernel = pi::build(p);
+    let (step, _) = pi::launch_scalars(p);
+    let run = run_profiled_in(cache, &kernel, sim, prof, &pi_launch(p))?;
+    let est = f32_result(&run.result, 2)[0] * step;
+    Ok((run, est))
 }
 
 /// Run the π kernel with profiling; returns the run plus the achieved π
 /// estimate.
 pub fn run_pi(p: &PiParams, sim: &SimConfig, prof: &ProfilingConfig) -> (ProfiledRun, f32) {
-    let kernel = pi::build(p);
-    let (step, spt) = pi::launch_scalars(p);
-    let launch = vec![
-        LaunchArg::Scalar(Value::F32(step)),
-        LaunchArg::Scalar(Value::I64(spt)),
-        f32_buffer(&[0.0]),
-    ];
-    let run = run_profiled(&kernel, sim, prof, &launch);
-    let est = f32_result(&run.result, 2)[0] * step;
-    (run, est)
+    run_pi_in(&AccelCache::new(), p, sim, prof).expect("simulation failed")
 }
 
 /// The simulator configuration used for GEMM experiments: identical hardware

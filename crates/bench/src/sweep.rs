@@ -1,0 +1,382 @@
+//! # sweep — multi-run experiment orchestration on the batch engine
+//!
+//! The deterministic middle layer between the [`crate::engine`] scheduler
+//! and the `repro_*` binaries: it turns an experiment description (which
+//! GEMM versions, which π problem sizes, where the trace bundles go) into
+//! [`RunSpec`]s, shares one [`AccelCache`] across all workers so each
+//! kernel is compiled exactly once per sweep, and renders the result tables
+//! from the **collected, submission-ordered** reports — so the table text
+//! and the trace bundles are byte-identical at `--jobs 1` and `--jobs 8`.
+//!
+//! Each run streams its trace through the background pipeline of
+//! `hls_profiling::pipeline` with a run-private spill directory (from
+//! [`RunCtx::scratch_dir`]) and a *tee* sink: records go to the
+//! `.prv`/`.pcf`/`.row` bundle on disk and into an in-memory vector for the
+//! figure rendering the binaries do afterwards.
+//!
+//! Simulator failures (e.g. a typed [`fpga_sim::SimError::Deadlock`]) are
+//! carried in [`RunReport::outcome`] and rendered as table diagnostics —
+//! one bad configuration never aborts the rest of a sweep.
+
+use crate::engine::{BatchEngine, RunCtx, RunReport, RunSpec};
+use crate::{gemm_launch, pi_launch, run_profiled_streaming_in, BenchError, ProfiledRun};
+use fpga_sim::SimConfig;
+use hls_profiling::{PipelineConfig, ProfilingConfig, SinkFactory, TraceData};
+use kernels::gemm::{self, GemmParams, GemmVersion};
+use kernels::pi::{self, PiParams};
+use nymble_hls::accel::HlsConfig;
+use nymble_hls::{AccelCache, CacheStats};
+use nymble_ir::Kernel;
+use paraver::analysis::StateProfile;
+use paraver::{states, Record, TraceError, TraceSink};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A [`TraceSink`] that forwards every record to an optional on-disk
+/// bundle writer while collecting a copy in memory for figure rendering.
+struct TeeSink {
+    bundle: Option<paraver::prv::BundleWriter>,
+    store: Arc<Mutex<Vec<Record>>>,
+}
+
+impl TraceSink for TeeSink {
+    fn push(&mut self, r: Record) -> Result<(), TraceError> {
+        self.store
+            .lock()
+            .expect("record store poisoned")
+            .push(r.clone());
+        match &mut self.bundle {
+            Some(w) => w.push(r),
+            None => Ok(()),
+        }
+    }
+
+    fn close(&mut self) -> Result<(), TraceError> {
+        match &mut self.bundle {
+            Some(w) => w.close(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Sink factory streaming into `<stem>.prv/.pcf/.row` (when `stem` is
+/// given) while teeing every record into `store`.
+pub fn collecting_bundle_sink(
+    stem: Option<PathBuf>,
+    store: Arc<Mutex<Vec<Record>>>,
+) -> SinkFactory {
+    Box::new(move |meta| {
+        let bundle = match stem {
+            Some(stem) => Some(paraver::prv::BundleWriter::create(
+                &stem,
+                meta,
+                &paraver::states::defs(),
+                &paraver::events::defs(),
+            )?),
+            None => None,
+        };
+        Ok(Box::new(TeeSink { bundle, store }) as Box<dyn TraceSink + Send>)
+    })
+}
+
+/// Sweep-wide shared state each run executes against: the compile cache
+/// and the simulator/profiler/pipeline configuration.
+struct SweepEnv<'a> {
+    cache: &'a AccelCache,
+    sim: &'a SimConfig,
+    prof: &'a ProfilingConfig,
+    pipeline: &'a PipelineConfig,
+}
+
+/// Run one kernel through the streaming pipeline with a run-private spill
+/// dir, producing a [`ProfiledRun`] whose records were collected by the tee
+/// sink (and whose bundle, if `stem` is given, is already on disk).
+fn profiled_streaming_run(
+    env: &SweepEnv<'_>,
+    kernel: &Kernel,
+    stem: Option<PathBuf>,
+    launch: &[fpga_sim::memimg::LaunchArg],
+    ctx: &RunCtx,
+) -> Result<ProfiledRun, BenchError> {
+    let store = Arc::new(Mutex::new(Vec::new()));
+    let pipe = PipelineConfig {
+        spill_dir: Some(ctx.scratch_dir.clone()),
+        ..env.pipeline.clone()
+    };
+    let (result, report) = run_profiled_streaming_in(
+        env.cache,
+        kernel,
+        env.sim,
+        env.prof,
+        pipe,
+        collecting_bundle_sink(stem, store.clone()),
+        launch,
+    )?;
+    let records = std::mem::take(&mut *store.lock().expect("record store poisoned"));
+    let trace = TraceData {
+        records,
+        meta: report.meta.clone(),
+        flushed_bytes: report.flushed_bytes,
+        flush_count: report.flush_count,
+    };
+    Ok(ProfiledRun {
+        result,
+        trace,
+        accel: env.cache.get_or_compile(kernel, &HlsConfig::default()),
+    })
+}
+
+/// Configuration of the GEMM version sweep (§V-C).
+pub struct GemmSweepConfig {
+    pub params: GemmParams,
+    pub sim: SimConfig,
+    pub prof: ProfilingConfig,
+    pub pipeline: PipelineConfig,
+    /// Where trace bundles go (`gemm_<dim>_<kernel>` stems); `None` skips
+    /// bundle output.
+    pub out: Option<PathBuf>,
+    /// Worker count for the batch engine.
+    pub jobs: usize,
+}
+
+/// Result of a GEMM sweep: one report per [`GemmVersion::ALL`] entry, in
+/// that order, plus the compile-cache counters.
+pub struct GemmSweep {
+    pub runs: Vec<(GemmVersion, RunReport<ProfiledRun>)>,
+    pub cache: CacheStats,
+}
+
+/// Run all five GEMM versions on the batch engine.
+pub fn gemm_sweep(cfg: &GemmSweepConfig) -> GemmSweep {
+    let cache = AccelCache::new();
+    let launch = gemm_launch(&cfg.params);
+    let kernels: Vec<(GemmVersion, Kernel)> = GemmVersion::ALL
+        .iter()
+        .map(|&v| (v, gemm::build(v, &cfg.params)))
+        .collect();
+    let engine = BatchEngine::new(cfg.jobs);
+    let specs: Vec<RunSpec<'_, ProfiledRun>> = kernels
+        .iter()
+        .map(|(v, kernel)| {
+            let stem = cfg
+                .out
+                .as_ref()
+                .map(|o| o.join(format!("gemm_{}_{}", cfg.params.dim, kernel.name)));
+            let env = SweepEnv {
+                cache: &cache,
+                sim: &cfg.sim,
+                prof: &cfg.prof,
+                pipeline: &cfg.pipeline,
+            };
+            let launch = &launch;
+            RunSpec::new(v.name(), move |ctx: &RunCtx| {
+                profiled_streaming_run(&env, kernel, stem, launch, ctx)
+            })
+        })
+        .collect();
+    let reports = engine.run(specs);
+    GemmSweep {
+        runs: GemmVersion::ALL.iter().copied().zip(reports).collect(),
+        cache: cache.stats(),
+    }
+}
+
+/// Render the §V-C speedup table from a sweep, identically for any worker
+/// count. Failed runs become diagnostic rows and are excluded from the
+/// speedup baselines.
+pub fn gemm_table(sweep: &GemmSweep, sim: &SimConfig, threads: u32) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<24} {:>14} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "version", "cycles", "vs naive", "vs prev", "GB/s", "spin%", "crit%"
+    )
+    .unwrap();
+    let (mut naive_c, mut prev_c) = (None::<u64>, None::<u64>);
+    for (v, report) in &sweep.runs {
+        match &report.outcome {
+            Ok(run) => {
+                let c = run.result.total_cycles;
+                let naive = *naive_c.get_or_insert(c);
+                let prev = prev_c.unwrap_or(c);
+                let prof = StateProfile::compute(&run.trace.records, threads);
+                writeln!(
+                    out,
+                    "{:<24} {:>14} {:>8.2}x {:>8.2}x {:>8.3} {:>7.2}% {:>7.2}%",
+                    v.name(),
+                    c,
+                    naive as f64 / c as f64,
+                    prev as f64 / c as f64,
+                    run.result.throughput_gbps(sim),
+                    prof.fraction(states::SPINNING) * 100.0,
+                    prof.fraction(states::CRITICAL) * 100.0
+                )
+                .unwrap();
+                prev_c = Some(c);
+            }
+            Err(e) => {
+                writeln!(out, "{:<24} failed: {e}", v.name()).unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// Configuration of the π scaling sweep (§V-D).
+pub struct PiSweepConfig {
+    /// Problem sizes to run (the paper's 1 M / 4 M / 10 M).
+    pub steps: Vec<u64>,
+    pub threads: u32,
+    pub bs: u32,
+    pub sim: SimConfig,
+    pub prof: ProfilingConfig,
+    pub pipeline: PipelineConfig,
+    /// Where trace bundles go (`pi_<steps>` stems); `None` skips bundles.
+    pub out: Option<PathBuf>,
+    pub jobs: usize,
+}
+
+/// One π run's payload: the profiled run plus the achieved π estimate.
+pub struct PiRun {
+    pub run: ProfiledRun,
+    pub estimate: f32,
+}
+
+/// Result of a π sweep: one report per requested step count, in order.
+pub struct PiSweep {
+    pub runs: Vec<(u64, RunReport<PiRun>)>,
+    pub cache: CacheStats,
+}
+
+/// Run the π kernel at every requested problem size on the batch engine.
+/// The kernel's IR is independent of the step count (it arrives as launch
+/// scalars), so the whole sweep compiles exactly once.
+pub fn pi_sweep(cfg: &PiSweepConfig) -> PiSweep {
+    let cache = AccelCache::new();
+    let engine = BatchEngine::new(cfg.jobs);
+    let specs: Vec<RunSpec<'_, PiRun>> = cfg
+        .steps
+        .iter()
+        .map(|&steps| {
+            let p = PiParams {
+                steps,
+                threads: cfg.threads,
+                bs: cfg.bs,
+            };
+            let stem = cfg.out.as_ref().map(|o| o.join(format!("pi_{steps}")));
+            let env = SweepEnv {
+                cache: &cache,
+                sim: &cfg.sim,
+                prof: &cfg.prof,
+                pipeline: &cfg.pipeline,
+            };
+            RunSpec::new(format!("pi_{steps}"), move |ctx: &RunCtx| {
+                let kernel = pi::build(&p);
+                let (step, _) = pi::launch_scalars(&p);
+                let launch = pi_launch(&p);
+                let run = profiled_streaming_run(&env, &kernel, stem, &launch, ctx)?;
+                let estimate = crate::f32_result(&run.result, 2)[0] * step;
+                Ok(PiRun { run, estimate })
+            })
+        })
+        .collect();
+    let reports = engine.run(specs);
+    PiSweep {
+        runs: cfg.steps.iter().copied().zip(reports).collect(),
+        cache: cache.stats(),
+    }
+}
+
+/// Render the π sweep summary table (steps, cycles, estimate, GFLOP/s),
+/// identically for any worker count.
+pub fn pi_table(sweep: &PiSweep, sim: &SimConfig) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:>12} {:>14} {:>10} {:>10}",
+        "steps", "cycles", "pi", "GFLOP/s"
+    )
+    .unwrap();
+    for (steps, report) in &sweep.runs {
+        match &report.outcome {
+            Ok(pr) => writeln!(
+                out,
+                "{:>12} {:>14} {:>10.6} {:>10.3}",
+                steps,
+                pr.run.result.total_cycles,
+                pr.estimate,
+                pr.run.result.gflops(sim)
+            )
+            .unwrap(),
+            Err(e) => writeln!(out, "{steps:>12} failed: {e}").unwrap(),
+        }
+    }
+    out
+}
+
+/// Write the `(out, sweep stems)` bundles-written footer used by the repro
+/// binaries (shared so their output stays consistent).
+pub fn bundles_footer(out: &Path) -> String {
+    format!("trace bundles written to {}", out.display())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_gemm_cfg(jobs: usize) -> GemmSweepConfig {
+        GemmSweepConfig {
+            params: GemmParams {
+                dim: 16,
+                threads: 2,
+                vec: 4,
+                block: 8,
+            },
+            sim: crate::gemm_sim_config(),
+            prof: ProfilingConfig::default(),
+            pipeline: PipelineConfig::default(),
+            out: None,
+            jobs,
+        }
+    }
+
+    #[test]
+    fn gemm_sweep_compiles_each_version_once() {
+        let sweep = gemm_sweep(&tiny_gemm_cfg(4));
+        assert_eq!(sweep.runs.len(), GemmVersion::ALL.len());
+        for (v, r) in &sweep.runs {
+            assert!(r.outcome.is_ok(), "{} failed", v.name());
+        }
+        assert_eq!(sweep.cache.entries, GemmVersion::ALL.len());
+        assert_eq!(sweep.cache.misses as usize, GemmVersion::ALL.len());
+        let table = gemm_table(&sweep, &crate::gemm_sim_config(), 2);
+        assert!(table.contains("vs naive"));
+        assert_eq!(table.lines().count(), 1 + GemmVersion::ALL.len());
+    }
+
+    #[test]
+    fn pi_sweep_shares_one_compile_across_problem_sizes() {
+        let cfg = PiSweepConfig {
+            steps: vec![20_000, 50_000],
+            threads: 2,
+            bs: 8,
+            sim: crate::gemm_sim_config(),
+            prof: ProfilingConfig::default(),
+            pipeline: PipelineConfig::default(),
+            out: None,
+            jobs: 2,
+        };
+        let sweep = pi_sweep(&cfg);
+        assert_eq!(sweep.cache.misses, 1, "one compile for every step count");
+        for (steps, r) in &sweep.runs {
+            let pr = r
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{steps}: {e}"));
+            assert!((pr.estimate - std::f32::consts::PI).abs() < 1e-2);
+        }
+        let table = pi_table(&sweep, &crate::gemm_sim_config());
+        assert!(table.contains("GFLOP/s"));
+    }
+}

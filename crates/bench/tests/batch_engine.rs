@@ -1,0 +1,167 @@
+//! Determinism guarantees of the parallel batch engine: the §V-C GEMM
+//! sweep and the §V-D π sweep must produce **byte-identical** trace bundles
+//! (`.prv`/`.pcf`/`.row`) and identical result tables at `--jobs 1`, `2`
+//! and `8` — worker scheduling must never leak into any observable output.
+
+use bench::sweep::{gemm_sweep, gemm_table, pi_sweep, pi_table, GemmSweepConfig, PiSweepConfig};
+use bench::{gemm_sim_config, pi_sim_config};
+use hls_profiling::{PipelineConfig, ProfilingConfig};
+use kernels::gemm::{GemmParams, GemmVersion};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A process-unique scratch directory (no wall-clock in the name so test
+/// output stays reproducible).
+fn test_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "hls-paraver-det-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).expect("create test dir");
+    d
+}
+
+/// Map of file name → contents for every bundle file under `dir`.
+fn bundle_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read bundle dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        files.insert(name, std::fs::read(&path).expect("read bundle file"));
+    }
+    files
+}
+
+fn assert_identical_bundles(baseline: &BTreeMap<String, Vec<u8>>, dir: &Path, jobs: usize) {
+    let got = bundle_bytes(dir);
+    assert_eq!(
+        baseline.keys().collect::<Vec<_>>(),
+        got.keys().collect::<Vec<_>>(),
+        "jobs={jobs} produced a different bundle file set"
+    );
+    for (name, bytes) in baseline {
+        assert_eq!(
+            bytes, &got[name],
+            "jobs={jobs}: {name} differs from the serial run byte-for-byte"
+        );
+    }
+}
+
+const JOBS_LEVELS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn gemm_sweep_is_deterministic_across_worker_counts() {
+    let threads = 2;
+    let sim = gemm_sim_config();
+    let mut baseline: Option<(String, BTreeMap<String, Vec<u8>>)> = None;
+    for jobs in JOBS_LEVELS {
+        let out = test_dir("gemm");
+        let sweep = gemm_sweep(&GemmSweepConfig {
+            params: GemmParams {
+                dim: 16,
+                threads,
+                vec: 4,
+                block: 8,
+            },
+            sim: sim.clone(),
+            prof: ProfilingConfig::default(),
+            pipeline: PipelineConfig::default(),
+            out: Some(out.clone()),
+            jobs,
+        });
+        for (v, r) in &sweep.runs {
+            assert!(r.outcome.is_ok(), "jobs={jobs}: {} failed", v.name());
+        }
+        assert_eq!(
+            sweep.cache.misses as usize,
+            GemmVersion::ALL.len(),
+            "jobs={jobs}: every version compiled exactly once"
+        );
+        let table = gemm_table(&sweep, &sim, threads);
+        let bundles = bundle_bytes(&out);
+        assert_eq!(
+            bundles.len(),
+            GemmVersion::ALL.len() * 3,
+            "one .prv/.pcf/.row triple per version"
+        );
+        match &baseline {
+            None => baseline = Some((table, bundles)),
+            Some((base_table, base_bundles)) => {
+                assert_eq!(base_table, &table, "jobs={jobs}: table text differs");
+                assert_identical_bundles(base_bundles, &out, jobs);
+            }
+        }
+        std::fs::remove_dir_all(&out).ok();
+    }
+}
+
+#[test]
+fn pi_sweep_is_deterministic_across_worker_counts() {
+    let sim = pi_sim_config();
+    let mut baseline: Option<(String, BTreeMap<String, Vec<u8>>)> = None;
+    for jobs in JOBS_LEVELS {
+        let out = test_dir("pi");
+        let sweep = pi_sweep(&PiSweepConfig {
+            steps: vec![20_000, 50_000, 100_000],
+            threads: 2,
+            bs: 8,
+            sim: sim.clone(),
+            prof: ProfilingConfig {
+                sampling_period: 5_000,
+                ..Default::default()
+            },
+            pipeline: PipelineConfig::default(),
+            out: Some(out.clone()),
+            jobs,
+        });
+        for (steps, r) in &sweep.runs {
+            assert!(r.outcome.is_ok(), "jobs={jobs}: {steps} failed");
+        }
+        assert_eq!(
+            sweep.cache.misses, 1,
+            "jobs={jobs}: the π kernel compiles once for all problem sizes"
+        );
+        let table = pi_table(&sweep, &sim);
+        let bundles = bundle_bytes(&out);
+        assert_eq!(bundles.len(), 3 * 3, "one bundle triple per step count");
+        match &baseline {
+            None => baseline = Some((table, bundles)),
+            Some((base_table, base_bundles)) => {
+                assert_eq!(base_table, &table, "jobs={jobs}: table text differs");
+                assert_identical_bundles(base_bundles, &out, jobs);
+            }
+        }
+        std::fs::remove_dir_all(&out).ok();
+    }
+}
+
+#[test]
+fn oversubscribed_pool_handles_tiny_spill_budget() {
+    // Force the streaming sorter to spill in every run while eight workers
+    // share two problem sizes: the per-run scratch dirs must keep the spill
+    // files apart and the tables identical to a serial run.
+    let sim = gemm_sim_config();
+    let cfg = |jobs| PiSweepConfig {
+        steps: vec![30_000, 60_000],
+        threads: 2,
+        bs: 8,
+        sim: sim.clone(),
+        prof: ProfilingConfig {
+            sampling_period: 1_000,
+            ..Default::default()
+        },
+        pipeline: PipelineConfig {
+            max_in_memory_records: 64,
+            ..Default::default()
+        },
+        out: None,
+        jobs,
+    };
+    let serial = pi_sweep(&cfg(1));
+    let oversub = pi_sweep(&cfg(8));
+    assert_eq!(pi_table(&serial, &sim), pi_table(&oversub, &sim));
+}

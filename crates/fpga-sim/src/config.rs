@@ -1,5 +1,7 @@
 //! Simulator configuration.
 
+use crate::error::SimError;
+
 /// Timing parameters of the simulated platform (defaults approximate the
 /// paper's Intel D5005 PAC: Stratix 10, four DDR4 banks behind a 512-bit
 /// Avalon interconnect, accelerator clock in the 140–150 MHz band).
@@ -100,6 +102,39 @@ impl SimConfig {
         self.launch_interval = 200;
         self
     }
+
+    /// Check the configuration before a run starts.
+    ///
+    /// The executor used to paper over a zero `seq_issue_width` with a
+    /// silent `.max(1)` clamp; a zero there (or in any of the capacities
+    /// below) is a misconfiguration, not a request for the minimum, so it is
+    /// rejected up front. `launch_interval == 0` stays legal — it means all
+    /// threads start together.
+    pub fn validate(&self) -> Result<(), SimError> {
+        fn nonzero(value: u64, name: &str) -> Result<(), SimError> {
+            if value == 0 {
+                return Err(SimError::InvalidConfig(format!(
+                    "{name} must be nonzero (use 1 for the minimum, not 0)"
+                )));
+            }
+            Ok(())
+        }
+        if !(self.clock_mhz.is_finite() && self.clock_mhz > 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "clock_mhz must be a positive finite frequency, got {}",
+                self.clock_mhz
+            )));
+        }
+        nonzero(self.seq_issue_width as u64, "seq_issue_width")?;
+        nonzero(self.port_mshrs as u64, "port_mshrs")?;
+        nonzero(self.dram_bytes_per_cycle as u64, "dram_bytes_per_cycle")?;
+        nonzero(self.dram_line_bytes as u64, "dram_line_bytes")?;
+        nonzero(self.dram_banks as u64, "dram_banks")?;
+        // A zero re-poll interval would re-grant the semaphore to the same
+        // releasing thread's timestamp forever (a livelock in the model).
+        nonzero(self.spin_retry_interval, "spin_retry_interval")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +147,77 @@ mod tests {
         assert!(c.clock_mhz > 0.0);
         assert_eq!(c.dram_bytes_per_cycle, 64, "512-bit interface");
         assert!(c.assumed_load_latency < c.dram_latency);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_zero_launch_interval() {
+        assert!(SimConfig::default().validate().is_ok());
+        let together = SimConfig {
+            launch_interval: 0,
+            ..Default::default()
+        };
+        assert!(together.validate().is_ok(), "0 = all threads start at once");
+    }
+
+    #[test]
+    fn validate_rejects_zero_capacities() {
+        for (name, cfg) in [
+            (
+                "seq_issue_width",
+                SimConfig {
+                    seq_issue_width: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "port_mshrs",
+                SimConfig {
+                    port_mshrs: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "dram_bytes_per_cycle",
+                SimConfig {
+                    dram_bytes_per_cycle: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "dram_line_bytes",
+                SimConfig {
+                    dram_line_bytes: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "dram_banks",
+                SimConfig {
+                    dram_banks: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "spin_retry_interval",
+                SimConfig {
+                    spin_retry_interval: 0,
+                    ..Default::default()
+                },
+            ),
+        ] {
+            let err = cfg.validate().expect_err(name);
+            assert!(err.to_string().contains(name), "{name}: {err}");
+        }
+        let bad_clock = SimConfig {
+            clock_mhz: 0.0,
+            ..Default::default()
+        };
+        assert!(bad_clock.validate().is_err());
+        let nan_clock = SimConfig {
+            clock_mhz: f64::NAN,
+            ..Default::default()
+        };
+        assert!(nan_clock.validate().is_err());
     }
 
     #[test]

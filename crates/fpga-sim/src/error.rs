@@ -1,0 +1,118 @@
+//! Typed simulation errors.
+//!
+//! The executor used to `panic!` on a deadlock, which aborted an entire
+//! multi-run sweep when one configuration was broken. Deadlocks and invalid
+//! configurations are now ordinary values a batch scheduler can report per
+//! run and keep going.
+
+use std::fmt;
+
+/// Why a blocked thread cannot make progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockedReason {
+    /// Queued on the hardware semaphore (inside a `critical` acquire).
+    SemaphoreWait,
+    /// Arrived at the barrier, waiting for the remaining threads.
+    AtBarrier,
+}
+
+impl fmt::Display for BlockedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockedReason::SemaphoreWait => write!(f, "waiting on semaphore"),
+            BlockedReason::AtBarrier => write!(f, "waiting at barrier"),
+        }
+    }
+}
+
+/// One thread of a deadlocked run: who is stuck, where, and since when.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockedThread {
+    /// Hardware thread id.
+    pub thread: u32,
+    /// The thread's local clock when it blocked.
+    pub at_cycle: u64,
+    /// What the thread is blocked on.
+    pub reason: BlockedReason,
+}
+
+impl fmt::Display for BlockedThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "thread {} {} since cycle {}",
+            self.thread, self.reason, self.at_cycle
+        )
+    }
+}
+
+/// Terminal failure of a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// No runnable thread remains but the run is not complete: every live
+    /// thread is queued on the semaphore or parked at the barrier.
+    Deadlock {
+        /// The blocked thread set with their barrier/lock states.
+        waiting: Vec<BlockedThread>,
+    },
+    /// The [`crate::SimConfig`] failed [`crate::SimConfig::validate`].
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { waiting } => {
+                write!(f, "simulator deadlock: no runnable thread (")?;
+                for (i, b) in waiting.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, ")")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulator configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_display_names_every_blocked_thread() {
+        let e = SimError::Deadlock {
+            waiting: vec![
+                BlockedThread {
+                    thread: 1,
+                    at_cycle: 10,
+                    reason: BlockedReason::SemaphoreWait,
+                },
+                BlockedThread {
+                    thread: 3,
+                    at_cycle: 40,
+                    reason: BlockedReason::AtBarrier,
+                },
+            ],
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("thread 1 waiting on semaphore since cycle 10"),
+            "{s}"
+        );
+        assert!(
+            s.contains("thread 3 waiting at barrier since cycle 40"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn invalid_config_display() {
+        let e = SimError::InvalidConfig("seq_issue_width must be nonzero".into());
+        assert!(e.to_string().contains("seq_issue_width"));
+    }
+}

@@ -1,8 +1,17 @@
 //! The timed executor: drives one walker per hardware thread and attributes
 //! cycle costs per the compiled schedules (see the crate docs for the model).
+//!
+//! The simulation core is [`SimRun`]: a pure, re-entrant value holding the
+//! complete run state (threads, memory image, DRAM, semaphore), advanced one
+//! walker event at a time by [`SimRun::step`]. It is `Send`, so a batch
+//! scheduler can carry runs across worker threads, and it returns typed
+//! [`SimError`]s instead of panicking, so one broken configuration cannot
+//! abort a whole sweep. [`Executor::run`] remains the one-call driver built
+//! on top of it.
 
 use crate::config::SimConfig;
 use crate::dram::{Dram, LineBuffer};
+use crate::error::{BlockedReason, BlockedThread, SimError};
 use crate::memimg::{LaunchArg, MemImage};
 use crate::semaphore::{Acquire, Semaphore};
 use crate::snoop::{Snoop, SnoopMux, StatsSnoop, ThreadState};
@@ -101,34 +110,66 @@ impl RunResult {
     }
 }
 
-/// The cycle-level executor.
-pub struct Executor;
+/// Outcome of one [`SimRun::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepStatus {
+    /// Threads remain; call [`SimRun::step`] again.
+    Running,
+    /// Every thread finished; `run_end` has been reported to the snoop.
+    Done,
+}
 
-impl Executor {
-    /// Run `kernel` (compiled as `accel`) with `launch` arguments under
-    /// `cfg`, reporting pipeline activity to `snoop`.
-    pub fn run(
-        kernel: &Kernel,
+/// The complete state of one in-flight simulation: a pure, re-entrant value
+/// advanced by [`SimRun::step`] until [`StepStatus::Done`].
+///
+/// `SimRun` borrows the kernel and accelerator immutably (so one compiled
+/// [`Accelerator`] can back any number of concurrent runs) and owns
+/// everything mutable — the per-thread walkers, the memory image, the DRAM
+/// and semaphore models. It is `Send`: a scheduler may construct it on one
+/// thread and drive it on another.
+pub struct SimRun<'k> {
+    cfg: SimConfig,
+    modes: Vec<LoopMode>,
+    mem: MemImage,
+    dram: Dram,
+    sem: Semaphore,
+    threads: Vec<Thread<'k>>,
+    barrier_arrivals: Vec<usize>,
+    done: usize,
+    total_cycles: u64,
+    started: bool,
+}
+
+// The core must stay schedulable across worker threads.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<SimRun<'_>>();
+};
+
+impl<'k> SimRun<'k> {
+    /// Set up a run of `kernel` (compiled as `accel`) with `launch`
+    /// arguments under `cfg`. Validates the configuration up front.
+    pub fn new(
+        kernel: &'k Kernel,
         accel: &Accelerator,
         cfg: &SimConfig,
         launch: &[LaunchArg],
-        snoop: &mut dyn Snoop,
-    ) -> RunResult {
-        let loop_map = LoopMap::build(kernel);
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let loop_map = std::sync::Arc::new(LoopMap::build(kernel));
         let modes: Vec<LoopMode> = (0..loop_map.len())
             .map(|i| loop_mode(accel, LoopId(i as u32)))
             .collect();
 
-        let (mut mem, scalars) = MemImage::new(kernel, launch);
-        let mut dram = Dram::new(cfg);
-        let mut sem = Semaphore::default();
+        let (mem, scalars) = MemImage::new(kernel, launch);
+        let dram = Dram::new(cfg);
         let n = kernel.num_threads as usize;
         let n_bufs = kernel.args.len();
         let n_mems = kernel.local_mems.len();
 
-        let mut threads: Vec<Thread> = (0..n)
+        let threads: Vec<Thread<'k>> = (0..n)
             .map(|t| Thread {
-                walker: Walker::new(kernel, &loop_map, t as u32, scalars.clone()),
+                walker: Walker::new(kernel, loop_map.clone(), t as u32, scalars.clone()),
                 time: t as u64 * cfg.launch_interval,
                 status: Status::Ready,
                 loops: Vec::new(),
@@ -141,260 +182,360 @@ impl Executor {
             })
             .collect();
 
-        // The executor's ground-truth statistics are just another observer
-        // of the snooped signals, fanned out alongside the caller's snoop.
-        let mut stats_snoop = StatsSnoop::new(kernel.num_threads);
-        let mut mux = SnoopMux::new(vec![&mut stats_snoop, snoop]);
-        let snoop = &mut mux;
+        Ok(SimRun {
+            cfg: cfg.clone(),
+            modes,
+            mem,
+            dram,
+            sem: Semaphore::default(),
+            threads,
+            barrier_arrivals: Vec::new(),
+            done: 0,
+            total_cycles: 0,
+            started: false,
+        })
+    }
 
-        // Initial state timeline: every thread idle from cycle 0 until the
-        // host software starts it.
-        for (t, th) in threads.iter().enumerate() {
-            snoop.state_change(0, t as u32, ThreadState::Idle);
-            snoop.state_change(th.time, t as u32, ThreadState::Running);
+    /// Whether every thread has finished.
+    pub fn is_done(&self) -> bool {
+        self.done == self.threads.len()
+    }
+
+    /// Total cycles from host start to the latest completed thread so far
+    /// (final once [`Self::is_done`]).
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Threads that are blocked right now, with their barrier/lock states.
+    fn blocked_threads(&self) -> Vec<BlockedThread> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                let reason = match t.status {
+                    Status::SpinWait => BlockedReason::SemaphoreWait,
+                    Status::AtBarrier => BlockedReason::AtBarrier,
+                    Status::Ready | Status::Done => return None,
+                };
+                Some(BlockedThread {
+                    thread: i as u32,
+                    at_cycle: t.time,
+                    reason,
+                })
+            })
+            .collect()
+    }
+
+    /// Advance the runnable thread with the smallest clock by one walker
+    /// event, reporting pipeline activity to `snoop`.
+    ///
+    /// The first call also emits the initial idle→running launch timeline;
+    /// the call that completes the last thread reports `run_end`. Stepping a
+    /// finished run is a no-op returning [`StepStatus::Done`].
+    pub fn step(&mut self, snoop: &mut dyn Snoop) -> Result<StepStatus, SimError> {
+        if !self.started {
+            self.started = true;
+            // Initial state timeline: every thread idle from cycle 0 until
+            // the host software starts it.
+            for (t, th) in self.threads.iter().enumerate() {
+                snoop.state_change(0, t as u32, ThreadState::Idle);
+                snoop.state_change(th.time, t as u32, ThreadState::Running);
+            }
+        }
+        if self.is_done() {
+            return Ok(StepStatus::Done);
         }
 
-        let mut done = 0usize;
-        let mut total_cycles = 0u64;
-        let mut barrier_arrivals: Vec<usize> = Vec::new();
+        let Some(ti) = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Ready)
+            .min_by_key(|(i, t)| (t.time, *i))
+            .map(|(i, _)| i)
+        else {
+            return Err(SimError::Deadlock {
+                waiting: self.blocked_threads(),
+            });
+        };
+        self.dispatch(ti, snoop);
 
-        while done < n {
-            // Advance the runnable thread with the smallest clock.
-            let Some(ti) = threads
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| t.status == Status::Ready)
-                .min_by_key(|(i, t)| (t.time, *i))
-                .map(|(i, _)| i)
-            else {
-                panic!("simulator deadlock: no runnable thread (barrier/lock cycle)");
-            };
-            let tid = ti as u32;
-            let ev = threads[ti].walker.step(&mut mem);
-            match ev {
-                StepEvent::Ops(c) => {
-                    let th = &mut threads[ti];
-                    snoop.ops(th.time, tid, c.int_ops, c.flops, c.local_loads);
-                    if th.innermost_pipelined().is_none() {
-                        let work = c.int_ops + c.flops + c.local_loads;
-                        th.time +=
-                            cfg.stmt_base_cost + work.div_ceil(cfg.seq_issue_width.max(1) as u64);
-                    }
+        if self.is_done() {
+            snoop.run_end(self.total_cycles);
+            return Ok(StepStatus::Done);
+        }
+        Ok(StepStatus::Running)
+    }
+
+    /// Handle one walker event of thread `ti`.
+    fn dispatch(&mut self, ti: usize, snoop: &mut dyn Snoop) {
+        let cfg = &self.cfg;
+        let modes = &self.modes;
+        let threads = &mut self.threads;
+        let mem = &mut self.mem;
+        let dram = &mut self.dram;
+        let sem = &mut self.sem;
+        let barrier_arrivals = &mut self.barrier_arrivals;
+        let tid = ti as u32;
+        let ev = threads[ti].walker.step(mem);
+        match ev {
+            StepEvent::Ops(c) => {
+                let th = &mut threads[ti];
+                snoop.ops(th.time, tid, c.int_ops, c.flops, c.local_loads);
+                if th.innermost_pipelined().is_none() {
+                    let work = c.int_ops + c.flops + c.local_loads;
+                    th.time += cfg.stmt_base_cost + work.div_ceil(cfg.seq_issue_width as u64);
                 }
-                StepEvent::LocalRead { mem: lm } => {
-                    let th = &mut threads[ti];
-                    let ready = th.mem_ready[lm.0 as usize];
-                    if ready > th.time {
-                        let stall = ready - th.time;
-                        th.time = ready;
-                        snoop.stall(th.time, tid, stall);
-                    }
+            }
+            StepEvent::LocalRead { mem: lm } => {
+                let th = &mut threads[ti];
+                let ready = th.mem_ready[lm.0 as usize];
+                if ready > th.time {
+                    let stall = ready - th.time;
+                    th.time = ready;
+                    snoop.stall(th.time, tid, stall);
                 }
-                StepEvent::Access(a) => {
-                    let th = &mut threads[ti];
-                    let addr = mem.abs_addr(a.buf, a.byte_off);
-                    if a.is_write {
-                        let issue = th.time.max(th.write_port_free);
-                        th.write_port_free = issue + 1;
-                        let _ = dram.transfer(issue, addr, a.bytes, true);
-                        th.line_bufs[a.buf.0 as usize].invalidate();
-                        snoop.mem_write(th.time, tid, a.bytes as u64);
+            }
+            StepEvent::Access(a) => {
+                let th = &mut threads[ti];
+                let addr = mem.abs_addr(a.buf, a.byte_off);
+                if a.is_write {
+                    let issue = th.time.max(th.write_port_free);
+                    th.write_port_free = issue + 1;
+                    let _ = dram.transfer(issue, addr, a.bytes, true);
+                    th.line_bufs[a.buf.0 as usize].invalidate();
+                    snoop.mem_write(th.time, tid, a.bytes as u64);
+                } else {
+                    let issue0 = th.time.max(th.read_port_free);
+                    th.read_port_free = issue0 + 1;
+                    // MSHR bound: retire completed fetches, then wait
+                    // for the oldest if the port is saturated.
+                    while th.inflight.front().is_some_and(|&r| r <= issue0) {
+                        th.inflight.pop_front();
+                    }
+                    let issue = if th.inflight.len() >= cfg.port_mshrs as usize {
+                        th.inflight.pop_front().unwrap().max(issue0)
                     } else {
-                        let issue0 = th.time.max(th.read_port_free);
-                        th.read_port_free = issue0 + 1;
-                        // MSHR bound: retire completed fetches, then wait
-                        // for the oldest if the port is saturated.
-                        while th.inflight.front().is_some_and(|&r| r <= issue0) {
-                            th.inflight.pop_front();
-                        }
-                        let issue = if th.inflight.len() >= cfg.port_mshrs.max(1) as usize {
-                            th.inflight.pop_front().unwrap().max(issue0)
-                        } else {
-                            issue0
-                        };
-                        let (ready, hit) = if cfg.line_buffers {
-                            th.line_bufs[a.buf.0 as usize].read(&mut dram, issue, addr, a.bytes)
-                        } else {
-                            let mut lb = crate::dram::LineBuffer::default();
-                            lb.read(&mut dram, issue, addr, a.bytes)
-                        };
-                        if !hit {
-                            th.inflight.push_back(ready);
-                        }
-                        snoop.mem_read(th.time, tid, a.bytes as u64);
-                        if th.innermost_pipelined().is_some() {
-                            // The scheduler budgeted the assumed minimum;
-                            // only the excess stalls, and the VLO stage
-                            // waits for the worst response of the iteration.
-                            th.iter_stall = th
-                                .iter_stall
-                                .max(ready.saturating_sub(issue0 + cfg.assumed_load_latency));
-                        } else {
-                            // Sequential code waits the full round trip.
-                            let stall = ready.saturating_sub(th.time);
-                            if stall > 0 {
-                                th.time += stall;
-                                snoop.stall(th.time, tid, stall);
-                            }
-                        }
-                    }
-                }
-                StepEvent::Burst { access, mem: lm } => {
-                    let th = &mut threads[ti];
-                    // The preloader queues descriptors: the thread pays only
-                    // the issue cost and runs on (how Fig. 9's prefetch
-                    // overlaps compute); the engine executes bursts serially.
-                    let addr = mem.abs_addr(access.buf, access.byte_off);
-                    let dma_done = dram.dma_transfer(ti, th.time, addr, access.bytes);
-                    if access.is_write {
-                        snoop.mem_write(th.time, tid, access.bytes as u64);
-                    } else {
-                        let r = &mut th.mem_ready[lm.0 as usize];
-                        *r = (*r).max(dma_done);
-                        snoop.mem_read(th.time, tid, access.bytes as u64);
-                    }
-                    th.time += cfg.burst_issue_cost;
-                }
-                StepEvent::LoopEnter { loop_id, trip: _ } => {
-                    let th = &mut threads[ti];
-                    th.loops.push(LoopCtx {
-                        mode: modes[loop_id.0 as usize],
-                        entered_first: false,
-                    });
-                }
-                StepEvent::LoopIter { .. } => {
-                    let th = &mut threads[ti];
-                    snoop.iteration(th.time, tid);
-                    let ctx = th.loops.last_mut().expect("iter outside loop");
-                    match ctx.mode {
-                        LoopMode::Pipelined { ii, .. } => {
-                            let stall = std::mem::take(&mut th.iter_stall);
-                            if ctx.entered_first {
-                                th.time += ii + stall;
-                            } else {
-                                ctx.entered_first = true;
-                                th.time += stall;
-                            }
-                            if stall > 0 {
-                                snoop.stall(th.time, tid, stall);
-                            }
-                        }
-                        LoopMode::Sequential => {
-                            // Loop control handshake of the paused region.
-                            th.time += 1;
-                        }
-                    }
-                }
-                StepEvent::LoopExit { .. } => {
-                    let th = &mut threads[ti];
-                    let ctx = th.loops.pop().expect("exit outside loop");
-                    match ctx.mode {
-                        LoopMode::Pipelined { depth, .. } => {
-                            // Drain the pipeline after the last issue,
-                            // including the final iteration's worst stall.
-                            let stall = std::mem::take(&mut th.iter_stall);
-                            th.time += depth + stall;
-                            if stall > 0 {
-                                snoop.stall(th.time, tid, stall);
-                            }
-                        }
-                        LoopMode::Sequential => th.time += 1,
-                    }
-                }
-                StepEvent::CriticalEnter => {
-                    let th = &mut threads[ti];
-                    snoop.state_change(th.time, tid, ThreadState::Spinning);
-                    let t_req = th.time + cfg.sem_acquire_latency;
-                    match sem.acquire(tid, t_req) {
-                        Acquire::Granted(g) => {
-                            th.time = g;
-                            snoop.state_change(g, tid, ThreadState::Critical);
-                        }
-                        Acquire::Queued => {
-                            th.status = Status::SpinWait;
-                        }
-                    }
-                }
-                StepEvent::CriticalExit => {
-                    let release_t = {
-                        let th = &mut threads[ti];
-                        th.time += cfg.sem_release_latency;
-                        snoop.state_change(th.time, tid, ThreadState::Running);
-                        th.time
+                        issue0
                     };
-                    if let Some((next, grant)) =
-                        sem.release(tid, release_t, cfg.spin_retry_interval)
-                    {
-                        let nt = &mut threads[next as usize];
-                        debug_assert_eq!(nt.status, Status::SpinWait);
-                        nt.time = grant.max(nt.time);
-                        nt.status = Status::Ready;
-                        snoop.state_change(nt.time, next, ThreadState::Critical);
+                    let (ready, hit) = if cfg.line_buffers {
+                        th.line_bufs[a.buf.0 as usize].read(dram, issue, addr, a.bytes)
+                    } else {
+                        let mut lb = crate::dram::LineBuffer::default();
+                        lb.read(dram, issue, addr, a.bytes)
+                    };
+                    if !hit {
+                        th.inflight.push_back(ready);
                     }
-                }
-                StepEvent::Barrier => {
-                    threads[ti].status = Status::AtBarrier;
-                    barrier_arrivals.push(ti);
-                    let live = threads.iter().filter(|t| t.status != Status::Done).count();
-                    if barrier_arrivals.len() == live {
-                        let release = threads
-                            .iter()
-                            .filter(|t| t.status == Status::AtBarrier)
-                            .map(|t| t.time)
-                            .max()
-                            .unwrap_or(0)
-                            + cfg.barrier_latency;
-                        for &bi in &barrier_arrivals {
-                            threads[bi].status = Status::Ready;
-                            threads[bi].time = release;
+                    snoop.mem_read(th.time, tid, a.bytes as u64);
+                    if th.innermost_pipelined().is_some() {
+                        // The scheduler budgeted the assumed minimum;
+                        // only the excess stalls, and the VLO stage
+                        // waits for the worst response of the iteration.
+                        th.iter_stall = th
+                            .iter_stall
+                            .max(ready.saturating_sub(issue0 + cfg.assumed_load_latency));
+                    } else {
+                        // Sequential code waits the full round trip.
+                        let stall = ready.saturating_sub(th.time);
+                        if stall > 0 {
+                            th.time += stall;
+                            snoop.stall(th.time, tid, stall);
                         }
-                        barrier_arrivals.clear();
-                    }
-                }
-                StepEvent::Finished => {
-                    let th = &mut threads[ti];
-                    th.status = Status::Done;
-                    total_cycles = total_cycles.max(th.time);
-                    snoop.state_change(th.time, tid, ThreadState::Idle);
-                    done += 1;
-                    // A finished thread never reaches the barrier: re-check
-                    // whether the remaining arrivals complete it.
-                    let live = threads.iter().filter(|t| t.status != Status::Done).count();
-                    if !barrier_arrivals.is_empty() && barrier_arrivals.len() == live {
-                        let release = barrier_arrivals
-                            .iter()
-                            .map(|&bi| threads[bi].time)
-                            .max()
-                            .unwrap_or(0)
-                            + cfg.barrier_latency;
-                        for &bi in &barrier_arrivals {
-                            threads[bi].status = Status::Ready;
-                            threads[bi].time = release;
-                        }
-                        barrier_arrivals.clear();
                     }
                 }
             }
+            StepEvent::Burst { access, mem: lm } => {
+                let th = &mut threads[ti];
+                // The preloader queues descriptors: the thread pays only
+                // the issue cost and runs on (how Fig. 9's prefetch
+                // overlaps compute); the engine executes bursts serially.
+                let addr = mem.abs_addr(access.buf, access.byte_off);
+                let dma_done = dram.dma_transfer(ti, th.time, addr, access.bytes);
+                if access.is_write {
+                    snoop.mem_write(th.time, tid, access.bytes as u64);
+                } else {
+                    let r = &mut th.mem_ready[lm.0 as usize];
+                    *r = (*r).max(dma_done);
+                    snoop.mem_read(th.time, tid, access.bytes as u64);
+                }
+                th.time += cfg.burst_issue_cost;
+            }
+            StepEvent::LoopEnter { loop_id, trip: _ } => {
+                let th = &mut threads[ti];
+                th.loops.push(LoopCtx {
+                    mode: modes[loop_id.0 as usize],
+                    entered_first: false,
+                });
+            }
+            StepEvent::LoopIter { .. } => {
+                let th = &mut threads[ti];
+                snoop.iteration(th.time, tid);
+                let ctx = th.loops.last_mut().expect("iter outside loop");
+                match ctx.mode {
+                    LoopMode::Pipelined { ii, .. } => {
+                        let stall = std::mem::take(&mut th.iter_stall);
+                        if ctx.entered_first {
+                            th.time += ii + stall;
+                        } else {
+                            ctx.entered_first = true;
+                            th.time += stall;
+                        }
+                        if stall > 0 {
+                            snoop.stall(th.time, tid, stall);
+                        }
+                    }
+                    LoopMode::Sequential => {
+                        // Loop control handshake of the paused region.
+                        th.time += 1;
+                    }
+                }
+            }
+            StepEvent::LoopExit { .. } => {
+                let th = &mut threads[ti];
+                let ctx = th.loops.pop().expect("exit outside loop");
+                match ctx.mode {
+                    LoopMode::Pipelined { depth, .. } => {
+                        // Drain the pipeline after the last issue,
+                        // including the final iteration's worst stall.
+                        let stall = std::mem::take(&mut th.iter_stall);
+                        th.time += depth + stall;
+                        if stall > 0 {
+                            snoop.stall(th.time, tid, stall);
+                        }
+                    }
+                    LoopMode::Sequential => th.time += 1,
+                }
+            }
+            StepEvent::CriticalEnter => {
+                let th = &mut threads[ti];
+                snoop.state_change(th.time, tid, ThreadState::Spinning);
+                let t_req = th.time + cfg.sem_acquire_latency;
+                match sem.acquire(tid, t_req) {
+                    Acquire::Granted(g) => {
+                        th.time = g;
+                        snoop.state_change(g, tid, ThreadState::Critical);
+                    }
+                    Acquire::Queued => {
+                        th.status = Status::SpinWait;
+                    }
+                }
+            }
+            StepEvent::CriticalExit => {
+                let release_t = {
+                    let th = &mut threads[ti];
+                    th.time += cfg.sem_release_latency;
+                    snoop.state_change(th.time, tid, ThreadState::Running);
+                    th.time
+                };
+                if let Some((next, grant)) = sem.release(tid, release_t, cfg.spin_retry_interval) {
+                    let nt = &mut threads[next as usize];
+                    debug_assert_eq!(nt.status, Status::SpinWait);
+                    nt.time = grant.max(nt.time);
+                    nt.status = Status::Ready;
+                    snoop.state_change(nt.time, next, ThreadState::Critical);
+                }
+            }
+            StepEvent::Barrier => {
+                threads[ti].status = Status::AtBarrier;
+                barrier_arrivals.push(ti);
+                let live = threads.iter().filter(|t| t.status != Status::Done).count();
+                if barrier_arrivals.len() == live {
+                    let release = threads
+                        .iter()
+                        .filter(|t| t.status == Status::AtBarrier)
+                        .map(|t| t.time)
+                        .max()
+                        .unwrap_or(0)
+                        + cfg.barrier_latency;
+                    for &bi in barrier_arrivals.iter() {
+                        threads[bi].status = Status::Ready;
+                        threads[bi].time = release;
+                    }
+                    barrier_arrivals.clear();
+                }
+            }
+            StepEvent::Finished => {
+                let th = &mut threads[ti];
+                th.status = Status::Done;
+                self.total_cycles = self.total_cycles.max(th.time);
+                snoop.state_change(th.time, tid, ThreadState::Idle);
+                self.done += 1;
+                // A finished thread never reaches the barrier: re-check
+                // whether the remaining arrivals complete it.
+                let live = threads.iter().filter(|t| t.status != Status::Done).count();
+                if !barrier_arrivals.is_empty() && barrier_arrivals.len() == live {
+                    let release = barrier_arrivals
+                        .iter()
+                        .map(|&bi| threads[bi].time)
+                        .max()
+                        .unwrap_or(0)
+                        + cfg.barrier_latency;
+                    for &bi in barrier_arrivals.iter() {
+                        threads[bi].status = Status::Ready;
+                        threads[bi].time = release;
+                    }
+                    barrier_arrivals.clear();
+                }
+            }
         }
+    }
 
-        snoop.run_end(total_cycles);
-        drop(mux);
-
+    /// Consume a completed run, folding the observer-derived per-thread
+    /// statistics together with the DRAM model's ground truth.
+    ///
+    /// Panics if the run is not [`Self::is_done`] — the caller drives
+    /// [`Self::step`] to completion first.
+    pub fn into_result(self, stats_snoop: StatsSnoop) -> RunResult {
+        assert!(
+            self.is_done(),
+            "into_result() before the run completed: drive step() to Done first"
+        );
         let mut stats = RunStats {
             per_thread: stats_snoop.into_stats(),
-            line_fetches: dram.stats.line_fetches,
-            channel_bytes: dram.stats.channel_bytes,
-            dram_contended: dram.stats.contended,
-            line_hits: dram.stats.line_hits,
-            read_requests: dram.stats.read_requests,
+            line_fetches: self.dram.stats.line_fetches,
+            channel_bytes: self.dram.stats.channel_bytes,
+            dram_contended: self.dram.stats.contended,
+            line_hits: self.dram.stats.line_hits,
+            read_requests: self.dram.stats.read_requests,
         };
         stats.per_thread.sort_by_key(|t| t.start_cycle);
 
         RunResult {
-            buffers: mem.into_buffers(),
-            total_cycles,
+            buffers: self.mem.into_buffers(),
+            total_cycles: self.total_cycles,
             stats,
         }
+    }
+}
+
+/// The cycle-level executor: the one-call driver over [`SimRun`].
+pub struct Executor;
+
+impl Executor {
+    /// Run `kernel` (compiled as `accel`) with `launch` arguments under
+    /// `cfg`, reporting pipeline activity to `snoop`.
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `cfg` fails validation and
+    /// [`SimError::Deadlock`] if every live thread blocks on the semaphore
+    /// or barrier.
+    pub fn run(
+        kernel: &Kernel,
+        accel: &Accelerator,
+        cfg: &SimConfig,
+        launch: &[LaunchArg],
+        snoop: &mut dyn Snoop,
+    ) -> Result<RunResult, SimError> {
+        let mut sim = SimRun::new(kernel, accel, cfg, launch)?;
+        // The executor's ground-truth statistics are just another observer
+        // of the snooped signals, fanned out alongside the caller's snoop.
+        let mut stats_snoop = StatsSnoop::new(kernel.num_threads);
+        {
+            let mut mux = SnoopMux::new(vec![&mut stats_snoop, snoop]);
+            while sim.step(&mut mux)? == StepStatus::Running {}
+        }
+        Ok(sim.into_result(stats_snoop))
     }
 }
 
@@ -474,7 +615,7 @@ mod tests {
             LaunchArg::Buffer(b.clone()),
             LaunchArg::Buffer(vec![Value::F32(0.0)]),
         ];
-        let r = Executor::run(&k, &acc, &fast_cfg(), &launch, &mut NullSnoop);
+        let r = Executor::run(&k, &acc, &fast_cfg(), &launch, &mut NullSnoop).unwrap();
         // Gold model for the expected value.
         let gold = Interpreter::run(
             &k,
@@ -540,7 +681,8 @@ mod tests {
             &fast_cfg(),
             &[LaunchArg::Buffer(vec![Value::I32(0)])],
             &mut NullSnoop,
-        );
+        )
+        .unwrap();
         assert_eq!(r.buffers[0][0], Value::I32(20), "4 threads × 5 increments");
         let total_crit = r.stats.total(|t| t.critical_cycles);
         assert!(total_crit <= r.total_cycles, "critical time cannot overlap");
@@ -563,7 +705,7 @@ mod tests {
             launch_interval: 100_000,
             ..Default::default()
         };
-        let r = Executor::run(&k, &acc, &slow, &mk(), &mut NullSnoop);
+        let r = Executor::run(&k, &acc, &slow, &mk(), &mut NullSnoop).unwrap();
         assert!(r.stats.per_thread[3].start_cycle == 300_000);
         assert!(
             r.total_cycles >= 300_000,
@@ -602,7 +744,8 @@ mod tests {
             &fast_cfg(),
             &[LaunchArg::Buffer(vec![Value::I32(0); 3])],
             &mut NullSnoop,
-        );
+        )
+        .unwrap();
         assert_eq!(r.buffers[0][2], Value::I32(128));
         // All threads end within a small window after the barrier.
         let ends: Vec<u64> = r.stats.per_thread.iter().map(|t| t.end_cycle).collect();
@@ -636,7 +779,8 @@ mod tests {
                 LaunchArg::Buffer(vec![Value::F32(0.0)]),
             ],
             &mut NullSnoop,
-        );
+        )
+        .unwrap();
         assert_eq!(r.buffers[1][0], Value::F32(3.25));
         assert!(
             r.stats.total_stalls() > 0,
@@ -676,6 +820,7 @@ mod tests {
                 &[LaunchArg::Buffer(vec![Value::F32(1.0); len as usize])],
                 &mut NullSnoop,
             )
+            .unwrap()
             .stats
         }
         let seq = walk(1);

@@ -28,6 +28,7 @@
 
 pub mod config;
 pub mod dram;
+pub mod error;
 pub mod exec;
 pub mod host;
 pub mod memimg;
@@ -36,5 +37,6 @@ pub mod snoop;
 pub mod stats;
 
 pub use config::SimConfig;
-pub use exec::{Executor, RunResult};
+pub use error::{BlockedReason, BlockedThread, SimError};
+pub use exec::{Executor, RunResult, SimRun, StepStatus};
 pub use snoop::{NullSnoop, Snoop, SnoopMux, StatsSnoop, ThreadState};

@@ -2,13 +2,13 @@
 //! configurations, and conditions the decoder/trace path must survive.
 
 use fpga_sim::memimg::LaunchArg;
-use fpga_sim::{Executor, NullSnoop, SimConfig};
+use fpga_sim::{Executor, NullSnoop, SimConfig, SimError, SimRun, StepStatus};
 use nymble_hls::accel::{compile, HlsConfig};
 use nymble_ir::{Kernel, KernelBuilder, MapDir, ScalarType, Type, Value};
 
 fn run(kernel: &Kernel, sim: &SimConfig, launch: &[LaunchArg]) -> fpga_sim::RunResult {
     let acc = compile(kernel, &HlsConfig::default());
-    Executor::run(kernel, &acc, sim, launch, &mut NullSnoop)
+    Executor::run(kernel, &acc, sim, launch, &mut NullSnoop).expect("simulation failed")
 }
 
 #[test]
@@ -174,6 +174,60 @@ fn extreme_mshr_and_tiny_dram_still_correct() {
         rs.total_cycles,
         rf.total_cycles
     );
+}
+
+#[test]
+fn invalid_config_is_reported_not_panicked() {
+    let kb = KernelBuilder::new("cfg_check", 1);
+    let k = kb.finish();
+    let acc = compile(&k, &HlsConfig::default());
+    let bad = SimConfig {
+        seq_issue_width: 0,
+        ..Default::default()
+    };
+    match Executor::run(&k, &acc, &bad, &[], &mut NullSnoop) {
+        Err(SimError::InvalidConfig(msg)) => {
+            assert!(
+                msg.contains("seq_issue_width"),
+                "message names the field: {msg}"
+            );
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
+#[test]
+fn sim_run_can_be_stepped_and_moved_across_threads() {
+    // The re-entrant core is Send: build it here, drive it to completion on
+    // another thread, and read the result back.
+    let mut kb = KernelBuilder::new("stepped", 2);
+    let out = kb.buffer("OUT", ScalarType::I64, MapDir::From);
+    let tid = kb.thread_id();
+    let idx = kb.cast(ScalarType::I64, tid);
+    let v = kb.c_i64(7);
+    kb.store(out, idx, v);
+    let k = kb.finish();
+    let acc = compile(&k, &HlsConfig::default());
+    let sim = SimConfig::default().with_fast_launch();
+    let launch = [LaunchArg::Buffer(vec![Value::I64(0); 2])];
+    let run = SimRun::new(&k, &acc, &sim, &launch).expect("valid config");
+    let result = std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut run = run;
+            let mut stats = fpga_sim::StatsSnoop::new(2);
+            let mut steps = 0u64;
+            while run.step(&mut stats).expect("no deadlock") == StepStatus::Running {
+                steps += 1;
+                assert!(steps < 1_000_000, "runaway simulation");
+            }
+            assert!(run.is_done());
+            run.into_result(stats)
+        })
+        .join()
+        .expect("worker thread panicked")
+    });
+    assert_eq!(result.buffers[0][0].as_i64(), 7);
+    assert_eq!(result.buffers[0][1], Value::I64(7));
 }
 
 #[test]

@@ -24,6 +24,7 @@
 //!    thread scheduler can reorder threads), and runs the [`cost`] model.
 
 pub mod accel;
+pub mod cache;
 pub mod cost;
 pub mod dfg;
 pub mod modulo;
@@ -33,5 +34,6 @@ pub mod schedule;
 pub mod verilog;
 
 pub use accel::{compile, Accelerator, HlsConfig};
+pub use cache::{kernel_fingerprint, AccelCache, CacheStats};
 pub use cost::FitReport;
 pub use schedule::LoopSchedule;

@@ -121,10 +121,10 @@ impl Interpreter {
             }
         }
 
-        let loops = LoopMap::build(kernel);
+        let loops = std::sync::Arc::new(LoopMap::build(kernel));
         let n = kernel.num_threads as usize;
         let mut walkers: Vec<Walker> = (0..n)
-            .map(|t| Walker::new(kernel, &loops, t as u32, scalar_args.clone()))
+            .map(|t| Walker::new(kernel, loops.clone(), t as u32, scalar_args.clone()))
             .collect();
         let mut mem = BufferMem { bufs };
         let mut states = vec![ThreadState::Runnable; n];

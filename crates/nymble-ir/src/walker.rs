@@ -28,6 +28,7 @@ use crate::opcount::OpCounts;
 use crate::stmt::{Stmt, Unroll};
 use crate::types::{ScalarType, Type, Value};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Functional data storage the walker reads and writes through.
 ///
@@ -112,9 +113,13 @@ enum Frame<'k> {
 }
 
 /// Explicit-stack interpreter for one hardware thread.
+///
+/// Holds the loop map behind an [`Arc`] (shared by every thread of a run)
+/// so a walker set plus its kernel borrow forms a self-contained, `Send`
+/// simulation state.
 pub struct Walker<'k> {
     kernel: &'k Kernel,
-    loops: &'k LoopMap,
+    loops: Arc<LoopMap>,
     tid: u32,
     /// Scalar argument values, indexed by `ArgId` (buffer slots unused).
     scalar_args: Vec<Value>,
@@ -139,7 +144,7 @@ impl<'k> Walker<'k> {
     ///
     /// `scalar_args` must have one entry per kernel argument; entries for
     /// buffer arguments are ignored (pass any placeholder).
-    pub fn new(kernel: &'k Kernel, loops: &'k LoopMap, tid: u32, scalar_args: Vec<Value>) -> Self {
+    pub fn new(kernel: &'k Kernel, loops: Arc<LoopMap>, tid: u32, scalar_args: Vec<Value>) -> Self {
         assert!(tid < kernel.num_threads, "thread id out of range");
         assert_eq!(
             scalar_args.len(),
@@ -658,7 +663,7 @@ mod tests {
             ],
         };
         let args = vec![Value::I32(0), Value::I32(0), Value::I64(4)];
-        let mut w = Walker::new(&k, &loops, 0, args);
+        let mut w = Walker::new(&k, std::sync::Arc::new(loops), 0, args);
         let evs = drive_to_finish(&mut w, &mut mem);
         assert_eq!(mem.bufs[1][0], Value::F32(0.0 + 1.0 + 2.0 + 3.0));
         let iters = evs
@@ -711,7 +716,7 @@ mod tests {
         let mut mem = VecMem {
             bufs: vec![vec![Value::I32(10)]],
         };
-        let mut w = Walker::new(&k, &loops, 0, vec![Value::I32(0)]);
+        let mut w = Walker::new(&k, std::sync::Arc::new(loops), 0, vec![Value::I32(0)]);
         assert_eq!(w.step(&mut mem), StepEvent::CriticalEnter);
         // Value untouched while paused.
         assert_eq!(mem.bufs[0][0], Value::I32(10));
@@ -744,7 +749,7 @@ mod tests {
         let k = kb.finish();
         let loops = LoopMap::build(&k);
         let mut mem = VecMem { bufs: vec![] };
-        let mut w = Walker::new(&k, &loops, 0, vec![]);
+        let mut w = Walker::new(&k, std::sync::Arc::new(loops), 0, vec![]);
         let evs = drive_to_finish(&mut w, &mut mem);
         assert!(
             !evs.iter().any(|e| matches!(
@@ -769,7 +774,7 @@ mod tests {
         let k = kb.finish();
         let loops = LoopMap::build(&k);
         let mut mem = VecMem { bufs: vec![] };
-        let mut w = Walker::new(&k, &loops, 3, vec![]);
+        let mut w = Walker::new(&k, std::sync::Arc::new(loops), 3, vec![]);
         drive_to_finish(&mut w, &mut mem);
         assert_eq!(w.var_value(VarId(0)), &Value::I32(12));
     }
@@ -797,7 +802,12 @@ mod tests {
                 vec![Value::F32(0.0)],
             ],
         };
-        let mut w = Walker::new(&k, &loops, 0, vec![Value::I32(0), Value::I32(0)]);
+        let mut w = Walker::new(
+            &k,
+            std::sync::Arc::new(loops),
+            0,
+            vec![Value::I32(0), Value::I32(0)],
+        );
         let evs = drive_to_finish(&mut w, &mut mem);
         assert_eq!(mem.bufs[1][0], Value::F32(30.0));
         let bursts: Vec<_> = evs

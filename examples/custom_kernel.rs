@@ -60,7 +60,8 @@ fn main() {
             LaunchArg::Buffer(vec![Value::F32(0.0); n * n]),
         ],
         &mut unit,
-    );
+    )
+    .expect("simulation failed");
     let trace = unit.finish();
     println!(
         "{} cycles, {:.3} GB/s, line-buffer hit rate {:.0}% (the four stencil taps share one port buffer)",

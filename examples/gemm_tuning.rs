@@ -53,7 +53,7 @@ fn main() {
             LaunchArg::Buffer(to_vals(&b)),
             LaunchArg::Buffer(vec![Value::F32(0.0); d * d]),
         ];
-        let r = Executor::run(&kernel, &acc, &sim, &launch, &mut unit);
+        let r = Executor::run(&kernel, &acc, &sim, &launch, &mut unit).expect("simulation failed");
         let trace = unit.finish();
 
         // Verify against the CPU reference before trusting any numbers.

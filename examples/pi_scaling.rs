@@ -42,7 +42,7 @@ fn main() {
             LaunchArg::Scalar(Value::I64(spt)),
             LaunchArg::Buffer(vec![Value::F32(0.0)]),
         ];
-        let r = Executor::run(&kernel, &acc, &sim, &launch, &mut unit);
+        let r = Executor::run(&kernel, &acc, &sim, &launch, &mut unit).expect("simulation failed");
         let trace = unit.finish();
         let est = match &r.buffers[2][0] {
             Value::F32(x) => x * step,

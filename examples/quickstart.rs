@@ -63,7 +63,7 @@ fn main() {
         ),
         LaunchArg::Buffer(vec![Value::F32(0.0)]),
     ];
-    let result = Executor::run(&kernel, &acc, &sim, &launch, &mut unit);
+    let result = Executor::run(&kernel, &acc, &sim, &launch, &mut unit).expect("simulation failed");
     println!(
         "result = {:?} after {} cycles ({} stall cycles, {} B read)",
         result.buffers[2][0],

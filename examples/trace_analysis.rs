@@ -70,7 +70,8 @@ fn main() {
                 LaunchArg::Buffer(vec![Value::F32(0.0); d * d]),
             ],
             &mut unit,
-        );
+        )
+        .expect("simulation failed");
         let report = unit.finish_streaming().expect("streaming pipeline");
         println!(
             "streamed {} records in {} flushes ({} B) without materializing\n",

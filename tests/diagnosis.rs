@@ -42,7 +42,8 @@ fn diagnose_gemm(v: GemmVersion, sim: &SimConfig) -> Bottleneck {
             LaunchArg::Buffer(vec![Value::F32(0.0); d * d]),
         ],
         &mut unit,
-    );
+    )
+    .expect("simulation failed");
     let trace = unit.finish();
     diagnose(&trace, &r.stats, sim, &DiagnoseConfig::default()).bottleneck
 }
@@ -105,7 +106,8 @@ fn small_pi_reads_as_host_overhead_bound() {
             LaunchArg::Buffer(vec![Value::F32(0.0)]),
         ],
         &mut unit,
-    );
+    )
+    .expect("simulation failed");
     let trace = unit.finish();
     let d = diagnose(&trace, &r.stats, &sim, &DiagnoseConfig::default());
     assert_eq!(d.bottleneck, Bottleneck::HostOverhead, "{d:?}");

@@ -51,7 +51,8 @@ fn run_gemm_profiled(v: GemmVersion, p: &GemmParams, period: u64) -> (RunResult,
             LaunchArg::Buffer(vec![Value::F32(0.0); d * d]),
         ],
         &mut unit,
-    );
+    )
+    .expect("simulation failed");
     (r, unit.finish())
 }
 
@@ -243,7 +244,8 @@ fn pi_end_to_end() {
             LaunchArg::Buffer(vec![Value::F32(0.0)]),
         ],
         &mut unit,
-    );
+    )
+    .expect("simulation failed");
     let trace = unit.finish();
     let est = match &r.buffers[2][0] {
         Value::F32(x) => x * step,
@@ -283,8 +285,9 @@ fn profiling_is_observation_only() {
     };
     let sim = SimConfig::default().with_fast_launch();
     let mut unit = ProfilingUnit::new(&kernel.name, p.threads, ProfilingConfig::default());
-    let with = Executor::run(&kernel, &acc, &sim, &mk(), &mut unit);
-    let without = Executor::run(&kernel, &acc, &sim, &mk(), &mut hls_paraver::sim::NullSnoop);
+    let with = Executor::run(&kernel, &acc, &sim, &mk(), &mut unit).expect("simulation failed");
+    let without = Executor::run(&kernel, &acc, &sim, &mk(), &mut hls_paraver::sim::NullSnoop)
+        .expect("simulation failed");
     assert_eq!(with.total_cycles, without.total_cycles);
     assert_eq!(with.buffers[2], without.buffers[2]);
 }

@@ -30,7 +30,8 @@ fn gemm_cycles(v: GemmVersion, p: &GemmParams, sim: &SimConfig) -> (u64, u64) {
             LaunchArg::Buffer(vec![Value::F32(0.0); d * d]),
         ],
         &mut NullSnoop,
-    );
+    )
+    .expect("simulation failed");
     (
         r.total_cycles,
         r.stats.total(|t| t.bytes_read + t.bytes_written),
@@ -139,6 +140,7 @@ fn pi_ramp_and_scaling_hold() {
             ],
             &mut unit,
         )
+        .expect("simulation failed")
     };
     let small = run(64_000);
     let big = run(1_024_000);
@@ -228,6 +230,7 @@ fn double_buffering_removes_load_stalls() {
             ],
             &mut NullSnoop,
         )
+        .expect("simulation failed")
         .stats
         .total_stalls()
     };

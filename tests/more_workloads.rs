@@ -32,7 +32,8 @@ fn spmv_is_correct_and_latency_bound_in_sim() {
             LaunchArg::Buffer(vec![Value::F32(0.0); m.rows]),
         ],
         &mut unit,
-    );
+    )
+    .expect("simulation failed");
     for (i, e) in gold.iter().enumerate() {
         let g = match &r.buffers[4][i] {
             Value::F32(v) => *v,
@@ -61,7 +62,8 @@ fn tree_reduction_synchronizes_every_phase() {
             data.iter().map(|&x| Value::F32(x)).collect(),
         )],
         &mut hls_paraver::sim::NullSnoop,
-    );
+    )
+    .expect("simulation failed");
     let got = match &r.buffers[0][0] {
         Value::F32(v) => *v,
         other => other.as_f64() as f32,
