@@ -13,6 +13,7 @@ use bench::sweep::{gemm_sweep, GemmSweepConfig};
 use bench::{args::default_jobs, gemm_sim_config};
 use hls_profiling::{PipelineConfig, ProfilingConfig};
 use kernels::gemm::GemmParams;
+use nymble_hls::HlsConfig;
 
 fn sweep_at(jobs: usize) -> usize {
     let sweep = gemm_sweep(&GemmSweepConfig {
@@ -21,6 +22,7 @@ fn sweep_at(jobs: usize) -> usize {
             threads: 4,
             ..Default::default()
         },
+        hls: HlsConfig::default(),
         sim: gemm_sim_config(),
         prof: ProfilingConfig::default(),
         pipeline: PipelineConfig::default(),

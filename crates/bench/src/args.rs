@@ -1,9 +1,10 @@
 //! Tiny command-line flag parser shared by the `repro_*` binaries
 //! (stand-in for clap, which this build environment cannot fetch).
 //!
-//! Flags are `--name value` pairs; unknown flags are ignored so the
-//! binaries stay forgiving about each other's options.
+//! Flags are `--name value` or `--name=value` pairs; unknown flags are
+//! ignored so the binaries stay forgiving about each other's options.
 
+use nymble_lint::LintLevel;
 use std::path::PathBuf;
 
 /// Parsed process arguments.
@@ -24,13 +25,40 @@ impl Args {
         Args { raw }
     }
 
-    /// The raw value following `flag`, if present.
+    /// The value of `flag`, accepting both `--flag value` and
+    /// `--flag=value` spellings.
     pub fn value_of(&self, flag: &str) -> Option<&str> {
-        self.raw
-            .iter()
-            .position(|a| a == flag)
-            .and_then(|i| self.raw.get(i + 1))
-            .map(|s| s.as_str())
+        for (i, a) in self.raw.iter().enumerate() {
+            if a == flag {
+                return self.raw.get(i + 1).map(|s| s.as_str());
+            }
+            if let Some(v) = a.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// The `--lint` gate level: absent means [`LintLevel::Off`], bare
+    /// `--lint` means [`LintLevel::Deny`], and `--lint=LEVEL` /
+    /// `--lint LEVEL` select one of `deny`, `warn`, `off`. An unknown
+    /// level is an error (so a typo'd gate never silently disables it).
+    pub fn lint_level(&self) -> Result<LintLevel, String> {
+        for (i, a) in self.raw.iter().enumerate() {
+            if let Some(v) = a.strip_prefix("--lint=") {
+                return LintLevel::parse(v)
+                    .ok_or_else(|| format!("--lint: unknown level `{v}` (deny, warn or off)"));
+            }
+            if a == "--lint" {
+                // `--lint deny` selects a level; a bare `--lint` (next
+                // token is another flag or nothing) means `deny`.
+                if let Some(l) = self.raw.get(i + 1).and_then(|n| LintLevel::parse(n)) {
+                    return Ok(l);
+                }
+                return Ok(LintLevel::Deny);
+            }
+        }
+        Ok(LintLevel::Off)
     }
 
     /// `--flag N` as `u32`.
@@ -91,6 +119,32 @@ mod tests {
         assert_eq!(a.path("--out"), Some(PathBuf::from("/tmp/x")));
         assert_eq!(a.jobs(), 3);
         assert_eq!(a.u32("--threads"), None);
+    }
+
+    #[test]
+    fn equals_style_flags_parse() {
+        let a = args(&["prog", "--dim=64", "--out=/tmp/x"]);
+        assert_eq!(a.u32("--dim"), Some(64));
+        assert_eq!(a.path("--out"), Some(PathBuf::from("/tmp/x")));
+    }
+
+    #[test]
+    fn lint_flag_spellings() {
+        assert_eq!(args(&["prog"]).lint_level(), Ok(LintLevel::Off));
+        assert_eq!(args(&["prog", "--lint"]).lint_level(), Ok(LintLevel::Deny));
+        assert_eq!(
+            args(&["prog", "--lint", "--out", "x"]).lint_level(),
+            Ok(LintLevel::Deny)
+        );
+        assert_eq!(
+            args(&["prog", "--lint", "warn"]).lint_level(),
+            Ok(LintLevel::Warn)
+        );
+        assert_eq!(
+            args(&["prog", "--lint=off"]).lint_level(),
+            Ok(LintLevel::Off)
+        );
+        assert!(args(&["prog", "--lint=nope"]).lint_level().is_err());
     }
 
     #[test]

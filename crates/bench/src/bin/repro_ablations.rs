@@ -11,7 +11,7 @@
 //! * **sampling period** — the §IV-B.2 trade-off: "the higher the period,
 //!   the more data is produced" (rate vs. volume).
 //!
-//! Usage: `repro_ablations [--dim N] [--jobs N]`
+//! Usage: `repro_ablations [--dim N] [--jobs N] [--lint[=deny|warn|off]]`
 //!
 //! The whole 16-run grid executes on the batch engine with one shared
 //! compile cache (two kernels compiled once each); a run that fails with a
@@ -19,16 +19,20 @@
 
 use bench::args::Args;
 use bench::engine::{BatchEngine, RunCtx, RunSpec};
-use bench::{gemm_launch, gemm_sim_config, run_profiled_in, run_unprofiled_in};
+use bench::{gemm_launch, gemm_sim_config, lint_gate, run_profiled_with, run_unprofiled_with};
 use fpga_sim::{RunResult, SimConfig};
 use hls_profiling::ProfilingConfig;
 use kernels::gemm::{self, GemmParams, GemmVersion};
-use nymble_hls::AccelCache;
+use nymble_hls::{AccelCache, HlsConfig};
 
 fn main() {
     let args = Args::parse();
     let dim = args.i64("--dim").unwrap_or(64);
     let jobs = args.jobs();
+    let lint = args.lint_level().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let p = GemmParams {
         dim,
         ..Default::default()
@@ -37,6 +41,15 @@ fn main() {
     let launch = gemm_launch(&p);
     let v2 = gemm::build(GemmVersion::NoCritical, &p);
     let v3 = gemm::build(GemmVersion::Vectorized, &p);
+    if let Err(report) = lint_gate(&[&v2, &v3], lint) {
+        eprintln!("{report}");
+        std::process::exit(1);
+    }
+    let hls = HlsConfig {
+        lint,
+        ..HlsConfig::default()
+    };
+    let hls = &hls;
     let cache = AccelCache::new();
     let engine = BatchEngine::new(jobs);
 
@@ -56,7 +69,7 @@ fn main() {
                 };
                 let (cache, launch) = (&cache, &launch);
                 RunSpec::new(format!("mshr{mshrs}_{tag}"), move |_: &RunCtx| {
-                    run_unprofiled_in(cache, kernel, &cfg, launch).map_err(Into::into)
+                    run_unprofiled_with(cache, kernel, hls, &cfg, launch)
                 })
             })
         })
@@ -89,7 +102,7 @@ fn main() {
             };
             let (cache, launch, v2) = (&cache, &launch, &v2);
             RunSpec::new(label, move |_: &RunCtx| {
-                run_unprofiled_in(cache, v2, &cfg, launch).map_err(Into::into)
+                run_unprofiled_with(cache, v2, hls, &cfg, launch)
             })
         })
         .collect();
@@ -114,7 +127,7 @@ fn main() {
             };
             let (cache, launch, v2) = (&cache, &launch, &v2);
             RunSpec::new(label, move |_: &RunCtx| {
-                run_unprofiled_in(cache, v2, &cfg, launch).map_err(Into::into)
+                run_unprofiled_with(cache, v2, hls, &cfg, launch)
             })
         })
         .collect();
@@ -145,7 +158,7 @@ fn main() {
             };
             let (cache, launch, v3, base) = (&cache, &launch, &v3, &base);
             RunSpec::new(format!("period{period}"), move |_: &RunCtx| {
-                let run = run_profiled_in(cache, v3, base, &prof, launch)?;
+                let run = run_profiled_with(cache, v3, hls, base, &prof, launch)?;
                 Ok((
                     run.trace.flushed_bytes,
                     run.trace.records.len(),

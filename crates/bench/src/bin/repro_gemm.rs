@@ -2,20 +2,24 @@
 //! the text, the Paraver state view of Fig. 6 (with its zoom), the relative
 //! bandwidth comparison of Fig. 7, and the phase plots of Figs. 8 and 9.
 //!
-//! Usage: `repro_gemm [--dim N] [--threads N] [--out DIR] [--jobs N]`
+//! Usage: `repro_gemm [--dim N] [--threads N] [--out DIR] [--jobs N]
+//!                    [--lint[=deny|warn|off]]`
 //!
 //! `--dim 512` runs at the paper's scale (slow); the default 128 preserves
 //! every ratio (see EXPERIMENTS.md). Trace bundles (`.prv`/`.pcf`/`.row`)
 //! are written under `--out` (default `target/traces`). The five versions
 //! run in parallel on the batch engine (`--jobs`, default: all hardware
-//! threads); tables and bundles are byte-identical for any worker count.
+//! threads); tables and bundles are byte-identical for any worker count —
+//! including across `--lint` levels, since the analyzer never touches the
+//! compiled artifact.
 
 use bench::args::Args;
-use bench::gemm_sim_config;
 use bench::sweep::{bundles_footer, gemm_sweep, gemm_table, GemmSweep, GemmSweepConfig};
+use bench::{gemm_sim_config, lint_gate};
 use hls_profiling::diagnose::{diagnose, DiagnoseConfig};
 use hls_profiling::{PipelineConfig, ProfilingConfig};
-use kernels::gemm::{GemmParams, GemmVersion};
+use kernels::gemm::{self, GemmParams, GemmVersion};
+use nymble_hls::HlsConfig;
 use paraver::analysis::{event_series, StateProfile};
 use paraver::timeline::{render_series, render_states, TimelineOptions};
 use paraver::{events, states};
@@ -26,6 +30,10 @@ fn main() {
     let dim = args.u32("--dim").unwrap_or(128) as i64;
     let threads = args.u32("--threads").unwrap_or(8);
     let jobs = args.jobs();
+    let lint = args.lint_level().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let out: PathBuf = args.path("--out").unwrap_or_else(|| "target/traces".into());
     std::fs::create_dir_all(&out).expect("create trace output dir");
 
@@ -36,8 +44,23 @@ fn main() {
     };
     let sim = gemm_sim_config();
 
+    // Pre-sweep lint gate: analyze all five versions before any
+    // simulation time is spent.
+    let kernels: Vec<_> = GemmVersion::ALL
+        .iter()
+        .map(|&v| gemm::build(v, &p))
+        .collect();
+    if let Err(report) = lint_gate(&kernels.iter().collect::<Vec<_>>(), lint) {
+        eprintln!("{report}");
+        std::process::exit(1);
+    }
+
     let sweep: GemmSweep = gemm_sweep(&GemmSweepConfig {
         params: p,
+        hls: HlsConfig {
+            lint,
+            ..HlsConfig::default()
+        },
         sim: sim.clone(),
         prof: ProfilingConfig::default(),
         pipeline: PipelineConfig::default(),
@@ -63,7 +86,14 @@ fn main() {
                 );
                 println!("{:<24} {:?}: {}", v.name(), d.bottleneck, d.advice);
             }
-            Err(e) => println!("{:<24} run failed, no trace to diagnose: {e}", v.name()),
+            Err(e) => {
+                println!("{:<24} run failed, no trace to diagnose: {e}", v.name());
+                if let bench::BenchError::Sim(se) = e {
+                    if let Some(hint) = hls_profiling::diagnose::sim_error_hint(se) {
+                        println!("{:<24} hint: {hint}", "");
+                    }
+                }
+            }
         }
     }
     println!(

@@ -6,7 +6,7 @@
 //! 1.5% ALMs, 1 MHz at ~148 MHz. Also verifies the per-counter claim:
 //! "each of the counters contributes similarly to the hardware overhead".
 //!
-//! Usage: `repro_overhead [--threads N] [--jobs N]`
+//! Usage: `repro_overhead [--threads N] [--jobs N] [--lint[=deny|warn|off]]`
 //!
 //! The six accelerator compiles (five GEMM versions plus π) run in
 //! parallel on the batch engine through a shared compile cache; the
@@ -14,6 +14,7 @@
 
 use bench::args::Args;
 use bench::engine::{BatchEngine, RunCtx, RunSpec};
+use bench::lint_gate;
 use hls_profiling::counters::CounterSet;
 use hls_profiling::overhead::{instrumented_fit, profiling_fit, OverheadParams};
 use hls_profiling::ProfilingConfig;
@@ -28,7 +29,14 @@ fn main() {
     let args = Args::parse();
     let threads = args.u32("--threads").unwrap_or(8);
     let jobs = args.jobs();
-    let hls = HlsConfig::default();
+    let lint = args.lint_level().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let hls = HlsConfig {
+        lint,
+        ..HlsConfig::default()
+    };
     let prof = ProfilingConfig::default();
     let op = OverheadParams::default();
     let cache = AccelCache::new();
@@ -54,6 +62,21 @@ fn main() {
         threads,
         ..GemmParams::paper_scale()
     };
+    // Lint all six study designs (five GEMM versions plus π) up front, so
+    // at `--lint=deny` the binary exits before compiling anything.
+    let gate_kernels: Vec<_> = GemmVersion::ALL
+        .iter()
+        .map(|&v| gemm::build(v, &gp))
+        .chain(std::iter::once(pi::build(&PiParams {
+            threads,
+            ..Default::default()
+        })))
+        .collect();
+    if let Err(report) = lint_gate(&gate_kernels.iter().collect::<Vec<_>>(), lint) {
+        eprintln!("{report}");
+        std::process::exit(1);
+    }
+    drop(gate_kernels);
     // Compile every study design on the worker pool; reports come back in
     // submission order, so the table below never depends on `--jobs`.
     let specs: Vec<RunSpec<'_, Arc<Accelerator>>> = GemmVersion::ALL

@@ -3,16 +3,19 @@
 //! GFLOP/s at 1 M / 4 M / 10 M iterations, and the paper's 15·10⁹-iteration
 //! extrapolation.
 //!
-//! Usage: `repro_pi [--threads N] [--out DIR] [--jobs N]`
+//! Usage: `repro_pi [--threads N] [--out DIR] [--jobs N]
+//!                  [--lint[=deny|warn|off]]`
 //!
 //! The three problem sizes run in parallel on the batch engine; the π
 //! kernel's IR is step-count-independent, so the whole sweep shares one
 //! HLS compile. Output is byte-identical for any `--jobs` value.
 
 use bench::args::Args;
-use bench::pi_sim_config;
 use bench::sweep::{bundles_footer, pi_sweep, pi_table, PiSweepConfig};
+use bench::{lint_gate, pi_sim_config};
 use hls_profiling::{PipelineConfig, ProfilingConfig};
+use kernels::pi::{self, PiParams};
+use nymble_hls::HlsConfig;
 use paraver::analysis::StateProfile;
 use paraver::states;
 use paraver::timeline::{render_states, TimelineOptions};
@@ -22,6 +25,10 @@ fn main() {
     let args = Args::parse();
     let threads = args.u32("--threads").unwrap_or(8);
     let jobs = args.jobs();
+    let lint = args.lint_level().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let out: PathBuf = args.path("--out").unwrap_or_else(|| "target/traces".into());
     std::fs::create_dir_all(&out).expect("create trace output dir");
     let sim = pi_sim_config();
@@ -35,10 +42,25 @@ fn main() {
         (4_000_000, 0.556, 12),
         (10_000_000, 1.507, 13),
     ];
+    // Pre-sweep lint gate (the π IR is the same for every step count).
+    let gate_kernel = pi::build(&PiParams {
+        steps: paper[0].0,
+        threads,
+        bs: 8,
+    });
+    if let Err(report) = lint_gate(&[&gate_kernel], lint) {
+        eprintln!("{report}");
+        std::process::exit(1);
+    }
+
     let sweep = pi_sweep(&PiSweepConfig {
         steps: paper.iter().map(|&(s, _, _)| s).collect(),
         threads,
         bs: 8,
+        hls: HlsConfig {
+            lint,
+            ..HlsConfig::default()
+        },
         sim: sim.clone(),
         prof,
         pipeline: PipelineConfig::default(),

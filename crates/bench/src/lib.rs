@@ -20,17 +20,21 @@ use hls_profiling::{
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use kernels::pi::{self, PiParams};
 use kernels::reference;
-use nymble_hls::accel::{Accelerator, HlsConfig};
+use nymble_hls::accel::{Accelerator, CompileError, HlsConfig};
 use nymble_hls::AccelCache;
 use nymble_ir::{Kernel, Value};
+use nymble_lint::LintLevel;
 use paraver::TraceSink;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-/// Anything that can fail inside one batch-engine run: the simulator
-/// (typed deadlock / config errors) or the streaming trace pipeline.
+/// Anything that can fail inside one batch-engine run: the compile (e.g.
+/// the `nymble-lint` gate at `deny`), the simulator (typed deadlock /
+/// config errors) or the streaming trace pipeline.
 #[derive(Debug)]
 pub enum BenchError {
+    /// The HLS compile was refused (e.g. by the lint gate).
+    Compile(CompileError),
     /// The cycle-level simulator rejected the run.
     Sim(SimError),
     /// The background trace pipeline failed.
@@ -40,6 +44,7 @@ pub enum BenchError {
 impl std::fmt::Display for BenchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            BenchError::Compile(e) => write!(f, "{e}"),
             BenchError::Sim(e) => write!(f, "{e}"),
             BenchError::Pipeline(e) => write!(f, "{e}"),
         }
@@ -49,9 +54,16 @@ impl std::fmt::Display for BenchError {
 impl std::error::Error for BenchError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            BenchError::Compile(e) => Some(e),
             BenchError::Sim(e) => Some(e),
             BenchError::Pipeline(e) => Some(e),
         }
+    }
+}
+
+impl From<CompileError> for BenchError {
+    fn from(e: CompileError) -> Self {
+        BenchError::Compile(e)
     }
 }
 
@@ -92,6 +104,27 @@ pub struct ProfiledRun {
     pub accel: Arc<Accelerator>,
 }
 
+/// [`run_profiled_in`] under an explicit [`HlsConfig`]: the lint gate in
+/// `hls.lint` runs before the compile, and a refused compile surfaces as
+/// [`BenchError::Compile`] instead of panicking.
+pub fn run_profiled_with(
+    cache: &AccelCache,
+    kernel: &Kernel,
+    hls: &HlsConfig,
+    sim: &SimConfig,
+    prof: &ProfilingConfig,
+    launch: &[LaunchArg],
+) -> Result<ProfiledRun, BenchError> {
+    let accel = cache.try_get_or_compile(kernel, hls)?;
+    let mut unit = ProfilingUnit::new(&kernel.name, kernel.num_threads, prof.clone());
+    let result = Executor::run(kernel, &accel, sim, launch, &mut unit)?;
+    Ok(ProfiledRun {
+        result,
+        trace: unit.finish(),
+        accel,
+    })
+}
+
 /// [`run_profiled`] against a shared compile cache: the kernel is compiled
 /// at most once per cache however many runs (or worker threads) request it.
 pub fn run_profiled_in(
@@ -101,14 +134,12 @@ pub fn run_profiled_in(
     prof: &ProfilingConfig,
     launch: &[LaunchArg],
 ) -> Result<ProfiledRun, SimError> {
-    let accel = cache.get_or_compile(kernel, &HlsConfig::default());
-    let mut unit = ProfilingUnit::new(&kernel.name, kernel.num_threads, prof.clone());
-    let result = Executor::run(kernel, &accel, sim, launch, &mut unit)?;
-    Ok(ProfiledRun {
-        result,
-        trace: unit.finish(),
-        accel,
-    })
+    match run_profiled_with(cache, kernel, &HlsConfig::default(), sim, prof, launch) {
+        Ok(run) => Ok(run),
+        Err(BenchError::Sim(e)) => Err(e),
+        // The default config has the lint gate off and no pipeline.
+        Err(e) => unreachable!("impossible failure under HlsConfig::default(): {e}"),
+    }
 }
 
 /// Compile and run a kernel with the profiling unit attached.
@@ -125,18 +156,21 @@ pub fn run_profiled(
     run_profiled_in(&AccelCache::new(), kernel, sim, prof, launch).expect("simulation failed")
 }
 
-/// [`run_profiled_streaming`] against a shared compile cache, with
-/// simulator failures surfaced as typed [`BenchError::Sim`] values.
-pub fn run_profiled_streaming_in(
+/// [`run_profiled_streaming_in`] under an explicit [`HlsConfig`]: the lint
+/// gate in `hls.lint` runs before the compile, and a refused compile
+/// surfaces as [`BenchError::Compile`] instead of panicking.
+#[allow(clippy::too_many_arguments)] // the fully-explicit variant: every knob of the stack
+pub fn run_profiled_streaming_with(
     cache: &AccelCache,
     kernel: &Kernel,
+    hls: &HlsConfig,
     sim: &SimConfig,
     prof: &ProfilingConfig,
     pipeline: PipelineConfig,
     sink_factory: SinkFactory,
     launch: &[LaunchArg],
 ) -> Result<(RunResult, StreamReport), BenchError> {
-    let accel = cache.get_or_compile(kernel, &HlsConfig::default());
+    let accel = cache.try_get_or_compile(kernel, hls)?;
     let mut unit = ProfilingUnit::new_streaming(
         &kernel.name,
         kernel.num_threads,
@@ -150,6 +184,29 @@ pub fn run_profiled_streaming_in(
     let report = unit.finish_streaming();
     let result = result?;
     Ok((result, report?))
+}
+
+/// [`run_profiled_streaming`] against a shared compile cache, with
+/// simulator failures surfaced as typed [`BenchError::Sim`] values.
+pub fn run_profiled_streaming_in(
+    cache: &AccelCache,
+    kernel: &Kernel,
+    sim: &SimConfig,
+    prof: &ProfilingConfig,
+    pipeline: PipelineConfig,
+    sink_factory: SinkFactory,
+    launch: &[LaunchArg],
+) -> Result<(RunResult, StreamReport), BenchError> {
+    run_profiled_streaming_with(
+        cache,
+        kernel,
+        &HlsConfig::default(),
+        sim,
+        prof,
+        pipeline,
+        sink_factory,
+        launch,
+    )
 }
 
 /// Compile and run a kernel with the profiling unit in streaming mode:
@@ -178,6 +235,8 @@ pub fn run_profiled_streaming(
         Ok(ok) => Ok(ok),
         Err(BenchError::Pipeline(e)) => Err(e),
         Err(BenchError::Sim(e)) => panic!("simulation failed: {e}"),
+        // The default config has the lint gate off.
+        Err(BenchError::Compile(e)) => unreachable!("{e}"),
     }
 }
 
@@ -195,6 +254,20 @@ pub fn bundle_sink(path_stem: PathBuf) -> SinkFactory {
     })
 }
 
+/// [`run_unprofiled_in`] under an explicit [`HlsConfig`]: the lint gate in
+/// `hls.lint` runs before the compile, and a refused compile surfaces as
+/// [`BenchError::Compile`] instead of panicking.
+pub fn run_unprofiled_with(
+    cache: &AccelCache,
+    kernel: &Kernel,
+    hls: &HlsConfig,
+    sim: &SimConfig,
+    launch: &[LaunchArg],
+) -> Result<RunResult, BenchError> {
+    let accel = cache.try_get_or_compile(kernel, hls)?;
+    Executor::run(kernel, &accel, sim, launch, &mut NullSnoop).map_err(Into::into)
+}
+
 /// [`run_unprofiled`] against a shared compile cache.
 pub fn run_unprofiled_in(
     cache: &AccelCache,
@@ -204,6 +277,30 @@ pub fn run_unprofiled_in(
 ) -> Result<RunResult, SimError> {
     let accel = cache.get_or_compile(kernel, &HlsConfig::default());
     Executor::run(kernel, &accel, sim, launch, &mut NullSnoop)
+}
+
+/// Pre-sweep lint gate shared by the `repro_*` binaries: lint every kernel
+/// at `level`, printing findings (human-rendered) to stderr. At
+/// [`LintLevel::Deny`] a dirty kernel turns the whole gate into `Err` with
+/// the rendered reports, so the binary can exit nonzero *before* spending
+/// any simulation time.
+pub fn lint_gate(kernels: &[&Kernel], level: LintLevel) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for kernel in kernels {
+        match nymble_lint::enforce(kernel, level) {
+            Ok(report) => {
+                if !report.is_clean() {
+                    eprint!("{}", report.render_human());
+                }
+            }
+            Err(rendered) => failures.push(rendered),
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
 }
 
 /// Compile and run a kernel without profiling (the overhead-study baseline).

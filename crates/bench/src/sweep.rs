@@ -19,7 +19,7 @@
 //! one bad configuration never aborts the rest of a sweep.
 
 use crate::engine::{BatchEngine, RunCtx, RunReport, RunSpec};
-use crate::{gemm_launch, pi_launch, run_profiled_streaming_in, BenchError, ProfiledRun};
+use crate::{gemm_launch, pi_launch, run_profiled_streaming_with, BenchError, ProfiledRun};
 use fpga_sim::SimConfig;
 use hls_profiling::{PipelineConfig, ProfilingConfig, SinkFactory, TraceData};
 use kernels::gemm::{self, GemmParams, GemmVersion};
@@ -84,6 +84,7 @@ pub fn collecting_bundle_sink(
 /// and the simulator/profiler/pipeline configuration.
 struct SweepEnv<'a> {
     cache: &'a AccelCache,
+    hls: &'a HlsConfig,
     sim: &'a SimConfig,
     prof: &'a ProfilingConfig,
     pipeline: &'a PipelineConfig,
@@ -104,9 +105,10 @@ fn profiled_streaming_run(
         spill_dir: Some(ctx.scratch_dir.clone()),
         ..env.pipeline.clone()
     };
-    let (result, report) = run_profiled_streaming_in(
+    let (result, report) = run_profiled_streaming_with(
         env.cache,
         kernel,
+        env.hls,
         env.sim,
         env.prof,
         pipe,
@@ -123,13 +125,16 @@ fn profiled_streaming_run(
     Ok(ProfiledRun {
         result,
         trace,
-        accel: env.cache.get_or_compile(kernel, &HlsConfig::default()),
+        accel: env.cache.try_get_or_compile(kernel, env.hls)?,
     })
 }
 
 /// Configuration of the GEMM version sweep (§V-C).
 pub struct GemmSweepConfig {
     pub params: GemmParams,
+    /// HLS compile options, including the `nymble-lint` gate level; part of
+    /// the compile-cache key.
+    pub hls: HlsConfig,
     pub sim: SimConfig,
     pub prof: ProfilingConfig,
     pub pipeline: PipelineConfig,
@@ -165,6 +170,7 @@ pub fn gemm_sweep(cfg: &GemmSweepConfig) -> GemmSweep {
                 .map(|o| o.join(format!("gemm_{}_{}", cfg.params.dim, kernel.name)));
             let env = SweepEnv {
                 cache: &cache,
+                hls: &cfg.hls,
                 sim: &cfg.sim,
                 prof: &cfg.prof,
                 pipeline: &cfg.pipeline,
@@ -229,6 +235,9 @@ pub struct PiSweepConfig {
     pub steps: Vec<u64>,
     pub threads: u32,
     pub bs: u32,
+    /// HLS compile options, including the `nymble-lint` gate level; part of
+    /// the compile-cache key.
+    pub hls: HlsConfig,
     pub sim: SimConfig,
     pub prof: ProfilingConfig,
     pub pipeline: PipelineConfig,
@@ -267,6 +276,7 @@ pub fn pi_sweep(cfg: &PiSweepConfig) -> PiSweep {
             let stem = cfg.out.as_ref().map(|o| o.join(format!("pi_{steps}")));
             let env = SweepEnv {
                 cache: &cache,
+                hls: &cfg.hls,
                 sim: &cfg.sim,
                 prof: &cfg.prof,
                 pipeline: &cfg.pipeline,
@@ -333,6 +343,7 @@ mod tests {
                 vec: 4,
                 block: 8,
             },
+            hls: HlsConfig::default(),
             sim: crate::gemm_sim_config(),
             prof: ProfilingConfig::default(),
             pipeline: PipelineConfig::default(),
@@ -361,6 +372,7 @@ mod tests {
             steps: vec![20_000, 50_000],
             threads: 2,
             bs: 8,
+            hls: HlsConfig::default(),
             sim: crate::gemm_sim_config(),
             prof: ProfilingConfig::default(),
             pipeline: PipelineConfig::default(),

@@ -7,6 +7,7 @@ use bench::sweep::{gemm_sweep, gemm_table, pi_sweep, pi_table, GemmSweepConfig, 
 use bench::{gemm_sim_config, pi_sim_config};
 use hls_profiling::{PipelineConfig, ProfilingConfig};
 use kernels::gemm::{GemmParams, GemmVersion};
+use nymble_hls::HlsConfig;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,6 +68,7 @@ fn gemm_sweep_is_deterministic_across_worker_counts() {
                 vec: 4,
                 block: 8,
             },
+            hls: HlsConfig::default(),
             sim: sim.clone(),
             prof: ProfilingConfig::default(),
             pipeline: PipelineConfig::default(),
@@ -109,6 +111,7 @@ fn pi_sweep_is_deterministic_across_worker_counts() {
             steps: vec![20_000, 50_000, 100_000],
             threads: 2,
             bs: 8,
+            hls: HlsConfig::default(),
             sim: sim.clone(),
             prof: ProfilingConfig {
                 sampling_period: 5_000,
@@ -149,6 +152,7 @@ fn oversubscribed_pool_handles_tiny_spill_budget() {
         steps: vec![30_000, 60_000],
         threads: 2,
         bs: 8,
+        hls: HlsConfig::default(),
         sim: sim.clone(),
         prof: ProfilingConfig {
             sampling_period: 1_000,

@@ -12,7 +12,7 @@
 
 use crate::unit::TraceData;
 use fpga_sim::stats::RunStats;
-use fpga_sim::SimConfig;
+use fpga_sim::{SimConfig, SimError};
 use paraver::analysis::{event_series, StateProfile};
 use paraver::{events, states};
 
@@ -147,7 +147,9 @@ pub fn diagnose(
         Bottleneck::Synchronization => format!(
             "{:.1}% of thread time is spent in or spinning on critical sections; \
              restructure the work so threads write disjoint data (the paper's \
-             'No Critical Sections' step)",
+             'No Critical Sections' step) — `nymble-lint` codes NL001 \
+             (cross-thread write overlap) and NL003 (unsynchronized \
+             read-modify-write) pinpoint the accesses that force the lock",
             sync_frac * 100.0
         ),
         Bottleneck::MemoryLatency => format!(
@@ -189,6 +191,25 @@ pub fn diagnose(
         bandwidth_frac,
         phase_score,
         advice,
+    }
+}
+
+/// Static-analysis cross-reference for a run that failed *before* producing
+/// a usable trace. A simulated deadlock — threads parked at a barrier that
+/// can never fill — is exactly the behavior `nymble-lint` code NL002
+/// (barrier under thread-dependent control flow) predicts statically, so
+/// point the user at the analyzer instead of leaving them with a raw cycle
+/// count.
+pub fn sim_error_hint(e: &SimError) -> Option<String> {
+    match e {
+        SimError::Deadlock { waiting, .. } => Some(format!(
+            "{} thread(s) deadlocked at a synchronization point: this is the \
+             dynamic signature of `nymble-lint` code NL002 (a `barrier` \
+             reached under thread-dependent control flow) — run the kernel \
+             through `nymble-lint` to locate the divergent branch",
+            waiting.len()
+        )),
+        _ => None,
     }
 }
 
@@ -245,6 +266,26 @@ mod tests {
         assert_eq!(d.bottleneck, Bottleneck::Synchronization);
         assert!(d.sync_frac > 0.3, "{d:?}");
         assert!(d.advice.contains("critical"));
+        // The advice cross-references the static analyzer's codes so the
+        // user can jump from the trace symptom to the racing statements.
+        assert!(d.advice.contains("NL001"), "{}", d.advice);
+        assert!(d.advice.contains("NL003"), "{}", d.advice);
+    }
+
+    #[test]
+    fn deadlock_hint_points_at_nl002() {
+        use fpga_sim::{BlockedReason, BlockedThread};
+        let e = SimError::Deadlock {
+            waiting: vec![BlockedThread {
+                thread: 0,
+                reason: BlockedReason::AtBarrier,
+                at_cycle: 42,
+            }],
+        };
+        let hint = sim_error_hint(&e).expect("deadlocks have a lint hint");
+        assert!(hint.contains("NL002"), "{hint}");
+        assert!(hint.contains("nymble-lint"), "{hint}");
+        assert_eq!(sim_error_hint(&SimError::InvalidConfig("x".into())), None);
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Lint fixtures: for every `nymble-lint` diagnostic code, one minimal
+//! kernel that triggers it and one *near-miss* kernel that looks similar
+//! but is clean (e.g. the same reduction guarded by `critical`).
+//!
+//! The fixtures double as dynamic-oracle subjects: they are valid,
+//! executable kernels, so the IR interpreter can reproduce the flagged
+//! behavior (an observed race for NL001, divergent barrier arrival counts
+//! for NL002) while the near-misses run clean.
+
+use nymble_ir::{Kernel, KernelBuilder, MapDir, ScalarType, Type};
+
+/// One lint fixture: the kernel plus the diagnostic codes it must produce
+/// (`expect` is empty for near-miss fixtures, which must lint clean).
+pub struct Fixture {
+    pub name: &'static str,
+    /// Expected `nymble-lint` codes, as stable strings ("NL001"…).
+    pub expect: &'static [&'static str],
+    pub kernel: Kernel,
+}
+
+/// Every fixture, buggy and near-miss, in code order.
+pub fn all() -> Vec<Fixture> {
+    vec![
+        nl001_race(),
+        nl001_disjoint(),
+        nl002_divergent_barrier(),
+        nl002_uniform_barrier(),
+        nl003_lost_update(),
+        nl003_critical_reduction(),
+        nl004_oob(),
+        nl004_inbounds(),
+        nl005_dead_to(),
+        nl005_used_to(),
+        nl006_dead_from(),
+        nl006_written_from(),
+    ]
+}
+
+/// Fixtures that must produce diagnostics.
+pub fn buggy() -> Vec<Fixture> {
+    all().into_iter().filter(|f| !f.expect.is_empty()).collect()
+}
+
+/// Near-miss fixtures that must lint clean.
+pub fn near_misses() -> Vec<Fixture> {
+    all().into_iter().filter(|f| f.expect.is_empty()).collect()
+}
+
+/// NL001: both threads write the full `OUT[0..8)` range — every element is
+/// a write/write race.
+fn nl001_race() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl001_race", 2);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let n = kb.c_i64(8);
+    kb.for_range("i", n, |kb, i| {
+        let tid = kb.thread_id();
+        let v = kb.cast(ScalarType::F32, tid);
+        kb.store(out, i, v);
+    });
+    Fixture {
+        name: "nl001_race",
+        expect: &["NL001"],
+        kernel: kb.finish(),
+    }
+}
+
+/// Near-miss: the same loop, decomposed `i = tid, tid+NT, …` — the write
+/// sets fall in different residue classes mod `num_threads`.
+fn nl001_disjoint() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl001_disjoint", 2);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let tid = kb.thread_id();
+    let nt = kb.num_threads_expr();
+    let n = kb.c_i64(8);
+    kb.for_each("i", tid, n, nt, |kb, i| {
+        let t = kb.thread_id();
+        let v = kb.cast(ScalarType::F32, t);
+        kb.store(out, i, v);
+    });
+    Fixture {
+        name: "nl001_disjoint",
+        expect: &[],
+        kernel: kb.finish(),
+    }
+}
+
+/// NL002: only thread 0 reaches the barrier — the other threads never
+/// arrive, so in hardware thread 0 waits forever.
+fn nl002_divergent_barrier() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl002_divergent", 2);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let tid = kb.thread_id();
+    let nt = kb.num_threads_expr();
+    let n = kb.c_i64(8);
+    kb.for_each("i", tid, n, nt, |kb, i| {
+        let one = kb.c_f32(1.0);
+        kb.store(out, i, one);
+    });
+    let tid2 = kb.thread_id();
+    let zero = kb.c_i64(0);
+    let is_zero = kb.bin(nymble_ir::BinOp::Eq, tid2, zero);
+    kb.if_then(is_zero, |kb| kb.barrier());
+    Fixture {
+        name: "nl002_divergent",
+        expect: &["NL002"],
+        kernel: kb.finish(),
+    }
+}
+
+/// Near-miss: the barrier is conditional, but on a *uniform* launch scalar
+/// — every thread takes the same branch.
+fn nl002_uniform_barrier() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl002_uniform", 2);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let flag = kb.scalar_arg("FLAG", ScalarType::I64);
+    let tid = kb.thread_id();
+    let nt = kb.num_threads_expr();
+    let n = kb.c_i64(8);
+    kb.for_each("i", tid, n, nt, |kb, i| {
+        let one = kb.c_f32(1.0);
+        kb.store(out, i, one);
+    });
+    let f = kb.arg(flag);
+    let zero = kb.c_i64(0);
+    let cond = kb.bin(nymble_ir::BinOp::Gt, f, zero);
+    kb.if_then(cond, |kb| kb.barrier());
+    Fixture {
+        name: "nl002_uniform",
+        expect: &[],
+        kernel: kb.finish(),
+    }
+}
+
+/// NL003: the classic unguarded reduction — every thread repeatedly does
+/// `ACC[0] = ACC[0] + 1` without synchronization, losing updates.
+fn nl003_lost_update() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl003_lost_update", 2);
+    let acc = kb.buffer("ACC", ScalarType::F32, MapDir::ToFrom);
+    let n = kb.c_i64(4);
+    kb.for_range("r", n, |kb, _r| {
+        let zero = kb.c_i64(0);
+        let cur = kb.load(acc, zero, Type::F32);
+        let one = kb.c_f32(1.0);
+        let next = kb.add(cur, one);
+        kb.store(acc, zero, next);
+    });
+    Fixture {
+        name: "nl003_lost_update",
+        expect: &["NL003"],
+        kernel: kb.finish(),
+    }
+}
+
+/// Near-miss: the same reduction guarded by `critical` — serialized, clean.
+fn nl003_critical_reduction() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl003_critical", 2);
+    let acc = kb.buffer("ACC", ScalarType::F32, MapDir::ToFrom);
+    let n = kb.c_i64(4);
+    kb.for_range("r", n, |kb, _r| {
+        kb.critical(|kb| {
+            let zero = kb.c_i64(0);
+            let cur = kb.load(acc, zero, Type::F32);
+            let one = kb.c_f32(1.0);
+            let next = kb.add(cur, one);
+            kb.store(acc, zero, next);
+        });
+    });
+    Fixture {
+        name: "nl003_critical",
+        expect: &[],
+        kernel: kb.finish(),
+    }
+}
+
+/// NL004: a local memory of 8 elements indexed `0..9` — iteration 8 is a
+/// proven out-of-bounds store.
+fn nl004_oob() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl004_oob", 2);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let scratch = kb.local_mem("SCRATCH", Type::F32, 8);
+    let n = kb.c_i64(9);
+    kb.for_range("i", n, |kb, i| {
+        let zero = kb.c_f32(0.0);
+        kb.store_local(scratch, i, zero);
+    });
+    let tid = kb.thread_id();
+    let v = kb.load_local(scratch, tid, Type::F32);
+    kb.store(out, tid, v);
+    Fixture {
+        name: "nl004_oob",
+        expect: &["NL004"],
+        kernel: kb.finish(),
+    }
+}
+
+/// Near-miss: the same loop with the correct `0..8` bound.
+fn nl004_inbounds() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl004_inbounds", 2);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let scratch = kb.local_mem("SCRATCH", Type::F32, 8);
+    let n = kb.c_i64(8);
+    kb.for_range("i", n, |kb, i| {
+        let zero = kb.c_f32(0.0);
+        kb.store_local(scratch, i, zero);
+    });
+    let tid = kb.thread_id();
+    let v = kb.load_local(scratch, tid, Type::F32);
+    kb.store(out, tid, v);
+    Fixture {
+        name: "nl004_inbounds",
+        expect: &[],
+        kernel: kb.finish(),
+    }
+}
+
+/// NL005: `map(to: A)` copies A to the accelerator, but the kernel never
+/// reads it.
+fn nl005_dead_to() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl005_dead_to", 2);
+    let _a = kb.buffer("A", ScalarType::F32, MapDir::To);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let tid = kb.thread_id();
+    let one = kb.c_f32(1.0);
+    kb.store(out, tid, one);
+    Fixture {
+        name: "nl005_dead_to",
+        expect: &["NL005"],
+        kernel: kb.finish(),
+    }
+}
+
+/// Near-miss: A is actually read.
+fn nl005_used_to() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl005_used_to", 2);
+    let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let tid = kb.thread_id();
+    let v = kb.load(a, tid, Type::F32);
+    kb.store(out, tid, v);
+    Fixture {
+        name: "nl005_used_to",
+        expect: &[],
+        kernel: kb.finish(),
+    }
+}
+
+/// NL006: `map(from: OUT)` copies OUT back, but the kernel never writes it
+/// — the host reads back garbage.
+fn nl006_dead_from() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl006_dead_from", 2);
+    let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+    let res = kb.buffer("RES", ScalarType::F32, MapDir::From);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let tid = kb.thread_id();
+    let v = kb.load(a, tid, Type::F32);
+    kb.store(res, tid, v);
+    let _ = out;
+    Fixture {
+        name: "nl006_dead_from",
+        expect: &["NL006"],
+        kernel: kb.finish(),
+    }
+}
+
+/// Near-miss: OUT is written.
+fn nl006_written_from() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl006_written_from", 2);
+    let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let tid = kb.thread_id();
+    let v = kb.load(a, tid, Type::F32);
+    kb.store(out, tid, v);
+    Fixture {
+        name: "nl006_written_from",
+        expect: &[],
+        kernel: kb.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_valid_and_partition() {
+        let all = all();
+        assert_eq!(all.len(), 12);
+        assert_eq!(buggy().len(), 6);
+        assert_eq!(near_misses().len(), 6);
+        // One triggering + one near-miss fixture per code.
+        for code in ["NL001", "NL002", "NL003", "NL004", "NL005", "NL006"] {
+            assert_eq!(
+                buggy().iter().filter(|f| f.expect.contains(&code)).count(),
+                1,
+                "exactly one fixture triggers {code}"
+            );
+        }
+        // Names are unique.
+        let mut names: Vec<_> = all.iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+}

@@ -12,9 +12,12 @@
 //! * [`spmv`] — CSR sparse matrix–vector product (indirect/gather accesses),
 //! * [`reduction`] — barrier-phased tree reduction,
 //! * [`mod@reference`] — CPU gold implementations every kernel is verified
-//!   against.
+//!   against,
+//! * [`fixtures`] — minimal triggering and near-miss kernels for every
+//!   `nymble-lint` diagnostic code (NL001–NL006).
 
 pub mod extra;
+pub mod fixtures;
 pub mod gemm;
 pub mod pi;
 pub mod reduction;

@@ -6,6 +6,8 @@ use crate::schedule::{schedule, LoopSchedule, ResourceLimits};
 use nymble_ir::loops::{LoopId, LoopMap};
 use nymble_ir::stmt::{Block, Stmt};
 use nymble_ir::Kernel;
+use nymble_lint::LintLevel;
+use std::fmt;
 
 /// HLS compiler configuration.
 #[derive(Clone, Debug)]
@@ -18,6 +20,13 @@ pub struct HlsConfig {
     /// how many scheduled ops retire per cycle when a thread executes
     /// top-level or critical-section code sequentially.
     pub seq_issue_width: u32,
+    /// Static-analysis gate run before scheduling. At
+    /// [`LintLevel::Warn`] findings go to stderr; at [`LintLevel::Deny`]
+    /// they abort the compile ([`try_compile`] returns
+    /// [`CompileError::Lint`]). Part of the config fingerprint, so
+    /// `AccelCache` never serves an artifact compiled under a different
+    /// lint gate.
+    pub lint: LintLevel,
 }
 
 impl Default for HlsConfig {
@@ -26,9 +35,30 @@ impl Default for HlsConfig {
             limits: ResourceLimits::default(),
             cost: CostParams::default(),
             seq_issue_width: 4,
+            lint: LintLevel::Off,
         }
     }
 }
+
+/// Why a compile was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The pre-scheduling lint gate failed (`lint: Deny` and the kernel has
+    /// diagnostics). Carries the human-rendered lint report.
+    Lint(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lint(report) => {
+                write!(f, "lint gate rejected the kernel:\n{report}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
 
 /// A compiled accelerator: everything the simulator, the profiling unit and
 /// the fit reporter need to know about the generated hardware.
@@ -103,7 +133,29 @@ fn collect_loop_bodies<'k>(lm: &LoopMap, block: &'k Block, out: &mut Vec<(LoopId
 }
 
 /// Compile a kernel into an accelerator description.
+///
+/// # Panics
+/// Panics when the lint gate rejects the kernel (`config.lint == Deny` and
+/// the kernel has diagnostics); use [`try_compile`] for a `Result`.
 pub fn compile(kernel: &Kernel, config: &HlsConfig) -> Accelerator {
+    try_compile(kernel, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Compile a kernel, running the static analyzer *before* any scheduling
+/// work when `config.lint` is not [`LintLevel::Off`].
+pub fn try_compile(kernel: &Kernel, config: &HlsConfig) -> Result<Accelerator, CompileError> {
+    match nymble_lint::enforce(kernel, config.lint) {
+        Ok(report) => {
+            if !report.is_clean() {
+                eprint!("{}", report.render_human());
+            }
+        }
+        Err(rendered) => return Err(CompileError::Lint(rendered)),
+    }
+    Ok(compile_unchecked(kernel, config))
+}
+
+fn compile_unchecked(kernel: &Kernel, config: &HlsConfig) -> Accelerator {
     let lm = LoopMap::build(kernel);
     let mut bodies = Vec::new();
     collect_loop_bodies(&lm, &kernel.body, &mut bodies);
@@ -236,5 +288,62 @@ mod tests {
                 kb.set(x, s);
             });
         }
+    }
+
+    /// Two threads both write OUT[0..8): a write/write race (NL001).
+    fn racy_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("racy", 2);
+        let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+        let n = kb.c_i64(8);
+        kb.for_range("i", n, |kb, i| {
+            let one = kb.c_f32(1.0);
+            kb.store(out, i, one);
+        });
+        kb.finish()
+    }
+
+    #[test]
+    fn lint_deny_refuses_racy_kernel() {
+        let k = racy_kernel();
+        let cfg = HlsConfig {
+            lint: LintLevel::Deny,
+            ..HlsConfig::default()
+        };
+        let err = try_compile(&k, &cfg).expect_err("deny gate must reject the race");
+        let CompileError::Lint(report) = &err;
+        assert!(report.contains("NL001"), "report names the code: {report}");
+        assert!(err.to_string().contains("lint gate rejected"));
+    }
+
+    #[test]
+    fn lint_off_and_warn_compile_racy_kernel() {
+        let k = racy_kernel();
+        for lint in [LintLevel::Off, LintLevel::Warn] {
+            let cfg = HlsConfig {
+                lint,
+                ..HlsConfig::default()
+            };
+            let acc = try_compile(&k, &cfg).expect("off/warn must not block the compile");
+            assert_eq!(acc.name, "racy");
+        }
+    }
+
+    #[test]
+    fn lint_deny_passes_clean_kernel() {
+        // Each thread writes only OUT[tid]: disjoint, lint-clean.
+        let mut kb = KernelBuilder::new("clean", 4);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+        let tid = kb.thread_id();
+        let v = kb.load(a, tid, Type::F32);
+        let s = kb.add(v, v);
+        kb.store(out, tid, s);
+        let k = kb.finish();
+        let cfg = HlsConfig {
+            lint: LintLevel::Deny,
+            ..HlsConfig::default()
+        };
+        let acc = try_compile(&k, &cfg).expect("clean kernel passes the deny gate");
+        assert_eq!(acc.name, "clean");
     }
 }

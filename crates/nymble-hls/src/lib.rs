@@ -33,7 +33,7 @@ pub mod report;
 pub mod schedule;
 pub mod verilog;
 
-pub use accel::{compile, Accelerator, HlsConfig};
+pub use accel::{compile, try_compile, Accelerator, CompileError, HlsConfig};
 pub use cache::{kernel_fingerprint, AccelCache, CacheStats};
 pub use cost::FitReport;
 pub use schedule::LoopSchedule;

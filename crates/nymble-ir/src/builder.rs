@@ -34,11 +34,17 @@ use crate::kernel::{Arg, ArgId, ArgKind, Kernel, LocalMem, LocalMemId, MapDir, V
 use crate::stmt::{Block, Stmt, Unroll};
 use crate::types::{ScalarType, Type, Value};
 
+/// An opt-in check run by [`KernelBuilder::try_finish`] after structural
+/// validation — the hook for external analyzers (e.g. `nymble-lint`'s
+/// strict mode) without this crate depending on them.
+pub type FinishCheck = Box<dyn Fn(&Kernel) -> Result<(), String> + Send + Sync>;
+
 /// Builds a [`Kernel`] incrementally. Statements are appended to the
 /// innermost open block; loops/criticals/ifs open nested blocks via closures.
 pub struct KernelBuilder {
     kernel: Kernel,
     stack: Vec<Block>,
+    strict_check: Option<FinishCheck>,
 }
 
 impl KernelBuilder {
@@ -57,7 +63,16 @@ impl KernelBuilder {
                 num_threads,
             },
             stack: vec![Block::new()],
+            strict_check: None,
         }
+    }
+
+    /// Enable strict mode: `check` runs on the finished kernel after
+    /// structural validation, and its error fails
+    /// [`Self::try_finish`] (or panics [`Self::finish`]). Typically
+    /// installed as `kb.set_strict_check(nymble_lint::strict_check(level))`.
+    pub fn set_strict_check(&mut self, check: FinishCheck) {
+        self.strict_check = Some(check);
     }
 
     // ----- declarations ---------------------------------------------------
@@ -403,6 +418,9 @@ impl KernelBuilder {
         );
         self.kernel.body = self.stack.pop().unwrap();
         crate::validate::validate(&self.kernel)?;
+        if let Some(check) = &self.strict_check {
+            check(&self.kernel).map_err(crate::validate::ValidationError)?;
+        }
         Ok(self.kernel)
     }
 }
@@ -455,5 +473,26 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = KernelBuilder::new("bad", 0);
+    }
+
+    #[test]
+    fn strict_check_runs_after_validation() {
+        let mut kb = KernelBuilder::new("strict", 1);
+        kb.set_strict_check(Box::new(|k: &Kernel| {
+            if k.body.is_empty() {
+                Err("strict mode: empty kernel".to_string())
+            } else {
+                Ok(())
+            }
+        }));
+        let err = kb.try_finish().expect_err("strict check rejects");
+        assert!(err.0.contains("strict mode"), "{err:?}");
+
+        let mut kb = KernelBuilder::new("strict", 1);
+        kb.set_strict_check(Box::new(|_| Ok(())));
+        let v = kb.var("x", Type::I32);
+        let one = kb.c_i32(1);
+        kb.set(v, one);
+        assert!(kb.try_finish().is_ok());
     }
 }

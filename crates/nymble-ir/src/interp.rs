@@ -9,7 +9,7 @@ use crate::kernel::{ArgId, ArgKind, Kernel};
 use crate::loops::LoopMap;
 use crate::opcount::OpCounts;
 use crate::types::{Type, Value};
-use crate::walker::{DataMemory, StepEvent, Walker};
+use crate::walker::{DataMemory, MemAccess, StepEvent, Walker};
 use std::collections::VecDeque;
 
 /// A launch value for one kernel argument.
@@ -90,6 +90,71 @@ enum ThreadState {
     Done,
 }
 
+/// One observed external-memory access of a traced gold-model run
+/// (see [`Interpreter::run_traced`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DynAccess {
+    /// Hardware thread that issued the access.
+    pub thread: u32,
+    /// Which buffer argument.
+    pub buf: ArgId,
+    /// First element index touched (byte offset / element size).
+    pub elem: u64,
+    /// Number of consecutive elements covered (vector lanes / burst length).
+    pub lanes: u64,
+    /// Direction.
+    pub is_write: bool,
+    /// Whether the thread held the critical-section lock.
+    pub in_critical: bool,
+    /// Barrier phase of the issuing thread: 0 before its first barrier
+    /// release, incremented at each release it participates in.
+    pub phase: u64,
+}
+
+/// Dynamic observations of a traced run — the oracle `nymble-lint` is
+/// validated against: a lint-clean kernel must show no cross-thread
+/// same-element conflict within a phase (NL001/NL003 soundness on the
+/// executed schedule) and uniform per-thread barrier arrival counts
+/// (NL002: divergent control flow shows up as differing counts).
+#[derive(Clone, Debug, Default)]
+pub struct DynTrace {
+    /// Every external-buffer access, in deterministic execution order.
+    pub accesses: Vec<DynAccess>,
+    /// Barrier arrivals per thread. The hardware barrier waits for *all*
+    /// threads, so unequal counts mean some threads would wait forever.
+    pub barrier_arrivals: Vec<u64>,
+}
+
+impl DynTrace {
+    /// First pair of accesses that conflict on the executed schedule:
+    /// same buffer element, different threads, at least one write, same
+    /// barrier phase, not both under the critical-section lock.
+    pub fn find_conflict(&self) -> Option<(&DynAccess, &DynAccess)> {
+        for (i, a) in self.accesses.iter().enumerate() {
+            for b in &self.accesses[i + 1..] {
+                if a.thread == b.thread
+                    || a.buf != b.buf
+                    || a.phase != b.phase
+                    || !(a.is_write || b.is_write)
+                    || (a.in_critical && b.in_critical)
+                {
+                    continue;
+                }
+                let overlap = a.elem < b.elem + b.lanes && b.elem < a.elem + a.lanes;
+                if overlap {
+                    return Some((a, b));
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether every thread arrived at barriers the same number of times.
+    pub fn barriers_uniform(&self) -> bool {
+        self.barrier_arrivals.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
 /// The untimed interpreter.
 pub struct Interpreter;
 
@@ -100,6 +165,20 @@ impl Interpreter {
     /// Panics on malformed launches (wrong arg count / types) and on
     /// deadlock, which cannot occur for kernels accepted by the validator.
     pub fn run(kernel: &Kernel, launch: &[LaunchArg]) -> InterpResult {
+        Self::run_traced(kernel, launch).0
+    }
+
+    /// [`Interpreter::run`], additionally recording every external-memory
+    /// access (thread, element range, critical/phase context) and the
+    /// per-thread barrier arrival counts — the dynamic oracle the
+    /// `nymble-lint` static analyzer is validated against.
+    ///
+    /// Note the interpreter releases a barrier when all *live* (not yet
+    /// finished) threads have arrived, so a kernel with thread-divergent
+    /// barriers still runs to completion here; the divergence is visible in
+    /// [`DynTrace::barrier_arrivals`] (real hardware, which waits for all
+    /// `num_threads`, would deadlock — that is what NL002 flags).
+    pub fn run_traced(kernel: &Kernel, launch: &[LaunchArg]) -> (InterpResult, DynTrace) {
         assert_eq!(
             launch.len(),
             kernel.args.len(),
@@ -135,6 +214,21 @@ impl Interpreter {
         let mut ops = OpCounts::default();
         let (mut br, mut bw) = (0u64, 0u64);
         let mut crit_entries = 0u64;
+        let mut accesses: Vec<DynAccess> = Vec::new();
+        let mut barrier_arrivals = vec![0u64; n];
+        let mut phase = vec![0u64; n];
+        let mut record = |t: usize, a: &MemAccess, in_crit: bool, ph: u64| {
+            let esz = kernel.buffer_elem_size(a.buf) as u64;
+            accesses.push(DynAccess {
+                thread: t as u32,
+                buf: a.buf,
+                elem: a.byte_off / esz,
+                lanes: (a.bytes as u64 / esz).max(1),
+                is_write: a.is_write,
+                in_critical: in_crit,
+                phase: ph,
+            });
+        };
 
         // Round-robin over runnable threads. A full sweep with no progress
         // means deadlock (impossible for validated kernels — defensive).
@@ -145,6 +239,7 @@ impl Interpreter {
                     continue;
                 }
                 progressed = true;
+                let in_crit = states[t] == ThreadState::InCritical;
                 match walkers[t].step(&mut mem) {
                     StepEvent::Ops(o) => ops.add(o),
                     StepEvent::Access(a) => {
@@ -153,6 +248,7 @@ impl Interpreter {
                         } else {
                             br += a.bytes as u64;
                         }
+                        record(t, &a, in_crit, phase[t]);
                     }
                     StepEvent::Burst { access, .. } => {
                         if access.is_write {
@@ -160,6 +256,7 @@ impl Interpreter {
                         } else {
                             br += access.bytes as u64;
                         }
+                        record(t, &access, in_crit, phase[t]);
                     }
                     StepEvent::LocalRead { .. } => {}
                     StepEvent::LoopEnter { .. }
@@ -186,14 +283,15 @@ impl Interpreter {
                     StepEvent::Barrier => {
                         states[t] = ThreadState::AtBarrier;
                         barrier_count += 1;
+                        barrier_arrivals[t] += 1;
                         // Threads that already finished never reach the
                         // barrier; all *live* threads must arrive.
                         if barrier_count == n - done {
                             barrier_count = 0;
                             for (s, st) in states.iter_mut().enumerate() {
                                 if *st == ThreadState::AtBarrier {
-                                    let _ = s;
                                     *st = ThreadState::Runnable;
+                                    phase[s] += 1;
                                 }
                             }
                         }
@@ -201,19 +299,38 @@ impl Interpreter {
                     StepEvent::Finished => {
                         states[t] = ThreadState::Done;
                         done += 1;
+                        // A thread retiring can satisfy a pending barrier:
+                        // if every still-live thread is already parked
+                        // there, release them now (arrival alone would
+                        // never re-check the condition).
+                        if barrier_count > 0 && barrier_count == n - done {
+                            barrier_count = 0;
+                            for (s, st) in states.iter_mut().enumerate() {
+                                if *st == ThreadState::AtBarrier {
+                                    *st = ThreadState::Runnable;
+                                    phase[s] += 1;
+                                }
+                            }
+                        }
                     }
                 }
             }
             assert!(progressed || done == n, "interpreter deadlock");
         }
 
-        InterpResult {
-            buffers: mem.bufs,
-            ops,
-            bytes_read: br,
-            bytes_written: bw,
-            critical_entries: crit_entries,
-        }
+        (
+            InterpResult {
+                buffers: mem.bufs,
+                ops,
+                bytes_read: br,
+                bytes_written: bw,
+                critical_entries: crit_entries,
+            },
+            DynTrace {
+                accesses,
+                barrier_arrivals,
+            },
+        )
     }
 }
 
@@ -319,6 +436,45 @@ mod tests {
         assert_eq!(r.bytes_read, 32);
         assert_eq!(r.bytes_written, 32);
         assert_eq!(r.ops.ext_loads, 8);
+    }
+
+    /// The traced run observes the race in a two-thread full-range store
+    /// loop, and clean per-thread decomposition shows no conflict.
+    #[test]
+    fn traced_run_observes_races_and_phases() {
+        // Racy: both threads store OUT[0..4).
+        let mut kb = KernelBuilder::new("racy", 2);
+        let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+        let n = kb.c_i64(4);
+        kb.for_range("i", n, |kb, i| {
+            let one = kb.c_f32(1.0);
+            kb.store(out, i, one);
+        });
+        let k = kb.finish();
+        let (_, trace) =
+            Interpreter::run_traced(&k, &[LaunchArg::Buffer(vec![Value::F32(0.0); 4])]);
+        assert_eq!(trace.accesses.len(), 8, "2 threads x 4 stores");
+        assert!(trace.find_conflict().is_some(), "the race is observable");
+        assert!(trace.barriers_uniform(), "no barriers at all");
+
+        // Clean: thread t stores OUT[t], then a barrier, then OUT[t] again.
+        let mut kb = KernelBuilder::new("clean", 2);
+        let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+        let tid = kb.thread_id();
+        let one = kb.c_f32(1.0);
+        kb.store(out, tid, one);
+        kb.barrier();
+        let tid2 = kb.thread_id();
+        let two = kb.c_f32(2.0);
+        kb.store(out, tid2, two);
+        let k = kb.finish();
+        let (_, trace) =
+            Interpreter::run_traced(&k, &[LaunchArg::Buffer(vec![Value::F32(0.0); 2])]);
+        assert!(trace.find_conflict().is_none(), "disjoint per-thread slots");
+        assert_eq!(trace.barrier_arrivals, vec![1, 1]);
+        assert!(trace.barriers_uniform());
+        // The second store happens in phase 1 for both threads.
+        assert!(trace.accesses.iter().any(|a| a.phase == 1));
     }
 
     #[test]

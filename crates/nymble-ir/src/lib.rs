@@ -45,7 +45,7 @@ pub mod types;
 pub mod validate;
 pub mod walker;
 
-pub use builder::KernelBuilder;
+pub use builder::{FinishCheck, KernelBuilder};
 pub use expr::{BinOp, Expr, ExprId, UnOp};
 pub use kernel::{Arg, ArgId, ArgKind, Kernel, LocalMem, LocalMemId, MapDir, VarDecl, VarId};
 pub use stmt::{Block, Stmt};

@@ -93,9 +93,13 @@ fn expr_str(k: &Kernel, id: ExprId) -> String {
     }
 }
 
-fn block(k: &Kernel, b: &Block, out: &mut String, ind: usize) {
+fn block(k: &Kernel, b: &Block, out: &mut String, ind: usize, lines: &mut Vec<u32>) {
     let pad = "  ".repeat(ind);
     for s in b {
+        // Record the first listing line this statement emits, in pre-order —
+        // the same statement order analyzers walk, so `stmt_lines[i]` is the
+        // span of the i-th visited statement.
+        lines.push(out.bytes().filter(|&c| c == b'\n').count() as u32 + 1);
         match s {
             Stmt::Assign { var, expr } => {
                 let _ = writeln!(out, "{pad}{} = {};", k.var(*var).name, expr_str(k, *expr));
@@ -137,7 +141,7 @@ fn block(k: &Kernel, b: &Block, out: &mut String, ind: usize) {
                     expr_str(k, *end),
                     expr_str(k, *step)
                 );
-                block(k, body, out, ind + 1);
+                block(k, body, out, ind + 1, lines);
                 let _ = writeln!(out, "{pad}}}");
             }
             Stmt::If {
@@ -146,16 +150,16 @@ fn block(k: &Kernel, b: &Block, out: &mut String, ind: usize) {
                 else_b,
             } => {
                 let _ = writeln!(out, "{pad}if ({}) {{", expr_str(k, *cond));
-                block(k, then_b, out, ind + 1);
+                block(k, then_b, out, ind + 1, lines);
                 if !else_b.is_empty() {
                     let _ = writeln!(out, "{pad}}} else {{");
-                    block(k, else_b, out, ind + 1);
+                    block(k, else_b, out, ind + 1, lines);
                 }
                 let _ = writeln!(out, "{pad}}}");
             }
             Stmt::Critical { body } => {
                 let _ = writeln!(out, "{pad}#pragma omp critical\n{pad}{{");
-                block(k, body, out, ind + 1);
+                block(k, body, out, ind + 1, lines);
                 let _ = writeln!(out, "{pad}}}");
             }
             Stmt::Barrier => {
@@ -199,9 +203,29 @@ fn block(k: &Kernel, b: &Block, out: &mut String, ind: usize) {
     }
 }
 
+/// A rendered pseudo-C listing plus statement spans.
+///
+/// `stmt_lines[i]` is the 1-based line of the *i*-th statement in pre-order
+/// (statement first, then its child blocks in declaration order — `for`
+/// body, `if` then/else, `critical` body). Analyzers that walk the kernel
+/// in the same pre-order can turn a statement counter into a source span.
+#[derive(Clone, Debug)]
+pub struct Listing {
+    /// The pseudo-C text (same as [`to_pseudo_c`]).
+    pub text: String,
+    /// 1-based first line of each statement, in pre-order.
+    pub stmt_lines: Vec<u32>,
+}
+
 /// Render the kernel as a pseudo-C listing.
 pub fn to_pseudo_c(k: &Kernel) -> String {
+    listing(k).text
+}
+
+/// Render the kernel and record per-statement line spans.
+pub fn listing(k: &Kernel) -> Listing {
     let mut out = String::new();
+    let mut stmt_lines = Vec::new();
     // Signature with map clauses, in the style of the paper's listings.
     let mut maps: Vec<String> = Vec::new();
     let mut params: Vec<String> = Vec::new();
@@ -236,9 +260,12 @@ pub fn to_pseudo_c(k: &Kernel) -> String {
             m.elem.scalar, m.name, m.len, m.elem.lanes
         );
     }
-    block(k, &k.body, &mut out, 2);
+    block(k, &k.body, &mut out, 2, &mut stmt_lines);
     let _ = writeln!(out, "  }}\n}}");
-    out
+    Listing {
+        text: out,
+        stmt_lines,
+    }
 }
 
 #[cfg(test)]
@@ -286,6 +313,42 @@ mod tests {
         let k = kb.finish();
         let s = to_pseudo_c(&k);
         assert!(s.contains("*((VECTOR4*)&A[0L])"), "{s}");
+    }
+
+    #[test]
+    fn listing_spans_map_preorder_statements_to_lines() {
+        let mut kb = KernelBuilder::new("spans", 2);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::ToFrom);
+        let n = kb.c_i64(4);
+        // Pre-order: [0] for, [1] store, [2] critical, [3] store, [4] barrier.
+        kb.for_range("i", n, |kb, i| {
+            let v = kb.load(a, i, Type::F32);
+            kb.store(a, i, v);
+            kb.critical(|kb| {
+                let w = kb.load(a, i, Type::F32);
+                kb.store(a, i, w);
+            });
+        });
+        kb.barrier();
+        let k = kb.finish();
+        let l = listing(&k);
+        assert_eq!(l.text, to_pseudo_c(&k));
+        assert_eq!(l.stmt_lines.len(), 5);
+        let line = |i: usize| {
+            l.text
+                .lines()
+                .nth(l.stmt_lines[i] as usize - 1)
+                .unwrap()
+                .trim()
+                .to_string()
+        };
+        assert!(line(0).starts_with("for ("), "{}", line(0));
+        assert!(line(1).starts_with("A[i] = "), "{}", line(1));
+        assert_eq!(line(2), "#pragma omp critical");
+        assert!(line(3).starts_with("A[i] = "), "{}", line(3));
+        assert_eq!(line(4), "#pragma omp barrier");
+        // Spans strictly increase: pre-order matches listing order.
+        assert!(l.stmt_lines.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -232,6 +232,63 @@ mod tests {
         assert!(e.0.contains("deadlock"), "{e}");
     }
 
+    /// The `in_critical` flag must survive arbitrary nesting: a barrier
+    /// buried in a `for` loop inside the critical body is just as deadly as
+    /// a direct child.
+    #[test]
+    fn rejects_barrier_in_loop_inside_critical() {
+        let mut kb = KernelBuilder::new("bad", 2);
+        kb.critical(|kb| {
+            let n = kb.c_i64(4);
+            kb.for_range("i", n, |kb, _| kb.barrier());
+        });
+        let e = kb.try_finish().unwrap_err();
+        assert!(e.0.contains("deadlock"), "{e}");
+    }
+
+    /// ...and through `if` branches, including the else branch.
+    #[test]
+    fn rejects_barrier_in_branch_inside_critical() {
+        for in_else in [false, true] {
+            let mut kb = KernelBuilder::new("bad", 2);
+            kb.critical(|kb| {
+                let t = kb.thread_id();
+                let z = kb.c_i64(0);
+                let c = kb.bin(crate::BinOp::Eq, t, z);
+                kb.if_(
+                    c,
+                    |kb| {
+                        if !in_else {
+                            kb.barrier()
+                        }
+                    },
+                    |kb| {
+                        if in_else {
+                            kb.barrier()
+                        }
+                    },
+                );
+            });
+            let e = kb.try_finish().unwrap_err();
+            assert!(e.0.contains("deadlock"), "in_else={in_else}: {e}");
+        }
+    }
+
+    /// A barrier *after* a critical section is fine — the flag must reset
+    /// when the section closes.
+    #[test]
+    fn accepts_barrier_after_critical() {
+        let mut kb = KernelBuilder::new("ok", 2);
+        let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+        kb.critical(|kb| {
+            let z = kb.c_i64(0);
+            let one = kb.c_f32(1.0);
+            kb.store(out, z, one);
+        });
+        kb.barrier();
+        assert!(kb.try_finish().is_ok());
+    }
+
     #[test]
     fn rejects_barrier_in_unrolled_loop() {
         let mut kb = KernelBuilder::new("bad", 2);

@@ -1,0 +1,257 @@
+//! Structured lint diagnostics: stable codes, severities, listing spans,
+//! and the two output formats (human-readable text and machine JSON).
+//!
+//! Codes are stable identifiers — tests, CI gates and golden files key on
+//! them — so they are an enum, not free-form strings. Every diagnostic
+//! carries one or more [`Span`]s that point into the pseudo-C listing
+//! produced by `nymble_ir::pretty::listing`, so the human rendering can show
+//! the offending source line the way a compiler would.
+
+use std::fmt;
+
+/// Stable diagnostic codes. The numeric part never changes meaning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Cross-thread write/write or write/read overlap on a shared buffer
+    /// outside a `critical` section (data race).
+    NL001,
+    /// `barrier` under thread-dependent control flow (divergence: some
+    /// threads arrive, others never do — guaranteed hardware deadlock).
+    NL002,
+    /// Unsynchronized read-modify-write to a `map(tofrom)` accumulator
+    /// (lost update: the classic unguarded reduction).
+    NL003,
+    /// Provably out-of-bounds access against a declared buffer length.
+    NL004,
+    /// Dead `map(to)` clause: the buffer is never read by the kernel.
+    NL005,
+    /// Dead `map(from)` clause: the buffer is never written by the kernel.
+    NL006,
+}
+
+impl Code {
+    /// All codes, in numeric order.
+    pub const ALL: [Code; 6] = [
+        Code::NL001,
+        Code::NL002,
+        Code::NL003,
+        Code::NL004,
+        Code::NL005,
+        Code::NL006,
+    ];
+
+    /// The stable string form (`"NL001"`…).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::NL001 => "NL001",
+            Code::NL002 => "NL002",
+            Code::NL003 => "NL003",
+            Code::NL004 => "NL004",
+            Code::NL005 => "NL005",
+            Code::NL006 => "NL006",
+        }
+    }
+
+    /// Parse a stable string form back into a code.
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// Default severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::NL001 | Code::NL002 | Code::NL003 | Code::NL004 => Severity::Error,
+            Code::NL005 | Code::NL006 => Severity::Warning,
+        }
+    }
+
+    /// One-line description of the pathology the code detects.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::NL001 => "cross-thread data race on shared buffer",
+            Code::NL002 => "barrier under thread-dependent control flow",
+            Code::NL003 => "unsynchronized read-modify-write (lost update)",
+            Code::NL004 => "provable out-of-bounds access",
+            Code::NL005 => "dead map(to) clause: buffer never read",
+            Code::NL006 => "dead map(from) clause: buffer never written",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Diagnostic severity. `Deny` gating fails on *any* diagnostic; the
+/// severity only controls presentation and the error/warning split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A location in the pseudo-C listing of the kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line in `nymble_ir::pretty::listing(kernel).text`, when the
+    /// statement could be located.
+    pub line: Option<u32>,
+    /// The listing line, trimmed (empty when `line` is `None`).
+    pub snippet: String,
+    /// What this span marks ("conflicting write", "barrier", …).
+    pub label: String,
+}
+
+/// One finding of the analyzer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    /// Deterministic, human-readable explanation (thread ids, buffer names,
+    /// index ranges — never addresses or hashes).
+    pub message: String,
+    /// Listing locations, primary first.
+    pub spans: Vec<Span>,
+}
+
+impl Diagnostic {
+    pub fn new(code: Code, message: impl Into<String>, spans: Vec<Span>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            spans,
+        }
+    }
+
+    /// Human rendering of a single diagnostic (multi-line, `rustc` style).
+    pub fn render_human(&self, kernel: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{}[{}]: {} — {}\n  --> kernel `{kernel}`\n",
+            self.severity,
+            self.code,
+            self.code.title(),
+            self.message
+        ));
+        for s in &self.spans {
+            match s.line {
+                Some(line) => {
+                    out.push_str(&format!("  {line:>4} | {}  // {}\n", s.snippet, s.label))
+                }
+                None => out.push_str(&format!("       | <{}>\n", s.label)),
+            }
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (control chars, quotes, backslash).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// JSON object for this diagnostic with a stable field order.
+    pub fn to_json(&self, kernel: &str, indent: usize) -> String {
+        let pad = "  ".repeat(indent);
+        let inner = "  ".repeat(indent + 1);
+        let span_pad = "  ".repeat(indent + 2);
+        let mut spans = String::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                spans.push(',');
+            }
+            spans.push('\n');
+            let line = match s.line {
+                Some(l) => l.to_string(),
+                None => "null".to_string(),
+            };
+            spans.push_str(&format!(
+                "{span_pad}{{\"line\": {line}, \"snippet\": \"{}\", \"label\": \"{}\"}}",
+                json_escape(&s.snippet),
+                json_escape(&s.label)
+            ));
+        }
+        if !self.spans.is_empty() {
+            spans.push('\n');
+            spans.push_str(&inner);
+        }
+        format!(
+            "{pad}{{\n{inner}\"kernel\": \"{}\",\n{inner}\"code\": \"{}\",\n{inner}\"severity\": \"{}\",\n{inner}\"message\": \"{}\",\n{inner}\"spans\": [{spans}]\n{pad}}}",
+            json_escape(kernel),
+            self.code,
+            self.severity,
+            json_escape(&self.message)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip_and_severity() {
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(Code::NL001.severity(), Severity::Error);
+        assert_eq!(Code::NL005.severity(), Severity::Warning);
+        assert_eq!(Code::parse("NL999"), None);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_has_stable_field_order() {
+        let d = Diagnostic::new(
+            Code::NL002,
+            "barrier depends on thread id",
+            vec![Span {
+                line: Some(7),
+                snippet: "#pragma omp barrier".into(),
+                label: "divergent barrier".into(),
+            }],
+        );
+        let j = d.to_json("k", 0);
+        let ik = j.find("\"kernel\"").unwrap();
+        let ic = j.find("\"code\"").unwrap();
+        let is_ = j.find("\"severity\"").unwrap();
+        let im = j.find("\"message\"").unwrap();
+        let isp = j.find("\"spans\"").unwrap();
+        assert!(ik < ic && ic < is_ && is_ < im && im < isp, "{j}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Acceptance bar from the lint feature spec: every shipped case-study
+//! kernel (GEMM v1–v5 and π) must pass the analyzer at `deny`, at both the
+//! default repro scale and the paper's scale. A lint that cries wolf on the
+//! kernels the paper itself profiles would be worse than no lint.
+
+use kernels::gemm::{self, GemmParams, GemmVersion};
+use kernels::pi::{self, PiParams};
+use nymble_lint::{enforce, LintLevel};
+
+fn assert_clean(k: &nymble_ir::Kernel) {
+    let report = enforce(k, LintLevel::Deny)
+        .unwrap_or_else(|r| panic!("kernel `{}` failed deny:\n{r}", k.name));
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
+fn gemm_versions_are_clean_at_repro_scale() {
+    let p = GemmParams {
+        dim: 64,
+        threads: 4,
+        vec: 4,
+        block: 16,
+    };
+    for v in GemmVersion::ALL {
+        assert_clean(&gemm::build(v, &p));
+    }
+}
+
+#[test]
+fn gemm_versions_are_clean_at_paper_scale() {
+    let p = GemmParams::paper_scale();
+    for v in GemmVersion::ALL {
+        assert_clean(&gemm::build(v, &p));
+    }
+}
+
+#[test]
+fn pi_is_clean() {
+    for threads in [1, 2, 8] {
+        assert_clean(&pi::build(&PiParams {
+            steps: 1 << 14,
+            threads,
+            bs: 8,
+        }));
+    }
+}
+
+#[test]
+fn odd_thread_counts_stay_clean() {
+    // Disjointness must not rely on power-of-two thread counts: the
+    // congruence criterion has to handle stride 3 and 7 decompositions.
+    for threads in [3, 7] {
+        let p = GemmParams {
+            dim: 42,
+            threads,
+            vec: 1,
+            block: 6,
+        };
+        assert_clean(&gemm::build(GemmVersion::Naive, &p));
+    }
+}

@@ -1,0 +1,71 @@
+//! Every diagnostic code ships with a minimal triggering fixture and a
+//! near-miss that must lint clean (`kernels::fixtures`). This suite pins
+//! both directions: the analyzer finds exactly what each buggy fixture
+//! declares — no more, no less — and stays silent on the near-misses.
+
+use nymble_lint::{lint_kernel, LintLevel};
+
+#[test]
+fn buggy_fixtures_produce_exactly_their_codes() {
+    for f in kernels::fixtures::buggy() {
+        let report = lint_kernel(&f.kernel);
+        let got: Vec<&str> = report.codes().iter().map(|c| c.as_str()).collect();
+        assert_eq!(
+            got,
+            f.expect,
+            "fixture `{}`:\n{}",
+            f.name,
+            report.render_human()
+        );
+    }
+}
+
+#[test]
+fn near_miss_fixtures_lint_clean() {
+    for f in kernels::fixtures::near_misses() {
+        let report = lint_kernel(&f.kernel);
+        assert!(
+            report.is_clean(),
+            "near-miss `{}` must be clean:\n{}",
+            f.name,
+            report.render_human()
+        );
+    }
+}
+
+#[test]
+fn deny_gates_exactly_the_buggy_fixtures() {
+    for f in kernels::fixtures::all() {
+        let gated = nymble_lint::enforce(&f.kernel, LintLevel::Deny);
+        if f.expect.is_empty() {
+            assert!(gated.is_ok(), "near-miss `{}` passed deny", f.name);
+        } else {
+            let err = gated.expect_err(f.name);
+            for code in f.expect {
+                assert!(err.contains(code), "`{}` names {code}:\n{err}", f.name);
+            }
+        }
+        // Warn reports but never fails; Off never even analyzes.
+        assert!(nymble_lint::enforce(&f.kernel, LintLevel::Warn).is_ok());
+        assert!(nymble_lint::enforce(&f.kernel, LintLevel::Off)
+            .unwrap()
+            .is_clean());
+    }
+}
+
+#[test]
+fn diagnostics_carry_spans_into_the_listing() {
+    // Spans must point at real lines of the pretty-printed kernel so the
+    // human rendering can quote them.
+    for f in kernels::fixtures::buggy() {
+        let report = lint_kernel(&f.kernel);
+        for d in &report.diagnostics {
+            assert!(
+                !d.spans.is_empty(),
+                "`{}` {} has no spans",
+                f.name,
+                d.code.as_str()
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Golden-file snapshots of the JSON diagnostic output.
+//!
+//! `LintReport::to_json` is the machine interface consumed by CI and by any
+//! editor tooling built on the CLI — its field order, span layout and
+//! messages are a contract. Each buggy fixture's JSON is pinned under
+//! `tests/golden/<name>.json`; regenerate intentionally with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p nymble-lint --test golden
+//! ```
+
+use nymble_lint::lint_kernel;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+#[test]
+fn buggy_fixture_json_matches_golden_snapshots() {
+    let dir = golden_dir();
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut expected_files = Vec::new();
+    for f in kernels::fixtures::buggy() {
+        let json = lint_kernel(&f.kernel).to_json() + "\n";
+        let path = dir.join(format!("{}.json", f.name));
+        expected_files.push(format!("{}.json", f.name));
+        if update {
+            std::fs::write(&path, &json).expect("write golden file");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            want,
+            json,
+            "JSON output for `{}` drifted from {}; if intentional, \
+             regenerate with UPDATE_GOLDEN=1",
+            f.name,
+            path.display()
+        );
+    }
+    // No stale snapshots for fixtures that no longer exist.
+    for entry in std::fs::read_dir(&dir).expect("read golden dir") {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(
+            expected_files.contains(&name),
+            "stale golden file {name}; delete it or add its fixture"
+        );
+    }
+}
+
+#[test]
+fn clean_reports_serialize_to_the_empty_array() {
+    for f in kernels::fixtures::near_misses() {
+        assert_eq!(lint_kernel(&f.kernel).to_json(), "[]", "{}", f.name);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property suite over randomly generated, valid-by-construction kernels.
+//!
+//! The generator composes the structures the analyzer reasons about —
+//! strided loops, full-range loops, critical reductions, top-level and
+//! conditional barriers — with random shapes. The properties are about the
+//! analyzer's *contract*, not about which kernels are racy:
+//!
+//! 1. the analyzer never panics on a valid kernel;
+//! 2. linting is deterministic (same kernel → byte-identical JSON);
+//! 3. `Off` never analyzes, `Warn` never fails, `Deny` fails exactly when
+//!    diagnostics exist;
+//! 4. every reported code renders into both the human and JSON output.
+
+use miniprop::{forall, Rng};
+use nymble_ir::{BinOp, Kernel, KernelBuilder, MapDir, ScalarType, Type};
+use nymble_lint::{enforce, lint_kernel, LintLevel};
+
+/// Build a random valid kernel. Every shape this emits passes
+/// `nymble_ir::validate` by construction: barriers stay at top level or
+/// under an `if`, criticals never nest and never contain barriers.
+fn random_kernel(rng: &mut Rng) -> Kernel {
+    let threads = rng.range_u32(1, 4);
+    let mut kb = KernelBuilder::new("prop", threads);
+    let nbufs = rng.range_usize(1, 3);
+    let bufs: Vec<_> = (0..nbufs)
+        .map(|i| {
+            let map = *rng.pick(&[MapDir::To, MapDir::From, MapDir::ToFrom]);
+            kb.buffer(&format!("B{i}"), ScalarType::F32, map)
+        })
+        .collect();
+    let nstmts = rng.range_usize(1, 4);
+    for _ in 0..nstmts {
+        let buf = *rng.pick(&bufs);
+        let n = rng.range_i64(1, 16);
+        match rng.range_u32(0, 5) {
+            // Disjoint strided writes: i = tid, tid+NT, …
+            0 => {
+                let tid = kb.thread_id();
+                let nt = kb.num_threads_expr();
+                let end = kb.c_i64(n);
+                kb.for_each("i", tid, end, nt, |kb, i| {
+                    let v = kb.c_f32(1.0);
+                    kb.store(buf, i, v);
+                });
+            }
+            // Full-range writes (racy when threads > 1).
+            1 => {
+                let end = kb.c_i64(n);
+                kb.for_range("i", end, |kb, i| {
+                    let v = kb.c_f32(2.0);
+                    kb.store(buf, i, v);
+                });
+            }
+            // Read-modify-write, guarded or not.
+            2 => {
+                let guarded = rng.bool();
+                let body = |kb: &mut KernelBuilder| {
+                    let zero = kb.c_i64(0);
+                    let cur = kb.load(buf, zero, Type::F32);
+                    let one = kb.c_f32(1.0);
+                    let next = kb.add(cur, one);
+                    kb.store(buf, zero, next);
+                };
+                if guarded {
+                    kb.critical(body);
+                } else {
+                    body(&mut kb);
+                }
+            }
+            // Strided reads into a private variable.
+            3 => {
+                let v = kb.var(&format!("x{n}"), Type::F32);
+                let tid = kb.thread_id();
+                let nt = kb.num_threads_expr();
+                let end = kb.c_i64(n);
+                kb.for_each("i", tid, end, nt, |kb, i| {
+                    let ld = kb.load(buf, i, Type::F32);
+                    kb.set(v, ld);
+                });
+            }
+            // A barrier: top-level, or divergent under a tid condition.
+            _ => {
+                if rng.bool() {
+                    kb.barrier();
+                } else {
+                    let tid = kb.thread_id();
+                    let zero = kb.c_i64(0);
+                    let cond = kb.bin(BinOp::Eq, tid, zero);
+                    kb.if_then(cond, |kb| kb.barrier());
+                }
+            }
+        }
+    }
+    kb.finish()
+}
+
+#[test]
+fn lint_never_panics_and_is_deterministic() {
+    forall(200, |rng| {
+        let k = random_kernel(rng);
+        let first = lint_kernel(&k);
+        let second = lint_kernel(&k);
+        assert_eq!(
+            first.to_json(),
+            second.to_json(),
+            "non-deterministic JSON for kernel:\n{}",
+            first.render_human()
+        );
+    });
+}
+
+#[test]
+fn levels_gate_consistently() {
+    forall(200, |rng| {
+        let k = random_kernel(rng);
+        let report = lint_kernel(&k);
+        // Off: no analysis, always clean, always Ok.
+        let off = enforce(&k, LintLevel::Off).expect("off never fails");
+        assert!(off.is_clean());
+        // Warn: reports the same findings, never fails.
+        let warn = enforce(&k, LintLevel::Warn).expect("warn never fails");
+        assert_eq!(warn.codes(), report.codes());
+        // Deny: fails exactly when diagnostics exist.
+        assert_eq!(
+            enforce(&k, LintLevel::Deny).is_err(),
+            !report.is_clean(),
+            "deny gate disagrees with the report:\n{}",
+            report.render_human()
+        );
+    });
+}
+
+#[test]
+fn every_code_surfaces_in_both_renderings() {
+    forall(200, |rng| {
+        let k = random_kernel(rng);
+        let report = lint_kernel(&k);
+        let human = report.render_human();
+        let json = report.to_json();
+        for code in report.codes() {
+            assert!(human.contains(code.as_str()), "{human}");
+            assert!(json.contains(code.as_str()), "{json}");
+        }
+    });
+}
+
+#[test]
+fn single_thread_kernels_never_race() {
+    // With one hardware thread there is no cross-thread interleaving:
+    // NL001/NL002/NL003 are impossible by definition.
+    forall(100, |rng| {
+        let threads = 1;
+        let mut kb = KernelBuilder::new("solo", threads);
+        let buf = kb.buffer("B", ScalarType::F32, MapDir::ToFrom);
+        let n = rng.range_i64(1, 16);
+        let end = kb.c_i64(n);
+        kb.for_range("i", end, |kb, i| {
+            let cur = kb.load(buf, i, Type::F32);
+            let one = kb.c_f32(1.0);
+            let next = kb.add(cur, one);
+            kb.store(buf, i, next);
+        });
+        if rng.bool() {
+            kb.barrier();
+        }
+        let report = lint_kernel(&kb.finish());
+        for code in report.codes() {
+            assert!(
+                !matches!(code.as_str(), "NL001" | "NL002" | "NL003"),
+                "impossible concurrency finding on 1 thread:\n{}",
+                report.render_human()
+            );
+        }
+    });
+}

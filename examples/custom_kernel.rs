@@ -1,7 +1,7 @@
 //! Bring-your-own-kernel walkthrough: a Jacobi stencil written against the
-//! builder API, functionally verified with the untimed gold interpreter,
-//! then profiled on the timed simulator — the recommended workflow for any
-//! new workload.
+//! builder API, statically checked with `nymble-lint`, functionally
+//! verified with the untimed gold interpreter, then profiled on the timed
+//! simulator — the recommended workflow for any new workload.
 //!
 //! ```sh
 //! cargo run --release --example custom_kernel
@@ -10,8 +10,9 @@
 use hls_paraver::hls::accel::{compile, HlsConfig};
 use hls_paraver::hls::report;
 use hls_paraver::ir::interp::{buffer_as_f32, Interpreter, LaunchArg as GoldArg};
-use hls_paraver::ir::Value;
+use hls_paraver::ir::{KernelBuilder, MapDir, ScalarType, Value};
 use hls_paraver::kernels::{extra, reference};
+use hls_paraver::lint::{strict_check, LintLevel};
 use hls_paraver::paraver::{analysis, events};
 use hls_paraver::profiling::{ProfilingConfig, ProfilingUnit};
 use hls_paraver::sim::memimg::LaunchArg;
@@ -20,6 +21,21 @@ use hls_paraver::sim::{Executor, SimConfig};
 fn main() {
     let n = 96usize;
     let threads = 6;
+
+    // Step 0: static analysis. The builder's opt-in strict mode runs the
+    // analyzer as part of `finish()` — a kernel where every thread writes
+    // the same elements never gets out of the front door.
+    let mut kb = KernelBuilder::new("racy_demo", 2);
+    kb.set_strict_check(strict_check(LintLevel::Deny));
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let end = kb.c_i64(4);
+    kb.for_range("i", end, |kb, i| {
+        let v = kb.c_f32(1.0);
+        kb.store(out, i, v); // both threads write OUT[0..4): NL001
+    });
+    let refused = kb.try_finish().expect_err("strict mode rejects the race");
+    println!("strict mode refused the racy demo kernel:\n{refused}\n");
+
     let kernel = extra::jacobi(n as i64, threads);
     let grid = reference::gen_matrix(n, 11);
     let vals = |m: &[f32]| m.iter().map(|&x| Value::F32(x)).collect::<Vec<_>>();
@@ -44,8 +60,16 @@ fn main() {
         gold.ops.flops
     );
 
-    // Step 2: compile and inspect the schedule.
-    let acc = compile(&kernel, &HlsConfig::default());
+    // Step 2: compile and inspect the schedule. The same analyzer gates
+    // the compile pipeline via `HlsConfig::lint` — the stencil is clean,
+    // so `deny` costs nothing and would catch regressions.
+    let acc = compile(
+        &kernel,
+        &HlsConfig {
+            lint: LintLevel::Deny,
+            ..HlsConfig::default()
+        },
+    );
     println!("\n{}", report::schedule_report(&kernel, &acc));
 
     // Step 3: timed, profiled run.

@@ -5,6 +5,8 @@
 //! with High-Performance Computing Performance Visualization"*:
 //!
 //! * [`ir`] — kernel IR with an OpenMP-style builder ([`ir::KernelBuilder`]),
+//! * [`lint`] — the static analyzer for kernel IR (data races, barrier
+//!   divergence, lost updates, bounds, dead `map` clauses),
 //! * [`hls`] — the Nymble-style HLS compiler (scheduling, stages, cost model),
 //! * [`sim`] — the cycle-level FPGA simulator (Avalon bus, DRAM, semaphore…),
 //! * [`profiling`] — the in-fabric profiling unit (states, events, buffer),
@@ -19,4 +21,5 @@ pub use hls_profiling as profiling;
 pub use kernels;
 pub use nymble_hls as hls;
 pub use nymble_ir as ir;
+pub use nymble_lint as lint;
 pub use paraver;
