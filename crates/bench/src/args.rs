@@ -88,6 +88,36 @@ impl Args {
             .map(|n| (n as usize).max(1))
             .unwrap_or_else(default_jobs)
     }
+
+    /// The `--mode` selector: `cycle` (default, the event-driven
+    /// cycle-level simulator) or `analytical` (the roofline fast mode).
+    /// An unknown mode is an error, never a silent fallback.
+    pub fn mode(&self) -> Result<Mode, String> {
+        match self.value_of("--mode") {
+            None | Some("cycle") => Ok(Mode::Cycle),
+            Some("analytical") => Ok(Mode::Analytical),
+            Some(m) => Err(format!("--mode: unknown mode `{m}` (cycle or analytical)")),
+        }
+    }
+}
+
+/// How a repro binary obtains its performance numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Event-driven cycle-level simulation (exact, slow).
+    Cycle,
+    /// Static roofline estimation (`fpga_sim::analytic`, microseconds).
+    Analytical,
+}
+
+impl Mode {
+    /// Stable name, as written into perf snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Cycle => "cycle",
+            Mode::Analytical => "analytical",
+        }
+    }
 }
 
 impl Default for Args {
@@ -152,5 +182,16 @@ mod tests {
         assert_eq!(args(&["prog", "--jobs", "0"]).jobs(), 1);
         assert_eq!(args(&["prog"]).jobs(), default_jobs());
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn mode_flag_spellings() {
+        assert_eq!(args(&["prog"]).mode(), Ok(Mode::Cycle));
+        assert_eq!(args(&["prog", "--mode", "cycle"]).mode(), Ok(Mode::Cycle));
+        assert_eq!(
+            args(&["prog", "--mode=analytical"]).mode(),
+            Ok(Mode::Analytical)
+        );
+        assert!(args(&["prog", "--mode", "fast"]).mode().is_err());
     }
 }

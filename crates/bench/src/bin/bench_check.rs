@@ -1,0 +1,121 @@
+//! Warn-only perf-trajectory gate for CI (`bench-smoke` job).
+//!
+//! Compares a freshly emitted `--bench-json` snapshot against the
+//! committed baseline (`BENCH_pi.json` / `BENCH_gemm.json` at the repo
+//! root) and prints a GitHub Actions `::warning::` annotation when wall
+//! time regressed more than the threshold (default 2×). It NEVER fails
+//! the build: CI runners have noisy, heterogeneous hardware, so a wall
+//! regression is a prompt for a human look, not a red X. A missing
+//! baseline (first run on a new binary) is likewise only a note.
+//!
+//! Usage: `bench_check --current PATH --committed PATH [--threshold X]`
+
+use bench::args::Args;
+use bench::snapshot::PerfSnapshot;
+use std::path::Path;
+
+fn main() {
+    let args = Args::parse();
+    let Some(current) = args.path("--current") else {
+        eprintln!("bench_check: --current PATH is required");
+        std::process::exit(2);
+    };
+    let Some(committed) = args.path("--committed") else {
+        eprintln!("bench_check: --committed PATH is required");
+        std::process::exit(2);
+    };
+    let threshold = args
+        .value_of("--threshold")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(2.0);
+    match check(&current, &committed, threshold) {
+        Verdict::Ok(msg) | Verdict::Note(msg) => println!("{msg}"),
+        Verdict::Warning(msg) => println!("::warning::{msg}"),
+    }
+    // Always exit 0: this gate informs, it does not block.
+}
+
+enum Verdict {
+    Ok(String),
+    Note(String),
+    Warning(String),
+}
+
+fn check(current: &Path, committed: &Path, threshold: f64) -> Verdict {
+    let cur = match PerfSnapshot::read(current) {
+        Ok(s) => s,
+        Err(e) => return Verdict::Note(format!("bench_check: no current snapshot ({e})")),
+    };
+    let base = match PerfSnapshot::read(committed) {
+        Ok(s) => s,
+        Err(e) => {
+            return Verdict::Note(format!(
+                "bench_check: no committed baseline ({e}); commit the current snapshot to start the trajectory"
+            ))
+        }
+    };
+    compare(&cur, &base, threshold)
+}
+
+/// The actual comparison, separated from I/O for testing.
+fn compare(cur: &PerfSnapshot, base: &PerfSnapshot, threshold: f64) -> Verdict {
+    if base.wall_seconds <= 0.0 {
+        return Verdict::Note(format!(
+            "bench_check: committed baseline has non-positive wall_seconds ({}); skipping",
+            base.wall_seconds
+        ));
+    }
+    let ratio = cur.wall_seconds / base.wall_seconds;
+    let detail = format!(
+        "{}: wall {:.3}s vs committed {:.3}s ({ratio:.2}x), {} vs {} simulated cycles",
+        cur.binary, cur.wall_seconds, base.wall_seconds, cur.sim_cycles, base.sim_cycles
+    );
+    if ratio > threshold {
+        Verdict::Warning(format!(
+            "{detail} — exceeds the {threshold:.1}x wall-time regression threshold; \
+             worth a look (CI hardware is noisy, so this does not fail the build)"
+        ))
+    } else {
+        Verdict::Ok(format!("bench_check: within threshold — {detail}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(wall: f64) -> PerfSnapshot {
+        PerfSnapshot::new("repro_pi", "cycle", wall, 1_000)
+    }
+
+    #[test]
+    fn within_threshold_is_ok() {
+        assert!(matches!(
+            compare(&snap(1.9), &snap(1.0), 2.0),
+            Verdict::Ok(_)
+        ));
+    }
+
+    #[test]
+    fn beyond_threshold_warns() {
+        let v = compare(&snap(2.1), &snap(1.0), 2.0);
+        let Verdict::Warning(msg) = v else {
+            panic!("expected a warning");
+        };
+        assert!(msg.contains("2.10x"));
+    }
+
+    #[test]
+    fn zero_baseline_is_a_note_not_a_division() {
+        assert!(matches!(
+            compare(&snap(1.0), &snap(0.0), 2.0),
+            Verdict::Note(_)
+        ));
+    }
+
+    #[test]
+    fn missing_files_are_notes() {
+        let missing = Path::new("/nonexistent/snapshot.json");
+        assert!(matches!(check(missing, missing, 2.0), Verdict::Note(_)));
+    }
+}

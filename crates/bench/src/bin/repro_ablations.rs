@@ -11,21 +11,31 @@
 //! * **sampling period** — the §IV-B.2 trade-off: "the higher the period,
 //!   the more data is produced" (rate vs. volume).
 //!
-//! Usage: `repro_ablations [--dim N] [--jobs N] [--lint[=deny|warn|off]]`
+//! Usage: `repro_ablations [--dim N] [--jobs N] [--mode cycle|analytical]
+//!                         [--bench-json PATH] [--lint[=deny|warn|off]]`
 //!
 //! The whole 16-run grid executes on the batch engine with one shared
 //! compile cache (two kernels compiled once each); a run that fails with a
 //! typed simulator error becomes a diagnostic row, not an abort.
+//!
+//! `--mode analytical` prints the roofline predictions for the two study
+//! kernels and explains which of the ablated mechanisms the fast mode
+//! abstracts away (the grids themselves need the cycle-level simulator).
 
-use bench::args::Args;
+use bench::args::{Args, Mode};
 use bench::engine::{BatchEngine, RunCtx, RunSpec};
-use bench::{gemm_launch, gemm_sim_config, lint_gate, run_profiled_with, run_unprofiled_with};
+use bench::harness::SnapshotTimer;
+use bench::{
+    analytic_report, gemm_launch, gemm_sim_config, lint_gate, run_profiled_with,
+    run_unprofiled_with,
+};
 use fpga_sim::{RunResult, SimConfig};
 use hls_profiling::ProfilingConfig;
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use nymble_hls::{AccelCache, HlsConfig};
 
 fn main() {
+    let timer = SnapshotTimer::start();
     let args = Args::parse();
     let dim = args.i64("--dim").unwrap_or(64);
     let jobs = args.jobs();
@@ -33,6 +43,11 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    let mode = args.mode().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let bench_json = args.path("--bench-json");
     let p = GemmParams {
         dim,
         ..Default::default()
@@ -52,6 +67,37 @@ fn main() {
     let hls = &hls;
     let cache = AccelCache::new();
     let engine = BatchEngine::new(jobs);
+
+    if mode == Mode::Analytical {
+        println!("== ablation kernels through the analytical fast mode (base config) ==\n");
+        let mut total = 0u64;
+        for (tag, k) in [("v2 (no-critical)", &v2), ("v3 (vectorized)", &v3)] {
+            match analytic_report(&cache, k, &base, &launch) {
+                Some(r) => {
+                    total += r.total_cycles;
+                    println!(
+                        "  {tag:<20} {:>12} predicted cycles   bound: {}",
+                        r.total_cycles, r.bound
+                    );
+                }
+                None => println!("  {tag:<20} unresolvable"),
+            }
+        }
+        println!(
+            "\nThe roofline model prices steady-state bandwidth and latency; it abstracts\n\
+             away MSHR depth, bank hashing and line-buffer state — exactly the mechanisms\n\
+             this binary ablates. Run --mode=cycle for the actual grids."
+        );
+        if let Some(path) = &bench_json {
+            let snap = timer
+                .finish("repro_ablations", mode, total)
+                .param("dim", dim);
+            snap.write(path).expect("write --bench-json");
+            println!("\nperf snapshot written to {}", path.display());
+        }
+        return;
+    }
+    let mut total_sim: u64 = 0;
 
     println!("== MSHR depth: what Partial Vectorization's gain depends on ==\n");
     println!(
@@ -77,13 +123,16 @@ fn main() {
     let reports = engine.run(specs);
     for (i, &mshrs) in MSHRS.iter().enumerate() {
         match (&reports[2 * i].outcome, &reports[2 * i + 1].outcome) {
-            (Ok(r2), Ok(r3)) => println!(
-                "{:>6} {:>14} {:>14} {:>7.2}x",
-                mshrs,
-                r2.total_cycles,
-                r3.total_cycles,
-                r2.total_cycles as f64 / r3.total_cycles as f64
-            ),
+            (Ok(r2), Ok(r3)) => {
+                total_sim += r2.total_cycles + r3.total_cycles;
+                println!(
+                    "{:>6} {:>14} {:>14} {:>7.2}x",
+                    mshrs,
+                    r2.total_cycles,
+                    r3.total_cycles,
+                    r2.total_cycles as f64 / r3.total_cycles as f64
+                )
+            }
             (a, b) => {
                 let e = a.as_ref().err().or(b.as_ref().err()).unwrap();
                 println!("{mshrs:>6} failed: {e}");
@@ -108,10 +157,13 @@ fn main() {
         .collect();
     for ((label, _), report) in HASHING.iter().zip(engine.run(specs)) {
         match &report.outcome {
-            Ok(r2) => println!(
-                "  {label:<7} v2: {:>12} cycles, {:>9} contended requests",
-                r2.total_cycles, r2.stats.dram_contended
-            ),
+            Ok(r2) => {
+                total_sim += r2.total_cycles;
+                println!(
+                    "  {label:<7} v2: {:>12} cycles, {:>9} contended requests",
+                    r2.total_cycles, r2.stats.dram_contended
+                )
+            }
             Err(e) => println!("  {label:<7} failed: {e}"),
         }
     }
@@ -133,12 +185,15 @@ fn main() {
         .collect();
     for ((label, _), report) in LINE_BUFS.iter().zip(engine.run(specs)) {
         match &report.outcome {
-            Ok(r2) => println!(
-                "  {label:<9} v2: {:>12} cycles, hit rate {:>5.1}%, {:>9} line fetches",
-                r2.total_cycles,
-                r2.stats.read_hit_rate() * 100.0,
-                r2.stats.line_fetches
-            ),
+            Ok(r2) => {
+                total_sim += r2.total_cycles;
+                println!(
+                    "  {label:<9} v2: {:>12} cycles, hit rate {:>5.1}%, {:>9} line fetches",
+                    r2.total_cycles,
+                    r2.stats.read_hit_rate() * 100.0,
+                    r2.stats.line_fetches
+                )
+            }
             Err(e) => println!("  {label:<9} failed: {e}"),
         }
     }
@@ -182,4 +237,12 @@ fn main() {
         stats.hits + stats.misses,
         stats.entries
     );
+    if let Some(path) = &bench_json {
+        let snap = timer
+            .finish("repro_ablations", mode, total_sim)
+            .param("dim", dim)
+            .param("jobs", jobs);
+        snap.write(path).expect("write --bench-json");
+        println!("\nperf snapshot written to {}", path.display());
+    }
 }

@@ -3,6 +3,7 @@
 //! bandwidth comparison of Fig. 7, and the phase plots of Figs. 8 and 9.
 //!
 //! Usage: `repro_gemm [--dim N] [--threads N] [--out DIR] [--jobs N]
+//!                    [--mode cycle|analytical] [--bench-json PATH]
 //!                    [--lint[=deny|warn|off]]`
 //!
 //! `--dim 512` runs at the paper's scale (slow); the default 128 preserves
@@ -12,20 +13,28 @@
 //! threads); tables and bundles are byte-identical for any worker count —
 //! including across `--lint` levels, since the analyzer never touches the
 //! compiled artifact.
+//!
+//! `--mode analytical` replaces the simulation with the roofline fast
+//! mode (`fpga_sim::analytic`): the speedup table in microseconds, no
+//! traces or figures. `--bench-json PATH` writes a machine-readable perf
+//! snapshot of the invocation (wall time, simulated cycles, throughput,
+//! peak RSS — plus the analytical cross-check in cycle mode).
 
-use bench::args::Args;
+use bench::args::{Args, Mode};
+use bench::harness::SnapshotTimer;
 use bench::sweep::{bundles_footer, gemm_sweep, gemm_table, GemmSweep, GemmSweepConfig};
-use bench::{gemm_sim_config, lint_gate};
+use bench::{analytic_report, gemm_launch, gemm_sim_config, lint_gate};
 use hls_profiling::diagnose::{diagnose, DiagnoseConfig};
 use hls_profiling::{PipelineConfig, ProfilingConfig};
 use kernels::gemm::{self, GemmParams, GemmVersion};
-use nymble_hls::HlsConfig;
+use nymble_hls::{AccelCache, HlsConfig};
 use paraver::analysis::{event_series, StateProfile};
 use paraver::timeline::{render_series, render_states, TimelineOptions};
 use paraver::{events, states};
 use std::path::PathBuf;
 
 fn main() {
+    let timer = SnapshotTimer::start();
     let args = Args::parse();
     let dim = args.u32("--dim").unwrap_or(128) as i64;
     let threads = args.u32("--threads").unwrap_or(8);
@@ -34,6 +43,11 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    let mode = args.mode().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let bench_json = args.path("--bench-json");
     let out: PathBuf = args.path("--out").unwrap_or_else(|| "target/traces".into());
     std::fs::create_dir_all(&out).expect("create trace output dir");
 
@@ -53,6 +67,54 @@ fn main() {
     if let Err(report) = lint_gate(&kernels.iter().collect::<Vec<_>>(), lint) {
         eprintln!("{report}");
         std::process::exit(1);
+    }
+
+    if mode == Mode::Analytical {
+        let cache = AccelCache::new();
+        let launch = gemm_launch(&p);
+        let mut total = 0u64;
+        let mut naive = None;
+        let mut prev = None;
+        println!(
+            "== T-GEMM (analytical fast mode): predicted cycles, dim {dim}, {threads} threads ==\n"
+        );
+        println!(
+            "{:<24} {:>14} {:>15} {:>8} {:>9}",
+            "version", "cycles", "bound", "vs prev", "vs naive"
+        );
+        for (v, k) in GemmVersion::ALL.iter().zip(&kernels) {
+            match analytic_report(&cache, k, &sim, &launch) {
+                Some(r) => {
+                    total += r.total_cycles;
+                    let naive_c = *naive.get_or_insert(r.total_cycles);
+                    let vs_prev = prev
+                        .map(|pc: u64| format!("{:.2}x", pc as f64 / r.total_cycles as f64))
+                        .unwrap_or_else(|| "-".into());
+                    println!(
+                        "{:<24} {:>14} {:>15} {:>8} {:>8.2}x",
+                        v.name(),
+                        r.total_cycles,
+                        r.bound.to_string(),
+                        vs_prev,
+                        naive_c as f64 / r.total_cycles as f64
+                    );
+                    prev = Some(r.total_cycles);
+                }
+                None => println!("{:<24} {:>14}", v.name(), "unresolvable"),
+            }
+        }
+        println!(
+            "\n(analytical mode: no simulation, no trace bundles — run --mode=cycle for figures;\n cross-validated within 15% of the cycle-level simulator, see crates/bench/tests/analytic_validation.rs)"
+        );
+        if let Some(path) = &bench_json {
+            let snap = timer
+                .finish("repro_gemm", mode, total)
+                .param("dim", dim)
+                .param("threads", threads);
+            snap.write(path).expect("write --bench-json");
+            println!("\nperf snapshot written to {}", path.display());
+        }
+        return;
     }
 
     let sweep: GemmSweep = gemm_sweep(&GemmSweepConfig {
@@ -106,6 +168,9 @@ fn main() {
         Err(e) => {
             println!("\nnaive run failed ({e}); skipping the figure renders");
             println!("\n{}", bundles_footer(&out));
+            if let Some(path) = &bench_json {
+                write_cycle_snapshot(&timer, path, &sweep, &kernels, &sim, &p, jobs);
+            }
             return;
         }
     };
@@ -224,6 +289,50 @@ fn main() {
         "\n(Fig. 8: alternating load/compute phases; Fig. 9: reads overlap compute — flatter both)"
     );
     println!("\n{}", bundles_footer(&out));
+    if let Some(path) = &bench_json {
+        write_cycle_snapshot(&timer, path, &sweep, &kernels, &sim, &p, jobs);
+    }
+}
+
+/// Emit the `--bench-json` snapshot of a cycle-mode run: wall time and
+/// simulated cycles across the whole sweep, plus a timed analytical
+/// cross-check of the same five kernels so the snapshot records the
+/// fast-mode speedup alongside the exact numbers.
+fn write_cycle_snapshot(
+    timer: &SnapshotTimer,
+    path: &std::path::Path,
+    sweep: &GemmSweep,
+    kernels: &[nymble_ir::Kernel],
+    sim: &fpga_sim::SimConfig,
+    p: &GemmParams,
+    jobs: usize,
+) {
+    let total_sim: u64 = sweep
+        .runs
+        .iter()
+        .filter_map(|(_, r)| r.outcome.as_ref().ok())
+        .map(|run| run.result.total_cycles)
+        .sum();
+    let at = SnapshotTimer::start();
+    let cache = AccelCache::new();
+    let launch = gemm_launch(p);
+    let analytic_total: u64 = kernels
+        .iter()
+        .filter_map(|k| analytic_report(&cache, k, sim, &launch))
+        .map(|r| r.total_cycles)
+        .sum();
+    let analytic_wall = at.elapsed_seconds();
+    let wall = timer.elapsed_seconds();
+    let snap = timer
+        .finish("repro_gemm", Mode::Cycle, total_sim)
+        .param("dim", p.dim)
+        .param("threads", p.threads)
+        .param("jobs", jobs)
+        .with_extra("analytical_wall_seconds", analytic_wall)
+        .with_extra("analytical_total_cycles", analytic_total as f64)
+        .with_extra("analytical_speedup", wall / analytic_wall.max(1e-9));
+    snap.write(path).expect("write --bench-json");
+    println!("\nperf snapshot written to {}", path.display());
 }
 
 /// Find a window around the first sizeable spinning interval.

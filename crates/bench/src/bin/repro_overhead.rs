@@ -6,14 +6,19 @@
 //! 1.5% ALMs, 1 MHz at ~148 MHz. Also verifies the per-counter claim:
 //! "each of the counters contributes similarly to the hardware overhead".
 //!
-//! Usage: `repro_overhead [--threads N] [--jobs N] [--lint[=deny|warn|off]]`
+//! Usage: `repro_overhead [--threads N] [--jobs N] [--bench-json PATH]
+//!                        [--lint[=deny|warn|off]]`
 //!
 //! The six accelerator compiles (five GEMM versions plus π) run in
 //! parallel on the batch engine through a shared compile cache; the
-//! printed tables are identical for any `--jobs` value.
+//! printed tables are identical for any `--jobs` value. The study is
+//! purely static (cost-model fits, no simulation), so `--mode` is
+//! accepted for uniformity but does not change the tables; a
+//! `--bench-json` snapshot records zero simulated cycles.
 
 use bench::args::Args;
 use bench::engine::{BatchEngine, RunCtx, RunSpec};
+use bench::harness::SnapshotTimer;
 use bench::lint_gate;
 use hls_profiling::counters::CounterSet;
 use hls_profiling::overhead::{instrumented_fit, profiling_fit, OverheadParams};
@@ -26,6 +31,7 @@ use nymble_hls::AccelCache;
 use std::sync::Arc;
 
 fn main() {
+    let timer = SnapshotTimer::start();
     let args = Args::parse();
     let threads = args.u32("--threads").unwrap_or(8);
     let jobs = args.jobs();
@@ -33,6 +39,11 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    let mode = args.mode().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let bench_json = args.path("--bench-json");
     let hls = HlsConfig {
         lint,
         ..HlsConfig::default()
@@ -195,4 +206,12 @@ fn main() {
         "\n({jobs} workers; {} designs compiled once each)",
         stats.entries
     );
+    if let Some(path) = &bench_json {
+        let snap = timer
+            .finish("repro_overhead", mode, 0)
+            .param("threads", threads)
+            .param("jobs", jobs);
+        snap.write(path).expect("write --bench-json");
+        println!("\nperf snapshot written to {}", path.display());
+    }
 }

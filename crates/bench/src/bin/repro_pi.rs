@@ -4,24 +4,30 @@
 //! extrapolation.
 //!
 //! Usage: `repro_pi [--threads N] [--out DIR] [--jobs N]
+//!                  [--mode cycle|analytical] [--bench-json PATH]
 //!                  [--lint[=deny|warn|off]]`
 //!
 //! The three problem sizes run in parallel on the batch engine; the π
 //! kernel's IR is step-count-independent, so the whole sweep shares one
 //! HLS compile. Output is byte-identical for any `--jobs` value.
+//! `--mode analytical` swaps the simulator for the roofline fast mode
+//! (predicted cycles and GFLOP/s, no traces); `--bench-json PATH` writes
+//! a machine-readable perf snapshot of the invocation.
 
-use bench::args::Args;
-use bench::sweep::{bundles_footer, pi_sweep, pi_table, PiSweepConfig};
-use bench::{lint_gate, pi_sim_config};
+use bench::args::{Args, Mode};
+use bench::harness::SnapshotTimer;
+use bench::sweep::{bundles_footer, pi_sweep, pi_table, PiSweep, PiSweepConfig};
+use bench::{analytic_report, lint_gate, pi_launch, pi_sim_config};
 use hls_profiling::{PipelineConfig, ProfilingConfig};
 use kernels::pi::{self, PiParams};
-use nymble_hls::HlsConfig;
+use nymble_hls::{AccelCache, HlsConfig};
 use paraver::analysis::StateProfile;
 use paraver::states;
 use paraver::timeline::{render_states, TimelineOptions};
 use std::path::PathBuf;
 
 fn main() {
+    let timer = SnapshotTimer::start();
     let args = Args::parse();
     let threads = args.u32("--threads").unwrap_or(8);
     let jobs = args.jobs();
@@ -29,6 +35,11 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    let mode = args.mode().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let bench_json = args.path("--bench-json");
     let out: PathBuf = args.path("--out").unwrap_or_else(|| "target/traces".into());
     std::fs::create_dir_all(&out).expect("create trace output dir");
     let sim = pi_sim_config();
@@ -51,6 +62,52 @@ fn main() {
     if let Err(report) = lint_gate(&[&gate_kernel], lint) {
         eprintln!("{report}");
         std::process::exit(1);
+    }
+
+    if mode == Mode::Analytical {
+        let cache = AccelCache::new();
+        let mut total = 0u64;
+        println!("== π scaling (analytical fast mode): predicted cycles, {threads} threads ==\n");
+        println!(
+            "{:<14} {:>14} {:>15} {:>10}",
+            "iterations", "cycles", "bound", "GFLOP/s"
+        );
+        for &(steps, paper_gflops, _) in &paper {
+            let p = PiParams {
+                steps,
+                threads,
+                bs: 8,
+            };
+            let k = pi::build(&p);
+            let launch = pi_launch(&p);
+            match analytic_report(&cache, &k, &sim, &launch) {
+                Some(r) => {
+                    total += r.total_cycles;
+                    let flops = steps as f64 * kernels::reference::PI_FLOPS_PER_ITER as f64;
+                    let gflops = flops / (r.total_cycles as f64 / sim.clock_hz()) / 1e9;
+                    println!(
+                        "{:<14} {:>14} {:>15} {:>10.3}  (paper: {paper_gflops})",
+                        steps,
+                        r.total_cycles,
+                        r.bound.to_string(),
+                        gflops
+                    );
+                }
+                None => println!("{:<14} {:>14}", steps, "unresolvable"),
+            }
+        }
+        println!(
+            "\n(analytical mode: no simulation, no trace bundles — run --mode=cycle for figures;\n cross-validated within 15% of the cycle-level simulator, see crates/bench/tests/analytic_validation.rs)"
+        );
+        if let Some(path) = &bench_json {
+            let snap = timer
+                .finish("repro_pi", mode, total)
+                .param("steps", "1000000,4000000,10000000")
+                .param("threads", threads);
+            snap.write(path).expect("write --bench-json");
+            println!("\nperf snapshot written to {}", path.display());
+        }
+        return;
     }
 
     let sweep = pi_sweep(&PiSweepConfig {
@@ -130,4 +187,53 @@ fn main() {
         sim.clock_mhz
     );
     println!("\n{}", bundles_footer(&out));
+    if let Some(path) = &bench_json {
+        write_cycle_snapshot(&timer, path, &sweep, &paper, threads, jobs, &sim);
+    }
+}
+
+/// Emit the `--bench-json` snapshot of a cycle-mode run, including a
+/// timed analytical cross-check of the same three step counts so the
+/// snapshot records the fast-mode speedup alongside the exact numbers.
+fn write_cycle_snapshot(
+    timer: &SnapshotTimer,
+    path: &std::path::Path,
+    sweep: &PiSweep,
+    paper: &[(u64, f64, u32)],
+    threads: u32,
+    jobs: usize,
+    sim: &fpga_sim::SimConfig,
+) {
+    let total_sim: u64 = sweep
+        .runs
+        .iter()
+        .filter_map(|(_, r)| r.outcome.as_ref().ok())
+        .map(|pr| pr.run.result.total_cycles)
+        .sum();
+    let at = SnapshotTimer::start();
+    let cache = AccelCache::new();
+    let analytic_total: u64 = paper
+        .iter()
+        .filter_map(|&(steps, _, _)| {
+            let p = PiParams {
+                steps,
+                threads,
+                bs: 8,
+            };
+            let k = pi::build(&p);
+            analytic_report(&cache, &k, sim, &pi_launch(&p)).map(|r| r.total_cycles)
+        })
+        .sum();
+    let analytic_wall = at.elapsed_seconds();
+    let wall = timer.elapsed_seconds();
+    let snap = timer
+        .finish("repro_pi", Mode::Cycle, total_sim)
+        .param("steps", "1000000,4000000,10000000")
+        .param("threads", threads)
+        .param("jobs", jobs)
+        .with_extra("analytical_wall_seconds", analytic_wall)
+        .with_extra("analytical_total_cycles", analytic_total as f64)
+        .with_extra("analytical_speedup", wall / analytic_wall.max(1e-9));
+    snap.write(path).expect("write --bench-json");
+    println!("\nperf snapshot written to {}", path.display());
 }

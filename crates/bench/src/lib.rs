@@ -9,6 +9,7 @@
 pub mod args;
 pub mod engine;
 pub mod harness;
+pub mod snapshot;
 pub mod sweep;
 
 use fpga_sim::memimg::LaunchArg;
@@ -383,6 +384,21 @@ pub fn run_pi(p: &PiParams, sim: &SimConfig, prof: &ProfilingConfig) -> (Profile
 /// invisible at 512² / 853 M cycles but would dominate a 128² run).
 pub fn gemm_sim_config() -> SimConfig {
     SimConfig::default().with_fast_launch()
+}
+
+/// Run the analytical fast mode (`fpga_sim::analytic`) for one kernel:
+/// compile (through the shared cache), derive the launch scalars the same
+/// way the simulator does, and evaluate the roofline model. `None` when
+/// the kernel's bounds are not statically resolvable.
+pub fn analytic_report(
+    cache: &AccelCache,
+    kernel: &Kernel,
+    sim: &SimConfig,
+    launch: &[LaunchArg],
+) -> Option<fpga_sim::AnalyticReport> {
+    let accel = cache.get_or_compile(kernel, &HlsConfig::default());
+    let (_mem, scalars) = fpga_sim::memimg::MemImage::new(kernel, launch);
+    fpga_sim::analytic::estimate(kernel, &accel, sim, &scalars)
 }
 
 /// The simulator configuration of the π study: full host launch overhead,

@@ -1,0 +1,66 @@
+//! Cross-validation of the analytical fast mode (`fpga_sim::analytic`)
+//! against the cycle-level simulator on the repro suite: every GEMM
+//! version plus π must land within 15% of the simulated total.
+
+use bench::{analytic_report, gemm_launch, gemm_sim_config, pi_launch, pi_sim_config};
+use fpga_sim::memimg::LaunchArg;
+use kernels::gemm::{self, GemmParams, GemmVersion};
+use kernels::pi::{self, PiParams};
+use nymble_hls::AccelCache;
+use nymble_ir::Kernel;
+
+const TOLERANCE: f64 = 0.15;
+
+fn check(name: &str, kernel: &Kernel, sim: &fpga_sim::SimConfig, launch: &[LaunchArg]) {
+    let cache = AccelCache::new();
+    let report = analytic_report(&cache, kernel, sim, launch)
+        .unwrap_or_else(|| panic!("{name}: analytical bounds must be statically resolvable"));
+    let accel = cache.get_or_compile(kernel, &nymble_hls::HlsConfig::default());
+    let run = fpga_sim::Executor::run(kernel, &accel, sim, launch, &mut fpga_sim::NullSnoop)
+        .unwrap_or_else(|e| panic!("{name}: sim failed: {e}"));
+    let sim_cycles = run.total_cycles as f64;
+    let est = report.total_cycles as f64;
+    let err = (est - sim_cycles) / sim_cycles;
+    eprintln!(
+        "{name:<18} sim {:>12}  analytic {:>12}  err {:>+7.1}%  bound {}",
+        run.total_cycles,
+        report.total_cycles,
+        err * 100.0,
+        report.bound
+    );
+    assert!(
+        err.abs() <= TOLERANCE,
+        "{name}: analytical estimate {est} vs simulated {sim_cycles} — {:+.1}% exceeds ±{:.0}%",
+        err * 100.0,
+        TOLERANCE * 100.0
+    );
+}
+
+#[test]
+fn gemm_suite_within_tolerance() {
+    let p = GemmParams {
+        dim: 48,
+        threads: 4,
+        ..Default::default()
+    };
+    let sim = gemm_sim_config();
+    let launch = gemm_launch(&p);
+    for v in GemmVersion::ALL {
+        let k = gemm::build(v, &p);
+        check(v.name(), &k, &sim, &launch);
+    }
+}
+
+#[test]
+fn pi_within_tolerance() {
+    // steps must divide evenly over threads × block size (8 × 8).
+    let p = PiParams {
+        steps: 102_400,
+        threads: 8,
+        ..Default::default()
+    };
+    let sim = pi_sim_config();
+    let k = pi::build(&p);
+    let launch = pi_launch(&p);
+    check("pi", &k, &sim, &launch);
+}

@@ -4,6 +4,11 @@
 //! multi-run sweep when one configuration was broken. Deadlocks and invalid
 //! configurations are now ordinary values a batch scheduler can report per
 //! run and keep going.
+//!
+//! Deadlock reports are deterministic — blocked threads are sorted by thread
+//! id — and actionable: each entry names the resource the thread is parked
+//! on (who holds the semaphore and how many waiters are ahead, or how many
+//! threads the barrier has collected out of the live set).
 
 use std::fmt;
 
@@ -11,16 +16,41 @@ use std::fmt;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BlockedReason {
     /// Queued on the hardware semaphore (inside a `critical` acquire).
-    SemaphoreWait,
+    SemaphoreWait {
+        /// Thread currently holding the semaphore, if any. `None` only in
+        /// pathological states (a report taken mid-release).
+        holder: Option<u32>,
+        /// Number of waiters queued ahead of this thread.
+        queued_ahead: u32,
+    },
     /// Arrived at the barrier, waiting for the remaining threads.
-    AtBarrier,
+    AtBarrier {
+        /// Threads that have reached the barrier so far (including this one).
+        arrived: u32,
+        /// Live (non-finished) threads the barrier is waiting for in total.
+        expected: u32,
+    },
 }
 
 impl fmt::Display for BlockedReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BlockedReason::SemaphoreWait => write!(f, "waiting on semaphore"),
-            BlockedReason::AtBarrier => write!(f, "waiting at barrier"),
+            BlockedReason::SemaphoreWait {
+                holder,
+                queued_ahead,
+            } => {
+                match holder {
+                    Some(h) => write!(f, "waiting on semaphore held by thread {h}")?,
+                    None => write!(f, "waiting on semaphore (unheld)")?,
+                }
+                if *queued_ahead > 0 {
+                    write!(f, ", {queued_ahead} ahead in queue")?;
+                }
+                Ok(())
+            }
+            BlockedReason::AtBarrier { arrived, expected } => {
+                write!(f, "waiting at barrier ({arrived}/{expected} arrived)")
+            }
         }
     }
 }
@@ -52,7 +82,8 @@ pub enum SimError {
     /// No runnable thread remains but the run is not complete: every live
     /// thread is queued on the semaphore or parked at the barrier.
     Deadlock {
-        /// The blocked thread set with their barrier/lock states.
+        /// The blocked thread set with their barrier/lock states, sorted by
+        /// thread id.
         waiting: Vec<BlockedThread>,
     },
     /// The [`crate::SimConfig`] failed [`crate::SimConfig::validate`].
@@ -90,24 +121,41 @@ mod tests {
                 BlockedThread {
                     thread: 1,
                     at_cycle: 10,
-                    reason: BlockedReason::SemaphoreWait,
+                    reason: BlockedReason::SemaphoreWait {
+                        holder: Some(0),
+                        queued_ahead: 2,
+                    },
                 },
                 BlockedThread {
                     thread: 3,
                     at_cycle: 40,
-                    reason: BlockedReason::AtBarrier,
+                    reason: BlockedReason::AtBarrier {
+                        arrived: 1,
+                        expected: 4,
+                    },
                 },
             ],
         };
         let s = e.to_string();
         assert!(
-            s.contains("thread 1 waiting on semaphore since cycle 10"),
+            s.contains(
+                "thread 1 waiting on semaphore held by thread 0, 2 ahead in queue since cycle 10"
+            ),
             "{s}"
         );
         assert!(
-            s.contains("thread 3 waiting at barrier since cycle 40"),
+            s.contains("thread 3 waiting at barrier (1/4 arrived) since cycle 40"),
             "{s}"
         );
+    }
+
+    #[test]
+    fn semaphore_wait_with_empty_queue_reads_cleanly() {
+        let r = BlockedReason::SemaphoreWait {
+            holder: Some(2),
+            queued_ahead: 0,
+        };
+        assert_eq!(r.to_string(), "waiting on semaphore held by thread 2");
     }
 
     #[test]

@@ -13,8 +13,9 @@ use crate::config::SimConfig;
 use crate::dram::{Dram, LineBuffer};
 use crate::error::{BlockedReason, BlockedThread, SimError};
 use crate::memimg::{LaunchArg, MemImage};
+use crate::queue::ReadyQueue;
 use crate::semaphore::{Acquire, Semaphore};
-use crate::snoop::{Snoop, SnoopMux, StatsSnoop, ThreadState};
+use crate::snoop::{Snoop, SnoopPair, StatsSnoop, ThreadState};
 use crate::stats::RunStats;
 use nymble_hls::accel::Accelerator;
 use nymble_hls::op::OpClass;
@@ -134,6 +135,9 @@ pub struct SimRun<'k> {
     dram: Dram,
     sem: Semaphore,
     threads: Vec<Thread<'k>>,
+    /// The discrete-event ready queue: holds exactly the `Ready` threads,
+    /// keyed by `(wakeup_time, thread_id)`.
+    ready: ReadyQueue,
     barrier_arrivals: Vec<usize>,
     done: usize,
     total_cycles: u64,
@@ -182,6 +186,11 @@ impl<'k> SimRun<'k> {
             })
             .collect();
 
+        let mut ready = ReadyQueue::new(n);
+        for (t, th) in threads.iter().enumerate() {
+            ready.push(th.time, t as u32);
+        }
+
         Ok(SimRun {
             cfg: cfg.clone(),
             modes,
@@ -189,6 +198,7 @@ impl<'k> SimRun<'k> {
             dram,
             sem: Semaphore::default(),
             threads,
+            ready,
             barrier_arrivals: Vec::new(),
             done: 0,
             total_cycles: 0,
@@ -208,14 +218,31 @@ impl<'k> SimRun<'k> {
     }
 
     /// Threads that are blocked right now, with their barrier/lock states.
+    ///
+    /// Sorted by thread id, and each entry names the resource: who holds the
+    /// semaphore and how many waiters are queued ahead, or how many threads
+    /// the barrier has collected out of the live set.
     fn blocked_threads(&self) -> Vec<BlockedThread> {
-        self.threads
+        let live = self
+            .threads
+            .iter()
+            .filter(|t| t.status != Status::Done)
+            .count() as u32;
+        let arrived = self.barrier_arrivals.len() as u32;
+        let mut waiting: Vec<BlockedThread> = self
+            .threads
             .iter()
             .enumerate()
             .filter_map(|(i, t)| {
                 let reason = match t.status {
-                    Status::SpinWait => BlockedReason::SemaphoreWait,
-                    Status::AtBarrier => BlockedReason::AtBarrier,
+                    Status::SpinWait => BlockedReason::SemaphoreWait {
+                        holder: self.sem.owner(),
+                        queued_ahead: self.sem.queue_position(i as u32).unwrap_or(0) as u32,
+                    },
+                    Status::AtBarrier => BlockedReason::AtBarrier {
+                        arrived,
+                        expected: live,
+                    },
                     Status::Ready | Status::Done => return None,
                 };
                 Some(BlockedThread {
@@ -224,16 +251,13 @@ impl<'k> SimRun<'k> {
                     reason,
                 })
             })
-            .collect()
+            .collect();
+        waiting.sort_by_key(|b| b.thread);
+        waiting
     }
 
-    /// Advance the runnable thread with the smallest clock by one walker
-    /// event, reporting pipeline activity to `snoop`.
-    ///
-    /// The first call also emits the initial idle→running launch timeline;
-    /// the call that completes the last thread reports `run_end`. Stepping a
-    /// finished run is a no-op returning [`StepStatus::Done`].
-    pub fn step(&mut self, snoop: &mut dyn Snoop) -> Result<StepStatus, SimError> {
+    /// First-call bookkeeping: emit the initial idle→running launch timeline.
+    fn begin<S: Snoop + ?Sized>(&mut self, snoop: &mut S) {
         if !self.started {
             self.started = true;
             // Initial state timeline: every thread idle from cycle 0 until
@@ -243,6 +267,55 @@ impl<'k> SimRun<'k> {
                 snoop.state_change(th.time, t as u32, ThreadState::Running);
             }
         }
+    }
+
+    /// Advance the runnable thread with the smallest clock by one walker
+    /// event, reporting pipeline activity to `snoop`.
+    ///
+    /// Dispatch is O(log T): the next thread is popped off the indexed
+    /// ready queue, and blocked threads re-enter it only on their explicit
+    /// wakeup edge (semaphore grant, barrier release).
+    ///
+    /// The first call also emits the initial idle→running launch timeline;
+    /// the call that completes the last thread reports `run_end`. Stepping a
+    /// finished run is a no-op returning [`StepStatus::Done`].
+    pub fn step<S: Snoop + ?Sized>(&mut self, snoop: &mut S) -> Result<StepStatus, SimError> {
+        self.begin(snoop);
+        if self.is_done() {
+            return Ok(StepStatus::Done);
+        }
+
+        let Some((_, tid)) = self.ready.pop() else {
+            return Err(SimError::Deadlock {
+                waiting: self.blocked_threads(),
+            });
+        };
+        let ti = tid as usize;
+        self.dispatch(ti, snoop);
+        // Re-queue the dispatched thread unless it blocked/finished — or was
+        // already re-queued by a barrier it both completed and woke from.
+        if self.threads[ti].status == Status::Ready && !self.ready.contains(tid) {
+            self.ready.push(self.threads[ti].time, tid);
+        }
+
+        if self.is_done() {
+            snoop.run_end(self.total_cycles);
+            return Ok(StepStatus::Done);
+        }
+        Ok(StepStatus::Running)
+    }
+
+    /// The pre-event-queue reference stepper: picks the next thread by a
+    /// linear scan over thread states instead of the ready queue, then keeps
+    /// the queue coherent by explicit removal. Retained for differential
+    /// property testing against [`Self::step`] — both must produce identical
+    /// snoop streams on any kernel.
+    #[cfg(test)]
+    pub(crate) fn step_legacy<S: Snoop + ?Sized>(
+        &mut self,
+        snoop: &mut S,
+    ) -> Result<StepStatus, SimError> {
+        self.begin(snoop);
         if self.is_done() {
             return Ok(StepStatus::Done);
         }
@@ -259,7 +332,16 @@ impl<'k> SimRun<'k> {
                 waiting: self.blocked_threads(),
             });
         };
+        let removed = self.ready.remove(ti as u32);
+        debug_assert_eq!(
+            removed,
+            Some(self.threads[ti].time),
+            "ready queue out of sync with thread states"
+        );
         self.dispatch(ti, snoop);
+        if self.threads[ti].status == Status::Ready && !self.ready.contains(ti as u32) {
+            self.ready.push(self.threads[ti].time, ti as u32);
+        }
 
         if self.is_done() {
             snoop.run_end(self.total_cycles);
@@ -269,13 +351,20 @@ impl<'k> SimRun<'k> {
     }
 
     /// Handle one walker event of thread `ti`.
-    fn dispatch(&mut self, ti: usize, snoop: &mut dyn Snoop) {
+    ///
+    /// The caller has already removed `ti` from the ready queue; this method
+    /// pushes the explicit wakeup edges — a semaphore grant re-queues the
+    /// FIFO winner, a barrier release re-queues every arrival — so blocked
+    /// threads re-enter the queue exactly when the event that unblocks them
+    /// is simulated.
+    fn dispatch<S: Snoop + ?Sized>(&mut self, ti: usize, snoop: &mut S) {
         let cfg = &self.cfg;
         let modes = &self.modes;
         let threads = &mut self.threads;
         let mem = &mut self.mem;
         let dram = &mut self.dram;
         let sem = &mut self.sem;
+        let ready = &mut self.ready;
         let barrier_arrivals = &mut self.barrier_arrivals;
         let tid = ti as u32;
         let ev = threads[ti].walker.step(mem);
@@ -430,31 +519,21 @@ impl<'k> SimRun<'k> {
                     th.time
                 };
                 if let Some((next, grant)) = sem.release(tid, release_t, cfg.spin_retry_interval) {
+                    // Wakeup edge: the FIFO winner is re-scheduled directly
+                    // at its grant time — the same time the spin-poll model
+                    // would have observed the free semaphore.
                     let nt = &mut threads[next as usize];
                     debug_assert_eq!(nt.status, Status::SpinWait);
                     nt.time = grant.max(nt.time);
                     nt.status = Status::Ready;
+                    ready.push(nt.time, next);
                     snoop.state_change(nt.time, next, ThreadState::Critical);
                 }
             }
             StepEvent::Barrier => {
                 threads[ti].status = Status::AtBarrier;
                 barrier_arrivals.push(ti);
-                let live = threads.iter().filter(|t| t.status != Status::Done).count();
-                if barrier_arrivals.len() == live {
-                    let release = threads
-                        .iter()
-                        .filter(|t| t.status == Status::AtBarrier)
-                        .map(|t| t.time)
-                        .max()
-                        .unwrap_or(0)
-                        + cfg.barrier_latency;
-                    for &bi in barrier_arrivals.iter() {
-                        threads[bi].status = Status::Ready;
-                        threads[bi].time = release;
-                    }
-                    barrier_arrivals.clear();
-                }
+                try_release_barrier(threads, barrier_arrivals, ready, cfg.barrier_latency);
             }
             StepEvent::Finished => {
                 let th = &mut threads[ti];
@@ -464,20 +543,7 @@ impl<'k> SimRun<'k> {
                 self.done += 1;
                 // A finished thread never reaches the barrier: re-check
                 // whether the remaining arrivals complete it.
-                let live = threads.iter().filter(|t| t.status != Status::Done).count();
-                if !barrier_arrivals.is_empty() && barrier_arrivals.len() == live {
-                    let release = barrier_arrivals
-                        .iter()
-                        .map(|&bi| threads[bi].time)
-                        .max()
-                        .unwrap_or(0)
-                        + cfg.barrier_latency;
-                    for &bi in barrier_arrivals.iter() {
-                        threads[bi].status = Status::Ready;
-                        threads[bi].time = release;
-                    }
-                    barrier_arrivals.clear();
-                }
+                try_release_barrier(threads, barrier_arrivals, ready, cfg.barrier_latency);
             }
         }
     }
@@ -530,13 +596,44 @@ impl Executor {
         let mut sim = SimRun::new(kernel, accel, cfg, launch)?;
         // The executor's ground-truth statistics are just another observer
         // of the snooped signals, fanned out alongside the caller's snoop.
+        // The pair is statically dispatched so the stats derivation inlines
+        // into the event loop.
         let mut stats_snoop = StatsSnoop::new(kernel.num_threads);
         {
-            let mut mux = SnoopMux::new(vec![&mut stats_snoop, snoop]);
-            while sim.step(&mut mux)? == StepStatus::Running {}
+            let mut pair = SnoopPair::new(&mut stats_snoop, snoop);
+            while sim.step(&mut pair)? == StepStatus::Running {}
         }
         Ok(sim.into_result(stats_snoop))
     }
+}
+
+/// Release the barrier when every live thread has arrived: all arrivals are
+/// re-scheduled (wakeup edge) at `max(arrival times) + barrier_latency`.
+fn try_release_barrier(
+    threads: &mut [Thread<'_>],
+    barrier_arrivals: &mut Vec<usize>,
+    ready: &mut ReadyQueue,
+    barrier_latency: u64,
+) {
+    if barrier_arrivals.is_empty() {
+        return;
+    }
+    let live = threads.iter().filter(|t| t.status != Status::Done).count();
+    if barrier_arrivals.len() != live {
+        return;
+    }
+    let release = barrier_arrivals
+        .iter()
+        .map(|&bi| threads[bi].time)
+        .max()
+        .unwrap_or(0)
+        + barrier_latency;
+    for &bi in barrier_arrivals.iter() {
+        threads[bi].status = Status::Ready;
+        threads[bi].time = release;
+        ready.push(release, bi as u32);
+    }
+    barrier_arrivals.clear();
 }
 
 /// Decide the pricing mode of a loop from its compiled schedule.

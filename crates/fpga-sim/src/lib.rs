@@ -26,17 +26,23 @@
 //!   operations and memory traffic — exactly the signals the paper's
 //!   hardware profiling unit snoops from the pipeline.
 
+pub mod analytic;
 pub mod config;
+#[cfg(test)]
+mod difftest;
 pub mod dram;
 pub mod error;
 pub mod exec;
 pub mod host;
 pub mod memimg;
+pub mod queue;
 pub mod semaphore;
 pub mod snoop;
 pub mod stats;
 
+pub use analytic::{AnalyticReport, Bound};
 pub use config::SimConfig;
 pub use error::{BlockedReason, BlockedThread, SimError};
 pub use exec::{Executor, RunResult, SimRun, StepStatus};
-pub use snoop::{NullSnoop, Snoop, SnoopMux, StatsSnoop, ThreadState};
+pub use queue::ReadyQueue;
+pub use snoop::{NullSnoop, Snoop, SnoopMux, SnoopPair, StatsSnoop, ThreadState};

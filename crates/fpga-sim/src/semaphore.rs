@@ -79,6 +79,12 @@ impl Semaphore {
     pub fn queue_len(&self) -> usize {
         self.waiters.len()
     }
+
+    /// FIFO position of a queued thread (0 = granted next), or `None` if
+    /// `tid` is not waiting.
+    pub fn queue_position(&self, tid: u32) -> Option<usize> {
+        self.waiters.iter().position(|&(w, _)| w == tid)
+    }
 }
 
 #[cfg(test)]

@@ -146,6 +146,63 @@ impl Snoop for SnoopMux<'_> {
     }
 }
 
+/// Statically-dispatched two-way fan-out.
+///
+/// [`SnoopMux`] costs one virtual call per tap per signal; on the executor's
+/// hot path (one `ops`/`iteration`/`mem_*` call per simulated event) that
+/// indirection is measurable. `SnoopPair` monomorphizes the first tap — the
+/// executor pairs its own [`StatsSnoop`] with the caller's observer, so the
+/// statistics derivation inlines into the dispatch loop.
+pub struct SnoopPair<'a, A: Snoop, B: Snoop + ?Sized> {
+    first: &'a mut A,
+    second: &'a mut B,
+}
+
+impl<'a, A: Snoop, B: Snoop + ?Sized> SnoopPair<'a, A, B> {
+    /// Fan out to `first` then `second` (same order as [`SnoopMux`]).
+    pub fn new(first: &'a mut A, second: &'a mut B) -> Self {
+        SnoopPair { first, second }
+    }
+}
+
+impl<A: Snoop, B: Snoop + ?Sized> Snoop for SnoopPair<'_, A, B> {
+    #[inline]
+    fn state_change(&mut self, t: u64, tid: u32, state: ThreadState) {
+        self.first.state_change(t, tid, state);
+        self.second.state_change(t, tid, state);
+    }
+    #[inline]
+    fn stall(&mut self, t: u64, tid: u32, cycles: u64) {
+        self.first.stall(t, tid, cycles);
+        self.second.stall(t, tid, cycles);
+    }
+    #[inline]
+    fn ops(&mut self, t: u64, tid: u32, int_ops: u64, flops: u64, local_ops: u64) {
+        self.first.ops(t, tid, int_ops, flops, local_ops);
+        self.second.ops(t, tid, int_ops, flops, local_ops);
+    }
+    #[inline]
+    fn mem_read(&mut self, t: u64, tid: u32, bytes: u64) {
+        self.first.mem_read(t, tid, bytes);
+        self.second.mem_read(t, tid, bytes);
+    }
+    #[inline]
+    fn mem_write(&mut self, t: u64, tid: u32, bytes: u64) {
+        self.first.mem_write(t, tid, bytes);
+        self.second.mem_write(t, tid, bytes);
+    }
+    #[inline]
+    fn iteration(&mut self, t: u64, tid: u32) {
+        self.first.iteration(t, tid);
+        self.second.iteration(t, tid);
+    }
+    #[inline]
+    fn run_end(&mut self, t: u64) {
+        self.first.run_end(t);
+        self.second.run_end(t);
+    }
+}
+
 /// Derives the executor's ground-truth [`ThreadStats`] purely from the
 /// snooped signal stream — the same signals the profiling unit sees.
 ///

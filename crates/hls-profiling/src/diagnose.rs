@@ -278,7 +278,10 @@ mod tests {
         let e = SimError::Deadlock {
             waiting: vec![BlockedThread {
                 thread: 0,
-                reason: BlockedReason::AtBarrier,
+                reason: BlockedReason::AtBarrier {
+                    arrived: 1,
+                    expected: 2,
+                },
                 at_cycle: 42,
             }],
         };

@@ -218,8 +218,19 @@ impl Snoop for ProfilingUnit {
             return;
         }
         if let Some(rec) = self.recorder.transition(t, tid, state) {
-            let rec = rec.to_vec();
-            self.buf_push(t, &rec);
+            // Stack copy to release the recorder borrow — state records are
+            // a tag byte, a timestamp and a per-thread state nibble array,
+            // far below this bound even at high thread counts.
+            let mut tmp = [0u8; 256];
+            let n = rec.len();
+            if n <= tmp.len() {
+                tmp[..n].copy_from_slice(rec);
+                self.buf_push(t, &tmp[..n]);
+            } else {
+                // >1000 hardware threads: fall back to a heap copy.
+                let rec = rec.to_vec();
+                self.buf_push(t, &rec);
+            }
         }
     }
 

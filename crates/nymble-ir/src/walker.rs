@@ -98,7 +98,9 @@ enum Frame<'k> {
     Block { stmts: &'k [Stmt], idx: usize },
     /// Active counted loop (bounds pre-evaluated).
     Loop {
-        stmt: &'k Stmt,
+        /// The loop's stable id, resolved once at entry so per-iteration
+        /// events need no [`LoopMap`] lookup.
+        loop_id: LoopId,
         var: VarId,
         body: &'k [Stmt],
         next: i64,
@@ -137,6 +139,82 @@ pub struct Walker<'k> {
     /// statement execution.
     eval_gen: u64,
     eval_cache: Vec<Option<(u64, Value)>>,
+    /// `shared[id]` — the expression is referenced more than once (by other
+    /// expressions or statements), so it *can* be evaluated multiple times
+    /// per statement and must go through the memo cache. Single-reference
+    /// nodes — the vast majority — skip the cache bookkeeping entirely.
+    shared: Vec<bool>,
+}
+
+/// Count every reference to each expression (expression children plus
+/// statement operands); a node referenced at least twice may be evaluated
+/// more than once within one statement and therefore must be memoised.
+fn shared_expr_map(kernel: &Kernel) -> Vec<bool> {
+    let mut refs = vec![0u32; kernel.exprs.len()];
+    for e in kernel.exprs.iter() {
+        for c in e.children() {
+            refs[c.0 as usize] = refs[c.0 as usize].saturating_add(1);
+        }
+    }
+    fn bump(refs: &mut [u32], id: ExprId) {
+        refs[id.0 as usize] = refs[id.0 as usize].saturating_add(1);
+    }
+    fn visit_block(b: &[Stmt], refs: &mut [u32]) {
+        for s in b {
+            match s {
+                Stmt::Assign { expr, .. } => bump(refs, *expr),
+                Stmt::StoreExt { index, value, .. } | Stmt::StoreLocal { index, value, .. } => {
+                    bump(refs, *index);
+                    bump(refs, *value);
+                }
+                Stmt::For {
+                    start,
+                    end,
+                    step,
+                    body,
+                    ..
+                } => {
+                    bump(refs, *start);
+                    bump(refs, *end);
+                    bump(refs, *step);
+                    visit_block(body, refs);
+                }
+                Stmt::If {
+                    cond,
+                    then_b,
+                    else_b,
+                } => {
+                    bump(refs, *cond);
+                    visit_block(then_b, refs);
+                    visit_block(else_b, refs);
+                }
+                Stmt::Critical { body } => visit_block(body, refs),
+                Stmt::Preload {
+                    src_off,
+                    dst_off,
+                    len,
+                    ..
+                } => {
+                    bump(refs, *src_off);
+                    bump(refs, *dst_off);
+                    bump(refs, *len);
+                }
+                Stmt::WriteBack {
+                    dst_off,
+                    src_off,
+                    len,
+                    ..
+                } => {
+                    bump(refs, *dst_off);
+                    bump(refs, *src_off);
+                    bump(refs, *len);
+                }
+                Stmt::Barrier => {}
+            }
+        }
+    }
+    visit_block(&kernel.body, &mut refs);
+    refs.into_iter().map(|r| r >= 2).collect()
 }
 
 impl<'k> Walker<'k> {
@@ -187,6 +265,7 @@ impl<'k> Walker<'k> {
             stmt_local_reads: Vec::new(),
             eval_gen: 0,
             eval_cache: vec![None; kernel.exprs.len()],
+            shared: shared_expr_map(kernel),
         }
     }
 
@@ -206,7 +285,7 @@ impl<'k> Walker<'k> {
     }
 
     /// Advance the thread until the next observable event.
-    pub fn step(&mut self, mem: &mut dyn DataMemory) -> StepEvent {
+    pub fn step<M: DataMemory + ?Sized>(&mut self, mem: &mut M) -> StepEvent {
         if let Some(ev) = self.queue.pop_front() {
             return ev;
         }
@@ -240,7 +319,7 @@ impl<'k> Walker<'k> {
                     }
                 }
                 Frame::Loop {
-                    stmt,
+                    loop_id,
                     var,
                     body,
                     next,
@@ -256,7 +335,7 @@ impl<'k> Walker<'k> {
                     };
                     if done {
                         let unrolled = *unrolled;
-                        let loop_id = self.loops.id_of(stmt);
+                        let loop_id = *loop_id;
                         self.stack.pop();
                         if !unrolled {
                             return StepEvent::LoopExit { loop_id };
@@ -271,7 +350,7 @@ impl<'k> Walker<'k> {
                     *pending_iter = false;
                     let body: &'k [Stmt] = body;
                     let unrolled = *unrolled;
-                    let loop_id = self.loops.id_of(stmt);
+                    let loop_id = *loop_id;
                     self.vars[vslot] = Value::from_i64(ty, cur);
                     self.stack.push(Frame::Block {
                         stmts: body,
@@ -296,7 +375,7 @@ impl<'k> Walker<'k> {
     }
 
     /// Execute a single statement; may return a primary event and queue more.
-    fn exec_stmt(&mut self, s: &'k Stmt, mem: &mut dyn DataMemory) -> Option<StepEvent> {
+    fn exec_stmt<M: DataMemory + ?Sized>(&mut self, s: &'k Stmt, mem: &mut M) -> Option<StepEvent> {
         self.stmt_local_reads.clear();
         self.eval_gen += 1;
         match s {
@@ -351,14 +430,12 @@ impl<'k> Walker<'k> {
                     ((s0 - e0).max(0) as u64).div_ceil((-st) as u64)
                 };
                 let unrolled = *unroll == Unroll::Full;
+                let loop_id = self.loops.id_of(s);
                 if !unrolled {
-                    self.queue.push_back(StepEvent::LoopEnter {
-                        loop_id: self.loops.id_of(s),
-                        trip,
-                    });
+                    self.queue.push_back(StepEvent::LoopEnter { loop_id, trip });
                 }
                 self.stack.push(Frame::Loop {
-                    stmt: s,
+                    loop_id,
                     var: *var,
                     body,
                     next: s0,
@@ -476,8 +553,18 @@ impl<'k> Walker<'k> {
     }
 
     /// Evaluate an expression, counting ops and queueing access events.
-    /// Shared sub-expressions are evaluated once per statement (memoised).
-    fn eval(&mut self, id: ExprId, mem: &mut dyn DataMemory, ops: &mut OpCounts) -> Value {
+    /// Shared sub-expressions are evaluated once per statement (memoised);
+    /// single-reference nodes — evaluated exactly once per statement by
+    /// construction — bypass the cache and its value clones.
+    fn eval<M: DataMemory + ?Sized>(
+        &mut self,
+        id: ExprId,
+        mem: &mut M,
+        ops: &mut OpCounts,
+    ) -> Value {
+        if !self.shared[id.0 as usize] {
+            return self.eval_uncached(id, mem, ops);
+        }
         if let Some((g, v)) = &self.eval_cache[id.0 as usize] {
             if *g == self.eval_gen {
                 return v.clone();
@@ -488,7 +575,12 @@ impl<'k> Walker<'k> {
         v
     }
 
-    fn eval_uncached(&mut self, id: ExprId, mem: &mut dyn DataMemory, ops: &mut OpCounts) -> Value {
+    fn eval_uncached<M: DataMemory + ?Sized>(
+        &mut self,
+        id: ExprId,
+        mem: &mut M,
+        ops: &mut OpCounts,
+    ) -> Value {
         match self.kernel.expr(id) {
             Expr::Const(v) => v.clone(),
             Expr::Arg(a) => self.scalar_args[a.0 as usize].clone(),
