@@ -81,12 +81,18 @@ impl Args {
         self.value_of(flag).map(PathBuf::from)
     }
 
-    /// The `--jobs N` worker count: explicit value clamped to ≥ 1, or the
-    /// machine's available parallelism by default.
-    pub fn jobs(&self) -> usize {
-        self.u64("--jobs")
-            .map(|n| (n as usize).max(1))
-            .unwrap_or_else(default_jobs)
+    /// The `--jobs N` worker count, defaulting to the machine's available
+    /// parallelism. `--jobs 0` and unparsable values are typed errors —
+    /// never a silent clamp — mirroring `SimConfig::validate()`.
+    pub fn jobs(&self) -> Result<usize, String> {
+        match self.value_of("--jobs") {
+            None => Ok(default_jobs()),
+            Some(v) => match v.parse::<usize>() {
+                Ok(0) => Err("--jobs: worker count must be at least 1 (got 0)".to_string()),
+                Ok(n) => Ok(n),
+                Err(_) => Err(format!("--jobs: invalid worker count `{v}`")),
+            },
+        }
     }
 
     /// The `--mode` selector: `cycle` (default, the event-driven
@@ -147,7 +153,7 @@ mod tests {
         assert_eq!(a.u32("--dim"), Some(64));
         assert_eq!(a.i64("--dim"), Some(64));
         assert_eq!(a.path("--out"), Some(PathBuf::from("/tmp/x")));
-        assert_eq!(a.jobs(), 3);
+        assert_eq!(a.jobs(), Ok(3));
         assert_eq!(a.u32("--threads"), None);
     }
 
@@ -178,9 +184,14 @@ mod tests {
     }
 
     #[test]
-    fn jobs_clamps_to_one_and_defaults_to_parallelism() {
-        assert_eq!(args(&["prog", "--jobs", "0"]).jobs(), 1);
-        assert_eq!(args(&["prog"]).jobs(), default_jobs());
+    fn jobs_rejects_zero_and_garbage_and_defaults_to_parallelism() {
+        let zero = args(&["prog", "--jobs", "0"]).jobs();
+        assert!(zero.is_err(), "--jobs 0 must be a typed error, not a clamp");
+        assert!(zero.unwrap_err().contains("at least 1"));
+        assert!(args(&["prog", "--jobs", "many"]).jobs().is_err());
+        assert!(args(&["prog", "--jobs", "-2"]).jobs().is_err());
+        assert_eq!(args(&["prog", "--jobs=8"]).jobs(), Ok(8));
+        assert_eq!(args(&["prog"]).jobs(), Ok(default_jobs()));
         assert!(default_jobs() >= 1);
     }
 

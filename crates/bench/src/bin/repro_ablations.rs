@@ -14,8 +14,11 @@
 //! Usage: `repro_ablations [--dim N] [--jobs N] [--mode cycle|analytical]
 //!                         [--bench-json PATH] [--lint[=deny|warn|off]]`
 //!
-//! The whole 16-run grid executes on the batch engine with one shared
-//! compile cache (two kernels compiled once each); a run that fails with a
+//! The whole study is one task graph on the work-stealing engine: two
+//! `Compile` nodes (v2 and v3) gate sixteen `Run` nodes across the four
+//! grids, and one `Reduce` node per section renders its rows in submission
+//! order — so a run of any section can overlap any other, and the tables
+//! are byte-identical for every `--jobs` value. A run that fails with a
 //! typed simulator error becomes a diagnostic row, not an abort.
 //!
 //! `--mode analytical` prints the roofline predictions for the two study
@@ -23,7 +26,8 @@
 //! abstracts away (the grids themselves need the cycle-level simulator).
 
 use bench::args::{Args, Mode};
-use bench::engine::{BatchEngine, RunCtx, RunSpec};
+use bench::engine::BatchEngine;
+use bench::graph::{NodeCtx, NodeId, NodeKind, TaskGraph};
 use bench::harness::SnapshotTimer;
 use bench::{
     analytic_report, gemm_launch, gemm_sim_config, lint_gate, run_profiled_with,
@@ -33,12 +37,28 @@ use fpga_sim::{RunResult, SimConfig};
 use hls_profiling::ProfilingConfig;
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use nymble_hls::{AccelCache, HlsConfig};
+use std::fmt::Write as _;
+
+/// Node payload of the ablation graph.
+enum AblNode {
+    Compiled,
+    Sim(Box<RunResult>),
+    Trace {
+        bytes: u64,
+        records: usize,
+        flushes: usize,
+    },
+    Section(String),
+}
 
 fn main() {
     let timer = SnapshotTimer::start();
     let args = Args::parse();
     let dim = args.i64("--dim").unwrap_or(64);
-    let jobs = args.jobs();
+    let jobs = args.jobs().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let lint = args.lint_level().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -97,151 +117,258 @@ fn main() {
         }
         return;
     }
-    let mut total_sim: u64 = 0;
+
+    // --- build the whole study as one dependency graph -------------------
+    const MSHRS: [u32; 4] = [1, 2, 4, 8];
+    const HASHING: [(&str, bool); 2] = [("hashed", true), ("linear", false)];
+    const LINE_BUFS: [(&str, bool); 2] = [("enabled", true), ("disabled", false)];
+    const PERIODS: [u64; 4] = [500, 2_000, 10_000, 50_000];
+
+    let mut graph: TaskGraph<'_, AblNode> = TaskGraph::new();
+    let (cache, launch, base, v2, v3) = (&cache, &launch, &base, &v2, &v3);
+    let c2 = graph.add(
+        NodeKind::Compile,
+        "compile:v2",
+        &[],
+        move |_: &NodeCtx<'_, AblNode>| {
+            // A refusal here surfaces as a `failed:` row on every dependent run.
+            let _ = cache.try_get_or_compile(v2, hls);
+            Ok(AblNode::Compiled)
+        },
+    );
+    let c3 = graph.add(
+        NodeKind::Compile,
+        "compile:v3",
+        &[],
+        move |_: &NodeCtx<'_, AblNode>| {
+            let _ = cache.try_get_or_compile(v3, hls);
+            Ok(AblNode::Compiled)
+        },
+    );
+
+    // MSHR grid: v2 and v3 at each depth, then one reduce for the table.
+    let mut mshr_ids = Vec::new();
+    for &mshrs in MSHRS.iter() {
+        for (kernel, tag, dep) in [(v2, "v2", c2), (v3, "v3", c3)] {
+            let cfg = SimConfig {
+                port_mshrs: mshrs,
+                ..base.clone()
+            };
+            mshr_ids.push(graph.add(
+                NodeKind::Run,
+                format!("mshr{mshrs}_{tag}"),
+                &[dep],
+                move |_: &NodeCtx<'_, AblNode>| {
+                    run_unprofiled_with(cache, kernel, hls, &cfg, launch)
+                        .map(|r| AblNode::Sim(Box::new(r)))
+                },
+            ));
+        }
+    }
+    let mshr_reduce = graph.add(
+        NodeKind::Reduce,
+        "mshr_table",
+        &mshr_ids,
+        move |ctx: &NodeCtx<'_, AblNode>| {
+            let mut block = String::new();
+            for (i, &mshrs) in MSHRS.iter().enumerate() {
+                match (&ctx.dep(2 * i).outcome, &ctx.dep(2 * i + 1).outcome) {
+                    (Ok(AblNode::Sim(r2)), Ok(AblNode::Sim(r3))) => writeln!(
+                        block,
+                        "{:>6} {:>14} {:>14} {:>7.2}x",
+                        mshrs,
+                        r2.total_cycles,
+                        r3.total_cycles,
+                        r2.total_cycles as f64 / r3.total_cycles as f64
+                    )
+                    .unwrap(),
+                    (a, b) => {
+                        let e = a.as_ref().err().or(b.as_ref().err()).unwrap();
+                        writeln!(block, "{mshrs:>6} failed: {e}").unwrap();
+                    }
+                }
+            }
+            Ok(AblNode::Section(block))
+        },
+    );
+
+    // Bank-hashing pair (v2 only).
+    let mut hash_ids = Vec::new();
+    for &(label, hash) in HASHING.iter() {
+        let cfg = SimConfig {
+            dram_bank_hash: hash,
+            ..base.clone()
+        };
+        hash_ids.push(graph.add(
+            NodeKind::Run,
+            label,
+            &[c2],
+            move |_: &NodeCtx<'_, AblNode>| {
+                run_unprofiled_with(cache, v2, hls, &cfg, launch).map(|r| AblNode::Sim(Box::new(r)))
+            },
+        ));
+    }
+    let hash_reduce = graph.add(
+        NodeKind::Reduce,
+        "hash_table",
+        &hash_ids,
+        move |ctx: &NodeCtx<'_, AblNode>| {
+            let mut block = String::new();
+            for ((label, _), dep) in HASHING.iter().zip(ctx.deps()) {
+                match &dep.outcome {
+                    Ok(AblNode::Sim(r2)) => writeln!(
+                        block,
+                        "  {label:<7} v2: {:>12} cycles, {:>9} contended requests",
+                        r2.total_cycles, r2.stats.dram_contended
+                    )
+                    .unwrap(),
+                    Ok(_) => unreachable!("run node produced a non-sim payload"),
+                    Err(e) => writeln!(block, "  {label:<7} failed: {e}").unwrap(),
+                }
+            }
+            Ok(AblNode::Section(block))
+        },
+    );
+
+    // Line-buffer pair (v2 only).
+    let mut lbuf_ids = Vec::new();
+    for &(label, lbuf) in LINE_BUFS.iter() {
+        let cfg = SimConfig {
+            line_buffers: lbuf,
+            ..base.clone()
+        };
+        lbuf_ids.push(graph.add(
+            NodeKind::Run,
+            label,
+            &[c2],
+            move |_: &NodeCtx<'_, AblNode>| {
+                run_unprofiled_with(cache, v2, hls, &cfg, launch).map(|r| AblNode::Sim(Box::new(r)))
+            },
+        ));
+    }
+    let lbuf_reduce = graph.add(
+        NodeKind::Reduce,
+        "linebuf_table",
+        &lbuf_ids,
+        move |ctx: &NodeCtx<'_, AblNode>| {
+            let mut block = String::new();
+            for ((label, _), dep) in LINE_BUFS.iter().zip(ctx.deps()) {
+                match &dep.outcome {
+                    Ok(AblNode::Sim(r2)) => writeln!(
+                        block,
+                        "  {label:<9} v2: {:>12} cycles, hit rate {:>5.1}%, {:>9} line fetches",
+                        r2.total_cycles,
+                        r2.stats.read_hit_rate() * 100.0,
+                        r2.stats.line_fetches
+                    )
+                    .unwrap(),
+                    Ok(_) => unreachable!("run node produced a non-sim payload"),
+                    Err(e) => writeln!(block, "  {label:<9} failed: {e}").unwrap(),
+                }
+            }
+            Ok(AblNode::Section(block))
+        },
+    );
+
+    // Sampling-period grid (profiled v3).
+    let mut period_ids = Vec::new();
+    for &period in PERIODS.iter() {
+        let prof = ProfilingConfig {
+            sampling_period: period,
+            ..Default::default()
+        };
+        period_ids.push(graph.add(
+            NodeKind::Run,
+            format!("period{period}"),
+            &[c3],
+            move |_: &NodeCtx<'_, AblNode>| {
+                let run = run_profiled_with(cache, v3, hls, base, &prof, launch)?;
+                Ok(AblNode::Trace {
+                    bytes: run.trace.flushed_bytes,
+                    records: run.trace.records.len(),
+                    flushes: run.trace.flush_count,
+                })
+            },
+        ));
+    }
+    let period_reduce = graph.add(
+        NodeKind::Reduce,
+        "sampling_table",
+        &period_ids,
+        move |ctx: &NodeCtx<'_, AblNode>| {
+            let mut block = String::new();
+            for (&period, dep) in PERIODS.iter().zip(ctx.deps()) {
+                match &dep.outcome {
+                    Ok(AblNode::Trace {
+                        bytes,
+                        records,
+                        flushes,
+                    }) => writeln!(block, "{period:>10} {bytes:>12} {records:>10} {flushes:>8}")
+                        .unwrap(),
+                    Ok(_) => unreachable!("run node produced a non-trace payload"),
+                    Err(e) => writeln!(block, "{period:>10} failed: {e}").unwrap(),
+                }
+            }
+            Ok(AblNode::Section(block))
+        },
+    );
+
+    let out = engine.run_graph(graph);
+    let section = |id: NodeId| -> &str {
+        match out.reports[id.index()].outcome.as_ref() {
+            Ok(AblNode::Section(s)) => s,
+            Ok(_) => unreachable!("reduce node produced a non-section payload"),
+            Err(e) => unreachable!("reduce node failed: {e}"),
+        }
+    };
+    let total_sim: u64 = out
+        .reports
+        .iter()
+        .filter_map(|r| match r.outcome.as_ref() {
+            Ok(AblNode::Sim(res)) => Some(res.total_cycles),
+            _ => None,
+        })
+        .sum();
 
     println!("== MSHR depth: what Partial Vectorization's gain depends on ==\n");
     println!(
         "{:>6} {:>14} {:>14} {:>8}",
         "MSHRs", "v2 cycles", "v3 cycles", "v3 gain"
     );
-    const MSHRS: [u32; 4] = [1, 2, 4, 8];
-    let specs: Vec<RunSpec<'_, RunResult>> = MSHRS
-        .iter()
-        .flat_map(|&mshrs| {
-            [(&v2, "v2"), (&v3, "v3")].map(|(kernel, tag)| {
-                let cfg = SimConfig {
-                    port_mshrs: mshrs,
-                    ..base.clone()
-                };
-                let (cache, launch) = (&cache, &launch);
-                RunSpec::new(format!("mshr{mshrs}_{tag}"), move |_: &RunCtx| {
-                    run_unprofiled_with(cache, kernel, hls, &cfg, launch)
-                })
-            })
-        })
-        .collect();
-    let reports = engine.run(specs);
-    for (i, &mshrs) in MSHRS.iter().enumerate() {
-        match (&reports[2 * i].outcome, &reports[2 * i + 1].outcome) {
-            (Ok(r2), Ok(r3)) => {
-                total_sim += r2.total_cycles + r3.total_cycles;
-                println!(
-                    "{:>6} {:>14} {:>14} {:>7.2}x",
-                    mshrs,
-                    r2.total_cycles,
-                    r3.total_cycles,
-                    r2.total_cycles as f64 / r3.total_cycles as f64
-                )
-            }
-            (a, b) => {
-                let e = a.as_ref().err().or(b.as_ref().err()).unwrap();
-                println!("{mshrs:>6} failed: {e}");
-            }
-        }
-    }
+    print!("{}", section(mshr_reduce));
 
     println!("\n== DRAM bank hashing: power-of-2 strides vs the bank map ==\n");
-    const HASHING: [(&str, bool); 2] = [("hashed", true), ("linear", false)];
-    let specs: Vec<RunSpec<'_, RunResult>> = HASHING
-        .iter()
-        .map(|&(label, hash)| {
-            let cfg = SimConfig {
-                dram_bank_hash: hash,
-                ..base.clone()
-            };
-            let (cache, launch, v2) = (&cache, &launch, &v2);
-            RunSpec::new(label, move |_: &RunCtx| {
-                run_unprofiled_with(cache, v2, hls, &cfg, launch)
-            })
-        })
-        .collect();
-    for ((label, _), report) in HASHING.iter().zip(engine.run(specs)) {
-        match &report.outcome {
-            Ok(r2) => {
-                total_sim += r2.total_cycles;
-                println!(
-                    "  {label:<7} v2: {:>12} cycles, {:>9} contended requests",
-                    r2.total_cycles, r2.stats.dram_contended
-                )
-            }
-            Err(e) => println!("  {label:<7} failed: {e}"),
-        }
-    }
+    print!("{}", section(hash_reduce));
 
     println!("\n== per-port line buffers: sequential-stream reuse ==\n");
-    const LINE_BUFS: [(&str, bool); 2] = [("enabled", true), ("disabled", false)];
-    let specs: Vec<RunSpec<'_, RunResult>> = LINE_BUFS
-        .iter()
-        .map(|&(label, lbuf)| {
-            let cfg = SimConfig {
-                line_buffers: lbuf,
-                ..base.clone()
-            };
-            let (cache, launch, v2) = (&cache, &launch, &v2);
-            RunSpec::new(label, move |_: &RunCtx| {
-                run_unprofiled_with(cache, v2, hls, &cfg, launch)
-            })
-        })
-        .collect();
-    for ((label, _), report) in LINE_BUFS.iter().zip(engine.run(specs)) {
-        match &report.outcome {
-            Ok(r2) => {
-                total_sim += r2.total_cycles;
-                println!(
-                    "  {label:<9} v2: {:>12} cycles, hit rate {:>5.1}%, {:>9} line fetches",
-                    r2.total_cycles,
-                    r2.stats.read_hit_rate() * 100.0,
-                    r2.stats.line_fetches
-                )
-            }
-            Err(e) => println!("  {label:<9} failed: {e}"),
-        }
-    }
+    print!("{}", section(lbuf_reduce));
 
     println!("\n== sampling period: trace volume vs temporal resolution (§IV-B.2) ==\n");
     println!(
         "{:>10} {:>12} {:>10} {:>8}",
         "period", "trace bytes", "records", "flushes"
     );
-    const PERIODS: [u64; 4] = [500, 2_000, 10_000, 50_000];
-    let specs: Vec<RunSpec<'_, (u64, usize, usize)>> = PERIODS
-        .iter()
-        .map(|&period| {
-            let prof = ProfilingConfig {
-                sampling_period: period,
-                ..Default::default()
-            };
-            let (cache, launch, v3, base) = (&cache, &launch, &v3, &base);
-            RunSpec::new(format!("period{period}"), move |_: &RunCtx| {
-                let run = run_profiled_with(cache, v3, hls, base, &prof, launch)?;
-                Ok((
-                    run.trace.flushed_bytes,
-                    run.trace.records.len(),
-                    run.trace.flush_count,
-                ))
-            })
-        })
-        .collect();
-    for (&period, report) in PERIODS.iter().zip(&engine.run(specs)) {
-        match &report.outcome {
-            Ok((bytes, records, flushes)) => {
-                println!("{period:>10} {bytes:>12} {records:>10} {flushes:>8}")
-            }
-            Err(e) => println!("{period:>10} failed: {e}"),
-        }
-    }
+    print!("{}", section(period_reduce));
 
     let stats = cache.stats();
+    let runs = out
+        .reports
+        .iter()
+        .filter(|r| matches!(r.kind, NodeKind::Run))
+        .count();
     println!(
         "\n({jobs} workers; {} runs shared {} compiled kernels)",
-        stats.hits + stats.misses,
-        stats.entries
+        runs, stats.entries
     );
     if let Some(path) = &bench_json {
         let snap = timer
             .finish("repro_ablations", mode, total_sim)
             .param("dim", dim)
-            .param("jobs", jobs);
+            .param("jobs", jobs)
+            .with_extra("worker_utilization", out.stats.utilization())
+            .with_extra("sched_steals", out.stats.steals as f64)
+            .with_extra("sched_parks", out.stats.parks as f64)
+            .with_extra("sched_makespan_seconds", out.stats.makespan.as_secs_f64());
         snap.write(path).expect("write --bench-json");
         println!("\nperf snapshot written to {}", path.display());
     }

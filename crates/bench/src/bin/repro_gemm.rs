@@ -38,7 +38,10 @@ fn main() {
     let args = Args::parse();
     let dim = args.u32("--dim").unwrap_or(128) as i64;
     let threads = args.u32("--threads").unwrap_or(8);
-    let jobs = args.jobs();
+    let jobs = args.jobs().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let lint = args.lint_level().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -130,7 +133,7 @@ fn main() {
         jobs,
     });
     println!("== T-GEMM: execution time and speedups (§V-C text) ==\n");
-    print!("{}", gemm_table(&sweep, &sim, threads));
+    print!("{}", gemm_table(&sweep));
     println!(
         "\n({} workers; compile cache: {} kernels compiled once, {} shared reuses)",
         jobs, sweep.cache.misses, sweep.cache.hits
@@ -330,7 +333,11 @@ fn write_cycle_snapshot(
         .param("jobs", jobs)
         .with_extra("analytical_wall_seconds", analytic_wall)
         .with_extra("analytical_total_cycles", analytic_total as f64)
-        .with_extra("analytical_speedup", wall / analytic_wall.max(1e-9));
+        .with_extra("analytical_speedup", wall / analytic_wall.max(1e-9))
+        .with_extra("worker_utilization", sweep.sched.utilization())
+        .with_extra("sched_steals", sweep.sched.steals as f64)
+        .with_extra("sched_parks", sweep.sched.parks as f64)
+        .with_extra("sched_makespan_seconds", sweep.sched.makespan.as_secs_f64());
     snap.write(path).expect("write --bench-json");
     println!("\nperf snapshot written to {}", path.display());
 }

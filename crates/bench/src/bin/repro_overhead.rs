@@ -9,15 +9,19 @@
 //! Usage: `repro_overhead [--threads N] [--jobs N] [--bench-json PATH]
 //!                        [--lint[=deny|warn|off]]`
 //!
-//! The six accelerator compiles (five GEMM versions plus π) run in
-//! parallel on the batch engine through a shared compile cache; the
-//! printed tables are identical for any `--jobs` value. The study is
-//! purely static (cost-model fits, no simulation), so `--mode` is
-//! accepted for uniformity but does not change the tables; a
-//! `--bench-json` snapshot records zero simulated cycles.
+//! The study runs as one task graph on the work-stealing engine: six
+//! `Compile` nodes (five GEMM versions plus π) populate the shared
+//! compile cache, one `Analyze` node per GEMM design computes its
+//! cost-model fit row as soon as that design is compiled, and a `Reduce`
+//! node renders the table in submission order — identical for any
+//! `--jobs` value. The study is purely static (cost-model fits, no
+//! simulation), so `--mode` is accepted for uniformity but does not
+//! change the tables; a `--bench-json` snapshot records zero simulated
+//! cycles.
 
 use bench::args::Args;
-use bench::engine::{BatchEngine, RunCtx, RunSpec};
+use bench::engine::BatchEngine;
+use bench::graph::{NodeCtx, NodeKind, TaskGraph};
 use bench::harness::SnapshotTimer;
 use bench::lint_gate;
 use hls_profiling::counters::CounterSet;
@@ -28,13 +32,28 @@ use kernels::pi::{self, PiParams};
 use nymble_hls::accel::{Accelerator, HlsConfig};
 use nymble_hls::cost::geo_mean;
 use nymble_hls::AccelCache;
+use std::fmt::Write as _;
 use std::sync::Arc;
+
+/// Node payload of the overhead-study graph.
+enum OvhNode {
+    Accel(Arc<Accelerator>),
+    Row {
+        line: String,
+        alm_pct: f64,
+        reg_pct: f64,
+    },
+    Block(String),
+}
 
 fn main() {
     let timer = SnapshotTimer::start();
     let args = Args::parse();
     let threads = args.u32("--threads").unwrap_or(8);
-    let jobs = args.jobs();
+    let jobs = args.jobs().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let lint = args.lint_level().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -67,80 +86,139 @@ fn main() {
         "Δreg%",
         "Δfmax MHz"
     );
-    let mut alm_pcts = Vec::new();
-    let mut reg_pcts = Vec::new();
     let gp = GemmParams {
         threads,
         ..GemmParams::paper_scale()
+    };
+    let pp = PiParams {
+        threads,
+        ..Default::default()
     };
     // Lint all six study designs (five GEMM versions plus π) up front, so
     // at `--lint=deny` the binary exits before compiling anything.
     let gate_kernels: Vec<_> = GemmVersion::ALL
         .iter()
         .map(|&v| gemm::build(v, &gp))
-        .chain(std::iter::once(pi::build(&PiParams {
-            threads,
-            ..Default::default()
-        })))
+        .chain(std::iter::once(pi::build(&pp)))
         .collect();
     if let Err(report) = lint_gate(&gate_kernels.iter().collect::<Vec<_>>(), lint) {
         eprintln!("{report}");
         std::process::exit(1);
     }
     drop(gate_kernels);
-    // Compile every study design on the worker pool; reports come back in
-    // submission order, so the table below never depends on `--jobs`.
-    let specs: Vec<RunSpec<'_, Arc<Accelerator>>> = GemmVersion::ALL
-        .iter()
-        .map(|&v| {
-            let (cache, hls, gp) = (&cache, &hls, &gp);
-            RunSpec::new(v.name(), move |_: &RunCtx| {
-                Ok(cache.get_or_compile(&gemm::build(v, gp), hls))
-            })
-        })
-        .collect();
-    let accs: Vec<Arc<Accelerator>> = engine
-        .run(specs)
-        .into_iter()
-        .map(|r| r.outcome.expect("compilation cannot fail"))
-        .collect();
-    for (v, acc) in GemmVersion::ALL.iter().zip(&accs) {
-        let with = instrumented_fit(&acc.fit, threads, &prof, &op, &hls.cost);
-        let o = with.overhead_vs(&acc.fit);
-        alm_pcts.push(o.alms_pct);
-        reg_pcts.push(o.registers_pct);
-        println!(
-            "{:<24} {:>9} {:>9} {:>8.1} | {:>9} {:>9} {:>8.1} | {:>6.2}% {:>6.2}% {:>9.1}",
-            v.name(),
-            acc.fit.alms,
-            acc.fit.registers,
-            acc.fit.fmax_mhz,
-            with.alms,
-            with.registers,
-            with.fmax_mhz,
-            o.alms_pct,
-            o.registers_pct,
-            o.fmax_delta_mhz
+
+    // One task graph for the whole study: a Compile node per design, an
+    // Analyze fit-row per GEMM design, a Reduce rendering the table in
+    // submission order (so it never depends on `--jobs`).
+    let mut graph: TaskGraph<'_, OvhNode> = TaskGraph::new();
+    let mut analyze_ids = Vec::new();
+    for &v in GemmVersion::ALL.iter() {
+        let (cache, hls, gp, prof, op) = (&cache, &hls, &gp, &prof, &op);
+        let compile = graph.add(
+            NodeKind::Compile,
+            format!("compile:{}", v.name()),
+            &[],
+            move |_: &NodeCtx<'_, OvhNode>| {
+                Ok(OvhNode::Accel(
+                    cache.get_or_compile(&gemm::build(v, gp), hls),
+                ))
+            },
         );
+        let analyze = graph.add(
+            NodeKind::Analyze,
+            format!("fit:{}", v.name()),
+            &[compile],
+            move |ctx: &NodeCtx<'_, OvhNode>| {
+                let OvhNode::Accel(acc) = ctx.dep(0).outcome.as_ref().expect("compile node") else {
+                    unreachable!("compile node produced a non-accel payload")
+                };
+                let with = instrumented_fit(&acc.fit, threads, prof, op, &hls.cost);
+                let o = with.overhead_vs(&acc.fit);
+                let line = format!(
+                    "{:<24} {:>9} {:>9} {:>8.1} | {:>9} {:>9} {:>8.1} | {:>6.2}% {:>6.2}% {:>9.1}",
+                    v.name(),
+                    acc.fit.alms,
+                    acc.fit.registers,
+                    acc.fit.fmax_mhz,
+                    with.alms,
+                    with.registers,
+                    with.fmax_mhz,
+                    o.alms_pct,
+                    o.registers_pct,
+                    o.fmax_delta_mhz
+                );
+                Ok(OvhNode::Row {
+                    line,
+                    alm_pct: o.alms_pct,
+                    reg_pct: o.registers_pct,
+                })
+            },
+        );
+        analyze_ids.push(analyze);
     }
-    let max_or = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
-    println!(
-        "\n  registers: max {:.2}% geo-mean {:.2}%   (paper: max 5.4%, geo-mean 2.41%)",
-        max_or(&reg_pcts),
-        geo_mean(&reg_pcts)
+    let pi_compile = graph.add(NodeKind::Compile, "compile:pi", &[], {
+        let (cache, hls, pp) = (&cache, &hls, &pp);
+        move |_: &NodeCtx<'_, OvhNode>| {
+            Ok(OvhNode::Accel(cache.get_or_compile(&pi::build(pp), hls)))
+        }
+    });
+    let reduce = graph.add(
+        NodeKind::Reduce,
+        "study1_table",
+        &analyze_ids,
+        move |ctx: &NodeCtx<'_, OvhNode>| {
+            let mut block = String::new();
+            let mut alm_pcts = Vec::new();
+            let mut reg_pcts = Vec::new();
+            for dep in ctx.deps() {
+                let OvhNode::Row {
+                    line,
+                    alm_pct,
+                    reg_pct,
+                } = dep.outcome.as_ref().expect("fit node")
+                else {
+                    unreachable!("fit node produced a non-row payload")
+                };
+                writeln!(block, "{line}").unwrap();
+                alm_pcts.push(*alm_pct);
+                reg_pcts.push(*reg_pct);
+            }
+            let max_or = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+            writeln!(
+                block,
+                "\n  registers: max {:.2}% geo-mean {:.2}%   (paper: max 5.4%, geo-mean 2.41%)",
+                max_or(&reg_pcts),
+                geo_mean(&reg_pcts)
+            )
+            .unwrap();
+            writeln!(
+                block,
+                "  ALMs:      max {:.2}% geo-mean {:.2}%   (paper: max 4%,   geo-mean 3.42%)",
+                max_or(&alm_pcts),
+                geo_mean(&alm_pcts)
+            )
+            .unwrap();
+            Ok(OvhNode::Block(block))
+        },
     );
-    println!(
-        "  ALMs:      max {:.2}% geo-mean {:.2}%   (paper: max 4%,   geo-mean 3.42%)",
-        max_or(&alm_pcts),
-        geo_mean(&alm_pcts)
-    );
+    let out = engine.run_graph(graph);
+    let OvhNode::Block(block) = out.reports[reduce.index()]
+        .outcome
+        .as_ref()
+        .expect("study-1 reduce")
+    else {
+        unreachable!("reduce node produced a non-block payload")
+    };
+    print!("{block}");
 
     println!("\n== E2: study 2 (π accelerator) ==\n");
-    let pp = PiParams {
-        threads,
-        ..Default::default()
+    let OvhNode::Accel(acc) = out.reports[pi_compile.index()]
+        .outcome
+        .as_ref()
+        .expect("pi compile node")
+    else {
+        unreachable!("compile node produced a non-accel payload")
     };
-    let acc = cache.get_or_compile(&pi::build(&pp), &hls);
     let with = instrumented_fit(&acc.fit, threads, &prof, &op, &hls.cost);
     let o = with.overhead_vs(&acc.fit);
     println!(
@@ -210,7 +288,10 @@ fn main() {
         let snap = timer
             .finish("repro_overhead", mode, 0)
             .param("threads", threads)
-            .param("jobs", jobs);
+            .param("jobs", jobs)
+            .with_extra("worker_utilization", out.stats.utilization())
+            .with_extra("sched_steals", out.stats.steals as f64)
+            .with_extra("sched_parks", out.stats.parks as f64);
         snap.write(path).expect("write --bench-json");
         println!("\nperf snapshot written to {}", path.display());
     }

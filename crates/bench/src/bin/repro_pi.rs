@@ -30,7 +30,10 @@ fn main() {
     let timer = SnapshotTimer::start();
     let args = Args::parse();
     let threads = args.u32("--threads").unwrap_or(8);
-    let jobs = args.jobs();
+    let jobs = args.jobs().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let lint = args.lint_level().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -172,7 +175,7 @@ fn main() {
         sweep.cache.misses,
         sweep.runs.len()
     );
-    print!("{}", pi_table(&sweep, &sim));
+    print!("{}", pi_table(&sweep));
 
     // §V-D extrapolation: "increasing the number of iterations to 15·10^9
     // would give us 36.84 GFLOP/s" (ignoring f32 instability).
@@ -233,7 +236,11 @@ fn write_cycle_snapshot(
         .param("jobs", jobs)
         .with_extra("analytical_wall_seconds", analytic_wall)
         .with_extra("analytical_total_cycles", analytic_total as f64)
-        .with_extra("analytical_speedup", wall / analytic_wall.max(1e-9));
+        .with_extra("analytical_speedup", wall / analytic_wall.max(1e-9))
+        .with_extra("worker_utilization", sweep.sched.utilization())
+        .with_extra("sched_steals", sweep.sched.steals as f64)
+        .with_extra("sched_parks", sweep.sched.parks as f64)
+        .with_extra("sched_makespan_seconds", sweep.sched.makespan.as_secs_f64());
     snap.write(path).expect("write --bench-json");
     println!("\nperf snapshot written to {}", path.display());
 }

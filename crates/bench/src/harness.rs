@@ -54,7 +54,8 @@ impl Group {
 }
 
 /// Times one repro-binary invocation end to end and turns it into a
-/// machine-readable [`PerfSnapshot`] (the `--bench-json` path).
+/// machine-readable [`PerfSnapshot`](crate::snapshot::PerfSnapshot) (the
+/// `--bench-json` path).
 ///
 /// Start it first thing in `main`, run the workload, then `finish` with
 /// the total simulated cycles the binary produced.

@@ -8,6 +8,7 @@
 
 pub mod args;
 pub mod engine;
+pub mod graph;
 pub mod harness;
 pub mod snapshot;
 pub mod sweep;
@@ -29,9 +30,10 @@ use paraver::TraceSink;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-/// Anything that can fail inside one batch-engine run: the compile (e.g.
-/// the `nymble-lint` gate at `deny`), the simulator (typed deadlock /
-/// config errors) or the streaming trace pipeline.
+/// Anything that can fail inside one graph node: the compile (e.g. the
+/// `nymble-lint` gate at `deny`), the simulator (typed deadlock / config
+/// errors), the streaming trace pipeline, or the node body itself
+/// panicking (recorded so the rest of the graph still drains).
 #[derive(Debug)]
 pub enum BenchError {
     /// The HLS compile was refused (e.g. by the lint gate).
@@ -40,6 +42,14 @@ pub enum BenchError {
     Sim(SimError),
     /// The background trace pipeline failed.
     Pipeline(PipelineError),
+    /// A graph node's body panicked; the scheduler records this outcome,
+    /// finishes the graph, and then re-raises the original panic.
+    NodePanic {
+        /// Label of the node that panicked.
+        label: String,
+        /// Rendered panic payload.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for BenchError {
@@ -48,6 +58,9 @@ impl std::fmt::Display for BenchError {
             BenchError::Compile(e) => write!(f, "{e}"),
             BenchError::Sim(e) => write!(f, "{e}"),
             BenchError::Pipeline(e) => write!(f, "{e}"),
+            BenchError::NodePanic { label, message } => {
+                write!(f, "node `{label}` panicked: {message}")
+            }
         }
     }
 }
@@ -58,6 +71,7 @@ impl std::error::Error for BenchError {
             BenchError::Compile(e) => Some(e),
             BenchError::Sim(e) => Some(e),
             BenchError::Pipeline(e) => Some(e),
+            BenchError::NodePanic { .. } => None,
         }
     }
 }
@@ -77,6 +91,12 @@ impl From<SimError> for BenchError {
 impl From<PipelineError> for BenchError {
     fn from(e: PipelineError) -> Self {
         BenchError::Pipeline(e)
+    }
+}
+
+impl From<paraver::TraceError> for BenchError {
+    fn from(e: paraver::TraceError) -> Self {
+        BenchError::Pipeline(PipelineError::Trace(e))
     }
 }
 
@@ -236,8 +256,9 @@ pub fn run_profiled_streaming(
         Ok(ok) => Ok(ok),
         Err(BenchError::Pipeline(e)) => Err(e),
         Err(BenchError::Sim(e)) => panic!("simulation failed: {e}"),
-        // The default config has the lint gate off.
-        Err(BenchError::Compile(e)) => unreachable!("{e}"),
+        // The default config has the lint gate off, and this path never
+        // goes through the graph scheduler.
+        Err(e) => unreachable!("{e}"),
     }
 }
 

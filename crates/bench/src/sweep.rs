@@ -1,25 +1,34 @@
-//! # sweep — multi-run experiment orchestration on the batch engine
+//! # sweep — experiments as task graphs on the work-stealing engine
 //!
 //! The deterministic middle layer between the [`crate::engine`] scheduler
 //! and the `repro_*` binaries: it turns an experiment description (which
 //! GEMM versions, which π problem sizes, where the trace bundles go) into
-//! [`RunSpec`]s, shares one [`AccelCache`] across all workers so each
-//! kernel is compiled exactly once per sweep, and renders the result tables
-//! from the **collected, submission-ordered** reports — so the table text
-//! and the trace bundles are byte-identical at `--jobs 1` and `--jobs 8`.
+//! a [`TaskGraph`] and renders the result tables inside the graph itself.
+//! Each sweep has the same shape:
 //!
-//! Each run streams its trace through the background pipeline of
-//! `hls_profiling::pipeline` with a run-private spill directory (from
-//! [`RunCtx::scratch_dir`]) and a *tee* sink: records go to the
-//! `.prv`/`.pcf`/`.row` bundle on disk and into an in-memory vector for the
-//! figure rendering the binaries do afterwards.
+//! * one `Compile` node per distinct kernel populates the shared
+//!   [`AccelCache`] entry (the π sweep has exactly one — its IR is
+//!   step-independent), so a slow compile blocks only its own runs;
+//! * one `Run` node per experiment streams the simulator's trace through
+//!   the background pipeline of `hls_profiling::pipeline` with a
+//!   node-private spill directory, collecting the sorted records in
+//!   memory;
+//! * one `Analyze` node per run writes the `.prv`/`.pcf`/`.row` bundle and
+//!   computes the table-row metrics — overlapping with still-running
+//!   simulations instead of waiting for the whole batch;
+//! * one `Reduce` node renders the table from the rows **in submission
+//!   order**, so the table text and the trace bundles are byte-identical
+//!   at `--jobs 1` and `--jobs 8`.
 //!
-//! Simulator failures (e.g. a typed [`fpga_sim::SimError::Deadlock`]) are
-//! carried in [`RunReport::outcome`] and rendered as table diagnostics —
-//! one bad configuration never aborts the rest of a sweep.
+//! Simulator failures (e.g. a typed [`fpga_sim::SimError::Deadlock`]) and
+//! lint-refused compiles are carried in the node outcomes and rendered as
+//! table diagnostics — one bad configuration never aborts the rest of a
+//! sweep.
 
-use crate::engine::{BatchEngine, RunCtx, RunReport, RunSpec};
+use crate::engine::{BatchEngine, RunReport, SchedStats};
+use crate::graph::{NodeCtx, NodeKind, TaskGraph};
 use crate::{gemm_launch, pi_launch, run_profiled_streaming_with, BenchError, ProfiledRun};
+use fpga_sim::memimg::LaunchArg;
 use fpga_sim::SimConfig;
 use hls_profiling::{PipelineConfig, ProfilingConfig, SinkFactory, TraceData};
 use kernels::gemm::{self, GemmParams, GemmVersion};
@@ -80,8 +89,28 @@ pub fn collecting_bundle_sink(
     })
 }
 
-/// Sweep-wide shared state each run executes against: the compile cache
+/// Replay an in-memory trace (already in sink order) through a fresh
+/// bundle writer. Done by `Analyze` nodes so the disk I/O overlaps with
+/// still-running simulations; the resulting bundle is byte-identical to
+/// one streamed directly.
+fn write_bundle(stem: &Path, trace: &TraceData) -> Result<(), BenchError> {
+    let mut w = paraver::prv::BundleWriter::create(
+        stem,
+        &trace.meta,
+        &paraver::states::defs(),
+        &paraver::events::defs(),
+    )
+    .map_err(TraceError::from)?;
+    for r in &trace.records {
+        w.push(r.clone())?;
+    }
+    w.close()?;
+    Ok(())
+}
+
+/// Sweep-wide shared state each node executes against: the compile cache
 /// and the simulator/profiler/pipeline configuration.
+#[derive(Clone, Copy)]
 struct SweepEnv<'a> {
     cache: &'a AccelCache,
     hls: &'a HlsConfig,
@@ -90,19 +119,36 @@ struct SweepEnv<'a> {
     pipeline: &'a PipelineConfig,
 }
 
-/// Run one kernel through the streaming pipeline with a run-private spill
-/// dir, producing a [`ProfiledRun`] whose records were collected by the tee
-/// sink (and whose bundle, if `stem` is given, is already on disk).
+impl<'a> SweepEnv<'a> {
+    fn of(
+        cache: &'a AccelCache,
+        cfg_hls: &'a HlsConfig,
+        sim: &'a SimConfig,
+        prof: &'a ProfilingConfig,
+        pipeline: &'a PipelineConfig,
+    ) -> Self {
+        SweepEnv {
+            cache,
+            hls: cfg_hls,
+            sim,
+            prof,
+            pipeline,
+        }
+    }
+}
+
+/// Run one kernel through the streaming pipeline with a node-private spill
+/// dir, producing a [`ProfiledRun`] whose records were collected by the
+/// tee sink. Bundle writing is left to the dependent `Analyze` node.
 fn profiled_streaming_run(
     env: &SweepEnv<'_>,
     kernel: &Kernel,
-    stem: Option<PathBuf>,
-    launch: &[fpga_sim::memimg::LaunchArg],
-    ctx: &RunCtx,
+    launch: &[LaunchArg],
+    scratch_dir: &Path,
 ) -> Result<ProfiledRun, BenchError> {
     let store = Arc::new(Mutex::new(Vec::new()));
     let pipe = PipelineConfig {
-        spill_dir: Some(ctx.scratch_dir.clone()),
+        spill_dir: Some(scratch_dir.to_path_buf()),
         ..env.pipeline.clone()
     };
     let (result, report) = run_profiled_streaming_with(
@@ -112,7 +158,7 @@ fn profiled_streaming_run(
         env.sim,
         env.prof,
         pipe,
-        collecting_bundle_sink(stem, store.clone()),
+        collecting_bundle_sink(None, store.clone()),
         launch,
     )?;
     let records = std::mem::take(&mut *store.lock().expect("record store poisoned"));
@@ -146,52 +192,152 @@ pub struct GemmSweepConfig {
 }
 
 /// Result of a GEMM sweep: one report per [`GemmVersion::ALL`] entry, in
-/// that order, plus the compile-cache counters.
+/// that order, plus the table its `Reduce` node rendered and the
+/// compile-cache / scheduler counters.
 pub struct GemmSweep {
     pub runs: Vec<(GemmVersion, RunReport<ProfiledRun>)>,
+    /// The §V-C speedup table, rendered by the sweep's `Reduce` node in
+    /// submission order (byte-identical at any worker count).
+    pub table: String,
     pub cache: CacheStats,
+    /// Work-stealing statistics of the sweep's graph execution.
+    pub sched: SchedStats,
 }
 
-/// Run all five GEMM versions on the batch engine.
+/// One rendered-row's metrics, computed by a GEMM `Analyze` node.
+struct GemmRow {
+    cycles: u64,
+    gbps: f64,
+    spin_pct: f64,
+    crit_pct: f64,
+}
+
+/// Node payload of the GEMM sweep graph.
+enum GemmNode {
+    Compiled,
+    Ran(ProfiledRun),
+    Row(Result<GemmRow, String>),
+    Table(String),
+}
+
+/// Run all five GEMM versions as one task graph: compile → run → analyze
+/// per version, one table reduce at the end.
 pub fn gemm_sweep(cfg: &GemmSweepConfig) -> GemmSweep {
     let cache = AccelCache::new();
     let launch = gemm_launch(&cfg.params);
+    let threads = cfg.params.threads;
     let kernels: Vec<(GemmVersion, Kernel)> = GemmVersion::ALL
         .iter()
         .map(|&v| (v, gemm::build(v, &cfg.params)))
         .collect();
     let engine = BatchEngine::new(cfg.jobs);
-    let specs: Vec<RunSpec<'_, ProfiledRun>> = kernels
-        .iter()
-        .map(|(v, kernel)| {
-            let stem = cfg
-                .out
-                .as_ref()
-                .map(|o| o.join(format!("gemm_{}_{}", cfg.params.dim, kernel.name)));
-            let env = SweepEnv {
-                cache: &cache,
-                hls: &cfg.hls,
-                sim: &cfg.sim,
-                prof: &cfg.prof,
-                pipeline: &cfg.pipeline,
-            };
-            let launch = &launch;
-            RunSpec::new(v.name(), move |ctx: &RunCtx| {
-                profiled_streaming_run(&env, kernel, stem, launch, ctx)
-            })
-        })
-        .collect();
-    let reports = engine.run(specs);
+
+    let mut graph: TaskGraph<'_, GemmNode> = TaskGraph::new();
+    let mut run_ids = Vec::new();
+    let mut analyze_ids = Vec::new();
+    for (v, kernel) in &kernels {
+        let env = SweepEnv::of(&cache, &cfg.hls, &cfg.sim, &cfg.prof, &cfg.pipeline);
+        let stem = cfg
+            .out
+            .as_ref()
+            .map(|o| o.join(format!("gemm_{}_{}", cfg.params.dim, kernel.name)));
+        let launch = &launch;
+        let sim = &cfg.sim;
+        let compile = graph.add(
+            NodeKind::Compile,
+            format!("compile:{}", v.name()),
+            &[],
+            move |_: &NodeCtx<'_, GemmNode>| {
+                // A lint-refused compile is cached as a value; the run
+                // node surfaces it as its own typed failure so the table
+                // renders it as a diagnostic row.
+                let _ = env.cache.try_get_or_compile(kernel, env.hls);
+                Ok(GemmNode::Compiled)
+            },
+        );
+        let run = graph.add(
+            NodeKind::Run,
+            v.name(),
+            &[compile],
+            move |ctx: &NodeCtx<'_, GemmNode>| {
+                profiled_streaming_run(&env, kernel, launch, &ctx.scratch_dir).map(GemmNode::Ran)
+            },
+        );
+        let analyze = graph.add(
+            NodeKind::Analyze,
+            format!("analyze:{}", v.name()),
+            &[run],
+            move |ctx: &NodeCtx<'_, GemmNode>| {
+                let row = match &ctx.dep(0).outcome {
+                    Ok(GemmNode::Ran(pr)) => {
+                        if let Some(stem) = &stem {
+                            write_bundle(stem, &pr.trace)?;
+                        }
+                        let prof = StateProfile::compute(&pr.trace.records, threads);
+                        Ok(GemmRow {
+                            cycles: pr.result.total_cycles,
+                            gbps: pr.result.throughput_gbps(sim),
+                            spin_pct: prof.fraction(states::SPINNING) * 100.0,
+                            crit_pct: prof.fraction(states::CRITICAL) * 100.0,
+                        })
+                    }
+                    Ok(_) => unreachable!("run node produced a non-run payload"),
+                    Err(e) => Err(e.to_string()),
+                };
+                Ok(GemmNode::Row(row))
+            },
+        );
+        run_ids.push(run);
+        analyze_ids.push(analyze);
+    }
+    let reduce = graph.add(
+        NodeKind::Reduce,
+        "gemm_table",
+        &analyze_ids,
+        move |ctx: &NodeCtx<'_, GemmNode>| Ok(GemmNode::Table(render_gemm_table(ctx))),
+    );
+
+    let out = engine.run_graph(graph);
+    let sched = out.stats;
+    let mut reports: Vec<Option<_>> = out.reports.into_iter().map(Some).collect();
+    let table = match reports[reduce.index()]
+        .take()
+        .expect("reduce report")
+        .outcome
+    {
+        Ok(GemmNode::Table(t)) => t,
+        Ok(_) => unreachable!("reduce node produced a non-table payload"),
+        Err(e) => unreachable!("table reduction cannot fail: {e}"),
+    };
+    let mut runs = Vec::with_capacity(run_ids.len());
+    for (i, ((v, _), id)) in kernels.iter().zip(&run_ids).enumerate() {
+        let r = reports[id.index()].take().expect("run report");
+        runs.push((
+            *v,
+            RunReport {
+                label: r.label,
+                index: i,
+                worker: r.worker,
+                wall: r.wall,
+                outcome: r.outcome.map(|n| match n {
+                    GemmNode::Ran(pr) => pr,
+                    _ => unreachable!("run node produced a non-run payload"),
+                }),
+            },
+        ));
+    }
     GemmSweep {
-        runs: GemmVersion::ALL.iter().copied().zip(reports).collect(),
+        runs,
+        table,
         cache: cache.stats(),
+        sched,
     }
 }
 
-/// Render the §V-C speedup table from a sweep, identically for any worker
-/// count. Failed runs become diagnostic rows and are excluded from the
+/// Render the §V-C speedup table from the analyze rows, in submission
+/// order. Failed runs become diagnostic rows and are excluded from the
 /// speedup baselines.
-pub fn gemm_table(sweep: &GemmSweep, sim: &SimConfig, threads: u32) -> String {
+fn render_gemm_table(ctx: &NodeCtx<'_, GemmNode>) -> String {
     let mut out = String::new();
     writeln!(
         out,
@@ -200,33 +346,43 @@ pub fn gemm_table(sweep: &GemmSweep, sim: &SimConfig, threads: u32) -> String {
     )
     .unwrap();
     let (mut naive_c, mut prev_c) = (None::<u64>, None::<u64>);
-    for (v, report) in &sweep.runs {
-        match &report.outcome {
-            Ok(run) => {
-                let c = run.result.total_cycles;
-                let naive = *naive_c.get_or_insert(c);
-                let prev = prev_c.unwrap_or(c);
-                let prof = StateProfile::compute(&run.trace.records, threads);
+    for (v, dep) in GemmVersion::ALL.iter().zip(ctx.deps()) {
+        let row = match &dep.outcome {
+            Ok(GemmNode::Row(row)) => row.as_ref().map_err(Clone::clone),
+            Ok(_) => unreachable!("analyze node produced a non-row payload"),
+            Err(e) => {
+                writeln!(out, "{:<24} failed: {e}", v.name()).unwrap();
+                continue;
+            }
+        };
+        match row {
+            Ok(r) => {
+                let naive = *naive_c.get_or_insert(r.cycles);
+                let prev = prev_c.unwrap_or(r.cycles);
                 writeln!(
                     out,
                     "{:<24} {:>14} {:>8.2}x {:>8.2}x {:>8.3} {:>7.2}% {:>7.2}%",
                     v.name(),
-                    c,
-                    naive as f64 / c as f64,
-                    prev as f64 / c as f64,
-                    run.result.throughput_gbps(sim),
-                    prof.fraction(states::SPINNING) * 100.0,
-                    prof.fraction(states::CRITICAL) * 100.0
+                    r.cycles,
+                    naive as f64 / r.cycles as f64,
+                    prev as f64 / r.cycles as f64,
+                    r.gbps,
+                    r.spin_pct,
+                    r.crit_pct
                 )
                 .unwrap();
-                prev_c = Some(c);
+                prev_c = Some(r.cycles);
             }
-            Err(e) => {
-                writeln!(out, "{:<24} failed: {e}", v.name()).unwrap();
-            }
+            Err(e) => writeln!(out, "{:<24} failed: {e}", v.name()).unwrap(),
         }
     }
     out
+}
+
+/// The table a GEMM sweep's `Reduce` node rendered (kept as a free
+/// function so call sites read the same as before the graph refactor).
+pub fn gemm_table(sweep: &GemmSweep) -> String {
+    sweep.table.clone()
 }
 
 /// Configuration of the π scaling sweep (§V-D).
@@ -252,55 +408,158 @@ pub struct PiRun {
     pub estimate: f32,
 }
 
-/// Result of a π sweep: one report per requested step count, in order.
+/// Result of a π sweep: one report per requested step count, in order,
+/// plus the table its `Reduce` node rendered.
 pub struct PiSweep {
     pub runs: Vec<(u64, RunReport<PiRun>)>,
+    /// The §V-D summary table, rendered by the sweep's `Reduce` node.
+    pub table: String,
     pub cache: CacheStats,
+    /// Work-stealing statistics of the sweep's graph execution.
+    pub sched: SchedStats,
 }
 
-/// Run the π kernel at every requested problem size on the batch engine.
+/// One rendered-row's metrics, computed by a π `Analyze` node.
+struct PiRow {
+    cycles: u64,
+    estimate: f32,
+    gflops: f64,
+}
+
+/// Node payload of the π sweep graph.
+enum PiNode {
+    Compiled,
+    Ran(PiRun),
+    Row(Result<PiRow, String>),
+    Table(String),
+}
+
+/// Run the π kernel at every requested problem size as one task graph.
 /// The kernel's IR is independent of the step count (it arrives as launch
-/// scalars), so the whole sweep compiles exactly once.
+/// scalars), so the whole sweep shares a single `Compile` node.
 pub fn pi_sweep(cfg: &PiSweepConfig) -> PiSweep {
     let cache = AccelCache::new();
     let engine = BatchEngine::new(cfg.jobs);
-    let specs: Vec<RunSpec<'_, PiRun>> = cfg
-        .steps
-        .iter()
-        .map(|&steps| {
-            let p = PiParams {
-                steps,
-                threads: cfg.threads,
-                bs: cfg.bs,
-            };
-            let stem = cfg.out.as_ref().map(|o| o.join(format!("pi_{steps}")));
-            let env = SweepEnv {
-                cache: &cache,
-                hls: &cfg.hls,
-                sim: &cfg.sim,
-                prof: &cfg.prof,
-                pipeline: &cfg.pipeline,
-            };
-            RunSpec::new(format!("pi_{steps}"), move |ctx: &RunCtx| {
+    if cfg.steps.is_empty() {
+        let out = engine.run_graph(TaskGraph::<'_, PiNode>::new());
+        return PiSweep {
+            runs: Vec::new(),
+            table: pi_table_header(),
+            cache: cache.stats(),
+            sched: out.stats,
+        };
+    }
+
+    let mut graph: TaskGraph<'_, PiNode> = TaskGraph::new();
+    let shared_kernel = pi::build(&PiParams {
+        steps: cfg.steps[0],
+        threads: cfg.threads,
+        bs: cfg.bs,
+    });
+    let env = SweepEnv::of(&cache, &cfg.hls, &cfg.sim, &cfg.prof, &cfg.pipeline);
+    let compile = graph.add(
+        NodeKind::Compile,
+        "compile:pi",
+        &[],
+        move |_: &NodeCtx<'_, PiNode>| {
+            let _ = env.cache.try_get_or_compile(&shared_kernel, env.hls);
+            Ok(PiNode::Compiled)
+        },
+    );
+    let mut run_ids = Vec::new();
+    let mut analyze_ids = Vec::new();
+    for &steps in &cfg.steps {
+        let p = PiParams {
+            steps,
+            threads: cfg.threads,
+            bs: cfg.bs,
+        };
+        let stem = cfg.out.as_ref().map(|o| o.join(format!("pi_{steps}")));
+        let sim = &cfg.sim;
+        let run = graph.add(
+            NodeKind::Run,
+            format!("pi_{steps}"),
+            &[compile],
+            move |ctx: &NodeCtx<'_, PiNode>| {
                 let kernel = pi::build(&p);
                 let (step, _) = pi::launch_scalars(&p);
                 let launch = pi_launch(&p);
-                let run = profiled_streaming_run(&env, &kernel, stem, &launch, ctx)?;
+                let run = profiled_streaming_run(&env, &kernel, &launch, &ctx.scratch_dir)?;
                 let estimate = crate::f32_result(&run.result, 2)[0] * step;
-                Ok(PiRun { run, estimate })
-            })
-        })
-        .collect();
-    let reports = engine.run(specs);
+                Ok(PiNode::Ran(PiRun { run, estimate }))
+            },
+        );
+        let analyze = graph.add(
+            NodeKind::Analyze,
+            format!("analyze:pi_{steps}"),
+            &[run],
+            move |ctx: &NodeCtx<'_, PiNode>| {
+                let row = match &ctx.dep(0).outcome {
+                    Ok(PiNode::Ran(pr)) => {
+                        if let Some(stem) = &stem {
+                            write_bundle(stem, &pr.run.trace)?;
+                        }
+                        Ok(PiRow {
+                            cycles: pr.run.result.total_cycles,
+                            estimate: pr.estimate,
+                            gflops: pr.run.result.gflops(sim),
+                        })
+                    }
+                    Ok(_) => unreachable!("run node produced a non-run payload"),
+                    Err(e) => Err(e.to_string()),
+                };
+                Ok(PiNode::Row(row))
+            },
+        );
+        run_ids.push(run);
+        analyze_ids.push(analyze);
+    }
+    let steps_list = cfg.steps.clone();
+    let reduce = graph.add(
+        NodeKind::Reduce,
+        "pi_table",
+        &analyze_ids,
+        move |ctx: &NodeCtx<'_, PiNode>| Ok(PiNode::Table(render_pi_table(ctx, &steps_list))),
+    );
+
+    let out = engine.run_graph(graph);
+    let sched = out.stats;
+    let mut reports: Vec<Option<_>> = out.reports.into_iter().map(Some).collect();
+    let table = match reports[reduce.index()]
+        .take()
+        .expect("reduce report")
+        .outcome
+    {
+        Ok(PiNode::Table(t)) => t,
+        Ok(_) => unreachable!("reduce node produced a non-table payload"),
+        Err(e) => unreachable!("table reduction cannot fail: {e}"),
+    };
+    let mut runs = Vec::with_capacity(run_ids.len());
+    for (i, (&steps, id)) in cfg.steps.iter().zip(&run_ids).enumerate() {
+        let r = reports[id.index()].take().expect("run report");
+        runs.push((
+            steps,
+            RunReport {
+                label: r.label,
+                index: i,
+                worker: r.worker,
+                wall: r.wall,
+                outcome: r.outcome.map(|n| match n {
+                    PiNode::Ran(pr) => pr,
+                    _ => unreachable!("run node produced a non-run payload"),
+                }),
+            },
+        ));
+    }
     PiSweep {
-        runs: cfg.steps.iter().copied().zip(reports).collect(),
+        runs,
+        table,
         cache: cache.stats(),
+        sched,
     }
 }
 
-/// Render the π sweep summary table (steps, cycles, estimate, GFLOP/s),
-/// identically for any worker count.
-pub fn pi_table(sweep: &PiSweep, sim: &SimConfig) -> String {
+fn pi_table_header() -> String {
     let mut out = String::new();
     writeln!(
         out,
@@ -308,21 +567,38 @@ pub fn pi_table(sweep: &PiSweep, sim: &SimConfig) -> String {
         "steps", "cycles", "pi", "GFLOP/s"
     )
     .unwrap();
-    for (steps, report) in &sweep.runs {
-        match &report.outcome {
-            Ok(pr) => writeln!(
+    out
+}
+
+/// Render the π sweep summary table (steps, cycles, estimate, GFLOP/s)
+/// from the analyze rows, in submission order.
+fn render_pi_table(ctx: &NodeCtx<'_, PiNode>, steps: &[u64]) -> String {
+    let mut out = pi_table_header();
+    for (steps, dep) in steps.iter().zip(ctx.deps()) {
+        let row = match &dep.outcome {
+            Ok(PiNode::Row(row)) => row.as_ref().map_err(Clone::clone),
+            Ok(_) => unreachable!("analyze node produced a non-row payload"),
+            Err(e) => {
+                writeln!(out, "{steps:>12} failed: {e}").unwrap();
+                continue;
+            }
+        };
+        match row {
+            Ok(r) => writeln!(
                 out,
                 "{:>12} {:>14} {:>10.6} {:>10.3}",
-                steps,
-                pr.run.result.total_cycles,
-                pr.estimate,
-                pr.run.result.gflops(sim)
+                steps, r.cycles, r.estimate, r.gflops
             )
             .unwrap(),
             Err(e) => writeln!(out, "{steps:>12} failed: {e}").unwrap(),
         }
     }
     out
+}
+
+/// The table a π sweep's `Reduce` node rendered.
+pub fn pi_table(sweep: &PiSweep) -> String {
+    sweep.table.clone()
 }
 
 /// Write the `(out, sweep stems)` bundles-written footer used by the repro
@@ -361,9 +637,14 @@ mod tests {
         }
         assert_eq!(sweep.cache.entries, GemmVersion::ALL.len());
         assert_eq!(sweep.cache.misses as usize, GemmVersion::ALL.len());
-        let table = gemm_table(&sweep, &crate::gemm_sim_config(), 2);
+        let table = gemm_table(&sweep);
         assert!(table.contains("vs naive"));
         assert_eq!(table.lines().count(), 1 + GemmVersion::ALL.len());
+        // compile + run + analyze per version, plus one reduce.
+        assert_eq!(
+            sweep.sched.total_executed() as usize,
+            3 * GemmVersion::ALL.len() + 1
+        );
     }
 
     #[test]
@@ -388,7 +669,9 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{steps}: {e}"));
             assert!((pr.estimate - std::f32::consts::PI).abs() < 1e-2);
         }
-        let table = pi_table(&sweep, &crate::gemm_sim_config());
+        let table = pi_table(&sweep);
         assert!(table.contains("GFLOP/s"));
+        // one shared compile, then run + analyze per size, one reduce.
+        assert_eq!(sweep.sched.total_executed(), 1 + 2 * 2 + 1);
     }
 }

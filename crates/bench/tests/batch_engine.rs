@@ -83,7 +83,7 @@ fn gemm_sweep_is_deterministic_across_worker_counts() {
             GemmVersion::ALL.len(),
             "jobs={jobs}: every version compiled exactly once"
         );
-        let table = gemm_table(&sweep, &sim, threads);
+        let table = gemm_table(&sweep);
         let bundles = bundle_bytes(&out);
         assert_eq!(
             bundles.len(),
@@ -128,7 +128,7 @@ fn pi_sweep_is_deterministic_across_worker_counts() {
             sweep.cache.misses, 1,
             "jobs={jobs}: the π kernel compiles once for all problem sizes"
         );
-        let table = pi_table(&sweep, &sim);
+        let table = pi_table(&sweep);
         let bundles = bundle_bytes(&out);
         assert_eq!(bundles.len(), 3 * 3, "one bundle triple per step count");
         match &baseline {
@@ -167,5 +167,5 @@ fn oversubscribed_pool_handles_tiny_spill_budget() {
     };
     let serial = pi_sweep(&cfg(1));
     let oversub = pi_sweep(&cfg(8));
-    assert_eq!(pi_table(&serial, &sim), pi_table(&oversub, &sim));
+    assert_eq!(pi_table(&serial), pi_table(&oversub));
 }

@@ -1,0 +1,138 @@
+//! Scheduler-level guarantees of the work-stealing DAG executor, checked
+//! directly on [`bench::graph::TaskGraph`] (the sweep-level determinism
+//! suite lives in `batch_engine.rs`):
+//!
+//! * **every edge is respected** — a dependency's body *finishes* before
+//!   any dependent's body starts, across random DAG shapes and worker
+//!   counts (miniprop property);
+//! * **every node runs exactly once and the graph drains** — a deadlock
+//!   would hang the test, a lost node would fail the completion count;
+//! * **reduce output is byte-identical** at `--jobs 1`, `2` and `8`.
+
+use bench::engine::BatchEngine;
+use bench::graph::{NodeCtx, NodeId, NodeKind, TaskGraph};
+use miniprop::forall;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Random DAGs (up to 40 nodes, edges only point backwards — the same
+/// invariant `TaskGraph::add` enforces) executed at 1, 2 or 8 workers.
+/// Each node takes a globally ordered stamp when its body starts and
+/// another when it ends; for every edge `d -> i` the dependency's *end*
+/// stamp must precede the dependent's *start* stamp.
+#[test]
+fn random_dags_complete_and_respect_every_edge() {
+    forall(48, |rng| {
+        let n = rng.range_usize(1, 40);
+        let jobs = *rng.pick(&[1usize, 2, 8]);
+        let clock = AtomicU64::new(0);
+        let clock = &clock;
+        let mut graph: TaskGraph<'_, (u64, u64)> = TaskGraph::new();
+        let mut ids: Vec<NodeId> = Vec::with_capacity(n);
+        let mut deps_of: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let dep_idx: Vec<usize> = (0..i).filter(|_| rng.chance(1, 4)).collect();
+            let dep_handles: Vec<NodeId> = dep_idx.iter().map(|&d| ids[d]).collect();
+            let id = graph.add(
+                NodeKind::Run,
+                format!("n{i}"),
+                &dep_handles,
+                move |_: &NodeCtx<'_, (u64, u64)>| {
+                    let start = clock.fetch_add(1, Ordering::SeqCst);
+                    // A little non-uniform work so workers interleave.
+                    std::hint::black_box((0..(i as u64 % 7) * 500).sum::<u64>());
+                    let end = clock.fetch_add(1, Ordering::SeqCst);
+                    Ok((start, end))
+                },
+            );
+            ids.push(id);
+            deps_of.push(dep_idx);
+        }
+
+        let out = BatchEngine::new(jobs).run_graph(graph);
+        assert_eq!(out.reports.len(), n, "jobs={jobs}: report per node");
+        assert_eq!(
+            out.stats.total_executed(),
+            n as u64,
+            "jobs={jobs}: every node executed exactly once"
+        );
+        for (i, deps) in deps_of.iter().enumerate() {
+            let &(start_i, end_i) = out.reports[i]
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("jobs={jobs}: node {i} failed: {e}"));
+            assert!(start_i < end_i, "stamps are globally ordered");
+            for &d in deps {
+                let &(_, end_d) = out.reports[d].outcome.as_ref().unwrap();
+                assert!(
+                    end_d < start_i,
+                    "jobs={jobs}: edge {d} -> {i} violated (dep ended at {end_d}, \
+                     dependent started at {start_i})"
+                );
+            }
+        }
+    });
+}
+
+/// The diamond every sweep is built from — Compile -> Run* -> Analyze* ->
+/// Reduce — must produce a byte-identical reduced string at every worker
+/// count, because the Reduce node iterates its dependencies in edge
+/// declaration order regardless of completion order.
+#[test]
+fn reduce_output_is_byte_identical_across_worker_counts() {
+    let render = |jobs: usize| {
+        let mut graph: TaskGraph<'_, String> = TaskGraph::new();
+        let compile = graph.add(
+            NodeKind::Compile,
+            "compile",
+            &[],
+            |_: &NodeCtx<'_, String>| Ok("ok".to_string()),
+        );
+        let analyze_ids: Vec<NodeId> = (0..12)
+            .map(|i| {
+                let run = graph.add(
+                    NodeKind::Run,
+                    format!("run{i}"),
+                    &[compile],
+                    move |_: &NodeCtx<'_, String>| {
+                        // Uneven workloads: completion order differs from
+                        // submission order whenever jobs > 1.
+                        std::hint::black_box((0..((12 - i) as u64) * 2_000).sum::<u64>());
+                        Ok(format!("r{i}={}", i * i))
+                    },
+                );
+                graph.add(
+                    NodeKind::Analyze,
+                    format!("analyze{i}"),
+                    &[run],
+                    move |ctx: &NodeCtx<'_, String>| {
+                        Ok(format!("[{}]", ctx.dep(0).outcome.as_ref().unwrap()))
+                    },
+                )
+            })
+            .collect();
+        let reduce = graph.add(
+            NodeKind::Reduce,
+            "table",
+            &analyze_ids,
+            |ctx: &NodeCtx<'_, String>| {
+                let mut s = String::new();
+                for dep in ctx.deps() {
+                    s.push_str(dep.outcome.as_ref().unwrap());
+                    s.push('\n');
+                }
+                Ok(s)
+            },
+        );
+        let out = BatchEngine::new(jobs).run_graph(graph);
+        out.reports[reduce.index()]
+            .outcome
+            .as_ref()
+            .unwrap()
+            .clone()
+    };
+    let serial = render(1);
+    assert!(serial.contains("[r0=0]") && serial.contains("[r11=121]"));
+    for jobs in [2, 8] {
+        assert_eq!(serial, render(jobs), "jobs={jobs}: reduce output differs");
+    }
+}

@@ -60,7 +60,6 @@ fn sweep_cfg(lint: LintLevel, out: PathBuf) -> GemmSweepConfig {
 
 #[test]
 fn lint_deny_and_off_produce_identical_bundles_and_tables() {
-    let sim = gemm_sim_config();
     let mut baseline: Option<(String, BTreeMap<String, Vec<u8>>)> = None;
     for lint in [LintLevel::Off, LintLevel::Deny] {
         let out = test_dir(lint.as_str());
@@ -68,7 +67,7 @@ fn lint_deny_and_off_produce_identical_bundles_and_tables() {
         for (v, r) in &sweep.runs {
             assert!(r.outcome.is_ok(), "lint={lint}: {} failed", v.name());
         }
-        let table = gemm_table(&sweep, &sim, 2);
+        let table = gemm_table(&sweep);
         let bundles = bundle_bytes(&out);
         assert_eq!(bundles.len(), GemmVersion::ALL.len() * 3);
         match &baseline {
