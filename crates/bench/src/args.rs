@@ -61,6 +61,29 @@ impl Args {
         Ok(LintLevel::Off)
     }
 
+    /// The `--perf-lint` gate level for the `NP0xx` performance
+    /// diagnostics: absent means [`LintLevel::Off`], bare `--perf-lint`
+    /// means [`LintLevel::Warn`] (performance findings are advisory, so
+    /// the bare flag reports rather than refuses — unlike `--lint`, whose
+    /// correctness findings default to `deny`), and `--perf-lint=LEVEL` /
+    /// `--perf-lint LEVEL` select one of `deny`, `warn`, `off`.
+    pub fn perf_lint_level(&self) -> Result<LintLevel, String> {
+        for (i, a) in self.raw.iter().enumerate() {
+            if let Some(v) = a.strip_prefix("--perf-lint=") {
+                return LintLevel::parse(v).ok_or_else(|| {
+                    format!("--perf-lint: unknown level `{v}` (deny, warn or off)")
+                });
+            }
+            if a == "--perf-lint" {
+                if let Some(l) = self.raw.get(i + 1).and_then(|n| LintLevel::parse(n)) {
+                    return Ok(l);
+                }
+                return Ok(LintLevel::Warn);
+            }
+        }
+        Ok(LintLevel::Off)
+    }
+
     /// `--flag N` as `u32`.
     pub fn u32(&self, flag: &str) -> Option<u32> {
         self.value_of(flag).and_then(|v| v.parse().ok())
@@ -181,6 +204,35 @@ mod tests {
             Ok(LintLevel::Off)
         );
         assert!(args(&["prog", "--lint=nope"]).lint_level().is_err());
+    }
+
+    #[test]
+    fn perf_lint_flag_spellings() {
+        // Absent → off; bare → warn (perf findings are advisory).
+        assert_eq!(args(&["prog"]).perf_lint_level(), Ok(LintLevel::Off));
+        assert_eq!(
+            args(&["prog", "--perf-lint"]).perf_lint_level(),
+            Ok(LintLevel::Warn)
+        );
+        assert_eq!(
+            args(&["prog", "--perf-lint", "--out", "x"]).perf_lint_level(),
+            Ok(LintLevel::Warn)
+        );
+        assert_eq!(
+            args(&["prog", "--perf-lint", "deny"]).perf_lint_level(),
+            Ok(LintLevel::Deny)
+        );
+        assert_eq!(
+            args(&["prog", "--perf-lint=off"]).perf_lint_level(),
+            Ok(LintLevel::Off)
+        );
+        assert!(args(&["prog", "--perf-lint=nope"])
+            .perf_lint_level()
+            .is_err());
+        // The two gates parse independently.
+        let a = args(&["prog", "--lint=deny", "--perf-lint=warn"]);
+        assert_eq!(a.lint_level(), Ok(LintLevel::Deny));
+        assert_eq!(a.perf_lint_level(), Ok(LintLevel::Warn));
     }
 
     #[test]

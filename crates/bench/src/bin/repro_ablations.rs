@@ -12,7 +12,8 @@
 //!   the more data is produced" (rate vs. volume).
 //!
 //! Usage: `repro_ablations [--dim N] [--jobs N] [--mode cycle|analytical]
-//!                         [--bench-json PATH] [--lint[=deny|warn|off]]`
+//!                         [--bench-json PATH] [--lint[=deny|warn|off]]
+//!                         [--perf-lint[=deny|warn|off]]`
 //!
 //! The whole study is one task graph on the work-stealing engine: two
 //! `Compile` nodes (v2 and v3) gate sixteen `Run` nodes across the four
@@ -30,7 +31,7 @@ use bench::engine::BatchEngine;
 use bench::graph::{NodeCtx, NodeId, NodeKind, TaskGraph};
 use bench::harness::SnapshotTimer;
 use bench::{
-    analytic_report, gemm_launch, gemm_sim_config, lint_gate, run_profiled_with,
+    analytic_report, gemm_launch, gemm_sim_config, lint_gate, perf_lint_gate, run_profiled_with,
     run_unprofiled_with,
 };
 use fpga_sim::{RunResult, SimConfig};
@@ -63,6 +64,10 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    let perf_lint = args.perf_lint_level().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let mode = args.mode().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -80,8 +85,13 @@ fn main() {
         eprintln!("{report}");
         std::process::exit(1);
     }
+    if let Err(report) = perf_lint_gate(&[&v2, &v3], perf_lint) {
+        eprintln!("{report}");
+        std::process::exit(1);
+    }
     let hls = HlsConfig {
         lint,
+        perf_lint,
         ..HlsConfig::default()
     };
     let hls = &hls;

@@ -4,7 +4,7 @@
 //!
 //! Usage: `repro_gemm [--dim N] [--threads N] [--out DIR] [--jobs N]
 //!                    [--mode cycle|analytical] [--bench-json PATH]
-//!                    [--lint[=deny|warn|off]]`
+//!                    [--lint[=deny|warn|off]] [--perf-lint[=deny|warn|off]]`
 //!
 //! `--dim 512` runs at the paper's scale (slow); the default 128 preserves
 //! every ratio (see EXPERIMENTS.md). Trace bundles (`.prv`/`.pcf`/`.row`)
@@ -23,8 +23,10 @@
 use bench::args::{Args, Mode};
 use bench::harness::SnapshotTimer;
 use bench::sweep::{bundles_footer, gemm_sweep, gemm_table, GemmSweep, GemmSweepConfig};
-use bench::{analytic_report, gemm_launch, gemm_sim_config, lint_gate};
-use hls_profiling::diagnose::{diagnose, DiagnoseConfig};
+use bench::{analytic_report, gemm_launch, gemm_sim_config, lint_gate, perf_lint_gate};
+use hls_profiling::diagnose::{
+    confront, diagnose, perf_params_from_sim, render_confrontation, DiagnoseConfig,
+};
 use hls_profiling::{PipelineConfig, ProfilingConfig};
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use nymble_hls::{AccelCache, HlsConfig};
@@ -43,6 +45,10 @@ fn main() {
         std::process::exit(2);
     });
     let lint = args.lint_level().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let perf_lint = args.perf_lint_level().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -68,6 +74,10 @@ fn main() {
         .map(|&v| gemm::build(v, &p))
         .collect();
     if let Err(report) = lint_gate(&kernels.iter().collect::<Vec<_>>(), lint) {
+        eprintln!("{report}");
+        std::process::exit(1);
+    }
+    if let Err(report) = perf_lint_gate(&kernels.iter().collect::<Vec<_>>(), perf_lint) {
         eprintln!("{report}");
         std::process::exit(1);
     }
@@ -124,6 +134,7 @@ fn main() {
         params: p,
         hls: HlsConfig {
             lint,
+            perf_lint,
             ..HlsConfig::default()
         },
         sim: sim.clone(),
@@ -150,6 +161,18 @@ fn main() {
                     &DiagnoseConfig::default(),
                 );
                 println!("{:<24} {:?}: {}", v.name(), d.bottleneck, d.advice);
+                // Predicted vs observed: confront each static NP finding
+                // with the measured trace (and flag measured hotspots the
+                // static pass missed).
+                if perf_lint != nymble_lint::LintLevel::Off {
+                    let idx = GemmVersion::ALL.iter().position(|x| x == v).unwrap();
+                    let report = nymble_lint::perf_lint_kernel_with(
+                        &kernels[idx],
+                        &perf_params_from_sim(&sim),
+                    );
+                    let outcomes = confront(&report, &run.trace, &run.result.stats, &d);
+                    print!("{}", render_confrontation(&outcomes));
+                }
             }
             Err(e) => {
                 println!("{:<24} run failed, no trace to diagnose: {e}", v.name());

@@ -7,7 +7,7 @@
 //! "each of the counters contributes similarly to the hardware overhead".
 //!
 //! Usage: `repro_overhead [--threads N] [--jobs N] [--bench-json PATH]
-//!                        [--lint[=deny|warn|off]]`
+//!                        [--lint[=deny|warn|off]] [--perf-lint[=deny|warn|off]]`
 //!
 //! The study runs as one task graph on the work-stealing engine: six
 //! `Compile` nodes (five GEMM versions plus π) populate the shared
@@ -23,7 +23,7 @@ use bench::args::Args;
 use bench::engine::BatchEngine;
 use bench::graph::{NodeCtx, NodeKind, TaskGraph};
 use bench::harness::SnapshotTimer;
-use bench::lint_gate;
+use bench::{lint_gate, perf_lint_gate};
 use hls_profiling::counters::CounterSet;
 use hls_profiling::overhead::{instrumented_fit, profiling_fit, OverheadParams};
 use hls_profiling::ProfilingConfig;
@@ -58,6 +58,10 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    let perf_lint = args.perf_lint_level().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let mode = args.mode().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -65,6 +69,7 @@ fn main() {
     let bench_json = args.path("--bench-json");
     let hls = HlsConfig {
         lint,
+        perf_lint,
         ..HlsConfig::default()
     };
     let prof = ProfilingConfig::default();
@@ -102,6 +107,10 @@ fn main() {
         .chain(std::iter::once(pi::build(&pp)))
         .collect();
     if let Err(report) = lint_gate(&gate_kernels.iter().collect::<Vec<_>>(), lint) {
+        eprintln!("{report}");
+        std::process::exit(1);
+    }
+    if let Err(report) = perf_lint_gate(&gate_kernels.iter().collect::<Vec<_>>(), perf_lint) {
         eprintln!("{report}");
         std::process::exit(1);
     }

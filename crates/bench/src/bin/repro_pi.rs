@@ -5,7 +5,7 @@
 //!
 //! Usage: `repro_pi [--threads N] [--out DIR] [--jobs N]
 //!                  [--mode cycle|analytical] [--bench-json PATH]
-//!                  [--lint[=deny|warn|off]]`
+//!                  [--lint[=deny|warn|off]] [--perf-lint[=deny|warn|off]]`
 //!
 //! The three problem sizes run in parallel on the batch engine; the π
 //! kernel's IR is step-count-independent, so the whole sweep shares one
@@ -17,7 +17,10 @@
 use bench::args::{Args, Mode};
 use bench::harness::SnapshotTimer;
 use bench::sweep::{bundles_footer, pi_sweep, pi_table, PiSweep, PiSweepConfig};
-use bench::{analytic_report, lint_gate, pi_launch, pi_sim_config};
+use bench::{analytic_report, lint_gate, perf_lint_gate, pi_launch, pi_sim_config};
+use hls_profiling::diagnose::{
+    confront, diagnose, perf_params_from_sim, render_confrontation, DiagnoseConfig,
+};
 use hls_profiling::{PipelineConfig, ProfilingConfig};
 use kernels::pi::{self, PiParams};
 use nymble_hls::{AccelCache, HlsConfig};
@@ -35,6 +38,10 @@ fn main() {
         std::process::exit(2);
     });
     let lint = args.lint_level().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let perf_lint = args.perf_lint_level().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -63,6 +70,10 @@ fn main() {
         bs: 8,
     });
     if let Err(report) = lint_gate(&[&gate_kernel], lint) {
+        eprintln!("{report}");
+        std::process::exit(1);
+    }
+    if let Err(report) = perf_lint_gate(&[&gate_kernel], perf_lint) {
         eprintln!("{report}");
         std::process::exit(1);
     }
@@ -119,6 +130,7 @@ fn main() {
         bs: 8,
         hls: HlsConfig {
             lint,
+            perf_lint,
             ..HlsConfig::default()
         },
         sim: sim.clone(),
@@ -162,6 +174,22 @@ fn main() {
             println!(
                 "thread 0 finished at {first_end} before thread {} started at {last_start} — the §V-D launch-overhead effect"
             , threads - 1);
+        }
+        // Predicted vs observed: the π kernel is NP-clean, so this section
+        // mainly guards against an unpredicted hotspot (a measured
+        // bottleneck the static pass has no finding for).
+        if perf_lint != nymble_lint::LintLevel::Off {
+            let d = diagnose(
+                &run.trace,
+                &run.result.stats,
+                &sim,
+                &DiagnoseConfig::default(),
+            );
+            let report =
+                nymble_lint::perf_lint_kernel_with(&gate_kernel, &perf_params_from_sim(&sim));
+            let outcomes = confront(&report, &run.trace, &run.result.stats, &d);
+            println!("predicted vs observed:");
+            print!("{}", render_confrontation(&outcomes));
         }
         println!();
 

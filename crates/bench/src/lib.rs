@@ -325,6 +325,30 @@ pub fn lint_gate(kernels: &[&Kernel], level: LintLevel) -> Result<(), String> {
     }
 }
 
+/// Performance twin of [`lint_gate`]: run the `NP0xx` diagnostics on every
+/// kernel at `level`. Findings are warnings with quantitative predictions
+/// (predicted cycles, bytes, serialization) — at [`LintLevel::Warn`] they
+/// print to stderr and the sweep proceeds; [`LintLevel::Deny`] refuses a
+/// flagged design up front, before any simulation time is spent.
+pub fn perf_lint_gate(kernels: &[&Kernel], level: LintLevel) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for kernel in kernels {
+        match nymble_lint::enforce_perf(kernel, level) {
+            Ok(report) => {
+                if !report.is_clean() {
+                    eprint!("{}", report.render_human());
+                }
+            }
+            Err(rendered) => failures.push(rendered),
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
 /// Compile and run a kernel without profiling (the overhead-study baseline).
 ///
 /// # Panics

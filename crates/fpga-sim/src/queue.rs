@@ -200,6 +200,43 @@ mod tests {
     }
 
     #[test]
+    fn middle_removal_sifts_up_and_repush_keeps_the_index_coherent() {
+        // Removing a mid-heap leaf swaps the *last* element into its slot;
+        // when that element is smaller than the slot's parent it must sift
+        // *up*, and every position-index entry touched on the way must be
+        // rewritten — a stale entry would corrupt any later remove/push of
+        // the moved thread.
+        let mut q = ReadyQueue::new(7);
+        for (t, tid) in [
+            (10, 0),
+            (40, 1),
+            (20, 2),
+            (50, 3),
+            (60, 4),
+            (30, 5),
+            (25, 6),
+        ] {
+            q.push(t, tid);
+        }
+        // tid 3 sits mid-heap; the last element (25, 6) lands in its slot
+        // and must travel up past its parent (40, 1).
+        assert_eq!(q.remove(3), Some(50));
+        assert!(!q.contains(3));
+        assert_eq!(q.len(), 6);
+        // Re-pushing the removed thread with a new, smaller time must
+        // slot it by the new key, not any remembered position.
+        q.push(15, 3);
+        assert!(q.contains(3));
+        assert_eq!(q.len(), 7);
+        assert_eq!(q.pop(), Some((10, 0)));
+        assert_eq!(q.pop(), Some((15, 3)));
+        // The thread displaced by the sift_up is still removable by id.
+        assert_eq!(q.remove(1), Some(40));
+        let order: Vec<(u64, u32)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(20, 2), (25, 6), (30, 5), (60, 4)]);
+    }
+
+    #[test]
     fn matches_scan_under_random_churn() {
         // Deterministic LCG; compare the heap against a naive sorted scan.
         let mut seed: u64 = 0x9E3779B97F4A7C15;

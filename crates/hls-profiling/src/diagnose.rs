@@ -13,6 +13,7 @@
 use crate::unit::TraceData;
 use fpga_sim::stats::RunStats;
 use fpga_sim::{SimConfig, SimError};
+use nymble_lint::{Code, LintReport, PerfParams, PredMetric};
 use paraver::analysis::{event_series, StateProfile};
 use paraver::{events, states};
 
@@ -213,6 +214,194 @@ pub fn sim_error_hint(e: &SimError) -> Option<String> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Predicted vs. observed: confronting static NP findings with the trace
+// ---------------------------------------------------------------------------
+
+/// Outcome of checking one static performance prediction against a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The measured trace exhibits the predicted symptom at (or beyond) the
+    /// predicted magnitude.
+    Confirmed,
+    /// The symptom did not materialize — the static model over-approximated
+    /// (e.g. the scheduler broke the recurrence, or the access pattern hit
+    /// the line buffers).
+    NotObserved,
+    /// The run has a bottleneck the static pass has no finding for — a gap
+    /// in `nymble-lint`'s coverage worth a bug report.
+    UnpredictedHotspot,
+}
+
+impl Verdict {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Confirmed => "Confirmed",
+            Verdict::NotObserved => "NotObserved",
+            Verdict::UnpredictedHotspot => "UnpredictedHotspot",
+        }
+    }
+}
+
+/// One line of the predicted-vs-observed section.
+#[derive(Clone, Debug)]
+pub struct PredictionOutcome {
+    /// The static diagnostic being confronted; `None` for an observed
+    /// hotspot no NP code predicted.
+    pub code: Option<Code>,
+    pub verdict: Verdict,
+    /// The static model's quantitative prediction, where one exists.
+    pub predicted: Option<f64>,
+    /// The corresponding quantity measured from the trace / run stats.
+    pub observed: f64,
+    /// Human-readable rendering of the comparison.
+    pub detail: String,
+}
+
+/// Build the static model's parameter set from the simulator configuration,
+/// so predictions and measurements share one machine description. The
+/// defaults of both sides already agree ([`PerfParams::default`] mirrors
+/// [`SimConfig::default`]); this keeps them aligned under overrides like
+/// `SimConfig::with_fast_launch`.
+pub fn perf_params_from_sim(sim: &SimConfig) -> PerfParams {
+    PerfParams {
+        dram_latency: sim.dram_latency,
+        dram_bytes_per_cycle: u64::from(sim.dram_bytes_per_cycle),
+        dram_line_bytes: u64::from(sim.dram_line_bytes),
+        launch_interval: sim.launch_interval,
+        sem_acquire_latency: sim.sem_acquire_latency,
+        sem_release_latency: sim.sem_release_latency,
+        barrier_latency: sim.barrier_latency,
+        seq_issue_width: u64::from(sim.seq_issue_width),
+        stmt_base_cost: sim.stmt_base_cost,
+        burst_issue_cost: sim.burst_issue_cost,
+        assumed_load_latency: sim.assumed_load_latency,
+        dma_setup: sim.dma_setup,
+        line_buffers: sim.line_buffers,
+    }
+}
+
+/// Confront each static NP finding with the measured run and flag measured
+/// bottlenecks the static pass missed.
+///
+/// Confirmation thresholds are deliberately loose (the static model is an
+/// approximation, not a re-implementation of the event core): a prediction
+/// counts as confirmed when the observation reaches most of the predicted
+/// magnitude, not when it matches exactly.
+pub fn confront(
+    report: &LintReport,
+    trace: &TraceData,
+    stats: &RunStats,
+    diagnosis: &Diagnosis,
+) -> Vec<PredictionOutcome> {
+    let duration = trace.meta.duration.max(1) as f64;
+    let dram_bytes = stats.channel_bytes.max(stats.total_bytes()) as f64;
+    let serial_cycles = stats.total(|t| t.critical_cycles) as f64;
+    // Imbalance shows up two ways: unequal thread spans (no trailing
+    // barrier — the fast threads simply finish early) or equal spans with
+    // unequal retired work (a trailing barrier parks the fast threads
+    // until the slowest arrives). Take whichever ratio is larger.
+    let ratio_of = |vals: &[u64]| match (vals.iter().max(), vals.iter().min()) {
+        (Some(&max), Some(&min)) if min > 0 => max as f64 / min as f64,
+        _ => 1.0,
+    };
+    let spans: Vec<u64> = stats
+        .per_thread
+        .iter()
+        .map(|t| t.end_cycle.saturating_sub(t.start_cycle))
+        .collect();
+    let iters: Vec<u64> = stats.per_thread.iter().map(|t| t.iterations).collect();
+    let observed_ratio = ratio_of(&spans).max(ratio_of(&iters));
+
+    let mut out = Vec::new();
+    for d in &report.diagnostics {
+        if !d.code.is_perf() {
+            continue;
+        }
+        let Some(pred) = &d.prediction else { continue };
+        // (observed value, fraction of the prediction that must materialize)
+        let (observed, floor) = match pred.metric {
+            PredMetric::TotalCycles => (duration, 0.75 * pred.value),
+            PredMetric::DramBytes => (dram_bytes, 0.75 * pred.value),
+            // The wasted transfer is a *component* of total traffic; it
+            // confirms when the interface moved at least that much.
+            PredMetric::WastedDmaBytes => (dram_bytes, 0.75 * pred.value),
+            PredMetric::SerialCycles => (serial_cycles, 0.5 * pred.value),
+            // Ratios: confirmed when at least half the predicted *excess*
+            // over the balanced 1.0 shows up.
+            PredMetric::ImbalanceRatio => (observed_ratio, 1.0 + 0.5 * (pred.value - 1.0)),
+        };
+        let verdict = if observed >= floor {
+            Verdict::Confirmed
+        } else {
+            Verdict::NotObserved
+        };
+        out.push(PredictionOutcome {
+            code: Some(d.code),
+            verdict,
+            predicted: Some(pred.value),
+            observed,
+            detail: format!(
+                "{}: predicted {} {:.0}, observed {:.2} -> {}",
+                d.code.as_str(),
+                pred.metric.as_str(),
+                pred.value,
+                observed,
+                verdict.as_str()
+            ),
+        });
+    }
+
+    // Coverage check in the other direction: a measured bottleneck with no
+    // static finding that explains it.
+    let has = |c: Code| report.diagnostics.iter().any(|d| d.code == c);
+    let sync_explained = has(Code::NP004);
+    let memory_explained = has(Code::NP002) || has(Code::NP003) || has(Code::NP001);
+    match diagnosis.bottleneck {
+        Bottleneck::Synchronization if !sync_explained => out.push(PredictionOutcome {
+            code: None,
+            verdict: Verdict::UnpredictedHotspot,
+            predicted: None,
+            observed: diagnosis.sync_frac,
+            detail: format!(
+                "UnpredictedHotspot: {:.1}% of thread time is synchronization \
+                 but no NP004 finding predicted it",
+                diagnosis.sync_frac * 100.0
+            ),
+        }),
+        Bottleneck::MemoryLatency | Bottleneck::MemoryBandwidth if !memory_explained => {
+            out.push(PredictionOutcome {
+                code: None,
+                verdict: Verdict::UnpredictedHotspot,
+                predicted: None,
+                observed: diagnosis.stall_frac,
+                detail: format!(
+                    "UnpredictedHotspot: memory-bound run (stall {:.1}%, bandwidth \
+                     {:.1}%) with no NP001/NP002/NP003 finding",
+                    diagnosis.stall_frac * 100.0,
+                    diagnosis.bandwidth_frac * 100.0
+                ),
+            })
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Render a predicted-vs-observed section for terminal reports.
+pub fn render_confrontation(outcomes: &[PredictionOutcome]) -> String {
+    if outcomes.is_empty() {
+        return "  (no static performance findings to confront)\n".to_string();
+    }
+    let mut s = String::new();
+    for o in outcomes {
+        s.push_str("  ");
+        s.push_str(&o.detail);
+        s.push('\n');
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +537,126 @@ mod tests {
             &DiagnoseConfig::default(),
         );
         assert_eq!(d.bottleneck, Bottleneck::Compute);
+    }
+
+    fn report_with(code: Code, metric: PredMetric, value: f64) -> LintReport {
+        LintReport {
+            kernel: "t".into(),
+            diagnostics: vec![
+                nymble_lint::Diagnostic::new(code, "m", vec![]).with_prediction(metric, value)
+            ],
+        }
+    }
+
+    fn empty_report() -> LintReport {
+        LintReport {
+            kernel: "t".into(),
+            diagnostics: vec![],
+        }
+    }
+
+    #[test]
+    fn sim_params_translate_to_the_static_model() {
+        assert_eq!(
+            perf_params_from_sim(&SimConfig::default()),
+            nymble_lint::PerfParams::default(),
+            "the static model's defaults must mirror the simulator's"
+        );
+        let fast = SimConfig::default().with_fast_launch();
+        assert_eq!(
+            perf_params_from_sim(&fast).launch_interval,
+            fast.launch_interval
+        );
+    }
+
+    #[test]
+    fn predictions_confirm_against_the_observed_magnitude() {
+        let trace = mk_trace(|u| {
+            u.state_change(0, 0, ThreadState::Running);
+            u.run_end(1000);
+        });
+        let stats = stats_with(0, 0);
+        let d = diagnose(
+            &trace,
+            &stats,
+            &SimConfig::default(),
+            &DiagnoseConfig::default(),
+        );
+        // Observed duration 1000 covers >= 75% of a 1200-cycle prediction…
+        let r = report_with(Code::NP001, PredMetric::TotalCycles, 1200.0);
+        let out = confront(&r, &trace, &stats, &d);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, Some(Code::NP001));
+        assert_eq!(out[0].verdict, Verdict::Confirmed);
+        assert!(out[0].detail.contains("Confirmed"), "{}", out[0].detail);
+        // …but not of a 2000-cycle one: the model over-predicted.
+        let r = report_with(Code::NP001, PredMetric::TotalCycles, 2000.0);
+        let out = confront(&r, &trace, &stats, &d);
+        assert_eq!(out[0].verdict, Verdict::NotObserved);
+    }
+
+    #[test]
+    fn imbalance_confirms_on_half_the_predicted_excess() {
+        let trace = mk_trace(|u| {
+            u.state_change(0, 0, ThreadState::Running);
+            u.run_end(1000);
+        });
+        let mk = |spans: [u64; 2]| RunStats {
+            per_thread: spans
+                .iter()
+                .map(|&e| ThreadStats {
+                    start_cycle: 0,
+                    end_cycle: e,
+                    ..Default::default()
+                })
+                .collect(),
+            ..Default::default()
+        };
+        let d = diagnose(
+            &trace,
+            &mk([400, 200]),
+            &SimConfig::default(),
+            &DiagnoseConfig::default(),
+        );
+        // Observed ratio 2.0; predicted 2.4 needs only 1.7 to confirm.
+        let r = report_with(Code::NP005, PredMetric::ImbalanceRatio, 2.4);
+        let out = confront(&r, &trace, &mk([400, 200]), &d);
+        assert_eq!(out[0].verdict, Verdict::Confirmed);
+        // A balanced run refutes the same prediction.
+        let out = confront(&r, &trace, &mk([400, 400]), &d);
+        assert_eq!(out[0].verdict, Verdict::NotObserved);
+    }
+
+    #[test]
+    fn spinning_run_without_np004_is_an_unpredicted_hotspot() {
+        let trace = mk_trace(|u| {
+            u.state_change(0, 0, ThreadState::Running);
+            u.state_change(0, 1, ThreadState::Running);
+            u.state_change(100, 0, ThreadState::Spinning);
+            u.state_change(600, 0, ThreadState::Critical);
+            u.state_change(800, 0, ThreadState::Running);
+            u.run_end(1000);
+        });
+        let stats = stats_with(0, 0);
+        let d = diagnose(
+            &trace,
+            &stats,
+            &SimConfig::default(),
+            &DiagnoseConfig::default(),
+        );
+        assert_eq!(d.bottleneck, Bottleneck::Synchronization);
+        // No static finding explains the spinning: coverage gap, flagged.
+        let out = confront(&empty_report(), &trace, &stats, &d);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, None);
+        assert_eq!(out[0].verdict, Verdict::UnpredictedHotspot);
+        assert!(out[0].detail.contains("NP004"), "{}", out[0].detail);
+        // With an NP004 prediction on file the hotspot is accounted for.
+        let r = report_with(Code::NP004, PredMetric::SerialCycles, 500.0);
+        let out = confront(&r, &trace, &stats, &d);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, Some(Code::NP004));
+        assert!(render_confrontation(&out).contains("NP004"));
     }
 
     #[test]

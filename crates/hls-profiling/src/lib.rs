@@ -30,5 +30,6 @@ pub mod pipeline;
 pub mod recorder;
 pub mod unit;
 
+pub use diagnose::{confront, perf_params_from_sim, PredictionOutcome, Verdict};
 pub use pipeline::{PipelineConfig, PipelineError, SinkFactory, StreamReport};
 pub use unit::{ProfilingConfig, ProfilingUnit, TraceData};

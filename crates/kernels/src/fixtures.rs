@@ -13,8 +13,15 @@ use nymble_ir::{Kernel, KernelBuilder, MapDir, ScalarType, Type};
 /// (`expect` is empty for near-miss fixtures, which must lint clean).
 pub struct Fixture {
     pub name: &'static str,
-    /// Expected `nymble-lint` codes, as stable strings ("NL001"…).
+    /// Expected `nymble-lint` codes, as stable strings ("NL001"…, "NP001"…).
     pub expect: &'static [&'static str],
+    /// Performance fixtures exercise the `NP0xx` family
+    /// (`nymble_lint::perf_lint_kernel`); correctness fixtures the `NL0xx`
+    /// family. Perf fixtures must additionally lint clean under the
+    /// correctness family (the registry CLI checks them under both);
+    /// correctness fixtures are unconstrained the other way — a buggy
+    /// kernel may well be slow too.
+    pub perf: bool,
     pub kernel: Kernel,
 }
 
@@ -25,6 +32,8 @@ pub fn all() -> Vec<Fixture> {
         nl001_disjoint(),
         nl002_divergent_barrier(),
         nl002_uniform_barrier(),
+        nl002_tid_divergent_barrier(),
+        nl002_tid_uniform_barrier(),
         nl003_lost_update(),
         nl003_critical_reduction(),
         nl004_oob(),
@@ -33,6 +42,16 @@ pub fn all() -> Vec<Fixture> {
         nl005_used_to(),
         nl006_dead_from(),
         nl006_written_from(),
+        np001_recurrence(),
+        np001_stream(),
+        np002_strided(),
+        np002_unit_stride(),
+        np003_dead_preload(),
+        np003_live_preload(),
+        np004_critical_in_loop(),
+        np004_critical_once(),
+        np005_imbalanced_barrier(),
+        np005_balanced_barrier(),
     ]
 }
 
@@ -60,6 +79,7 @@ fn nl001_race() -> Fixture {
     Fixture {
         name: "nl001_race",
         expect: &["NL001"],
+        perf: false,
         kernel: kb.finish(),
     }
 }
@@ -80,6 +100,7 @@ fn nl001_disjoint() -> Fixture {
     Fixture {
         name: "nl001_disjoint",
         expect: &[],
+        perf: false,
         kernel: kb.finish(),
     }
 }
@@ -103,6 +124,7 @@ fn nl002_divergent_barrier() -> Fixture {
     Fixture {
         name: "nl002_divergent",
         expect: &["NL002"],
+        perf: false,
         kernel: kb.finish(),
     }
 }
@@ -127,6 +149,7 @@ fn nl002_uniform_barrier() -> Fixture {
     Fixture {
         name: "nl002_uniform",
         expect: &[],
+        perf: false,
         kernel: kb.finish(),
     }
 }
@@ -147,6 +170,7 @@ fn nl003_lost_update() -> Fixture {
     Fixture {
         name: "nl003_lost_update",
         expect: &["NL003"],
+        perf: false,
         kernel: kb.finish(),
     }
 }
@@ -168,6 +192,7 @@ fn nl003_critical_reduction() -> Fixture {
     Fixture {
         name: "nl003_critical",
         expect: &[],
+        perf: false,
         kernel: kb.finish(),
     }
 }
@@ -189,6 +214,7 @@ fn nl004_oob() -> Fixture {
     Fixture {
         name: "nl004_oob",
         expect: &["NL004"],
+        perf: false,
         kernel: kb.finish(),
     }
 }
@@ -209,6 +235,7 @@ fn nl004_inbounds() -> Fixture {
     Fixture {
         name: "nl004_inbounds",
         expect: &[],
+        perf: false,
         kernel: kb.finish(),
     }
 }
@@ -225,6 +252,7 @@ fn nl005_dead_to() -> Fixture {
     Fixture {
         name: "nl005_dead_to",
         expect: &["NL005"],
+        perf: false,
         kernel: kb.finish(),
     }
 }
@@ -240,6 +268,7 @@ fn nl005_used_to() -> Fixture {
     Fixture {
         name: "nl005_used_to",
         expect: &[],
+        perf: false,
         kernel: kb.finish(),
     }
 }
@@ -258,6 +287,7 @@ fn nl006_dead_from() -> Fixture {
     Fixture {
         name: "nl006_dead_from",
         expect: &["NL006"],
+        perf: false,
         kernel: kb.finish(),
     }
 }
@@ -273,6 +303,336 @@ fn nl006_written_from() -> Fixture {
     Fixture {
         name: "nl006_written_from",
         expect: &[],
+        perf: false,
+        kernel: kb.finish(),
+    }
+}
+
+/// NL002 near-miss (coverage-gap regression): the barrier is under a
+/// condition that *mentions* `thread_id` but evaluates identically on every
+/// thread (`tid < num_threads` is true for all) — taint alone must not
+/// flag it.
+fn nl002_tid_uniform_barrier() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl002_tid_uniform", 2);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let tid = kb.thread_id();
+    let nt = kb.num_threads_expr();
+    let n = kb.c_i64(8);
+    kb.for_each("i", tid, n, nt, |kb, i| {
+        let one = kb.c_f32(1.0);
+        kb.store(out, i, one);
+    });
+    let tid2 = kb.thread_id();
+    let nt2 = kb.num_threads_expr();
+    let cond = kb.bin(nymble_ir::BinOp::Lt, tid2, nt2);
+    kb.if_then(cond, |kb| kb.barrier());
+    Fixture {
+        name: "nl002_tid_uniform",
+        expect: &[],
+        perf: false,
+        kernel: kb.finish(),
+    }
+}
+
+/// The one-off-by-one sibling of [`nl002_tid_uniform_barrier`]:
+/// `tid < num_threads - 1` excludes the last thread — genuinely divergent.
+fn nl002_tid_divergent_barrier() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_nl002_tid_divergent", 2);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let tid = kb.thread_id();
+    let nt = kb.num_threads_expr();
+    let n = kb.c_i64(8);
+    kb.for_each("i", tid, n, nt, |kb, i| {
+        let one = kb.c_f32(1.0);
+        kb.store(out, i, one);
+    });
+    let tid2 = kb.thread_id();
+    let nt2 = kb.num_threads_expr();
+    let one = kb.c_i64(1);
+    let last = kb.sub(nt2, one);
+    let cond = kb.bin(nymble_ir::BinOp::Lt, tid2, last);
+    kb.if_then(cond, |kb| kb.barrier());
+    Fixture {
+        name: "nl002_tid_divergent",
+        expect: &["NL002"],
+        perf: false,
+        kernel: kb.finish(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Performance fixtures (NP family). Triggering fixtures are sized so the
+// pathology dominates the analytic model; near-misses stay inside the
+// dynamic oracle's 64-element launch buffers.
+// ---------------------------------------------------------------------------
+
+/// NP001: a float multiply-accumulate recurrence — each iteration needs the
+/// previous `acc`, so the pipelined loop cannot issue one iteration per
+/// cycle (II ≥ FAdd + FMul = 8).
+fn np001_recurrence() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_np001_recurrence", 4);
+    let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+    let c = kb.buffer("C", ScalarType::F32, MapDir::From);
+    let acc = kb.var("acc", Type::F32);
+    let zero = kb.c_f32(0.0);
+    kb.set(acc, zero);
+    let tid = kb.thread_id();
+    let n = kb.c_i64(512);
+    let row = kb.mul(tid, n);
+    let n2 = kb.c_i64(512);
+    kb.for_range("i", n2, |kb, i| {
+        let idx = kb.add(row, i);
+        let v = kb.load(a, idx, Type::F32);
+        let cur = kb.get(acc);
+        let s = kb.add(cur, v);
+        let k = kb.c_f32(0.5);
+        let scaled = kb.mul(s, k);
+        kb.set(acc, scaled);
+    });
+    let fin = kb.get(acc);
+    kb.store(c, tid, fin);
+    Fixture {
+        name: "np001_recurrence",
+        expect: &["NP001"],
+        perf: true,
+        kernel: kb.finish(),
+    }
+}
+
+/// Near-miss: the same streaming shape with no carried value — every
+/// iteration is independent, II = 1.
+fn np001_stream() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_np001_stream", 2);
+    let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+    let c = kb.buffer("C", ScalarType::F32, MapDir::From);
+    let tid = kb.thread_id();
+    let n = kb.c_i64(32);
+    let row = kb.mul(tid, n);
+    let n2 = kb.c_i64(32);
+    kb.for_range("i", n2, |kb, i| {
+        let idx = kb.add(row, i);
+        let v = kb.load(a, idx, Type::F32);
+        let k = kb.c_f32(0.5);
+        let scaled = kb.mul(v, k);
+        kb.store(c, idx, scaled);
+    });
+    Fixture {
+        name: "np001_stream",
+        expect: &[],
+        perf: true,
+        kernel: kb.finish(),
+    }
+}
+
+/// NP002: a stride-16 f32 stream — every access lands on a fresh 64-byte
+/// DRAM line but uses only 4 bytes of it (16× line traffic).
+fn np002_strided() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_np002_strided", 2);
+    let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+    let c = kb.buffer("C", ScalarType::F32, MapDir::From);
+    let tid = kb.thread_id();
+    let n = kb.c_i64(64);
+    let row = kb.mul(tid, n);
+    let n2 = kb.c_i64(64);
+    kb.for_range("i", n2, |kb, i| {
+        let lin = kb.add(row, i);
+        let sixteen = kb.c_i64(16);
+        let idx = kb.mul(lin, sixteen);
+        let v = kb.load(a, idx, Type::F32);
+        kb.store(c, lin, v);
+    });
+    Fixture {
+        name: "np002_strided",
+        expect: &["NP002"],
+        perf: true,
+        kernel: kb.finish(),
+    }
+}
+
+/// Near-miss: the same copy at unit stride — consecutive elements share
+/// lines, traffic equals payload.
+fn np002_unit_stride() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_np002_unit", 2);
+    let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+    let c = kb.buffer("C", ScalarType::F32, MapDir::From);
+    let tid = kb.thread_id();
+    let n = kb.c_i64(32);
+    let row = kb.mul(tid, n);
+    let n2 = kb.c_i64(32);
+    kb.for_range("i", n2, |kb, i| {
+        let idx = kb.add(row, i);
+        let v = kb.load(a, idx, Type::F32);
+        kb.store(c, idx, v);
+    });
+    Fixture {
+        name: "np002_unit",
+        expect: &[],
+        perf: true,
+        kernel: kb.finish(),
+    }
+}
+
+/// NP003: a 256-element tile is DMA-preloaded but no compute ever reads
+/// it — pure wasted DRAM bandwidth (1 KiB per thread).
+fn np003_dead_preload() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_np003_dead_preload", 2);
+    let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+    let c = kb.buffer("C", ScalarType::F32, MapDir::From);
+    let tile = kb.local_mem("TILE", Type::F32, 256);
+    let zero = kb.c_i64(0);
+    let zero2 = kb.c_i64(0);
+    let len = kb.c_i64(256);
+    kb.preload(tile, a, zero, zero2, len);
+    let tid = kb.thread_id();
+    let one = kb.c_f32(1.0);
+    kb.store(c, tid, one);
+    Fixture {
+        name: "np003_dead_preload",
+        expect: &["NP003"],
+        perf: true,
+        kernel: kb.finish(),
+    }
+}
+
+/// Near-miss: the preloaded tile is actually consumed by the compute loop.
+fn np003_live_preload() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_np003_live_preload", 2);
+    let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+    let c = kb.buffer("C", ScalarType::F32, MapDir::From);
+    let tile = kb.local_mem("TILE", Type::F32, 32);
+    let zero = kb.c_i64(0);
+    let zero2 = kb.c_i64(0);
+    let len = kb.c_i64(32);
+    kb.preload(tile, a, zero, zero2, len);
+    let tid = kb.thread_id();
+    let n = kb.c_i64(32);
+    let row = kb.mul(tid, n);
+    let n2 = kb.c_i64(32);
+    kb.for_range("i", n2, |kb, i| {
+        let v = kb.load_local(tile, i, Type::F32);
+        let idx = kb.add(row, i);
+        kb.store(c, idx, v);
+    });
+    Fixture {
+        name: "np003_live_preload",
+        expect: &[],
+        perf: true,
+        kernel: kb.finish(),
+    }
+}
+
+/// NP004: a critical section entered on every one of 64 iterations by all
+/// 4 threads — 256 serialized semaphore round-trips (Amdahl's serial term
+/// grows with thread count).
+fn np004_critical_in_loop() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_np004_critical_loop", 4);
+    let acc = kb.buffer("ACC", ScalarType::F32, MapDir::ToFrom);
+    let n = kb.c_i64(64);
+    kb.for_range("r", n, |kb, _r| {
+        kb.critical(|kb| {
+            let zero = kb.c_i64(0);
+            let cur = kb.load(acc, zero, Type::F32);
+            let one = kb.c_f32(1.0);
+            let next = kb.add(cur, one);
+            kb.store(acc, zero, next);
+        });
+    });
+    Fixture {
+        name: "np004_critical_loop",
+        expect: &["NP004"],
+        perf: true,
+        kernel: kb.finish(),
+    }
+}
+
+/// Near-miss: each thread accumulates privately and enters the critical
+/// section exactly once to merge — the serial term is constant in the
+/// trip count.
+fn np004_critical_once() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_np004_critical_once", 4);
+    let acc = kb.buffer("ACC", ScalarType::F32, MapDir::ToFrom);
+    let part = kb.var("part", Type::I64);
+    let zero = kb.c_i64(0);
+    kb.set(part, zero);
+    let n = kb.c_i64(32);
+    kb.for_range("r", n, |kb, r| {
+        let cur = kb.get(part);
+        let next = kb.add(cur, r);
+        kb.set(part, next);
+    });
+    kb.critical(|kb| {
+        let zero2 = kb.c_i64(0);
+        let cur = kb.load(acc, zero2, Type::F32);
+        let p = kb.get(part);
+        let pf = kb.cast(ScalarType::F32, p);
+        let next = kb.add(cur, pf);
+        kb.store(acc, zero2, next);
+    });
+    Fixture {
+        name: "np004_critical_once",
+        expect: &[],
+        perf: true,
+        kernel: kb.finish(),
+    }
+}
+
+/// NP005: thread 1's loop runs twice as long as thread 0's, and both meet
+/// at a barrier — half the machine idles.
+fn np005_imbalanced_barrier() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_np005_imbalanced", 2);
+    let c = kb.buffer("C", ScalarType::F32, MapDir::From);
+    let part = kb.var("part", Type::I64);
+    let zero = kb.c_i64(0);
+    kb.set(part, zero);
+    let tid = kb.thread_id();
+    let one = kb.c_i64(1);
+    let t1 = kb.add(tid, one);
+    let n = kb.c_i64(256);
+    let end = kb.mul(t1, n);
+    let start = kb.c_i64(0);
+    let step = kb.c_i64(1);
+    kb.for_each("i", start, end, step, |kb, i| {
+        let cur = kb.get(part);
+        let next = kb.add(cur, i);
+        kb.set(part, next);
+    });
+    kb.barrier();
+    let tid2 = kb.thread_id();
+    let p = kb.get(part);
+    let pf = kb.cast(ScalarType::F32, p);
+    kb.store(c, tid2, pf);
+    Fixture {
+        name: "np005_imbalanced",
+        expect: &["NP005"],
+        perf: true,
+        kernel: kb.finish(),
+    }
+}
+
+/// Near-miss: both threads run the same trip count into the same barrier.
+fn np005_balanced_barrier() -> Fixture {
+    let mut kb = KernelBuilder::new("fixture_np005_balanced", 2);
+    let c = kb.buffer("C", ScalarType::F32, MapDir::From);
+    let part = kb.var("part", Type::I64);
+    let zero = kb.c_i64(0);
+    kb.set(part, zero);
+    let n = kb.c_i64(256);
+    let start = kb.c_i64(0);
+    let step = kb.c_i64(1);
+    kb.for_each("i", start, n, step, |kb, i| {
+        let cur = kb.get(part);
+        let next = kb.add(cur, i);
+        kb.set(part, next);
+    });
+    kb.barrier();
+    let tid = kb.thread_id();
+    let p = kb.get(part);
+    let pf = kb.cast(ScalarType::F32, p);
+    kb.store(c, tid, pf);
+    Fixture {
+        name: "np005_balanced",
+        expect: &[],
+        perf: true,
         kernel: kb.finish(),
     }
 }
@@ -284,21 +644,42 @@ mod tests {
     #[test]
     fn fixtures_are_valid_and_partition() {
         let all = all();
-        assert_eq!(all.len(), 12);
-        assert_eq!(buggy().len(), 6);
-        assert_eq!(near_misses().len(), 6);
-        // One triggering + one near-miss fixture per code.
-        for code in ["NL001", "NL002", "NL003", "NL004", "NL005", "NL006"] {
+        assert_eq!(all.len(), 24);
+        assert_eq!(buggy().len(), 12);
+        assert_eq!(near_misses().len(), 12);
+        // NL002 has a second trigger (the tid-uniform near-miss regression
+        // pair); every other code has exactly one.
+        for (code, n) in [
+            ("NL001", 1),
+            ("NL002", 2),
+            ("NL003", 1),
+            ("NL004", 1),
+            ("NL005", 1),
+            ("NL006", 1),
+            ("NP001", 1),
+            ("NP002", 1),
+            ("NP003", 1),
+            ("NP004", 1),
+            ("NP005", 1),
+        ] {
             assert_eq!(
                 buggy().iter().filter(|f| f.expect.contains(&code)).count(),
-                1,
-                "exactly one fixture triggers {code}"
+                n,
+                "{n} fixture(s) trigger {code}"
             );
         }
+        // Perf fixtures pair up too: 5 triggering + 5 near-miss.
+        assert_eq!(all.iter().filter(|f| f.perf).count(), 10);
+        assert_eq!(
+            all.iter()
+                .filter(|f| f.perf && !f.expect.is_empty())
+                .count(),
+            5
+        );
         // Names are unique.
         let mut names: Vec<_> = all.iter().map(|f| f.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 24);
     }
 }

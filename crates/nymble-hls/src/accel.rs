@@ -27,6 +27,12 @@ pub struct HlsConfig {
     /// `AccelCache` never serves an artifact compiled under a different
     /// lint gate.
     pub lint: LintLevel,
+    /// Performance-diagnostics gate (`NP0xx` family), run alongside the
+    /// correctness gate. NP findings are warnings — kernels that are slow,
+    /// not wrong — so [`LintLevel::Warn`] is the usual setting; `Deny`
+    /// refuses to build a design the model predicts to be pathological.
+    /// Also part of the config fingerprint.
+    pub perf_lint: LintLevel,
 }
 
 impl Default for HlsConfig {
@@ -36,6 +42,7 @@ impl Default for HlsConfig {
             cost: CostParams::default(),
             seq_issue_width: 4,
             lint: LintLevel::Off,
+            perf_lint: LintLevel::Off,
         }
     }
 }
@@ -145,6 +152,14 @@ pub fn compile(kernel: &Kernel, config: &HlsConfig) -> Accelerator {
 /// work when `config.lint` is not [`LintLevel::Off`].
 pub fn try_compile(kernel: &Kernel, config: &HlsConfig) -> Result<Accelerator, CompileError> {
     match nymble_lint::enforce(kernel, config.lint) {
+        Ok(report) => {
+            if !report.is_clean() {
+                eprint!("{}", report.render_human());
+            }
+        }
+        Err(rendered) => return Err(CompileError::Lint(rendered)),
+    }
+    match nymble_lint::enforce_perf(kernel, config.perf_lint) {
         Ok(report) => {
             if !report.is_clean() {
                 eprint!("{}", report.render_human());
@@ -345,5 +360,55 @@ mod tests {
         };
         let acc = try_compile(&k, &cfg).expect("clean kernel passes the deny gate");
         assert_eq!(acc.name, "clean");
+    }
+
+    /// A correctness-clean float reduction: each thread owns its output
+    /// element, but the carried `acc` chain is an NP001 recurrence.
+    fn recurrence_kernel() -> Kernel {
+        let mut kb = KernelBuilder::new("recur", 2);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+        let acc = kb.var("acc", Type::F32);
+        let zero = kb.c_f32(0.0);
+        kb.set(acc, zero);
+        let tid = kb.thread_id();
+        let n = kb.c_i64(64);
+        let row = kb.mul(tid, n);
+        let n2 = kb.c_i64(64);
+        kb.for_range("i", n2, |kb, i| {
+            let idx = kb.add(row, i);
+            let v = kb.load(a, idx, Type::F32);
+            let cur = kb.get(acc);
+            let s = kb.add(cur, v);
+            kb.set(acc, s);
+        });
+        let fin = kb.get(acc);
+        kb.store(out, tid, fin);
+        kb.finish()
+    }
+
+    #[test]
+    fn perf_lint_gate_is_independent_of_the_correctness_gate() {
+        let k = recurrence_kernel();
+        // Correctness-deny alone passes: the kernel is NL-clean.
+        let correct_only = HlsConfig {
+            lint: LintLevel::Deny,
+            ..HlsConfig::default()
+        };
+        assert!(try_compile(&k, &correct_only).is_ok());
+        // Perf-deny refuses it and names the NP code.
+        let perf_deny = HlsConfig {
+            perf_lint: LintLevel::Deny,
+            ..HlsConfig::default()
+        };
+        let err = try_compile(&k, &perf_deny).expect_err("NP001 blocks perf-deny");
+        let CompileError::Lint(report) = &err;
+        assert!(report.contains("NP001"), "{report}");
+        // Perf-warn (the usual setting) compiles.
+        let perf_warn = HlsConfig {
+            perf_lint: LintLevel::Warn,
+            ..HlsConfig::default()
+        };
+        assert!(try_compile(&k, &perf_warn).is_ok());
     }
 }

@@ -302,6 +302,17 @@ mod tests {
             "different lint gates must not share an artifact"
         );
         assert_eq!(cache.stats().entries, 2);
+        // The perf-lint gate is a distinct key dimension too.
+        let perf_warn = HlsConfig {
+            perf_lint: LintLevel::Warn,
+            ..HlsConfig::default()
+        };
+        let c = cache.get_or_compile(&k, &perf_warn);
+        assert!(
+            !Arc::ptr_eq(&a, &c),
+            "different perf-lint gates must not share an artifact"
+        );
+        assert_eq!(cache.stats().entries, 3);
     }
 
     #[test]

@@ -56,26 +56,28 @@ pub(crate) struct Analysis {
 }
 
 /// A linear form over loop-iteration slots: `base + Σ coeff · q_slot`.
+/// Shared with the performance passes (`perf.rs`), which run the same
+/// per-thread affine evaluation over their own walk.
 #[derive(Clone, Debug, PartialEq)]
-struct Lin {
-    base: i64,
+pub(crate) struct Lin {
+    pub(crate) base: i64,
     /// Sorted by slot id; no zero coefficients.
-    coeffs: Vec<(u32, i64)>,
+    pub(crate) coeffs: Vec<(u32, i64)>,
 }
 
 impl Lin {
-    fn konst(c: i64) -> Lin {
+    pub(crate) fn konst(c: i64) -> Lin {
         Lin {
             base: c,
             coeffs: Vec::new(),
         }
     }
 
-    fn as_const(&self) -> Option<i64> {
+    pub(crate) fn as_const(&self) -> Option<i64> {
         self.coeffs.is_empty().then_some(self.base)
     }
 
-    fn add(&self, o: &Lin) -> Option<Lin> {
+    pub(crate) fn add(&self, o: &Lin) -> Option<Lin> {
         let base = self.base.checked_add(o.base)?;
         let mut coeffs = self.coeffs.clone();
         for &(slot, c) in &o.coeffs {
@@ -111,14 +113,21 @@ impl Lin {
 
 /// Abstract value of an expression for one thread.
 #[derive(Clone, Debug, PartialEq)]
-enum Val {
+pub(crate) enum Val {
     Lin(Lin),
     Unknown,
 }
 
 impl Val {
-    fn konst(c: i64) -> Val {
+    pub(crate) fn konst(c: i64) -> Val {
         Val::Lin(Lin::konst(c))
+    }
+
+    pub(crate) fn as_const(&self) -> Option<i64> {
+        match self {
+            Val::Lin(l) => l.as_const(),
+            Val::Unknown => None,
+        }
     }
 }
 
@@ -347,9 +356,14 @@ impl<'k> Collector<'k> {
                     else_b,
                 } => {
                     self.record_reads(*cond, idx, ctx);
+                    // A syntactically thread-dependent condition that folds
+                    // to the same constant for every thread (e.g. `tid < NT`)
+                    // cannot split the group: barriers under it stay uniform.
+                    let divergent = expr_tainted(self.k, *cond, &self.tainted_vars)
+                        && !self.cond_uniform(*cond);
                     let branch = Ctx {
                         guards: ctx.guards + 1,
-                        tainted: ctx.tainted || expr_tainted(self.k, *cond, &self.tainted_vars),
+                        tainted: ctx.tainted || divergent,
                         ..inner
                     };
                     self.walk_block(then_b, branch);
@@ -596,75 +610,101 @@ impl<'k> Collector<'k> {
 
     /// Evaluate an expression to a per-thread affine value.
     fn eval(&self, t: usize, e: ExprId) -> Val {
-        use nymble_ir::BinOp;
-        match self.k.expr(e) {
-            Expr::Const(v) => match v {
-                nymble_ir::Value::I32(x) => Val::konst(*x as i64),
-                nymble_ir::Value::I64(x) => Val::konst(*x),
-                _ => Val::Unknown,
-            },
-            // Scalar launch arguments are runtime values: opaque.
-            Expr::Arg(_) => Val::Unknown,
-            Expr::ThreadId => Val::konst(t as i64),
-            Expr::NumThreads => Val::konst(self.k.num_threads as i64),
-            Expr::Var(v) => self.envs[t].get(v).cloned().unwrap_or(Val::Unknown),
-            Expr::Unary(nymble_ir::UnOp::Neg, a) => match self.eval(t, *a) {
-                Val::Lin(l) => l.scale(-1).map(Val::Lin).unwrap_or(Val::Unknown),
-                Val::Unknown => Val::Unknown,
-            },
-            Expr::Unary(..) => Val::Unknown,
-            Expr::Binary(op, a, b) => {
-                let (va, vb) = (self.eval(t, *a), self.eval(t, *b));
-                let (la, lb) = match (va, vb) {
-                    (Val::Lin(la), Val::Lin(lb)) => (la, lb),
-                    _ => return Val::Unknown,
-                };
-                let r = match op {
-                    BinOp::Add => la.add(&lb),
-                    BinOp::Sub => la.sub(&lb),
-                    BinOp::Mul => match (la.as_const(), lb.as_const()) {
-                        (Some(c), _) => lb.scale(c),
-                        (_, Some(c)) => la.scale(c),
-                        _ => None,
-                    },
-                    BinOp::Shl => match lb.as_const() {
-                        Some(c @ 0..=62) => la.scale(1i64 << c),
-                        _ => None,
-                    },
-                    // Remaining integer ops only fold when fully constant
-                    // (matching the walker's i64 semantics, incl. div 0 = 0).
-                    _ => match (la.as_const(), lb.as_const()) {
-                        (Some(x), Some(y)) => match op {
-                            BinOp::Div => Some(Lin::konst(if y == 0 { 0 } else { x / y })),
-                            BinOp::Rem => Some(Lin::konst(if y == 0 { 0 } else { x % y })),
-                            BinOp::Min => Some(Lin::konst(x.min(y))),
-                            BinOp::Max => Some(Lin::konst(x.max(y))),
-                            BinOp::And => Some(Lin::konst(x & y)),
-                            BinOp::Or => Some(Lin::konst(x | y)),
-                            BinOp::Xor => Some(Lin::konst(x ^ y)),
-                            BinOp::Shr => Some(Lin::konst(x >> (y & 63))),
-                            BinOp::Lt => Some(Lin::konst((x < y) as i64)),
-                            BinOp::Le => Some(Lin::konst((x <= y) as i64)),
-                            BinOp::Gt => Some(Lin::konst((x > y) as i64)),
-                            BinOp::Ge => Some(Lin::konst((x >= y) as i64)),
-                            BinOp::Eq => Some(Lin::konst((x == y) as i64)),
-                            BinOp::Ne => Some(Lin::konst((x != y) as i64)),
-                            _ => None,
-                        },
-                        _ => None,
-                    },
-                };
-                r.map(Val::Lin).unwrap_or(Val::Unknown)
+        eval_expr(self.k, t, &self.envs[t], e)
+    }
+
+    /// Is `cond` provably the *same constant* for every thread? Such a
+    /// condition cannot split the thread group, so a barrier under it is
+    /// not divergent even when the condition is syntactically
+    /// thread-dependent (e.g. `tid < NT`).
+    fn cond_uniform(&self, cond: ExprId) -> bool {
+        let mut first: Option<i64> = None;
+        for t in 0..self.nt {
+            match self.eval(t, cond).as_const() {
+                Some(c) => match first {
+                    None => first = Some(c),
+                    Some(f) if f == c => {}
+                    Some(_) => return false,
+                },
+                None => return false,
             }
-            Expr::Select { .. } => Val::Unknown,
-            // Integer casts are value-preserving for in-range index math
-            // (all kernel index arithmetic is i64); float casts lose the
-            // affine shape.
-            Expr::Cast(ty, a) if !ty.is_float() => self.eval(t, *a),
-            Expr::Cast(..) => Val::Unknown,
-            Expr::LoadExt { .. } | Expr::LoadLocal { .. } | Expr::Lane(..) | Expr::Splat(..) => {
-                Val::Unknown
-            }
+        }
+        first.is_some()
+    }
+}
+
+/// Evaluate an expression to an affine value for thread `t` under the
+/// variable environment `env`. Shared between the correctness walker
+/// ([`Collector`]) and the performance model walker (`perf.rs`).
+pub(crate) fn eval_expr(k: &Kernel, t: usize, env: &HashMap<VarId, Val>, e: ExprId) -> Val {
+    use nymble_ir::BinOp;
+    match k.expr(e) {
+        Expr::Const(v) => match v {
+            nymble_ir::Value::I32(x) => Val::konst(*x as i64),
+            nymble_ir::Value::I64(x) => Val::konst(*x),
+            _ => Val::Unknown,
+        },
+        // Scalar launch arguments are runtime values: opaque.
+        Expr::Arg(_) => Val::Unknown,
+        Expr::ThreadId => Val::konst(t as i64),
+        Expr::NumThreads => Val::konst(k.num_threads as i64),
+        Expr::Var(v) => env.get(v).cloned().unwrap_or(Val::Unknown),
+        Expr::Unary(nymble_ir::UnOp::Neg, a) => match eval_expr(k, t, env, *a) {
+            Val::Lin(l) => l.scale(-1).map(Val::Lin).unwrap_or(Val::Unknown),
+            Val::Unknown => Val::Unknown,
+        },
+        Expr::Unary(..) => Val::Unknown,
+        Expr::Binary(op, a, b) => {
+            let (va, vb) = (eval_expr(k, t, env, *a), eval_expr(k, t, env, *b));
+            let (la, lb) = match (va, vb) {
+                (Val::Lin(la), Val::Lin(lb)) => (la, lb),
+                _ => return Val::Unknown,
+            };
+            let r = match op {
+                BinOp::Add => la.add(&lb),
+                BinOp::Sub => la.sub(&lb),
+                BinOp::Mul => match (la.as_const(), lb.as_const()) {
+                    (Some(c), _) => lb.scale(c),
+                    (_, Some(c)) => la.scale(c),
+                    _ => None,
+                },
+                BinOp::Shl => match lb.as_const() {
+                    Some(c @ 0..=62) => la.scale(1i64 << c),
+                    _ => None,
+                },
+                // Remaining integer ops only fold when fully constant
+                // (matching the walker's i64 semantics, incl. div 0 = 0).
+                _ => match (la.as_const(), lb.as_const()) {
+                    (Some(x), Some(y)) => match op {
+                        BinOp::Div => Some(Lin::konst(if y == 0 { 0 } else { x / y })),
+                        BinOp::Rem => Some(Lin::konst(if y == 0 { 0 } else { x % y })),
+                        BinOp::Min => Some(Lin::konst(x.min(y))),
+                        BinOp::Max => Some(Lin::konst(x.max(y))),
+                        BinOp::And => Some(Lin::konst(x & y)),
+                        BinOp::Or => Some(Lin::konst(x | y)),
+                        BinOp::Xor => Some(Lin::konst(x ^ y)),
+                        BinOp::Shr => Some(Lin::konst(x >> (y & 63))),
+                        BinOp::Lt => Some(Lin::konst((x < y) as i64)),
+                        BinOp::Le => Some(Lin::konst((x <= y) as i64)),
+                        BinOp::Gt => Some(Lin::konst((x > y) as i64)),
+                        BinOp::Ge => Some(Lin::konst((x >= y) as i64)),
+                        BinOp::Eq => Some(Lin::konst((x == y) as i64)),
+                        BinOp::Ne => Some(Lin::konst((x != y) as i64)),
+                        _ => None,
+                    },
+                    _ => None,
+                },
+            };
+            r.map(Val::Lin).unwrap_or(Val::Unknown)
+        }
+        Expr::Select { .. } => Val::Unknown,
+        // Integer casts are value-preserving for in-range index math
+        // (all kernel index arithmetic is i64); float casts lose the
+        // affine shape.
+        Expr::Cast(ty, a) if !ty.is_float() => eval_expr(k, t, env, *a),
+        Expr::Cast(..) => Val::Unknown,
+        Expr::LoadExt { .. } | Expr::LoadLocal { .. } | Expr::Lane(..) | Expr::Splat(..) => {
+            Val::Unknown
         }
     }
 }

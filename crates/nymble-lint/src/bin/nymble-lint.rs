@@ -1,8 +1,8 @@
 //! `nymble-lint` — command-line front end of the static analyzer.
 //!
 //! ```text
-//! nymble-lint [--lint=deny|warn|off] [--json] [--set clean|buggy|all]
-//!             [--kernel NAME] [--list]
+//! nymble-lint [--lint=deny|warn|off] [--perf-lint=deny|warn|off] [--json]
+//!             [--set clean|buggy|all] [--kernel NAME] [--list]
 //! ```
 //!
 //! The built-in registry covers every shipped kernel (GEMM v1–v5, π, tree
@@ -20,7 +20,7 @@ use kernels::fixtures;
 use kernels::gemm::{GemmParams, GemmVersion};
 use kernels::pi::PiParams;
 use nymble_ir::Kernel;
-use nymble_lint::{lint_kernel, Code, LintLevel};
+use nymble_lint::{lint_kernel, perf_lint_kernel, Code, LintLevel};
 
 struct Entry {
     name: String,
@@ -29,6 +29,11 @@ struct Entry {
     expect: Vec<Code>,
     /// Whether this entry belongs to the buggy (expectation) set.
     buggy: bool,
+    /// Performance-family fixture: additionally run the `NP0xx` analyzer
+    /// and merge its findings. Shipped kernels stay correctness-only here
+    /// — their perf profile is the business of the repro binaries, where
+    /// `--perf-lint=warn` reports it without gating.
+    perf: bool,
 }
 
 fn registry() -> Vec<Entry> {
@@ -46,6 +51,7 @@ fn registry() -> Vec<Entry> {
             kernel: kernels::gemm::build(v, &gp),
             expect: Vec::new(),
             buggy: false,
+            perf: false,
         });
     }
     entries.push(Entry {
@@ -57,42 +63,49 @@ fn registry() -> Vec<Entry> {
         }),
         expect: Vec::new(),
         buggy: false,
+        perf: false,
     });
     entries.push(Entry {
         name: "tree_reduce".into(),
         kernel: kernels::reduction::build(64, 4),
         expect: Vec::new(),
         buggy: false,
+        perf: false,
     });
     entries.push(Entry {
         name: "vecadd".into(),
         kernel: kernels::extra::vecadd(64, 4),
         expect: Vec::new(),
         buggy: false,
+        perf: false,
     });
     entries.push(Entry {
         name: "dot".into(),
         kernel: kernels::extra::dot(64, 4),
         expect: Vec::new(),
         buggy: false,
+        perf: false,
     });
     entries.push(Entry {
         name: "jacobi".into(),
         kernel: kernels::extra::jacobi(16, 4),
         expect: Vec::new(),
         buggy: false,
+        perf: false,
     });
     entries.push(Entry {
         name: "histogram".into(),
         kernel: kernels::extra::histogram(64, 8, 4),
         expect: Vec::new(),
         buggy: false,
+        perf: false,
     });
     entries.push(Entry {
         name: "spmv".into(),
         kernel: kernels::spmv::build(16, 4),
         expect: Vec::new(),
         buggy: false,
+        perf: false,
     });
     // Lint fixtures: near-misses join the clean set, triggering fixtures
     // form the buggy set.
@@ -105,6 +118,7 @@ fn registry() -> Vec<Entry> {
         entries.push(Entry {
             name: f.name.to_string(),
             buggy: !expect.is_empty(),
+            perf: f.perf,
             kernel: f.kernel,
             expect,
         });
@@ -114,14 +128,15 @@ fn registry() -> Vec<Entry> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nymble-lint [--lint[=deny|warn|off]] [--json] \
-         [--set clean|buggy|all] [--kernel NAME] [--list]"
+        "usage: nymble-lint [--lint[=deny|warn|off]] [--perf-lint[=deny|warn|off]] \
+         [--json] [--set clean|buggy|all] [--kernel NAME] [--list]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut level = LintLevel::Deny;
+    let mut perf_level = LintLevel::Deny;
     let mut json = false;
     let mut set = "all".to_string();
     let mut only: Option<String> = None;
@@ -137,6 +152,7 @@ fn main() {
         };
         match a.as_str() {
             "--lint" => level = LintLevel::Deny,
+            "--perf-lint" => perf_level = LintLevel::Deny,
             "--json" => json = true,
             "--list" => list = true,
             "--set" => set = take(&mut i),
@@ -145,6 +161,8 @@ fn main() {
             _ => {
                 if let Some(v) = a.strip_prefix("--lint=") {
                     level = LintLevel::parse(v).unwrap_or_else(|| usage());
+                } else if let Some(v) = a.strip_prefix("--perf-lint=") {
+                    perf_level = LintLevel::parse(v).unwrap_or_else(|| usage());
                 } else if let Some(v) = a.strip_prefix("--set=") {
                     set = v.to_string();
                 } else if let Some(v) = a.strip_prefix("--kernel=") {
@@ -170,6 +188,10 @@ fn main() {
             _ => true,
         })
         .filter(|e| only.as_deref().is_none_or(|n| e.name == n))
+        // With the perf family off, its fixtures have no expectation to
+        // check — drop them so `--perf-lint=off` output is byte-identical
+        // to the pre-NP registry.
+        .filter(|e| perf_level != LintLevel::Off || !e.perf)
         .collect();
     if entries.is_empty() {
         eprintln!("no kernel matches the selection");
@@ -190,7 +212,12 @@ fn main() {
     let mut failed = 0usize;
     let mut json_reports: Vec<String> = Vec::new();
     for e in &entries {
-        let report = lint_kernel(&e.kernel);
+        let mut report = lint_kernel(&e.kernel);
+        if e.perf {
+            report
+                .diagnostics
+                .extend(perf_lint_kernel(&e.kernel).diagnostics);
+        }
         if json {
             // One JSON array per kernel would not concatenate, so collect
             // all diagnostics into a single top-level array.

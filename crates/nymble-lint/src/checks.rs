@@ -310,7 +310,7 @@ fn cross_thread_overlap(a: &Site, b: &Site, nt: usize, same_site: bool) -> Optio
     None
 }
 
-fn span(listing: &Listing, stmt_idx: usize, label: impl Into<String>) -> Span {
+pub(crate) fn span(listing: &Listing, stmt_idx: usize, label: impl Into<String>) -> Span {
     let line = listing.stmt_lines.get(stmt_idx).copied();
     let snippet = line
         .and_then(|l| listing.text.lines().nth(l as usize - 1))

@@ -27,17 +27,37 @@ pub enum Code {
     NL005,
     /// Dead `map(from)` clause: the buffer is never written by the kernel.
     NL006,
+    /// Loop-carried recurrence on a pipelined loop inflates the initiation
+    /// interval: iterations cannot overlap past the dependence chain.
+    NP001,
+    /// Strided external access touches a fresh DRAM line per (few)
+    /// elements: line traffic is a multiple of the useful bytes.
+    NP002,
+    /// Dead DMA: a `Preload`d local memory is never read, or a
+    /// `WriteBack` source is never written — pure bus waste.
+    NP003,
+    /// Critical section inside the parallel loop serializes the threads
+    /// (Amdahl bound from per-thread trip counts).
+    NP004,
+    /// Asymmetric per-thread loop bounds imbalance the threads at a
+    /// barrier: the fast threads idle until the slowest arrives.
+    NP005,
 }
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 6] = [
+    pub const ALL: [Code; 11] = [
         Code::NL001,
         Code::NL002,
         Code::NL003,
         Code::NL004,
         Code::NL005,
         Code::NL006,
+        Code::NP001,
+        Code::NP002,
+        Code::NP003,
+        Code::NP004,
+        Code::NP005,
     ];
 
     /// The stable string form (`"NL001"`…).
@@ -49,6 +69,11 @@ impl Code {
             Code::NL004 => "NL004",
             Code::NL005 => "NL005",
             Code::NL006 => "NL006",
+            Code::NP001 => "NP001",
+            Code::NP002 => "NP002",
+            Code::NP003 => "NP003",
+            Code::NP004 => "NP004",
+            Code::NP005 => "NP005",
         }
     }
 
@@ -57,11 +82,21 @@ impl Code {
         Code::ALL.into_iter().find(|c| c.as_str() == s)
     }
 
+    /// Is this a performance diagnostic (`NP0xx`) rather than a
+    /// correctness diagnostic (`NL0xx`)?
+    pub fn is_perf(self) -> bool {
+        matches!(
+            self,
+            Code::NP001 | Code::NP002 | Code::NP003 | Code::NP004 | Code::NP005
+        )
+    }
+
     /// Default severity of this code.
     pub fn severity(self) -> Severity {
         match self {
             Code::NL001 | Code::NL002 | Code::NL003 | Code::NL004 => Severity::Error,
-            Code::NL005 | Code::NL006 => Severity::Warning,
+            // Performance findings never make the kernel *wrong*.
+            _ => Severity::Warning,
         }
     }
 
@@ -74,6 +109,11 @@ impl Code {
             Code::NL004 => "provable out-of-bounds access",
             Code::NL005 => "dead map(to) clause: buffer never read",
             Code::NL006 => "dead map(from) clause: buffer never written",
+            Code::NP001 => "loop-carried recurrence inflates pipeline initiation interval",
+            Code::NP002 => "strided external access multiplies DRAM line traffic",
+            Code::NP003 => "dead DMA transfer: preloaded/written-back data unused",
+            Code::NP004 => "critical section serializes the parallel loop (Amdahl bound)",
+            Code::NP005 => "asymmetric loop bounds imbalance threads at a barrier",
         }
     }
 }
@@ -119,8 +159,68 @@ pub struct Span {
     pub label: String,
 }
 
+/// The quantity a performance prediction is denominated in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredMetric {
+    /// Predicted total kernel cycles (cross-checkable against
+    /// `fpga_sim::analytic::AnalyticReport::total_cycles`).
+    TotalCycles,
+    /// Predicted total DRAM line traffic in bytes.
+    DramBytes,
+    /// Bytes moved by a DMA transfer whose data is provably unused.
+    WastedDmaBytes,
+    /// Cycles spent strictly serialized inside critical sections
+    /// (summed over threads — the Amdahl serial term).
+    SerialCycles,
+    /// Ratio of the busiest thread's work to the least busy thread's.
+    ImbalanceRatio,
+}
+
+impl PredMetric {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PredMetric::TotalCycles => "total_cycles",
+            PredMetric::DramBytes => "dram_bytes",
+            PredMetric::WastedDmaBytes => "wasted_dma_bytes",
+            PredMetric::SerialCycles => "serial_cycles",
+            PredMetric::ImbalanceRatio => "imbalance_ratio",
+        }
+    }
+}
+
+impl fmt::Display for PredMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A quantitative prediction attached to a performance diagnostic,
+/// priced through the same latency/bandwidth model the analytical
+/// simulator uses — so it can be confronted with a measured trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prediction {
+    pub metric: PredMetric,
+    pub value: f64,
+}
+
+impl Prediction {
+    pub fn new(metric: PredMetric, value: f64) -> Self {
+        Prediction { metric, value }
+    }
+
+    /// Deterministic numeric rendering: integers without a fractional
+    /// part, everything else with two decimals.
+    pub fn value_str(&self) -> String {
+        if self.value.fract() == 0.0 && self.value.abs() < 1e15 {
+            format!("{}", self.value as i64)
+        } else {
+            format!("{:.2}", self.value)
+        }
+    }
+}
+
 /// One finding of the analyzer.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Diagnostic {
     pub code: Code,
     pub severity: Severity,
@@ -129,6 +229,9 @@ pub struct Diagnostic {
     pub message: String,
     /// Listing locations, primary first.
     pub spans: Vec<Span>,
+    /// Quantitative prediction (performance diagnostics only; `None` keeps
+    /// the JSON output of correctness diagnostics byte-identical).
+    pub prediction: Option<Prediction>,
 }
 
 impl Diagnostic {
@@ -138,7 +241,14 @@ impl Diagnostic {
             severity: code.severity(),
             message: message.into(),
             spans,
+            prediction: None,
         }
+    }
+
+    /// Attach a quantitative prediction.
+    pub fn with_prediction(mut self, metric: PredMetric, value: f64) -> Self {
+        self.prediction = Some(Prediction::new(metric, value));
+        self
     }
 
     /// Human rendering of a single diagnostic (multi-line, `rustc` style).
@@ -158,6 +268,13 @@ impl Diagnostic {
                 }
                 None => out.push_str(&format!("       | <{}>\n", s.label)),
             }
+        }
+        if let Some(p) = &self.prediction {
+            out.push_str(&format!(
+                "       = predicted {}: {}\n",
+                p.metric,
+                p.value_str()
+            ));
         }
         out
     }
@@ -206,8 +323,18 @@ impl Diagnostic {
             spans.push('\n');
             spans.push_str(&inner);
         }
+        // The prediction object is emitted only when present, so the JSON
+        // of correctness diagnostics is byte-identical to the pre-NP era.
+        let prediction = match &self.prediction {
+            Some(p) => format!(
+                "{inner}\"prediction\": {{\"metric\": \"{}\", \"value\": {}}},\n",
+                p.metric,
+                p.value_str()
+            ),
+            None => String::new(),
+        };
         format!(
-            "{pad}{{\n{inner}\"kernel\": \"{}\",\n{inner}\"code\": \"{}\",\n{inner}\"severity\": \"{}\",\n{inner}\"message\": \"{}\",\n{inner}\"spans\": [{spans}]\n{pad}}}",
+            "{pad}{{\n{inner}\"kernel\": \"{}\",\n{inner}\"code\": \"{}\",\n{inner}\"severity\": \"{}\",\n{inner}\"message\": \"{}\",\n{prediction}{inner}\"spans\": [{spans}]\n{pad}}}",
             json_escape(kernel),
             self.code,
             self.severity,
@@ -253,5 +380,33 @@ mod tests {
         let im = j.find("\"message\"").unwrap();
         let isp = j.find("\"spans\"").unwrap();
         assert!(ik < ic && ic < is_ && is_ < im && im < isp, "{j}");
+        // No prediction → no prediction key (byte-stable NL output).
+        assert!(!j.contains("\"prediction\""), "{j}");
+    }
+
+    #[test]
+    fn np_codes_are_perf_warnings_with_predictions() {
+        for c in [
+            Code::NP001,
+            Code::NP002,
+            Code::NP003,
+            Code::NP004,
+            Code::NP005,
+        ] {
+            assert!(c.is_perf());
+            assert_eq!(c.severity(), Severity::Warning);
+        }
+        assert!(!Code::NL001.is_perf());
+        let d = Diagnostic::new(Code::NP001, "II >= 8 due to recurrence on `acc`", vec![])
+            .with_prediction(PredMetric::TotalCycles, 5318.0);
+        let j = d.to_json("k", 0);
+        let im = j.find("\"message\"").unwrap();
+        let ip = j.find("\"prediction\"").unwrap();
+        let isp = j.find("\"spans\"").unwrap();
+        assert!(im < ip && ip < isp, "{j}");
+        assert!(j.contains("\"metric\": \"total_cycles\""), "{j}");
+        assert!(j.contains("\"value\": 5318"), "{j}");
+        let h = d.render_human("k");
+        assert!(h.contains("predicted total_cycles: 5318"), "{h}");
     }
 }

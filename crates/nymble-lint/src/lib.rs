@@ -14,6 +14,19 @@
 //! | NL005 | warning  | dead `map(to)` clause — the buffer is never read |
 //! | NL006 | warning  | dead `map(from)` clause — the buffer is never written |
 //!
+//! A second family of *performance* diagnostics ([`perf`], `NP0xx` codes)
+//! statically predicts the bottlenecks the profiling unit would measure,
+//! each carrying a quantitative prediction priced by a static mirror of
+//! `fpga_sim::analytic`:
+//!
+//! | code  | severity | pathology |
+//! |-------|----------|-----------|
+//! | NP001 | warning  | loop-carried recurrence inflates the pipelined initiation interval |
+//! | NP002 | warning  | strided external access multiplies DRAM line traffic |
+//! | NP003 | warning  | dead DMA: `preload` never read / `write_back` never written |
+//! | NP004 | warning  | critical section inside a parallel loop serializes threads (Amdahl) |
+//! | NP005 | warning  | asymmetric per-thread loop bounds imbalance threads at a barrier |
+//!
 //! The analyzer instantiates `thread_id` per hardware thread and computes
 //! per-thread affine index sets from loop bounds, unroll/vector clauses and
 //! burst lengths ([`affine`]), then proves access-set disjointness with
@@ -30,9 +43,12 @@
 pub mod affine;
 mod analysis;
 mod checks;
+pub mod deps;
 pub mod diag;
+pub mod perf;
 
-pub use diag::{Code, Diagnostic, Severity, Span};
+pub use diag::{Code, Diagnostic, PredMetric, Prediction, Severity, Span};
+pub use perf::{PerfModel, PerfParams};
 
 use nymble_ir::Kernel;
 use std::collections::BTreeMap;
@@ -175,6 +191,38 @@ pub fn enforce(kernel: &Kernel, level: LintLevel) -> Result<LintReport, String> 
         });
     }
     let report = lint_kernel(kernel);
+    if level == LintLevel::Deny && !report.is_clean() {
+        return Err(report.render_human());
+    }
+    Ok(report)
+}
+
+/// Run the performance diagnostics (`NP0xx`) with default pricing
+/// parameters (mirroring `fpga_sim::SimConfig::default()`).
+pub fn perf_lint_kernel(kernel: &Kernel) -> LintReport {
+    perf_lint_kernel_with(kernel, &PerfParams::default())
+}
+
+/// Run the performance diagnostics priced against explicit [`PerfParams`].
+pub fn perf_lint_kernel_with(kernel: &Kernel, params: &PerfParams) -> LintReport {
+    LintReport {
+        kernel: kernel.name.clone(),
+        diagnostics: perf::run_perf_checks(kernel, params),
+    }
+}
+
+/// Gate a kernel on the performance diagnostics at `level`. Like
+/// [`enforce`], `Err` carries the rendered report only when the level
+/// demands failure — note NP findings are warnings, so only
+/// [`LintLevel::Deny`] ever fails.
+pub fn enforce_perf(kernel: &Kernel, level: LintLevel) -> Result<LintReport, String> {
+    if level == LintLevel::Off {
+        return Ok(LintReport {
+            kernel: kernel.name.clone(),
+            diagnostics: Vec::new(),
+        });
+    }
+    let report = perf_lint_kernel(kernel);
     if level == LintLevel::Deny && !report.is_clean() {
         return Err(report.render_human());
     }

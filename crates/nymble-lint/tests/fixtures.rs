@@ -2,13 +2,22 @@
 //! near-miss that must lint clean (`kernels::fixtures`). This suite pins
 //! both directions: the analyzer finds exactly what each buggy fixture
 //! declares — no more, no less — and stays silent on the near-misses.
+//!
+//! Fixtures are routed by family: correctness fixtures (`NL0xx`) run the
+//! correctness analyzer, performance fixtures (`NP0xx`) run the perf
+//! analyzer *and* must be correctness-clean, since the registry CLI lints
+//! them under both families.
 
-use nymble_lint::{lint_kernel, LintLevel};
+use nymble_lint::{lint_kernel, perf_lint_kernel, LintLevel};
 
 #[test]
 fn buggy_fixtures_produce_exactly_their_codes() {
     for f in kernels::fixtures::buggy() {
-        let report = lint_kernel(&f.kernel);
+        let report = if f.perf {
+            perf_lint_kernel(&f.kernel)
+        } else {
+            lint_kernel(&f.kernel)
+        };
         let got: Vec<&str> = report.codes().iter().map(|c| c.as_str()).collect();
         assert_eq!(
             got,
@@ -23,7 +32,11 @@ fn buggy_fixtures_produce_exactly_their_codes() {
 #[test]
 fn near_miss_fixtures_lint_clean() {
     for f in kernels::fixtures::near_misses() {
-        let report = lint_kernel(&f.kernel);
+        let report = if f.perf {
+            perf_lint_kernel(&f.kernel)
+        } else {
+            lint_kernel(&f.kernel)
+        };
         assert!(
             report.is_clean(),
             "near-miss `{}` must be clean:\n{}",
@@ -34,9 +47,42 @@ fn near_miss_fixtures_lint_clean() {
 }
 
 #[test]
+fn perf_fixtures_are_correctness_clean() {
+    for f in kernels::fixtures::all().iter().filter(|f| f.perf) {
+        let report = lint_kernel(&f.kernel);
+        assert!(
+            report.is_clean(),
+            "perf fixture `{}` must carry no NL findings:\n{}",
+            f.name,
+            report.render_human()
+        );
+    }
+}
+
+#[test]
+fn perf_diagnostics_carry_quantitative_predictions() {
+    // Every NP finding on the triggering fixtures must come with its
+    // priced prediction — that is the family's whole contract.
+    for f in kernels::fixtures::buggy().iter().filter(|f| f.perf) {
+        let report = perf_lint_kernel(&f.kernel);
+        for d in &report.diagnostics {
+            let p = d
+                .prediction
+                .as_ref()
+                .unwrap_or_else(|| panic!("`{}` {} has no prediction", f.name, d.code.as_str()));
+            assert!(p.value > 0.0, "`{}` {}: {:?}", f.name, d.code.as_str(), p);
+        }
+    }
+}
+
+#[test]
 fn deny_gates_exactly_the_buggy_fixtures() {
     for f in kernels::fixtures::all() {
-        let gated = nymble_lint::enforce(&f.kernel, LintLevel::Deny);
+        let gated = if f.perf {
+            nymble_lint::enforce_perf(&f.kernel, LintLevel::Deny)
+        } else {
+            nymble_lint::enforce(&f.kernel, LintLevel::Deny)
+        };
         if f.expect.is_empty() {
             assert!(gated.is_ok(), "near-miss `{}` passed deny", f.name);
         } else {
@@ -46,10 +92,17 @@ fn deny_gates_exactly_the_buggy_fixtures() {
             }
         }
         // Warn reports but never fails; Off never even analyzes.
-        assert!(nymble_lint::enforce(&f.kernel, LintLevel::Warn).is_ok());
-        assert!(nymble_lint::enforce(&f.kernel, LintLevel::Off)
-            .unwrap()
-            .is_clean());
+        if f.perf {
+            assert!(nymble_lint::enforce_perf(&f.kernel, LintLevel::Warn).is_ok());
+            assert!(nymble_lint::enforce_perf(&f.kernel, LintLevel::Off)
+                .unwrap()
+                .is_clean());
+        } else {
+            assert!(nymble_lint::enforce(&f.kernel, LintLevel::Warn).is_ok());
+            assert!(nymble_lint::enforce(&f.kernel, LintLevel::Off)
+                .unwrap()
+                .is_clean());
+        }
     }
 }
 
@@ -58,11 +111,21 @@ fn diagnostics_carry_spans_into_the_listing() {
     // Spans must point at real lines of the pretty-printed kernel so the
     // human rendering can quote them.
     for f in kernels::fixtures::buggy() {
-        let report = lint_kernel(&f.kernel);
+        let report = if f.perf {
+            perf_lint_kernel(&f.kernel)
+        } else {
+            lint_kernel(&f.kernel)
+        };
         for d in &report.diagnostics {
             assert!(
                 !d.spans.is_empty(),
                 "`{}` {} has no spans",
+                f.name,
+                d.code.as_str()
+            );
+            assert!(
+                d.spans[0].line.is_some(),
+                "`{}` {} span points nowhere",
                 f.name,
                 d.code.as_str()
             );

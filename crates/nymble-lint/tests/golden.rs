@@ -9,7 +9,7 @@
 //! UPDATE_GOLDEN=1 cargo test -p nymble-lint --test golden
 //! ```
 
-use nymble_lint::lint_kernel;
+use nymble_lint::{lint_kernel, perf_lint_kernel};
 use std::path::PathBuf;
 
 fn golden_dir() -> PathBuf {
@@ -27,7 +27,12 @@ fn buggy_fixture_json_matches_golden_snapshots() {
     }
     let mut expected_files = Vec::new();
     for f in kernels::fixtures::buggy() {
-        let json = lint_kernel(&f.kernel).to_json() + "\n";
+        let report = if f.perf {
+            perf_lint_kernel(&f.kernel)
+        } else {
+            lint_kernel(&f.kernel)
+        };
+        let json = report.to_json() + "\n";
         let path = dir.join(format!("{}.json", f.name));
         expected_files.push(format!("{}.json", f.name));
         if update {
@@ -62,6 +67,11 @@ fn buggy_fixture_json_matches_golden_snapshots() {
 #[test]
 fn clean_reports_serialize_to_the_empty_array() {
     for f in kernels::fixtures::near_misses() {
-        assert_eq!(lint_kernel(&f.kernel).to_json(), "[]", "{}", f.name);
+        let report = if f.perf {
+            perf_lint_kernel(&f.kernel)
+        } else {
+            lint_kernel(&f.kernel)
+        };
+        assert_eq!(report.to_json(), "[]", "{}", f.name);
     }
 }

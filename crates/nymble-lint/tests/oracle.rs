@@ -53,6 +53,10 @@ fn lint_clean_fixtures_run_clean() {
     for f in kernels::fixtures::near_misses() {
         let report = nymble_lint::lint_kernel(&f.kernel);
         assert!(report.is_clean(), "{}", report.render_human());
+        if f.perf {
+            let perf = nymble_lint::perf_lint_kernel(&f.kernel);
+            assert!(perf.is_clean(), "{}", perf.render_human());
+        }
         let trace = trace_of(&f.kernel);
         assert!(
             trace.find_conflict().is_none(),
