@@ -1,14 +1,24 @@
 //! Warn-only perf-trajectory gate for CI (`bench-smoke` job).
 //!
 //! Compares a freshly emitted `--bench-json` snapshot against the
-//! committed baseline (`BENCH_pi.json` / `BENCH_gemm.json` at the repo
-//! root) and prints a GitHub Actions `::warning::` annotation when wall
-//! time regressed more than the threshold (default 2×). It NEVER fails
-//! the build: CI runners have noisy, heterogeneous hardware, so a wall
-//! regression is a prompt for a human look, not a red X. A missing
-//! baseline (first run on a new binary) is likewise only a note.
+//! committed baseline (`BENCH_pi.json` / `BENCH_gemm.json` /
+//! `BENCH_scale.json` at the repo root) and prints a GitHub Actions
+//! `::warning::` annotation when wall time regressed more than the
+//! threshold (default 2×). It NEVER fails the build: CI runners have
+//! noisy, heterogeneous hardware, so a wall regression is a prompt for a
+//! human look, not a red X. A missing baseline (first run on a new
+//! binary) is likewise only a note.
 //!
-//! Usage: `bench_check --current PATH --committed PATH [--threshold X]`
+//! `--extras` widens the gate to named `extra` entries of the snapshot —
+//! the scaling study uses it to watch per-thread-count wall times and the
+//! wheel-vs-heap speedup, so a dispatch-core regression that only shows
+//! at T=256 still gets an annotation. Each entry drifts symmetrically: a
+//! value is flagged when it moves beyond `threshold`× in either
+//! direction, which catches both a wall time doubling and a speedup
+//! halving with one rule.
+//!
+//! Usage: `bench_check --current PATH --committed PATH [--threshold X]
+//!                     [--extras KEY[=X][,KEY[=X]...]]`
 
 use bench::args::Args;
 use bench::snapshot::PerfSnapshot;
@@ -28,9 +38,21 @@ fn main() {
         .value_of("--threshold")
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(2.0);
-    match check(&current, &committed, threshold) {
-        Verdict::Ok(msg) | Verdict::Note(msg) => println!("{msg}"),
-        Verdict::Warning(msg) => println!("::warning::{msg}"),
+    let extras = match args.value_of("--extras") {
+        Some(list) => match parse_extras(list, threshold) {
+            Ok(specs) => specs,
+            Err(e) => {
+                eprintln!("bench_check: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => Vec::new(),
+    };
+    for verdict in check(&current, &committed, threshold, &extras) {
+        match verdict {
+            Verdict::Ok(msg) | Verdict::Note(msg) => println!("{msg}"),
+            Verdict::Warning(msg) => println!("::warning::{msg}"),
+        }
     }
     // Always exit 0: this gate informs, it does not block.
 }
@@ -41,23 +63,62 @@ enum Verdict {
     Warning(String),
 }
 
-fn check(current: &Path, committed: &Path, threshold: f64) -> Verdict {
+/// One `--extras` entry: a snapshot `extra` key plus its drift threshold.
+struct ExtraSpec {
+    key: String,
+    threshold: f64,
+}
+
+/// Parse `KEY[=THRESHOLD],...`; entries without `=X` use the global
+/// threshold.
+fn parse_extras(list: &str, default_threshold: f64) -> Result<Vec<ExtraSpec>, String> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|entry| match entry.split_once('=') {
+            Some((key, t)) => {
+                let threshold = t
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --extras threshold in {entry:?}"))?;
+                if threshold <= 1.0 {
+                    return Err(format!("--extras threshold must be > 1.0 in {entry:?}"));
+                }
+                Ok(ExtraSpec {
+                    key: key.to_string(),
+                    threshold,
+                })
+            }
+            None => Ok(ExtraSpec {
+                key: entry.to_string(),
+                threshold: default_threshold,
+            }),
+        })
+        .collect()
+}
+
+fn check(current: &Path, committed: &Path, threshold: f64, extras: &[ExtraSpec]) -> Vec<Verdict> {
     let cur = match PerfSnapshot::read(current) {
         Ok(s) => s,
-        Err(e) => return Verdict::Note(format!("bench_check: no current snapshot ({e})")),
+        Err(e) => {
+            return vec![Verdict::Note(format!(
+                "bench_check: no current snapshot ({e})"
+            ))]
+        }
     };
     let base = match PerfSnapshot::read(committed) {
         Ok(s) => s,
         Err(e) => {
-            return Verdict::Note(format!(
+            return vec![Verdict::Note(format!(
                 "bench_check: no committed baseline ({e}); commit the current snapshot to start the trajectory"
-            ))
+            ))]
         }
     };
-    compare(&cur, &base, threshold)
+    let mut verdicts = vec![compare(&cur, &base, threshold)];
+    verdicts.extend(extras.iter().map(|spec| compare_extra(&cur, &base, spec)));
+    verdicts
 }
 
-/// The actual comparison, separated from I/O for testing.
+/// The wall-clock comparison, separated from I/O for testing.
 fn compare(cur: &PerfSnapshot, base: &PerfSnapshot, threshold: f64) -> Verdict {
     if base.wall_seconds <= 0.0 {
         return Verdict::Note(format!(
@@ -80,12 +141,53 @@ fn compare(cur: &PerfSnapshot, base: &PerfSnapshot, threshold: f64) -> Verdict {
     }
 }
 
+/// One named-extra comparison: symmetric drift check, so it flags a
+/// speedup that halved as readily as a wall time that doubled.
+fn compare_extra(cur: &PerfSnapshot, base: &PerfSnapshot, spec: &ExtraSpec) -> Verdict {
+    let key = &spec.key;
+    let (Some(c), Some(b)) = (cur.extra_value(key), base.extra_value(key)) else {
+        return Verdict::Note(format!(
+            "bench_check: extra {key:?} missing from current or committed snapshot; skipping"
+        ));
+    };
+    if b <= 0.0 {
+        return Verdict::Note(format!(
+            "bench_check: committed extra {key:?} is non-positive ({b}); skipping"
+        ));
+    }
+    let ratio = c / b;
+    let detail = format!(
+        "{} extra {key}: {c:.3} vs committed {b:.3} ({ratio:.2}x)",
+        cur.binary
+    );
+    if ratio > spec.threshold || ratio < 1.0 / spec.threshold {
+        Verdict::Warning(format!(
+            "{detail} — drifted beyond the {:.1}x threshold; worth a look \
+             (CI hardware is noisy, so this does not fail the build)",
+            spec.threshold
+        ))
+    } else {
+        Verdict::Ok(format!("bench_check: within threshold — {detail}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn snap(wall: f64) -> PerfSnapshot {
         PerfSnapshot::new("repro_pi", "cycle", wall, 1_000)
+    }
+
+    fn snap_extra(key: &str, value: f64) -> PerfSnapshot {
+        snap(1.0).with_extra(key, value)
+    }
+
+    fn spec(key: &str, threshold: f64) -> ExtraSpec {
+        ExtraSpec {
+            key: key.to_string(),
+            threshold,
+        }
     }
 
     #[test]
@@ -116,6 +218,58 @@ mod tests {
     #[test]
     fn missing_files_are_notes() {
         let missing = Path::new("/nonexistent/snapshot.json");
-        assert!(matches!(check(missing, missing, 2.0), Verdict::Note(_)));
+        let verdicts = check(missing, missing, 2.0, &[]);
+        assert_eq!(verdicts.len(), 1);
+        assert!(matches!(verdicts[0], Verdict::Note(_)));
+    }
+
+    #[test]
+    fn extra_within_threshold_is_ok() {
+        let v = compare_extra(
+            &snap_extra("wheel_speedup", 1.6),
+            &snap_extra("wheel_speedup", 1.7),
+            &spec("wheel_speedup", 1.3),
+        );
+        assert!(matches!(v, Verdict::Ok(_)));
+    }
+
+    #[test]
+    fn extra_regression_warns_in_both_directions() {
+        // A speedup that halved (ratio 0.5 < 1/1.3)...
+        let v = compare_extra(
+            &snap_extra("wheel_speedup", 0.85),
+            &snap_extra("wheel_speedup", 1.7),
+            &spec("wheel_speedup", 1.3),
+        );
+        assert!(matches!(v, Verdict::Warning(_)));
+        // ...and a wall time that tripled (ratio 3.0 > 2.0).
+        let v = compare_extra(
+            &snap_extra("gemm_wall_s_t256", 30.0),
+            &snap_extra("gemm_wall_s_t256", 10.0),
+            &spec("gemm_wall_s_t256", 2.0),
+        );
+        assert!(matches!(v, Verdict::Warning(_)));
+    }
+
+    #[test]
+    fn missing_extra_is_a_note() {
+        let v = compare_extra(
+            &snap(1.0),
+            &snap_extra("wheel_speedup", 1.7),
+            &spec("wheel_speedup", 1.3),
+        );
+        assert!(matches!(v, Verdict::Note(_)));
+    }
+
+    #[test]
+    fn extras_list_parses_per_key_thresholds() {
+        let specs = parse_extras("wheel_speedup=1.3, gemm_wall_s_t256", 2.0).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].key, "wheel_speedup");
+        assert!((specs[0].threshold - 1.3).abs() < 1e-12);
+        assert_eq!(specs[1].key, "gemm_wall_s_t256");
+        assert!((specs[1].threshold - 2.0).abs() < 1e-12);
+        assert!(parse_extras("k=abc", 2.0).is_err());
+        assert!(parse_extras("k=0.9", 2.0).is_err());
     }
 }

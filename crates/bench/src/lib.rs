@@ -22,6 +22,7 @@ use hls_profiling::{
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use kernels::pi::{self, PiParams};
 use kernels::reference;
+use kernels::spmv::{self, Csr};
 use nymble_hls::accel::{Accelerator, CompileError, HlsConfig};
 use nymble_hls::AccelCache;
 use nymble_ir::{Kernel, Value};
@@ -432,9 +433,11 @@ pub fn gemm_sim_config() -> SimConfig {
 }
 
 /// Run the analytical fast mode (`fpga_sim::analytic`) for one kernel:
-/// compile (through the shared cache), derive the launch scalars the same
-/// way the simulator does, and evaluate the roofline model. `None` when
-/// the kernel's bounds are not statically resolvable.
+/// compile (through the shared cache), derive the launch scalars and memory
+/// image the same way the simulator does, and evaluate the roofline model.
+/// The image lets memory-dependent loop bounds (CSR SpMV row pointers)
+/// resolve; `None` when the kernel's bounds are still not statically
+/// resolvable.
 pub fn analytic_report(
     cache: &AccelCache,
     kernel: &Kernel,
@@ -442,8 +445,8 @@ pub fn analytic_report(
     launch: &[LaunchArg],
 ) -> Option<fpga_sim::AnalyticReport> {
     let accel = cache.get_or_compile(kernel, &HlsConfig::default());
-    let (_mem, scalars) = fpga_sim::memimg::MemImage::new(kernel, launch);
-    fpga_sim::analytic::estimate(kernel, &accel, sim, &scalars)
+    let (mem, scalars) = fpga_sim::memimg::MemImage::new(kernel, launch);
+    fpga_sim::analytic::estimate_with_image(kernel, &accel, sim, &scalars, &mem)
 }
 
 /// The simulator configuration of the π study: full host launch overhead,
@@ -451,6 +454,46 @@ pub fn analytic_report(
 /// Figs. 11–13 report.
 pub fn pi_sim_config() -> SimConfig {
     SimConfig::default()
+}
+
+/// The dense input vector for an SpMV run: deterministic, zero-free.
+pub fn spmv_x(cols: usize) -> Vec<f32> {
+    (0..cols).map(|i| (i as f32 * 0.37).sin() + 1.5).collect()
+}
+
+/// SpMV launch arguments (`ROW_PTR`, `COL_IDX`, `VALS`, `X`, `Y`) for `m`.
+pub fn spmv_launch(m: &Csr) -> Vec<LaunchArg> {
+    let i64_buf = |v: &[i64]| LaunchArg::Buffer(v.iter().map(|&x| Value::I64(x)).collect());
+    vec![
+        i64_buf(&m.row_ptr),
+        i64_buf(&m.col_idx),
+        f32_buffer(&m.values),
+        f32_buffer(&spmv_x(m.cols)),
+        LaunchArg::Buffer(vec![Value::F32(0.0); m.rows]),
+    ]
+}
+
+/// Build the SpMV kernel and run it with profiling through a shared cache.
+pub fn run_spmv_in(
+    cache: &AccelCache,
+    m: &Csr,
+    threads: u32,
+    sim: &SimConfig,
+) -> Result<ProfiledRun, SimError> {
+    let kernel = spmv::build(m.rows as i64, threads);
+    run_profiled_in(
+        cache,
+        &kernel,
+        sim,
+        &ProfilingConfig::default(),
+        &spmv_launch(m),
+    )
+}
+
+/// The simulator configuration for SpMV experiments: like GEMM, the
+/// scaled-down problem sizes need the scaled launch cost.
+pub fn spmv_sim_config() -> SimConfig {
+    SimConfig::default().with_fast_launch()
 }
 
 #[cfg(test)]

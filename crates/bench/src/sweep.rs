@@ -27,12 +27,16 @@
 
 use crate::engine::{BatchEngine, RunReport, SchedStats};
 use crate::graph::{NodeCtx, NodeKind, TaskGraph};
-use crate::{gemm_launch, pi_launch, run_profiled_streaming_with, BenchError, ProfiledRun};
+use crate::{
+    analytic_report, gemm_launch, pi_launch, run_profiled_streaming_with, spmv_launch, BenchError,
+    ProfiledRun,
+};
 use fpga_sim::memimg::LaunchArg;
 use fpga_sim::SimConfig;
 use hls_profiling::{PipelineConfig, ProfilingConfig, SinkFactory, TraceData};
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use kernels::pi::{self, PiParams};
+use kernels::spmv::{self, Csr};
 use nymble_hls::accel::HlsConfig;
 use nymble_hls::{AccelCache, CacheStats};
 use nymble_ir::Kernel;
@@ -601,6 +605,233 @@ pub fn pi_table(sweep: &PiSweep) -> String {
     sweep.table.clone()
 }
 
+/// Configuration of the SpMV thread-scaling sweep: one CSR matrix run at
+/// every requested thread count (the high-T study of the scaling repro).
+pub struct SpmvSweepConfig {
+    /// The matrix, shared by every run; rows are striped over threads.
+    pub matrix: Csr,
+    /// Thread counts to sweep (each is a distinct kernel and compile).
+    pub threads: Vec<u32>,
+    /// HLS compile options, including the `nymble-lint` gate level; part of
+    /// the compile-cache key.
+    pub hls: HlsConfig,
+    pub sim: SimConfig,
+    pub prof: ProfilingConfig,
+    pub pipeline: PipelineConfig,
+    /// Where trace bundles go (`spmv_<rows>x<cols>_t<threads>` stems);
+    /// `None` skips bundles.
+    pub out: Option<PathBuf>,
+    pub jobs: usize,
+}
+
+/// One SpMV run's payload: the profiled run plus the analytical fast-mode
+/// prediction for the same configuration (when statically resolvable).
+pub struct SpmvRun {
+    pub run: ProfiledRun,
+    pub analytic_cycles: Option<u64>,
+}
+
+/// Result of an SpMV sweep: one report per requested thread count, in
+/// order, plus the table its `Reduce` node rendered.
+pub struct SpmvSweep {
+    pub runs: Vec<(u32, RunReport<SpmvRun>)>,
+    /// The thread-scaling summary table, rendered by the sweep's `Reduce`
+    /// node in submission order.
+    pub table: String,
+    pub cache: CacheStats,
+    /// Work-stealing statistics of the sweep's graph execution.
+    pub sched: SchedStats,
+}
+
+/// One rendered-row's metrics, computed by an SpMV `Analyze` node.
+struct SpmvRow {
+    cycles: u64,
+    analytic: Option<u64>,
+    gbps: f64,
+    spin_pct: f64,
+}
+
+/// Node payload of the SpMV sweep graph.
+enum SpmvNode {
+    Compiled,
+    Ran(SpmvRun),
+    Row(Result<SpmvRow, String>),
+    Table(String),
+}
+
+/// Run the SpMV kernel at every requested thread count as one task graph.
+/// The row count is baked into the IR but the thread count is part of the
+/// kernel too, so each count gets its own `Compile` node. Each run also
+/// prices itself through the analytical fast mode so the table shows the
+/// prediction error alongside the simulated cycles.
+pub fn spmv_sweep(cfg: &SpmvSweepConfig) -> SpmvSweep {
+    let cache = AccelCache::new();
+    let engine = BatchEngine::new(cfg.jobs);
+    let launch = spmv_launch(&cfg.matrix);
+    let kernels: Vec<(u32, Kernel)> = cfg
+        .threads
+        .iter()
+        .map(|&t| (t, spmv::build(cfg.matrix.rows as i64, t)))
+        .collect();
+
+    let mut graph: TaskGraph<'_, SpmvNode> = TaskGraph::new();
+    let mut run_ids = Vec::new();
+    let mut analyze_ids = Vec::new();
+    for (t, kernel) in &kernels {
+        let env = SweepEnv::of(&cache, &cfg.hls, &cfg.sim, &cfg.prof, &cfg.pipeline);
+        let stem = cfg
+            .out
+            .as_ref()
+            .map(|o| o.join(format!("spmv_{}x{}_t{t}", cfg.matrix.rows, cfg.matrix.cols)));
+        let launch = &launch;
+        let sim = &cfg.sim;
+        let threads = *t;
+        let compile = graph.add(
+            NodeKind::Compile,
+            format!("compile:spmv_t{t}"),
+            &[],
+            move |_: &NodeCtx<'_, SpmvNode>| {
+                let _ = env.cache.try_get_or_compile(kernel, env.hls);
+                Ok(SpmvNode::Compiled)
+            },
+        );
+        let run = graph.add(
+            NodeKind::Run,
+            format!("spmv_t{t}"),
+            &[compile],
+            move |ctx: &NodeCtx<'_, SpmvNode>| {
+                let run = profiled_streaming_run(&env, kernel, launch, &ctx.scratch_dir)?;
+                let analytic_cycles =
+                    analytic_report(env.cache, kernel, env.sim, launch).map(|r| r.total_cycles);
+                Ok(SpmvNode::Ran(SpmvRun {
+                    run,
+                    analytic_cycles,
+                }))
+            },
+        );
+        let analyze = graph.add(
+            NodeKind::Analyze,
+            format!("analyze:spmv_t{t}"),
+            &[run],
+            move |ctx: &NodeCtx<'_, SpmvNode>| {
+                let row = match &ctx.dep(0).outcome {
+                    Ok(SpmvNode::Ran(pr)) => {
+                        if let Some(stem) = &stem {
+                            write_bundle(stem, &pr.run.trace)?;
+                        }
+                        let prof = StateProfile::compute(&pr.run.trace.records, threads);
+                        Ok(SpmvRow {
+                            cycles: pr.run.result.total_cycles,
+                            analytic: pr.analytic_cycles,
+                            gbps: pr.run.result.throughput_gbps(sim),
+                            spin_pct: prof.fraction(states::SPINNING) * 100.0,
+                        })
+                    }
+                    Ok(_) => unreachable!("run node produced a non-run payload"),
+                    Err(e) => Err(e.to_string()),
+                };
+                Ok(SpmvNode::Row(row))
+            },
+        );
+        run_ids.push(run);
+        analyze_ids.push(analyze);
+    }
+    let threads_list = cfg.threads.clone();
+    let reduce = graph.add(
+        NodeKind::Reduce,
+        "spmv_table",
+        &analyze_ids,
+        move |ctx: &NodeCtx<'_, SpmvNode>| {
+            Ok(SpmvNode::Table(render_spmv_table(ctx, &threads_list)))
+        },
+    );
+
+    let out = engine.run_graph(graph);
+    let sched = out.stats;
+    let mut reports: Vec<Option<_>> = out.reports.into_iter().map(Some).collect();
+    let table = match reports[reduce.index()]
+        .take()
+        .expect("reduce report")
+        .outcome
+    {
+        Ok(SpmvNode::Table(t)) => t,
+        Ok(_) => unreachable!("reduce node produced a non-table payload"),
+        Err(e) => unreachable!("table reduction cannot fail: {e}"),
+    };
+    let mut runs = Vec::with_capacity(run_ids.len());
+    for (i, ((t, _), id)) in kernels.iter().zip(&run_ids).enumerate() {
+        let r = reports[id.index()].take().expect("run report");
+        runs.push((
+            *t,
+            RunReport {
+                label: r.label,
+                index: i,
+                worker: r.worker,
+                wall: r.wall,
+                outcome: r.outcome.map(|n| match n {
+                    SpmvNode::Ran(pr) => pr,
+                    _ => unreachable!("run node produced a non-run payload"),
+                }),
+            },
+        ));
+    }
+    SpmvSweep {
+        runs,
+        table,
+        cache: cache.stats(),
+        sched,
+    }
+}
+
+/// Render the SpMV thread-scaling table (threads, cycles, analytical
+/// prediction and error, GB/s, spin%) from the analyze rows.
+fn render_spmv_table(ctx: &NodeCtx<'_, SpmvNode>, threads: &[u32]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:>8} {:>14} {:>14} {:>8} {:>8} {:>8}",
+        "threads", "cycles", "analytic", "err%", "GB/s", "spin%"
+    )
+    .unwrap();
+    for (t, dep) in threads.iter().zip(ctx.deps()) {
+        let row = match &dep.outcome {
+            Ok(SpmvNode::Row(row)) => row.as_ref().map_err(Clone::clone),
+            Ok(_) => unreachable!("analyze node produced a non-row payload"),
+            Err(e) => {
+                writeln!(out, "{t:>8} failed: {e}").unwrap();
+                continue;
+            }
+        };
+        match row {
+            Ok(r) => {
+                let (analytic, err) = match r.analytic {
+                    Some(a) => (
+                        a.to_string(),
+                        format!(
+                            "{:+.1}",
+                            (a as f64 - r.cycles as f64) / r.cycles as f64 * 100.0
+                        ),
+                    ),
+                    None => ("-".to_string(), "-".to_string()),
+                };
+                writeln!(
+                    out,
+                    "{:>8} {:>14} {:>14} {:>8} {:>8.3} {:>7.2}%",
+                    t, r.cycles, analytic, err, r.gbps, r.spin_pct
+                )
+                .unwrap();
+            }
+            Err(e) => writeln!(out, "{t:>8} failed: {e}").unwrap(),
+        }
+    }
+    out
+}
+
+/// The table an SpMV sweep's `Reduce` node rendered.
+pub fn spmv_table(sweep: &SpmvSweep) -> String {
+    sweep.table.clone()
+}
+
 /// Write the `(out, sweep stems)` bundles-written footer used by the repro
 /// binaries (shared so their output stays consistent).
 pub fn bundles_footer(out: &Path) -> String {
@@ -645,6 +876,36 @@ mod tests {
             sweep.sched.total_executed() as usize,
             3 * GemmVersion::ALL.len() + 1
         );
+    }
+
+    #[test]
+    fn spmv_sweep_scales_thread_counts_with_analytic_column() {
+        let cfg = SpmvSweepConfig {
+            matrix: Csr::random(64, 64, 4, 5),
+            threads: vec![2, 4],
+            hls: HlsConfig::default(),
+            sim: crate::spmv_sim_config(),
+            prof: ProfilingConfig::default(),
+            pipeline: PipelineConfig::default(),
+            out: None,
+            jobs: 2,
+        };
+        let sweep = spmv_sweep(&cfg);
+        assert_eq!(sweep.runs.len(), 2);
+        // One compile per thread count: the count is baked into the IR.
+        assert_eq!(sweep.cache.misses, 2);
+        for (t, r) in &sweep.runs {
+            let pr = r.outcome.as_ref().unwrap_or_else(|e| panic!("t{t}: {e}"));
+            assert!(pr.run.result.total_cycles > 0);
+            assert!(
+                pr.analytic_cycles.is_some(),
+                "t{t}: SpMV must be analytically resolvable via the memory image"
+            );
+        }
+        let table = spmv_table(&sweep);
+        assert!(table.contains("analytic"));
+        assert_eq!(table.lines().count(), 1 + 2);
+        assert_eq!(sweep.sched.total_executed(), 3 * 2 + 1);
     }
 
     #[test]

@@ -2,10 +2,14 @@
 //! against the cycle-level simulator on the repro suite: every GEMM
 //! version plus π must land within 15% of the simulated total.
 
-use bench::{analytic_report, gemm_launch, gemm_sim_config, pi_launch, pi_sim_config};
+use bench::{
+    analytic_report, gemm_launch, gemm_sim_config, pi_launch, pi_sim_config, spmv_launch,
+    spmv_sim_config,
+};
 use fpga_sim::memimg::LaunchArg;
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use kernels::pi::{self, PiParams};
+use kernels::spmv::{self, Csr};
 use nymble_hls::AccelCache;
 use nymble_ir::Kernel;
 
@@ -48,6 +52,23 @@ fn gemm_suite_within_tolerance() {
     for v in GemmVersion::ALL {
         let k = gemm::build(v, &p);
         check(v.name(), &k, &sim, &launch);
+    }
+}
+
+#[test]
+fn spmv_within_tolerance() {
+    // Irregular workload: the inner-loop trip counts come from the CSR row
+    // pointers in memory, so this exercises the image-backed bound
+    // resolution (`estimate_with_image`). Two shapes: a wider matrix with
+    // moderate rows, and a tall skinny one with short rows.
+    let sim = spmv_sim_config();
+    for (name, rows, cols, nnz, threads) in [
+        ("spmv_256x256", 256usize, 256usize, 8usize, 8u32),
+        ("spmv_tall", 384, 64, 4, 4),
+    ] {
+        let m = Csr::random(rows, cols, nnz, 7);
+        let k = spmv::build(m.rows as i64, threads);
+        check(name, &k, &sim, &spmv_launch(&m));
     }
 }
 

@@ -14,13 +14,14 @@
 //! simulation are found in microseconds instead of minutes.
 
 use crate::config::SimConfig;
+use crate::memimg::MemImage;
 use nymble_hls::accel::Accelerator;
 use nymble_hls::op::OpClass;
 use nymble_ir::expr::Expr;
 use nymble_ir::kernel::{ArgKind, Kernel};
 use nymble_ir::loops::{LoopId, LoopMap};
 use nymble_ir::stmt::{Stmt, Unroll};
-use nymble_ir::{ExprId, Value};
+use nymble_ir::{ExprId, MapDir, Value};
 
 /// What the model predicts limits the kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,6 +72,11 @@ struct Ctx<'k> {
     cfg: &'k SimConfig,
     loops: LoopMap,
     scalars: &'k ScalarArgs,
+    /// Pristine launch-time memory image for resolving loads from
+    /// device-read-only (`map(to)`) buffers — lets memory-dependent loop
+    /// bounds (CSR row pointers) price statically. `None` = loads are
+    /// opaque.
+    mem: Option<&'k MemImage>,
     tid: i64,
     /// Bindings of loop induction variables during the static walk
     /// (`VarId.0` → value), for bound/stride evaluation.
@@ -92,6 +98,12 @@ struct BlockCost {
     /// Busy cycles of this thread's preloader DMA channel (bursts run on
     /// the engine, overlapped with compute, but serialize per master).
     dma_busy: u64,
+    /// Cross-thread memory-contention cycles (included in `cycles` too).
+    /// Tracked separately because contention is system time — when every
+    /// thread queues on the same banks, the host launch ramp hides under
+    /// it instead of stacking on top (see the span model in
+    /// [`estimate_impl`]).
+    contention: u64,
 }
 
 impl BlockCost {
@@ -100,6 +112,7 @@ impl BlockCost {
         self.dram_bytes += o.dram_bytes;
         self.critical += o.critical;
         self.dma_busy += o.dma_busy;
+        self.contention += o.contention;
     }
     fn scale(&self, n: u64) -> BlockCost {
         BlockCost {
@@ -107,6 +120,7 @@ impl BlockCost {
             dram_bytes: self.dram_bytes * n,
             critical: self.critical * n,
             dma_busy: self.dma_busy * n,
+            contention: self.contention * n,
         }
     }
 }
@@ -121,9 +135,36 @@ pub fn estimate(
     cfg: &SimConfig,
     scalars: &ScalarArgs,
 ) -> Option<AnalyticReport> {
+    estimate_impl(kernel, accel, cfg, scalars, None)
+}
+
+/// [`estimate`] with a launch-time memory image: loads from device-read-only
+/// (`map(to)`) buffers resolve against the pristine image, so kernels whose
+/// loop bounds come from memory — CSR SpMV's `row_ptr[r]..row_ptr[r+1]`
+/// inner loop — price statically too. Loops with memory-dependent inner
+/// bounds are walked iteration by iteration (each row priced with its true
+/// non-zero count) instead of body-at-iteration-0 × trip.
+pub fn estimate_with_image(
+    kernel: &Kernel,
+    accel: &Accelerator,
+    cfg: &SimConfig,
+    scalars: &ScalarArgs,
+    mem: &MemImage,
+) -> Option<AnalyticReport> {
+    estimate_impl(kernel, accel, cfg, scalars, Some(mem))
+}
+
+fn estimate_impl(
+    kernel: &Kernel,
+    accel: &Accelerator,
+    cfg: &SimConfig,
+    scalars: &ScalarArgs,
+    mem: Option<&MemImage>,
+) -> Option<AnalyticReport> {
     let loops = LoopMap::build(kernel);
     let n = kernel.num_threads as usize;
     let mut per_thread = Vec::with_capacity(n);
+    let mut contention = Vec::with_capacity(n);
     let mut dram_bytes = 0u64;
     let mut critical_cycles = 0u64;
     for t in 0..n {
@@ -133,6 +174,7 @@ pub fn estimate(
             cfg,
             loops: LoopMap::build(kernel),
             scalars,
+            mem,
             tid: t as i64,
             bindings: vec![None; kernel.vars.len()],
             approx: vec![false; kernel.vars.len()],
@@ -141,17 +183,24 @@ pub fn estimate(
         // A thread is done no earlier than its compute chain *and* no
         // earlier than its DMA engine has streamed every burst it issued.
         per_thread.push(c.cycles.max(c.dma_busy));
+        contention.push(c.contention);
         dram_bytes += c.dram_bytes;
         critical_cycles += c.critical;
     }
     let _ = loops;
 
     // Span model: thread t starts at t·launch_interval and runs its busy
-    // cycles; the run ends when the last thread finishes.
+    // cycles; the run ends when the last thread finishes. Cross-thread
+    // memory contention is *system* time — the shared banks are busy
+    // serving everyone from the first thread onward — so the launch ramp
+    // hides under it rather than stacking on top: the span is the later
+    // of (ramp + contention-free busy) and the fully contended busy
+    // measured from host start.
     let ramp_span = per_thread
         .iter()
+        .zip(&contention)
         .enumerate()
-        .map(|(t, &c)| t as u64 * cfg.launch_interval + c)
+        .map(|(t, (&c, &ctn))| (t as u64 * cfg.launch_interval + c.saturating_sub(ctn)).max(c))
         .max()
         .unwrap_or(0);
 
@@ -208,8 +257,7 @@ fn stmt_cost(ctx: &mut Ctx<'_>, s: &Stmt) -> Option<BlockCost> {
             Some(BlockCost {
                 cycles: seq_stmt_cycles(ctx, s),
                 dram_bytes: bytes.max(cfg.dram_line_bytes as u64 / 2),
-                critical: 0,
-                dma_busy: 0,
+                ..Default::default()
             })
         }
         Stmt::Preload { len, .. } | Stmt::WriteBack { len, .. } => {
@@ -227,8 +275,8 @@ fn stmt_cost(ctx: &mut Ctx<'_>, s: &Stmt) -> Option<BlockCost> {
             Some(BlockCost {
                 cycles: cfg.burst_issue_cost + cfg.stmt_base_cost,
                 dram_bytes: bytes,
-                critical: 0,
                 dma_busy: cfg.dma_setup + occupancy,
+                ..Default::default()
             })
         }
         Stmt::Critical { body } => {
@@ -239,6 +287,7 @@ fn stmt_cost(ctx: &mut Ctx<'_>, s: &Stmt) -> Option<BlockCost> {
                 dram_bytes: inner.dram_bytes,
                 critical: c,
                 dma_busy: inner.dma_busy,
+                contention: inner.contention,
             })
         }
         Stmt::Barrier => Some(BlockCost {
@@ -315,7 +364,10 @@ fn stmt_cost(ctx: &mut Ctx<'_>, s: &Stmt) -> Option<BlockCost> {
             };
             ctx.bindings[slot] = saved;
             ctx.approx[slot] = saved_approx;
-            out
+            out.map(|mut c| {
+                c.cycles += bound_load_cycles(ctx, s);
+                c
+            })
         }
     }
 }
@@ -325,6 +377,43 @@ fn stmt_cost(ctx: &mut Ctx<'_>, s: &Stmt) -> Option<BlockCost> {
 /// body-at-iteration-0 × trip. Keeps double buffering's parity/boundary
 /// guards honest while long loops stay O(1) in their trip count.
 const EXACT_SEQ_TRIP: u64 = 16;
+
+/// Ceiling on the image-driven exact walk (per thread): keeps the model
+/// O(rows) on irregular kernels while refusing pathological trip counts.
+const MAX_EXACT_WALK: u64 = 1 << 16;
+
+/// Does the expression read external memory anywhere? Such values are
+/// data-dependent: the image can evaluate them at one iteration, but the
+/// result carries no structure (a gather index's "stride" between the
+/// first two iterations says nothing about the rest).
+fn expr_has_load(kernel: &Kernel, id: ExprId) -> bool {
+    let e = kernel.expr(id);
+    matches!(e, Expr::LoadExt { .. }) || e.children().into_iter().any(|c| expr_has_load(kernel, c))
+}
+
+/// Does any loop (at any nesting depth) in `block` draw its bounds from
+/// external memory? Those trips vary per enclosing iteration.
+fn has_mem_dependent_loop(kernel: &Kernel, block: &[Stmt]) -> bool {
+    block.iter().any(|s| match s {
+        Stmt::For {
+            start,
+            end,
+            step,
+            body,
+            ..
+        } => {
+            expr_has_load(kernel, *start)
+                || expr_has_load(kernel, *end)
+                || expr_has_load(kernel, *step)
+                || has_mem_dependent_loop(kernel, body)
+        }
+        Stmt::If { then_b, else_b, .. } => {
+            has_mem_dependent_loop(kernel, then_b) || has_mem_dependent_loop(kernel, else_b)
+        }
+        Stmt::Critical { body } => has_mem_dependent_loop(kernel, body),
+        _ => false,
+    })
+}
 
 /// Cost of one non-unrolled loop with a statically known trip count.
 /// `(s0, st)` are the induction variable's start value and step.
@@ -356,17 +445,69 @@ fn loop_cost(
             // (`iter_stall` in the executor). `lat_iter` is that stall
             // amortized over iterations by each stream's miss frequency.
             let eff_ii = (ii + tr.lat_iter).max(mem_ii);
-            let cycles = depth + (trip - 1) * eff_ii;
+            // Restart contention: every time this loop is re-entered (each
+            // outer sequential iteration — e.g. each CSR row), the T
+            // threads re-synchronize on the sequential region and then
+            // blast coincident pipeline-fill bursts of their *independent*
+            // miss streams (gathers, per-thread strided walks) at the
+            // DRAM. Once filled, the steady-state misses are spread over
+            // `eff_ii` and rarely collide, so the cost is per loop entry,
+            // not per iteration. Measured against the cycle simulator on
+            // CSR SpMV the penalty has two regimes, both taking the
+            // quadratic κ·(T·m)²·hold as an upper bound (κ = 4.5; this
+            // also vanishes for GEMM/π, whose independent miss frequency
+            // is ≈ 0 — their streams are shared or line-buffered):
+            //
+            // * **Burst regime** (T ≲ banks/m): collision probability and
+            //   queue depth both scale with burst intensity, so the
+            //   quadratic itself is the cost, clamped by 2× full
+            //   serialization (each fetch exposing its round trip plus
+            //   the queue ahead of it).
+            // * **Saturated regime** (T ≳ banks/m): the banks never
+            //   drain between rows and the per-fetch delay grows linearly
+            //   with T; the whole sweep's total flattens out. Calibrated:
+            //   `m·trip·(κ_sat·T·hold − miss_stall)` with κ_sat = 9.4,
+            //   within ±15% of the simulator from T = 16 to 256.
+            //
+            // Shared lockstep streams are excluded here; they are priced
+            // by the `shared_miss_streams` term in `iter_traffic`.
+            let nt = ctx.kernel.num_threads as u64;
+            let restart = if nt > 1 && tr.indep_miss_freq > 0.0 {
+                let line = cfg.dram_line_bytes as u64;
+                let hold_per_bank =
+                    (line.div_ceil(bw) + cfg.dram_bank_busy) as f64 / cfg.dram_banks.max(1) as f64;
+                let m = tr.indep_miss_freq;
+                let burst = nt as f64 * m;
+                let quad = 4.5 * burst * burst * hold_per_bank;
+                let miss_stall = (line.div_ceil(bw) + cfg.dram_latency)
+                    .saturating_sub(cfg.assumed_load_latency)
+                    as f64;
+                let serial = trip as f64 * m * (miss_stall + burst * hold_per_bank);
+                let sat = trip as f64 * m * (9.4 * nt as f64 * hold_per_bank - miss_stall);
+                quad.min((2.0 * serial).max(sat)).max(0.0).round() as u64
+            } else {
+                0
+            };
+            let cycles = depth + restart + (trip - 1) * eff_ii;
             Some(BlockCost {
                 cycles,
                 dram_bytes: tr.line_bytes * trip,
                 critical: 0,
                 dma_busy: 0,
+                contention: restart,
             })
         }
         None => {
             // Sequential region: per-iteration body cost + loop control.
-            if trip <= EXACT_SEQ_TRIP {
+            // Memory-dependent inner bounds (CSR row lengths) vary per
+            // iteration, so body-at-iteration-0 × trip would price every
+            // row like the first — walk those exactly whenever the image
+            // can resolve them.
+            let exact = trip <= EXACT_SEQ_TRIP
+                || (ctx.mem.is_some()
+                    && trip <= MAX_EXACT_WALK
+                    && has_mem_dependent_loop(ctx.kernel, body));
+            if exact {
                 // Short loop: walk every iteration with its true induction
                 // value, so iteration-dependent branches and strides price
                 // exactly (double buffering's `kb < nblocks` guard).
@@ -397,6 +538,7 @@ fn loop_cost(
                 dram_bytes: body_c.dram_bytes * trip,
                 critical: body_c.critical * trip,
                 dma_busy: body_c.dma_busy * trip,
+                contention: body_c.contention * trip,
             })
         }
     }
@@ -412,6 +554,12 @@ struct IterTraffic {
     /// Amortized pipeline stall cycles per iteration from read-miss
     /// latency (beyond the scheduler's assumed load latency).
     lat_iter: u64,
+    /// Expected line fetches per iteration from *thread-independent*
+    /// streams (gathers, per-thread strided walks): a line-per-access
+    /// stream contributes 1, a sequential stream its per-line miss
+    /// frequency. Shared (lockstep) streams are excluded — they are priced
+    /// by the coincident-burst term instead.
+    indep_miss_freq: f64,
 }
 
 /// Per-iteration DRAM traffic of a pipelined loop body. Line traffic
@@ -451,20 +599,37 @@ fn iter_traffic(ctx: &mut Ctx<'_>, stmt: &Stmt, body: &[Stmt]) -> IterTraffic {
         ctx.bindings[slot] = Some(s0 + st);
         let i1 = eval_i64(ctx, a.index);
         ctx.bindings[slot] = saved;
-        let stride_bytes = match (i0, i1) {
-            (Some(x), Some(y)) => (y - x).unsigned_abs() * a.bytes as u64,
-            // Unresolvable index (e.g. data-dependent): assume line-per-access.
-            _ => line,
+        // A data-dependent index (gather through a loaded value) is priced
+        // line-per-access even when the memory image could evaluate it: the
+        // first two iterations' difference is not a stride.
+        let stride_bytes = if expr_has_load(ctx.kernel, a.index) {
+            line
+        } else {
+            match (i0, i1) {
+                (Some(x), Some(y)) => (y - x).unsigned_abs() * a.bytes as u64,
+                // Unresolvable index: assume line-per-access.
+                _ => line,
+            }
         };
         let lat = if ctx.cfg.line_buffers && stride_bytes < line {
             // Sequential-ish: each line is fetched once and reused; a miss
             // (and its stall) happens once per line's worth of iterations.
             out.line_bytes += stride_bytes.max(a.bytes as u64).min(line);
+            out.indep_miss_freq += stride_bytes as f64 / line as f64;
             miss_stall * stride_bytes / line
         } else {
             out.line_bytes += line;
-            if !a.is_write && shared_across_threads(ctx, var, start, a.index, i0) {
+            // A gather index is never "shared": the sharing probe re-reads
+            // the same stale outer-loop bindings for both thread ids, so a
+            // load-dependent index trivially collides with itself even
+            // though each thread gathers through its own rows.
+            if !a.is_write
+                && !expr_has_load(ctx.kernel, a.index)
+                && shared_across_threads(ctx, var, start, a.index, i0)
+            {
                 shared_miss_streams += 1;
+            } else {
+                out.indep_miss_freq += 1.0;
             }
             miss_stall
         };
@@ -602,6 +767,45 @@ fn seq_stmt_cycles(ctx: &Ctx<'_>, s: &Stmt) -> u64 {
     ctx.cfg.stmt_base_cost + work.div_ceil(ctx.cfg.seq_issue_width as u64) + loads * miss
 }
 
+/// Cycles to evaluate a loop's bound expressions when they load from
+/// external memory (the CSR `row_ptr[r]..row_ptr[r+1]` pattern). Zero for
+/// the common affine-bound loops. With line buffers on, adjacent pointers
+/// into the same buffer share a fetched line, so each distinct buffer pays
+/// one round trip per evaluation; without them every load pays its own.
+fn bound_load_cycles(ctx: &Ctx<'_>, s: &Stmt) -> u64 {
+    let loads = stmt_ext_loads(ctx.kernel, s);
+    if loads == 0 {
+        return 0;
+    }
+    let line = ctx.cfg.dram_line_bytes as u64;
+    let bw = ctx.cfg.dram_bytes_per_cycle.max(1) as u64;
+    let miss = line.div_ceil(bw) + ctx.cfg.dram_latency;
+    if !ctx.cfg.line_buffers {
+        return loads * miss;
+    }
+    fn collect_bufs(kernel: &Kernel, id: ExprId, out: &mut Vec<u32>) {
+        let e = kernel.expr(id);
+        if let Expr::LoadExt { buf, .. } = e {
+            if !out.contains(&buf.0) {
+                out.push(buf.0);
+            }
+        }
+        for c in e.children() {
+            collect_bufs(kernel, c, out);
+        }
+    }
+    let mut bufs = Vec::new();
+    if let Stmt::For {
+        start, end, step, ..
+    } = s
+    {
+        collect_bufs(ctx.kernel, *start, &mut bufs);
+        collect_bufs(ctx.kernel, *end, &mut bufs);
+        collect_bufs(ctx.kernel, *step, &mut bufs);
+    }
+    bufs.len() as u64 * miss
+}
+
 /// External loads a statement's directly-evaluated expressions perform.
 fn stmt_ext_loads(kernel: &Kernel, s: &Stmt) -> u64 {
     fn expr_loads(kernel: &Kernel, id: ExprId) -> u64 {
@@ -700,6 +904,23 @@ fn eval_i64(ctx: &Ctx<'_>, id: ExprId) -> Option<i64> {
             } else {
                 eval_i64(ctx, *else_v)
             }
+        }
+        Expr::LoadExt { buf, index, .. } => {
+            // Only with a memory image, and only from device-read-only
+            // buffers: `map(to)` contents never change during the run, so
+            // the pristine launch image is the load's value on every
+            // iteration. Writable buffers stay opaque — the device may have
+            // overwritten them by the time the load executes.
+            let img = ctx.mem?;
+            let ArgKind::Buffer {
+                map: MapDir::To, ..
+            } = ctx.kernel.args[buf.0 as usize].kind
+            else {
+                return None;
+            };
+            let idx = eval_i64(ctx, *index)?;
+            let v = img.buffer(*buf).get(usize::try_from(idx).ok()?)?;
+            Some(v.as_i64())
         }
         _ => None,
     }

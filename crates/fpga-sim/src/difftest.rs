@@ -1,16 +1,25 @@
-//! Differential property suite: event-queue core vs. legacy scan stepper.
+//! Differential property suite: three dispatch cores, one oracle.
 //!
 //! Generates structured-random valid kernels (loops, critical sections,
-//! barriers, external and local memory traffic, thread-dependent bounds) and
-//! drives each through [`crate::SimRun::step`] (indexed ready queue) and
-//! [`crate::SimRun::step_legacy`] (the pre-refactor linear scan), asserting
-//! the two produce *identical* snoop streams, total cycles and derived
-//! statistics. The snooped signal stream is the contract the whole profiling
-//! and trace pipeline is built on, so the cores must agree bit-for-bit.
+//! barriers, external and local memory traffic, preloader DMA, sequential
+//! device-blocking loads, thread-dependent bounds) and drives each through
+//! all three steppers:
+//!
+//! * [`crate::SimRun::step`] — timing-wheel queue with run-ahead dispatch,
+//! * [`crate::SimRun::step_baseline`] — binary-heap queue, pop-per-event
+//!   (the previous production core, kept for A/B benchmarking),
+//! * [`crate::SimRun::step_legacy`] — the pre-refactor linear scan,
+//!
+//! asserting all three produce *identical* snoop streams, total cycles,
+//! derived statistics and device wake attributions. The snooped signal
+//! stream is the contract the whole profiling and trace pipeline is built
+//! on, so the cores must agree bit-for-bit.
 
 use crate::config::SimConfig;
+use crate::device::DeviceStats;
 use crate::exec::{SimRun, StepStatus};
 use crate::memimg::LaunchArg;
+use crate::queue::{DispatchQueue, ReadyQueue};
 use crate::snoop::{Snoop, SnoopPair, StatsSnoop, ThreadState};
 use nymble_hls::accel::{compile, HlsConfig};
 use nymble_ir::{Kernel, KernelBuilder, MapDir, ScalarType, Type, Value};
@@ -82,8 +91,8 @@ fn gen_kernel(rng: &mut Rng) -> (Kernel, Vec<LaunchArg>) {
     let acc_v = kb.var("acc", Type::F32);
 
     let segments = 1 + rng.below(3);
-    for _ in 0..segments {
-        match rng.below(5) {
+    for seg in 0..segments {
+        match rng.below(7) {
             // Pipelined load-accumulate loop, unit or strided walk.
             0 | 1 => {
                 let trip = 4 + rng.below(24) as i64;
@@ -117,6 +126,50 @@ fn gen_kernel(rng: &mut Rng) -> (Kernel, Vec<LaunchArg>) {
             }
             // Barrier.
             3 => kb.barrier(),
+            // Preloader DMA burst, then local reads that race the DMA
+            // completion — exercises the DmaComplete device-wake path.
+            4 => {
+                let lm = kb.local_mem(&format!("pl{seg}"), Type::F32, 32);
+                let src_off = kb.c_i64(rng.below(16) as i64);
+                let dst_off = kb.c_i64(0);
+                let burst = kb.c_i64(32);
+                kb.preload(lm, a, src_off, dst_off, burst);
+                let n = kb.c_i64(4 + rng.below(8) as i64);
+                kb.for_range("p", n, |kb, j| {
+                    let len = kb.c_i64(32);
+                    let idx = kb.bin(nymble_ir::BinOp::Rem, j, len);
+                    let v = kb.load_local(lm, idx, Type::F32);
+                    let cur = kb.get(acc_v);
+                    let sum = kb.add(cur, v);
+                    kb.set(acc_v, sum);
+                });
+            }
+            // Strided external loads in a region-bearing (non-pipelined)
+            // loop: each load blocks the thread until its line fetch or
+            // channel grant completes — the LineFetch / ChannelGrant
+            // device-wake paths.
+            5 => {
+                let trip = 2 + rng.below(6) as i64;
+                let n = kb.c_i64(trip);
+                kb.for_range("s", n, |kb, i| {
+                    let s16 = kb.c_i64(16);
+                    let scaled = kb.mul(i, s16);
+                    let len = kb.c_i64(buf_len as i64);
+                    let idx = kb.bin(nymble_ir::BinOp::Rem, scaled, len);
+                    let v = kb.load(a, idx, Type::F32);
+                    let cur = kb.get(acc_v);
+                    let sum = kb.add(cur, v);
+                    kb.set(acc_v, sum);
+                    // Inner loop keeps the outer loop statement-timed.
+                    let m = kb.c_i64(4);
+                    kb.for_range("t", m, |kb, _| {
+                        let cur = kb.get(acc_v);
+                        let one = kb.c_f32(1.0);
+                        let s = kb.add(cur, one);
+                        kb.set(acc_v, s);
+                    });
+                });
+            }
             // Thread-dependent work then store.
             _ => {
                 let tid = kb.thread_id();
@@ -159,66 +212,181 @@ fn gen_config(rng: &mut Rng) -> SimConfig {
     }
 }
 
-/// Drive a fresh run with the given stepper; return the signal log, the
-/// total cycle count and the stats-derived per-thread records.
-fn drive(
-    kernel: &Kernel,
-    cfg: &SimConfig,
-    launch: &[LaunchArg],
-    legacy: bool,
-) -> (Vec<Sig>, u64, Vec<crate::stats::ThreadStats>) {
+/// Which dispatch core to drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Core {
+    /// Timing-wheel queue with run-ahead dispatch (`step`), the production
+    /// core.
+    Wheel,
+    /// Binary-heap queue, pop-per-event (`step_baseline`) — the previous
+    /// production core, kept for A/B benchmarking.
+    Heap,
+    /// Pre-refactor linear-scan reference (`step_legacy`).
+    Legacy,
+}
+
+const CORES: [Core; 3] = [Core::Wheel, Core::Heap, Core::Legacy];
+
+/// Everything one run produces that the cores must agree on.
+struct Observed {
+    log: Vec<Sig>,
+    cycles: u64,
+    threads: Vec<crate::stats::ThreadStats>,
+    devices: DeviceStats,
+}
+
+fn run_steps<Q: DispatchQueue, S: Snoop>(sim: &mut SimRun<'_, Q>, snoop: &mut S, core: Core) {
+    let mut guard = 0u64;
+    loop {
+        let st = match core {
+            Core::Wheel => sim.step(snoop),
+            Core::Heap => sim.step_baseline(snoop),
+            Core::Legacy => sim.step_legacy(snoop),
+        };
+        if st.expect("no deadlock") == StepStatus::Done {
+            break;
+        }
+        guard += 1;
+        assert!(guard < 10_000_000, "runaway differential run");
+    }
+}
+
+/// Drive a fresh run on the given core; return everything observable.
+fn drive(kernel: &Kernel, cfg: &SimConfig, launch: &[LaunchArg], core: Core) -> Observed {
     let accel = compile(kernel, &HlsConfig::default());
-    let mut sim = SimRun::new(kernel, &accel, cfg, launch).expect("valid config");
     let mut stats = StatsSnoop::new(kernel.num_threads);
     let mut rec = Recorder::default();
-    {
+    let (cycles, devices) = {
         let mut pair = SnoopPair::new(&mut stats, &mut rec);
-        let mut guard = 0u64;
-        loop {
-            let st = if legacy {
-                sim.step_legacy(&mut pair)
-            } else {
-                sim.step(&mut pair)
-            };
-            if st.expect("no deadlock") == StepStatus::Done {
-                break;
+        match core {
+            Core::Wheel => {
+                let mut sim = SimRun::new(kernel, &accel, cfg, launch).expect("valid config");
+                run_steps(&mut sim, &mut pair, core);
+                (sim.total_cycles(), sim.device_stats())
             }
-            guard += 1;
-            assert!(guard < 10_000_000, "runaway differential run");
+            Core::Heap | Core::Legacy => {
+                let mut sim = SimRun::<ReadyQueue>::with_queue(kernel, &accel, cfg, launch)
+                    .expect("valid config");
+                run_steps(&mut sim, &mut pair, core);
+                (sim.total_cycles(), sim.device_stats())
+            }
         }
+    };
+    Observed {
+        log: rec.log,
+        cycles,
+        threads: stats.into_stats(),
+        devices,
     }
-    let total = sim.total_cycles();
-    (rec.log, total, stats.into_stats())
 }
 
 #[test]
-fn event_core_matches_legacy_scan_on_random_kernels() {
+fn wheel_heap_and_legacy_cores_agree_on_random_kernels() {
     let mut rng = Rng(0xC0FFEE);
     for case in 0..24 {
         let (kernel, launch) = gen_kernel(&mut rng);
         let cfg = gen_config(&mut rng);
-        let (log_a, cycles_a, stats_a) = drive(&kernel, &cfg, &launch, false);
-        let (log_b, cycles_b, stats_b) = drive(&kernel, &cfg, &launch, true);
-        assert_eq!(
-            cycles_a, cycles_b,
-            "case {case}: total cycles diverged (queue {cycles_a} vs scan {cycles_b})"
-        );
-        assert_eq!(stats_a, stats_b, "case {case}: derived statistics diverged");
-        if log_a != log_b {
-            let first = log_a
-                .iter()
-                .zip(log_b.iter())
-                .position(|(x, y)| x != y)
-                .unwrap_or(log_a.len().min(log_b.len()));
-            panic!(
-                "case {case}: snoop streams diverged at signal {first}: \
-                 queue {:?} vs scan {:?} (lens {} vs {})",
-                log_a.get(first),
-                log_b.get(first),
-                log_a.len(),
-                log_b.len()
+        let wheel = drive(&kernel, &cfg, &launch, Core::Wheel);
+        for core in [Core::Heap, Core::Legacy] {
+            let other = drive(&kernel, &cfg, &launch, core);
+            assert_eq!(
+                wheel.cycles, other.cycles,
+                "case {case}: total cycles diverged (wheel {} vs {core:?} {})",
+                wheel.cycles, other.cycles
             );
+            assert_eq!(
+                wheel.threads, other.threads,
+                "case {case}: derived statistics diverged vs {core:?}"
+            );
+            assert_eq!(
+                wheel.devices, other.devices,
+                "case {case}: device wake attribution diverged vs {core:?}"
+            );
+            if wheel.log != other.log {
+                let first = wheel
+                    .log
+                    .iter()
+                    .zip(other.log.iter())
+                    .position(|(x, y)| x != y)
+                    .unwrap_or(wheel.log.len().min(other.log.len()));
+                panic!(
+                    "case {case}: snoop streams diverged at signal {first}: \
+                     wheel {:?} vs {core:?} {:?} (lens {} vs {})",
+                    wheel.log.get(first),
+                    other.log.get(first),
+                    wheel.log.len(),
+                    other.log.len()
+                );
+            }
         }
+    }
+}
+
+#[test]
+fn device_wakes_fire_and_are_attributed_identically_across_cores() {
+    // Deterministic kernel touching all three device classes: a preloader
+    // burst raced by local reads (DmaComplete), then strided external loads
+    // from two threads in a region-bearing loop (LineFetch, and ChannelGrant
+    // under cross-thread contention).
+    let mut kb = KernelBuilder::new("devwake", 2);
+    let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+    let out = kb.buffer("OUT", ScalarType::F32, MapDir::From);
+    let lm = kb.local_mem("lm", Type::F32, 64);
+    let acc_v = kb.var("acc", Type::F32);
+    let z = kb.c_i64(0);
+    let z2 = kb.c_i64(0);
+    let burst = kb.c_i64(64);
+    kb.preload(lm, a, z, z2, burst);
+    // Immediate local read races the DMA.
+    let one = kb.c_i64(1);
+    let v0 = kb.load_local(lm, one, Type::F32);
+    kb.set(acc_v, v0);
+    // Strided, region-bearing loop of blocking external loads.
+    let n = kb.c_i64(8);
+    kb.for_range("s", n, |kb, i| {
+        let s16 = kb.c_i64(16);
+        let scaled = kb.mul(i, s16);
+        let len = kb.c_i64(512);
+        let idx = kb.bin(nymble_ir::BinOp::Rem, scaled, len);
+        let v = kb.load(a, idx, Type::F32);
+        let cur = kb.get(acc_v);
+        let sum = kb.add(cur, v);
+        kb.set(acc_v, sum);
+        let m = kb.c_i64(2);
+        kb.for_range("t", m, |kb, _| {
+            let cur = kb.get(acc_v);
+            let c = kb.c_f32(1.0);
+            let s = kb.add(cur, c);
+            kb.set(acc_v, s);
+        });
+    });
+    let tid = kb.thread_id();
+    let oidx = kb.cast(ScalarType::I64, tid);
+    let av = kb.get(acc_v);
+    kb.store(out, oidx, av);
+    let k = kb.finish();
+    let launch = [
+        LaunchArg::Buffer((0..512).map(|i| Value::F32(i as f32)).collect()),
+        LaunchArg::Buffer(vec![Value::F32(0.0); 2]),
+    ];
+    let cfg = SimConfig::default().with_fast_launch();
+    let wheel = drive(&k, &cfg, &launch, Core::Wheel);
+    assert!(
+        wheel.devices.dma_wakes > 0,
+        "local read must block on the DMA: {:?}",
+        wheel.devices
+    );
+    assert!(
+        wheel.devices.line_fetch_wakes > 0,
+        "strided loads must block on line fetches: {:?}",
+        wheel.devices
+    );
+    assert!(wheel.devices.blocked_cycles > 0);
+    for core in [Core::Heap, Core::Legacy] {
+        let other = drive(&k, &cfg, &launch, core);
+        assert_eq!(wheel.devices, other.devices, "vs {core:?}");
+        assert_eq!(wheel.cycles, other.cycles, "vs {core:?}");
+        assert_eq!(wheel.log, other.log, "vs {core:?}");
     }
 }
 
@@ -248,10 +416,12 @@ fn event_core_matches_legacy_on_barrier_with_early_finishers() {
     let k = kb.finish();
     let launch = [LaunchArg::Buffer(vec![Value::I32(0); 3])];
     let cfg = SimConfig::default().with_fast_launch();
-    let (log_a, cycles_a, _) = drive(&k, &cfg, &launch, false);
-    let (log_b, cycles_b, _) = drive(&k, &cfg, &launch, true);
-    assert_eq!(cycles_a, cycles_b);
-    assert_eq!(log_a, log_b);
+    let wheel = drive(&k, &cfg, &launch, Core::Wheel);
+    for core in [Core::Heap, Core::Legacy] {
+        let other = drive(&k, &cfg, &launch, core);
+        assert_eq!(wheel.cycles, other.cycles, "vs {core:?}");
+        assert_eq!(wheel.log, other.log, "vs {core:?}");
+    }
 }
 
 #[test]
@@ -276,26 +446,35 @@ fn deadlock_reports_are_identical_and_sorted() {
     }
     let accel = compile(&k, &HlsConfig::default());
     let cfg = SimConfig::default().with_fast_launch();
-    let errs: Vec<crate::SimError> = [false, true]
-        .into_iter()
-        .map(|legacy| {
-            let mut sim = SimRun::new(&k, &accel, &cfg, &[]).expect("valid");
-            let mut snoop = crate::NullSnoop;
-            loop {
-                let r = if legacy {
-                    sim.step_legacy(&mut snoop)
-                } else {
-                    sim.step(&mut snoop)
-                };
-                match r {
-                    Ok(StepStatus::Done) => panic!("expected deadlock"),
-                    Ok(StepStatus::Running) => continue,
-                    Err(e) => break e,
-                }
+    fn run_to_deadlock<Q: DispatchQueue>(mut sim: SimRun<'_, Q>, core: Core) -> crate::SimError {
+        let mut snoop = crate::NullSnoop;
+        loop {
+            let r = match core {
+                Core::Wheel => sim.step(&mut snoop),
+                Core::Heap => sim.step_baseline(&mut snoop),
+                Core::Legacy => sim.step_legacy(&mut snoop),
+            };
+            match r {
+                Ok(StepStatus::Done) => panic!("expected deadlock"),
+                Ok(StepStatus::Running) => continue,
+                Err(e) => break e,
             }
+        }
+    }
+    let errs: Vec<crate::SimError> = CORES
+        .into_iter()
+        .map(|core| match core {
+            Core::Wheel => {
+                run_to_deadlock(SimRun::new(&k, &accel, &cfg, &[]).expect("valid"), core)
+            }
+            Core::Heap | Core::Legacy => run_to_deadlock(
+                SimRun::<ReadyQueue>::with_queue(&k, &accel, &cfg, &[]).expect("valid"),
+                core,
+            ),
         })
         .collect();
     assert_eq!(errs[0], errs[1], "deadlock reports must not depend on core");
+    assert_eq!(errs[0], errs[2], "deadlock reports must not depend on core");
     let crate::SimError::Deadlock { waiting } = &errs[0] else {
         panic!("expected deadlock, got {:?}", errs[0]);
     };

@@ -10,13 +10,15 @@
 //! on top of it.
 
 use crate::config::SimConfig;
+use crate::device::{DeviceEvent, DeviceQueue, DeviceStats};
 use crate::dram::{Dram, LineBuffer};
 use crate::error::{BlockedReason, BlockedThread, SimError};
 use crate::memimg::{LaunchArg, MemImage};
-use crate::queue::ReadyQueue;
+use crate::queue::{DispatchQueue, ReadyQueue};
 use crate::semaphore::{Acquire, Semaphore};
-use crate::snoop::{Snoop, SnoopPair, StatsSnoop, ThreadState};
+use crate::snoop::{Snoop, SnoopPair, SnoopRing, StatsSnoop, ThreadState};
 use crate::stats::RunStats;
+use crate::wheel::WheelQueue;
 use nymble_hls::accel::Accelerator;
 use nymble_hls::op::OpClass;
 use nymble_ir::loops::{LoopId, LoopMap};
@@ -60,6 +62,9 @@ struct Thread<'k> {
     read_port_free: u64,
     write_port_free: u64,
     line_bufs: Vec<LineBuffer>,
+    /// Scratch line buffer for the `line_buffers = false` ablation: reused
+    /// (and invalidated) per access instead of constructed per access.
+    scratch_buf: LineBuffer,
     mem_ready: Vec<u64>,
     /// Outstanding line-fetch completion times on the read port (MSHRs).
     inflight: VecDeque<u64>,
@@ -128,16 +133,28 @@ pub enum StepStatus {
 /// everything mutable — the per-thread walkers, the memory image, the DRAM
 /// and semaphore models. It is `Send`: a scheduler may construct it on one
 /// thread and drive it on another.
-pub struct SimRun<'k> {
+///
+/// The core is generic over its [`DispatchQueue`]: the default is the
+/// [`WheelQueue`] calendar queue (O(1)-amortized dispatch at high thread
+/// counts); `SimRun::<ReadyQueue>` is the binary-heap core, retained for
+/// A/B benchmarking and differential testing. Both produce bit-identical
+/// snoop streams — the queue only decides *how* the next `(time, tid)`
+/// minimum is found, never *which* thread it is.
+pub struct SimRun<'k, Q: DispatchQueue = WheelQueue> {
     cfg: SimConfig,
     modes: Vec<LoopMode>,
     mem: MemImage,
     dram: Dram,
     sem: Semaphore,
+    devices: DeviceQueue,
     threads: Vec<Thread<'k>>,
     /// The discrete-event ready queue: holds exactly the `Ready` threads,
     /// keyed by `(wakeup_time, thread_id)`.
-    ready: ReadyQueue,
+    ready: Q,
+    /// Run-ahead slot: the thread just dispatched, held out of the queue
+    /// while it remains the global `(time, tid)` minimum (see
+    /// [`SimRun::step`]). Never set by `step_baseline`/`step_legacy`.
+    current: Option<u32>,
     barrier_arrivals: Vec<usize>,
     done: usize,
     total_cycles: u64,
@@ -148,12 +165,27 @@ pub struct SimRun<'k> {
 const _: fn() = || {
     fn assert_send<T: Send>() {}
     assert_send::<SimRun<'_>>();
+    assert_send::<SimRun<'_, ReadyQueue>>();
 };
 
 impl<'k> SimRun<'k> {
     /// Set up a run of `kernel` (compiled as `accel`) with `launch`
-    /// arguments under `cfg`. Validates the configuration up front.
+    /// arguments under `cfg` on the default wheel-queue core. Validates the
+    /// configuration up front.
     pub fn new(
+        kernel: &'k Kernel,
+        accel: &Accelerator,
+        cfg: &SimConfig,
+        launch: &[LaunchArg],
+    ) -> Result<Self, SimError> {
+        Self::with_queue(kernel, accel, cfg, launch)
+    }
+}
+
+impl<'k, Q: DispatchQueue> SimRun<'k, Q> {
+    /// [`SimRun::new`] for an explicitly chosen dispatch queue, e.g.
+    /// `SimRun::<ReadyQueue>::with_queue(..)` for the binary-heap core.
+    pub fn with_queue(
         kernel: &'k Kernel,
         accel: &Accelerator,
         cfg: &SimConfig,
@@ -180,13 +212,14 @@ impl<'k> SimRun<'k> {
                 read_port_free: 0,
                 write_port_free: 0,
                 line_bufs: vec![LineBuffer::default(); n_bufs],
+                scratch_buf: LineBuffer::default(),
                 mem_ready: vec![0; n_mems],
                 inflight: VecDeque::new(),
                 iter_stall: 0,
             })
             .collect();
 
-        let mut ready = ReadyQueue::new(n);
+        let mut ready = Q::new(n);
         for (t, th) in threads.iter().enumerate() {
             ready.push(th.time, t as u32);
         }
@@ -197,8 +230,10 @@ impl<'k> SimRun<'k> {
             mem,
             dram,
             sem: Semaphore::default(),
+            devices: DeviceQueue::new(n),
             threads,
             ready,
+            current: None,
             barrier_arrivals: Vec::new(),
             done: 0,
             total_cycles: 0,
@@ -215,6 +250,13 @@ impl<'k> SimRun<'k> {
     /// (final once [`Self::is_done`]).
     pub fn total_cycles(&self) -> u64 {
         self.total_cycles
+    }
+
+    /// Device-completion wakeup statistics accumulated so far: how many
+    /// times threads were woken by line fetches, channel grants and DMA
+    /// completions, and how many cycles they slept waiting.
+    pub fn device_stats(&self) -> DeviceStats {
+        self.devices.stats
     }
 
     /// Threads that are blocked right now, with their barrier/lock states.
@@ -272,14 +314,74 @@ impl<'k> SimRun<'k> {
     /// Advance the runnable thread with the smallest clock by one walker
     /// event, reporting pipeline activity to `snoop`.
     ///
-    /// Dispatch is O(log T): the next thread is popped off the indexed
-    /// ready queue, and blocked threads re-enter it only on their explicit
-    /// wakeup edge (semaphore grant, barrier release).
+    /// Dispatch is O(1) amortized on the wheel core: the dispatched thread
+    /// is *held out* of the queue while it remains the global `(time, tid)`
+    /// minimum (checked against [`DispatchQueue::peek`]), so the common
+    /// pattern — a pipelined loop re-queueing its own thread a few cycles
+    /// ahead — costs one comparison, no queue traffic at all. The held
+    /// thread is dispatched exactly when a pop would have dispatched it
+    /// (thread ids are unique, so the strict tuple compare is exact), which
+    /// keeps the snoop stream bit-identical to the pop-per-event cores.
+    /// Blocked threads re-enter the queue only on their explicit wakeup edge
+    /// (semaphore grant, barrier release, device completion).
     ///
     /// The first call also emits the initial idle→running launch timeline;
     /// the call that completes the last thread reports `run_end`. Stepping a
     /// finished run is a no-op returning [`StepStatus::Done`].
     pub fn step<S: Snoop + ?Sized>(&mut self, snoop: &mut S) -> Result<StepStatus, SimError> {
+        self.begin(snoop);
+        if self.is_done() {
+            return Ok(StepStatus::Done);
+        }
+
+        let tid = match self.current.take() {
+            Some(c)
+                if match self.ready.peek() {
+                    Some(qmin) => (self.threads[c as usize].time, c) < qmin,
+                    None => true,
+                } =>
+            {
+                c
+            }
+            held => {
+                if let Some(c) = held {
+                    self.ready.push(self.threads[c as usize].time, c);
+                }
+                let Some((_, tid)) = self.ready.pop() else {
+                    return Err(SimError::Deadlock {
+                        waiting: self.blocked_threads(),
+                    });
+                };
+                tid
+            }
+        };
+        let ti = tid as usize;
+        self.dispatch(ti, snoop);
+        // Hold the dispatched thread for run-ahead unless it blocked or
+        // finished — or was already re-queued by a barrier it both completed
+        // and woke from.
+        if self.threads[ti].status == Status::Ready && !self.ready.contains(tid) {
+            self.current = Some(tid);
+        }
+
+        if self.is_done() {
+            snoop.run_end(self.total_cycles);
+            return Ok(StepStatus::Done);
+        }
+        Ok(StepStatus::Running)
+    }
+
+    /// The pop-per-event dispatch loop (the pre-wheel core's `step`): pop
+    /// the minimum, dispatch, re-push. Retained as the A/B baseline for the
+    /// high-thread-count scaling benchmarks and for differential testing —
+    /// it must produce a snoop stream bit-identical to [`Self::step`] on any
+    /// kernel. Do not mix the two steppers within one run: `step` may hold a
+    /// thread out of the queue between calls.
+    pub fn step_baseline<S: Snoop + ?Sized>(
+        &mut self,
+        snoop: &mut S,
+    ) -> Result<StepStatus, SimError> {
+        debug_assert!(self.current.is_none(), "step_baseline after run-ahead step");
         self.begin(snoop);
         if self.is_done() {
             return Ok(StepStatus::Done);
@@ -315,6 +417,7 @@ impl<'k> SimRun<'k> {
         &mut self,
         snoop: &mut S,
     ) -> Result<StepStatus, SimError> {
+        debug_assert!(self.current.is_none(), "step_legacy after run-ahead step");
         self.begin(snoop);
         if self.is_done() {
             return Ok(StepStatus::Done);
@@ -354,9 +457,10 @@ impl<'k> SimRun<'k> {
     ///
     /// The caller has already removed `ti` from the ready queue; this method
     /// pushes the explicit wakeup edges — a semaphore grant re-queues the
-    /// FIFO winner, a barrier release re-queues every arrival — so blocked
-    /// threads re-enter the queue exactly when the event that unblocks them
-    /// is simulated.
+    /// FIFO winner, a barrier release re-queues every arrival, and a memory
+    /// access that must block schedules a device-completion event that
+    /// re-queues this thread — so blocked threads re-enter the queue exactly
+    /// when the event that unblocks them is simulated.
     fn dispatch<S: Snoop + ?Sized>(&mut self, ti: usize, snoop: &mut S) {
         let cfg = &self.cfg;
         let modes = &self.modes;
@@ -364,9 +468,18 @@ impl<'k> SimRun<'k> {
         let mem = &mut self.mem;
         let dram = &mut self.dram;
         let sem = &mut self.sem;
+        let devices = &mut self.devices;
         let ready = &mut self.ready;
         let barrier_arrivals = &mut self.barrier_arrivals;
         let tid = ti as u32;
+        // Fire the device-completion wake this dispatch realizes, if any:
+        // the thread was re-queued at its completion time, so simulated time
+        // has just reached it. The stall is reported here, on the wakeup
+        // edge, with the same end time and length the inline model used —
+        // but now in global chronological stream position.
+        if let Some((_kind, stall)) = devices.take_due(tid, threads[ti].time) {
+            snoop.stall(threads[ti].time, tid, stall);
+        }
         let ev = threads[ti].walker.step(mem);
         match ev {
             StepEvent::Ops(c) => {
@@ -379,11 +492,13 @@ impl<'k> SimRun<'k> {
             }
             StepEvent::LocalRead { mem: lm } => {
                 let th = &mut threads[ti];
-                let ready = th.mem_ready[lm.0 as usize];
-                if ready > th.time {
-                    let stall = ready - th.time;
-                    th.time = ready;
-                    snoop.stall(th.time, tid, stall);
+                let ready_at = th.mem_ready[lm.0 as usize];
+                if ready_at > th.time {
+                    // Blocked on the preloader: sleep until the DMA
+                    // completion event; the wake reports the stall.
+                    let stall = ready_at - th.time;
+                    th.time = ready_at;
+                    devices.schedule(tid, ready_at, DeviceEvent::DmaComplete, stall);
                 }
             }
             StepEvent::Access(a) => {
@@ -408,14 +523,15 @@ impl<'k> SimRun<'k> {
                     } else {
                         issue0
                     };
-                    let (ready, hit) = if cfg.line_buffers {
+                    let contended_before = dram.stats.contended;
+                    let (ready_at, hit) = if cfg.line_buffers {
                         th.line_bufs[a.buf.0 as usize].read(dram, issue, addr, a.bytes)
                     } else {
-                        let mut lb = crate::dram::LineBuffer::default();
-                        lb.read(dram, issue, addr, a.bytes)
+                        th.scratch_buf.invalidate();
+                        th.scratch_buf.read(dram, issue, addr, a.bytes)
                     };
                     if !hit {
-                        th.inflight.push_back(ready);
+                        th.inflight.push_back(ready_at);
                     }
                     snoop.mem_read(th.time, tid, a.bytes as u64);
                     if th.innermost_pipelined().is_some() {
@@ -424,13 +540,21 @@ impl<'k> SimRun<'k> {
                         // waits for the worst response of the iteration.
                         th.iter_stall = th
                             .iter_stall
-                            .max(ready.saturating_sub(issue0 + cfg.assumed_load_latency));
+                            .max(ready_at.saturating_sub(issue0 + cfg.assumed_load_latency));
                     } else {
-                        // Sequential code waits the full round trip.
-                        let stall = ready.saturating_sub(th.time);
+                        // Sequential code waits the full round trip: sleep
+                        // until the completion event. Classify the wake by
+                        // what the request actually waited on — a queued
+                        // channel/bank grant, or just the fetch round trip.
+                        let stall = ready_at.saturating_sub(th.time);
                         if stall > 0 {
-                            th.time += stall;
-                            snoop.stall(th.time, tid, stall);
+                            let kind = if dram.stats.contended > contended_before {
+                                DeviceEvent::ChannelGrant
+                            } else {
+                                DeviceEvent::LineFetch
+                            };
+                            th.time = ready_at;
+                            devices.schedule(tid, ready_at, kind, stall);
                         }
                     }
                 }
@@ -581,7 +705,8 @@ pub struct Executor;
 
 impl Executor {
     /// Run `kernel` (compiled as `accel`) with `launch` arguments under
-    /// `cfg`, reporting pipeline activity to `snoop`.
+    /// `cfg`, reporting pipeline activity to `snoop`, on the default
+    /// wheel-queue core with run-ahead dispatch.
     ///
     /// Returns [`SimError::InvalidConfig`] if `cfg` fails validation and
     /// [`SimError::Deadlock`] if every live thread blocks on the semaphore
@@ -597,11 +722,57 @@ impl Executor {
         // The executor's ground-truth statistics are just another observer
         // of the snooped signals, fanned out alongside the caller's snoop.
         // The pair is statically dispatched so the stats derivation inlines
-        // into the event loop.
+        // into the event loop; the caller's virtually-dispatched observer
+        // sits behind a ring buffer so its per-signal indirection is paid in
+        // batches, off the dispatch fast path.
+        let mut stats_snoop = StatsSnoop::new(kernel.num_threads);
+        {
+            let mut ring = SnoopRing::new(snoop);
+            let mut pair = SnoopPair::new(&mut stats_snoop, &mut ring);
+            while sim.step(&mut pair)? == StepStatus::Running {}
+        }
+        Ok(sim.into_result(stats_snoop))
+    }
+
+    /// [`Executor::run`], additionally reporting the [`DeviceStats`] the
+    /// run accumulated — how many thread wakeups each device event class
+    /// (line fetch, channel grant, DMA completion) delivered and how long
+    /// threads slept on them. Used by the scaling benchmarks, where the
+    /// wake mix is part of the recorded snapshot.
+    pub fn run_with_device_stats(
+        kernel: &Kernel,
+        accel: &Accelerator,
+        cfg: &SimConfig,
+        launch: &[LaunchArg],
+        snoop: &mut dyn Snoop,
+    ) -> Result<(RunResult, DeviceStats), SimError> {
+        let mut sim = SimRun::new(kernel, accel, cfg, launch)?;
+        let mut stats_snoop = StatsSnoop::new(kernel.num_threads);
+        {
+            let mut ring = SnoopRing::new(snoop);
+            let mut pair = SnoopPair::new(&mut stats_snoop, &mut ring);
+            while sim.step(&mut pair)? == StepStatus::Running {}
+        }
+        let devices = sim.device_stats();
+        Ok((sim.into_result(stats_snoop), devices))
+    }
+
+    /// [`Executor::run`] on the binary-heap core with pop-per-event
+    /// dispatch and unbuffered snoop fan-out — the pre-wheel executor,
+    /// retained as the A/B baseline for the scaling benchmarks. Produces
+    /// bit-identical results and snoop streams to [`Executor::run`].
+    pub fn run_heap_baseline(
+        kernel: &Kernel,
+        accel: &Accelerator,
+        cfg: &SimConfig,
+        launch: &[LaunchArg],
+        snoop: &mut dyn Snoop,
+    ) -> Result<RunResult, SimError> {
+        let mut sim = SimRun::<ReadyQueue>::with_queue(kernel, accel, cfg, launch)?;
         let mut stats_snoop = StatsSnoop::new(kernel.num_threads);
         {
             let mut pair = SnoopPair::new(&mut stats_snoop, snoop);
-            while sim.step(&mut pair)? == StepStatus::Running {}
+            while sim.step_baseline(&mut pair)? == StepStatus::Running {}
         }
         Ok(sim.into_result(stats_snoop))
     }
@@ -609,10 +780,10 @@ impl Executor {
 
 /// Release the barrier when every live thread has arrived: all arrivals are
 /// re-scheduled (wakeup edge) at `max(arrival times) + barrier_latency`.
-fn try_release_barrier(
+fn try_release_barrier<Q: DispatchQueue>(
     threads: &mut [Thread<'_>],
     barrier_arrivals: &mut Vec<usize>,
-    ready: &mut ReadyQueue,
+    ready: &mut Q,
     barrier_latency: u64,
 ) {
     if barrier_arrivals.is_empty() {

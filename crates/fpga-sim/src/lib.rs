@@ -28,6 +28,7 @@
 
 pub mod analytic;
 pub mod config;
+pub mod device;
 #[cfg(test)]
 mod difftest;
 pub mod dram;
@@ -39,10 +40,13 @@ pub mod queue;
 pub mod semaphore;
 pub mod snoop;
 pub mod stats;
+pub mod wheel;
 
 pub use analytic::{AnalyticReport, Bound};
 pub use config::SimConfig;
+pub use device::{DeviceEvent, DeviceStats};
 pub use error::{BlockedReason, BlockedThread, SimError};
 pub use exec::{Executor, RunResult, SimRun, StepStatus};
-pub use queue::ReadyQueue;
-pub use snoop::{NullSnoop, Snoop, SnoopMux, SnoopPair, StatsSnoop, ThreadState};
+pub use queue::{DispatchQueue, ReadyQueue};
+pub use snoop::{NullSnoop, Snoop, SnoopMux, SnoopPair, SnoopRing, StatsSnoop, ThreadState};
+pub use wheel::WheelQueue;

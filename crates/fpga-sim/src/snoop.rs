@@ -92,57 +92,223 @@ pub struct NullSnoop;
 
 impl Snoop for NullSnoop {}
 
+/// One buffered signal record (everything except `run_end`, which is a
+/// flush point and always delivered immediately).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Buffered {
+    State(u64, u32, ThreadState),
+    Stall(u64, u32, u64),
+    Ops(u64, u32, u64, u64, u64),
+    Read(u64, u32, u64),
+    Write(u64, u32, u64),
+    Iter(u64, u32),
+}
+
+impl Buffered {
+    /// Deliver this record to `tap`.
+    fn replay(self, tap: &mut dyn Snoop) {
+        match self {
+            Buffered::State(t, tid, s) => tap.state_change(t, tid, s),
+            Buffered::Stall(t, tid, c) => tap.stall(t, tid, c),
+            Buffered::Ops(t, tid, i, f, l) => tap.ops(t, tid, i, f, l),
+            Buffered::Read(t, tid, b) => tap.mem_read(t, tid, b),
+            Buffered::Write(t, tid, b) => tap.mem_write(t, tid, b),
+            Buffered::Iter(t, tid) => tap.iteration(t, tid),
+        }
+    }
+}
+
+/// Default ring capacity: large enough to amortize a flush over thousands
+/// of signals, small enough (~40 KiB) to stay cache- and latency-friendly
+/// for streaming trace consumers.
+const RING_CAPACITY: usize = 4096;
+
 /// Fan-out multiplexer: one datapath, many observers.
 ///
 /// Broadcasts every snooped signal to each tap in order. This is how the
 /// executor attaches its internal [`StatsSnoop`] alongside the caller's
 /// profiling unit without either knowing about the other.
+///
+/// [`SnoopMux::buffered`] batches emission through a flushable ring buffer:
+/// signals are recorded (one enum store, no virtual dispatch) and replayed
+/// *tap-major* when the ring fills — each tap consumes the whole batch in
+/// one pass, so the per-signal virtual-call and cache-miss cost of fanning
+/// out to N observers is paid once per batch per tap instead of N times per
+/// signal. Per-tap signal order is exactly the unbuffered order, so
+/// downstream consumers (trace encoders, statistics) see identical streams.
 pub struct SnoopMux<'a> {
     taps: Vec<&'a mut dyn Snoop>,
+    ring: Vec<Buffered>,
+    /// 0 = unbuffered (fan out immediately).
+    capacity: usize,
 }
 
 impl<'a> SnoopMux<'a> {
-    /// Build a mux over `taps` (signals fan out in the given order).
+    /// Build an unbuffered mux over `taps` (signals fan out in the given
+    /// order, immediately).
     pub fn new(taps: Vec<&'a mut dyn Snoop>) -> Self {
-        SnoopMux { taps }
+        SnoopMux {
+            taps,
+            ring: Vec::new(),
+            capacity: 0,
+        }
+    }
+
+    /// Build a buffered mux: signals queue in a ring of `capacity` records
+    /// and fan out tap-major on [`SnoopMux::flush`], when the ring fills,
+    /// at `run_end`, and on drop.
+    pub fn buffered(taps: Vec<&'a mut dyn Snoop>, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SnoopMux {
+            taps,
+            ring: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Drain the ring: replay every buffered signal to each tap in order.
+    pub fn flush(&mut self) {
+        if self.ring.is_empty() {
+            return;
+        }
+        for tap in &mut self.taps {
+            for sig in &self.ring {
+                sig.replay(*tap);
+            }
+        }
+        self.ring.clear();
+    }
+
+    fn emit(&mut self, sig: Buffered) {
+        if self.capacity == 0 {
+            for tap in &mut self.taps {
+                sig.replay(*tap);
+            }
+        } else {
+            self.ring.push(sig);
+            if self.ring.len() >= self.capacity {
+                self.flush();
+            }
+        }
+    }
+}
+
+impl Drop for SnoopMux<'_> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
 impl Snoop for SnoopMux<'_> {
     fn state_change(&mut self, t: u64, tid: u32, state: ThreadState) {
-        for s in &mut self.taps {
-            s.state_change(t, tid, state);
-        }
+        self.emit(Buffered::State(t, tid, state));
     }
     fn stall(&mut self, t: u64, tid: u32, cycles: u64) {
-        for s in &mut self.taps {
-            s.stall(t, tid, cycles);
-        }
+        self.emit(Buffered::Stall(t, tid, cycles));
     }
     fn ops(&mut self, t: u64, tid: u32, int_ops: u64, flops: u64, local_ops: u64) {
-        for s in &mut self.taps {
-            s.ops(t, tid, int_ops, flops, local_ops);
-        }
+        self.emit(Buffered::Ops(t, tid, int_ops, flops, local_ops));
     }
     fn mem_read(&mut self, t: u64, tid: u32, bytes: u64) {
-        for s in &mut self.taps {
-            s.mem_read(t, tid, bytes);
-        }
+        self.emit(Buffered::Read(t, tid, bytes));
     }
     fn mem_write(&mut self, t: u64, tid: u32, bytes: u64) {
-        for s in &mut self.taps {
-            s.mem_write(t, tid, bytes);
-        }
+        self.emit(Buffered::Write(t, tid, bytes));
     }
     fn iteration(&mut self, t: u64, tid: u32) {
-        for s in &mut self.taps {
-            s.iteration(t, tid);
-        }
+        self.emit(Buffered::Iter(t, tid));
     }
     fn run_end(&mut self, t: u64) {
+        self.flush();
         for s in &mut self.taps {
             s.run_end(t);
         }
+    }
+}
+
+/// Single-tap ring buffer: batches the executor's signals in front of one
+/// virtually-dispatched observer.
+///
+/// The executor's hot path pairs its statically-dispatched [`StatsSnoop`]
+/// with the caller's `&mut dyn Snoop`; this adapter moves the virtual call
+/// off the per-signal path — each signal is one enum store into the ring,
+/// and the dyn tap consumes batches of `RING_CAPACITY` (4096) on flush. Signal
+/// order is preserved exactly, so the tap's output is byte-identical to
+/// unbuffered delivery. Flushes when full, at `run_end`, on
+/// [`SnoopRing::flush`], and on drop (so an aborted run still delivers
+/// everything observed before the error).
+pub struct SnoopRing<'a> {
+    tap: &'a mut dyn Snoop,
+    ring: Vec<Buffered>,
+    capacity: usize,
+}
+
+impl<'a> SnoopRing<'a> {
+    /// Ring of the default capacity in front of `tap`.
+    pub fn new(tap: &'a mut dyn Snoop) -> Self {
+        Self::with_capacity(tap, RING_CAPACITY)
+    }
+
+    /// Ring of `capacity` records (min 1) in front of `tap`.
+    pub fn with_capacity(tap: &'a mut dyn Snoop, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SnoopRing {
+            tap,
+            ring: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Drain the ring into the tap.
+    pub fn flush(&mut self) {
+        for sig in self.ring.drain(..) {
+            sig.replay(self.tap);
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, sig: Buffered) {
+        self.ring.push(sig);
+        if self.ring.len() >= self.capacity {
+            self.flush();
+        }
+    }
+}
+
+impl Drop for SnoopRing<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl Snoop for SnoopRing<'_> {
+    #[inline]
+    fn state_change(&mut self, t: u64, tid: u32, state: ThreadState) {
+        self.emit(Buffered::State(t, tid, state));
+    }
+    #[inline]
+    fn stall(&mut self, t: u64, tid: u32, cycles: u64) {
+        self.emit(Buffered::Stall(t, tid, cycles));
+    }
+    #[inline]
+    fn ops(&mut self, t: u64, tid: u32, int_ops: u64, flops: u64, local_ops: u64) {
+        self.emit(Buffered::Ops(t, tid, int_ops, flops, local_ops));
+    }
+    #[inline]
+    fn mem_read(&mut self, t: u64, tid: u32, bytes: u64) {
+        self.emit(Buffered::Read(t, tid, bytes));
+    }
+    #[inline]
+    fn mem_write(&mut self, t: u64, tid: u32, bytes: u64) {
+        self.emit(Buffered::Write(t, tid, bytes));
+    }
+    #[inline]
+    fn iteration(&mut self, t: u64, tid: u32) {
+        self.emit(Buffered::Iter(t, tid));
+    }
+    fn run_end(&mut self, t: u64) {
+        self.flush();
+        self.tap.run_end(t);
     }
 }
 

@@ -74,7 +74,7 @@ impl Csr {
 /// variable-trip inner loop gathers `x[col_idx[k]]`.
 ///
 /// Arguments: `ROW_PTR` (i64), `COL_IDX` (i64), `VALS` (f32), `X` (f32),
-/// `Y` (f32, from), `ROWS` (i64 scalar).
+/// `Y` (f32, from). The row count is baked into the IR.
 pub fn build(rows: i64, threads: u32) -> Kernel {
     let mut kb = KernelBuilder::new("spmv", threads);
     let row_ptr = kb.buffer("ROW_PTR", ScalarType::I64, MapDir::To);
