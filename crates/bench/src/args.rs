@@ -4,6 +4,7 @@
 //! Flags are `--name value` or `--name=value` pairs; unknown flags are
 //! ignored so the binaries stay forgiving about each other's options.
 
+use nymble_hls::{ProbeMode, DEFAULT_PROBE_BUDGET_ALMS};
 use nymble_lint::LintLevel;
 use std::path::PathBuf;
 
@@ -128,6 +129,86 @@ impl Args {
             Some(m) => Err(format!("--mode: unknown mode `{m}` (cycle or analytical)")),
         }
     }
+
+    /// The `--profile` selector: absent means [`ProfileMode::Fixed`] (the
+    /// paper's hand-chosen counter set), bare `--profile` or
+    /// `--profile=auto` enables the auto-probe plan at the default budget,
+    /// and `--profile=auto,budget=N` sets an explicit ALM budget for the
+    /// knapsack pass. A zero budget or an unknown mode is a typed error,
+    /// never a silent fallback (so `budget=0` exits cleanly instead of
+    /// panicking inside the profiling unit).
+    pub fn profile(&self) -> Result<ProfileMode, String> {
+        fn parse(v: &str) -> Result<ProfileMode, String> {
+            match v {
+                "fixed" => Ok(ProfileMode::Fixed),
+                "auto" => Ok(ProfileMode::Auto {
+                    budget_alms: DEFAULT_PROBE_BUDGET_ALMS,
+                }),
+                _ => match v.strip_prefix("auto,budget=") {
+                    Some(b) => match b.parse::<u32>() {
+                        Ok(0) => Err("--profile: a 0-ALM budget selects nothing (one \
+                                      counter costs ~30 ALMs plus ~4 per thread)"
+                            .to_string()),
+                        Ok(n) => Ok(ProfileMode::Auto { budget_alms: n }),
+                        Err(_) => Err(format!("--profile: invalid budget `{b}`")),
+                    },
+                    None => Err(format!(
+                        "--profile: unknown mode `{v}` (fixed or auto[,budget=N])"
+                    )),
+                },
+            }
+        }
+        for (i, a) in self.raw.iter().enumerate() {
+            if let Some(v) = a.strip_prefix("--profile=") {
+                return parse(v);
+            }
+            if a == "--profile" {
+                // `--profile auto,budget=N` selects a mode; a bare
+                // `--profile` (next token is another flag or nothing)
+                // means auto at the default budget.
+                return match self.raw.get(i + 1).map(|s| s.as_str()) {
+                    Some(n) if !n.starts_with("--") => parse(n),
+                    _ => Ok(ProfileMode::Auto {
+                        budget_alms: DEFAULT_PROBE_BUDGET_ALMS,
+                    }),
+                };
+            }
+        }
+        Ok(ProfileMode::Fixed)
+    }
+}
+
+/// How the repro binaries instrument the design: the paper's fixed
+/// counter set, or the auto-probe plan selected by the budgeted
+/// tree-knapsack pass over the static region tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProfileMode {
+    /// The hand-chosen default: every event counter, no region probes.
+    Fixed,
+    /// `--profile=auto[,budget=N]`: counters and region probes selected
+    /// at compile time against an ALM budget.
+    Auto {
+        /// ALM budget handed to the knapsack pass.
+        budget_alms: u32,
+    },
+}
+
+impl ProfileMode {
+    /// The [`ProbeMode`] this selector puts into the HLS config.
+    pub fn probe(self) -> ProbeMode {
+        match self {
+            ProfileMode::Fixed => ProbeMode::Off,
+            ProfileMode::Auto { budget_alms } => ProbeMode::Auto { budget_alms },
+        }
+    }
+
+    /// Stable name, as written into perf snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfileMode::Fixed => "fixed",
+            ProfileMode::Auto { .. } => "auto",
+        }
+    }
 }
 
 /// How a repro binary obtains its performance numbers.
@@ -245,6 +326,51 @@ mod tests {
         assert_eq!(args(&["prog", "--jobs=8"]).jobs(), Ok(8));
         assert_eq!(args(&["prog"]).jobs(), Ok(default_jobs()));
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn profile_flag_spellings() {
+        assert_eq!(args(&["prog"]).profile(), Ok(ProfileMode::Fixed));
+        assert_eq!(
+            args(&["prog", "--profile=fixed"]).profile(),
+            Ok(ProfileMode::Fixed)
+        );
+        let auto_default = ProfileMode::Auto {
+            budget_alms: DEFAULT_PROBE_BUDGET_ALMS,
+        };
+        assert_eq!(args(&["prog", "--profile"]).profile(), Ok(auto_default));
+        assert_eq!(
+            args(&["prog", "--profile", "--out", "x"]).profile(),
+            Ok(auto_default)
+        );
+        assert_eq!(
+            args(&["prog", "--profile=auto"]).profile(),
+            Ok(auto_default)
+        );
+        assert_eq!(
+            args(&["prog", "--profile=auto,budget=512"]).profile(),
+            Ok(ProfileMode::Auto { budget_alms: 512 })
+        );
+        assert_eq!(
+            args(&["prog", "--profile", "auto,budget=512"]).profile(),
+            Ok(ProfileMode::Auto { budget_alms: 512 })
+        );
+    }
+
+    #[test]
+    fn profile_rejects_zero_budget_and_garbage() {
+        // The acceptance case: `budget=0` is a clean CLI error, never a
+        // panic inside the profiling unit.
+        let zero = args(&["prog", "--profile=auto,budget=0"]).profile();
+        assert!(zero.is_err());
+        assert!(zero.unwrap_err().contains("selects nothing"));
+        assert!(args(&["prog", "--profile=auto,budget=lots"])
+            .profile()
+            .is_err());
+        assert!(args(&["prog", "--profile=sometimes"]).profile().is_err());
+        assert!(args(&["prog", "--profile", "auto,budget=0"])
+            .profile()
+            .is_err());
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //!
 //! Usage: `repro_ablations [--dim N] [--jobs N] [--mode cycle|analytical]
 //!                         [--bench-json PATH] [--lint[=deny|warn|off]]
-//!                         [--perf-lint[=deny|warn|off]]`
+//!                         [--perf-lint[=deny|warn|off]]
+//!                         [--profile[=fixed|auto[,budget=N]]]`
+//!
+//! `--profile=auto[,budget=N]` runs the profiled sampling-period grid
+//! under the auto-probe plan (counters and region probes selected by the
+//! knapsack pass) instead of the fixed counter set.
 //!
 //! The whole study is one task graph on the work-stealing engine: two
 //! `Compile` nodes (v2 and v3) gate sixteen `Run` nodes across the four
@@ -72,6 +77,10 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    let profile = args.profile().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let bench_json = args.path("--bench-json");
     let p = GemmParams {
         dim,
@@ -92,6 +101,7 @@ fn main() {
     let hls = HlsConfig {
         lint,
         perf_lint,
+        probe: profile.probe(),
         ..HlsConfig::default()
     };
     let hls = &hls;
@@ -359,6 +369,11 @@ fn main() {
         "period", "trace bytes", "records", "flushes"
     );
     print!("{}", section(period_reduce));
+    // The profiled grid above ran under this plan (v3 is already cached,
+    // so re-fetching it here is free).
+    if let Some(plan) = &cache.get_or_compile(v3, hls).probe_plan {
+        println!("\n{}", plan.summary());
+    }
 
     let stats = cache.stats();
     let runs = out
@@ -371,10 +386,18 @@ fn main() {
         runs, stats.entries
     );
     if let Some(path) = &bench_json {
+        let probe_alms = cache
+            .get_or_compile(v3, hls)
+            .probe_plan
+            .as_ref()
+            .map(|pl| pl.cost_alms as f64)
+            .unwrap_or(0.0);
         let snap = timer
             .finish("repro_ablations", mode, total_sim)
             .param("dim", dim)
             .param("jobs", jobs)
+            .param("profile", profile.name())
+            .with_extra("probe_overhead", probe_alms)
             .with_extra("worker_utilization", out.stats.utilization())
             .with_extra("sched_steals", out.stats.steals as f64)
             .with_extra("sched_parks", out.stats.parks as f64)

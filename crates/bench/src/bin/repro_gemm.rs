@@ -4,7 +4,8 @@
 //!
 //! Usage: `repro_gemm [--dim N] [--threads N] [--out DIR] [--jobs N]
 //!                    [--mode cycle|analytical] [--bench-json PATH]
-//!                    [--lint[=deny|warn|off]] [--perf-lint[=deny|warn|off]]`
+//!                    [--lint[=deny|warn|off]] [--perf-lint[=deny|warn|off]]
+//!                    [--profile[=fixed|auto[,budget=N]]]`
 //!
 //! `--dim 512` runs at the paper's scale (slow); the default 128 preserves
 //! every ratio (see EXPERIMENTS.md). Trace bundles (`.prv`/`.pcf`/`.row`)
@@ -19,8 +20,14 @@
 //! traces or figures. `--bench-json PATH` writes a machine-readable perf
 //! snapshot of the invocation (wall time, simulated cycles, throughput,
 //! peak RSS — plus the analytical cross-check in cycle mode).
+//!
+//! `--profile=auto[,budget=N]` replaces the fixed counter set with the
+//! auto-probe plan: the compiler's static region analysis plus the
+//! budgeted knapsack pass pick the counters and region probes, the trace
+//! bundles gain the region hierarchy, and the diagnosis section
+//! attributes cycles to source regions.
 
-use bench::args::{Args, Mode};
+use bench::args::{Args, Mode, ProfileMode};
 use bench::harness::SnapshotTimer;
 use bench::sweep::{bundles_footer, gemm_sweep, gemm_table, GemmSweep, GemmSweepConfig};
 use bench::{analytic_report, gemm_launch, gemm_sim_config, lint_gate, perf_lint_gate};
@@ -53,6 +60,10 @@ fn main() {
         std::process::exit(2);
     });
     let mode = args.mode().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let profile = args.profile().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -135,6 +146,7 @@ fn main() {
         hls: HlsConfig {
             lint,
             perf_lint,
+            probe: profile.probe(),
             ..HlsConfig::default()
         },
         sim: sim.clone(),
@@ -145,6 +157,14 @@ fn main() {
     });
     println!("== T-GEMM: execution time and speedups (§V-C text) ==\n");
     print!("{}", gemm_table(&sweep));
+    if let Some(plan) = sweep
+        .runs
+        .iter()
+        .filter_map(|(_, r)| r.outcome.as_ref().ok())
+        .find_map(|run| run.accel.probe_plan.clone())
+    {
+        println!("\n{}", plan.summary());
+    }
     println!(
         "\n({} workers; compile cache: {} kernels compiled once, {} shared reuses)",
         jobs, sweep.cache.misses, sweep.cache.hits
@@ -161,6 +181,23 @@ fn main() {
                     &DiagnoseConfig::default(),
                 );
                 println!("{:<24} {:?}: {}", v.name(), d.bottleneck, d.advice);
+                // Under --profile=auto: attribute the run's cycles to the
+                // source regions the plan instrumented, and name the
+                // hottest one next to the state-level verdict.
+                if let Some(plan) = &run.accel.probe_plan {
+                    let att =
+                        hls_profiling::attribute_regions(&run.accel.regions, plan, &run.trace);
+                    if let Some(hot) = hls_profiling::hottest_region(&att) {
+                        println!(
+                            "{:<24} hottest region: {} [{}] — {} cycles, {:.0}% of the kernel attributed",
+                            "",
+                            hot.label,
+                            hot.kind.name(),
+                            hot.cycles,
+                            hls_profiling::diagnose::attribution_coverage(&att) * 100.0
+                        );
+                    }
+                }
                 // Predicted vs observed: confront each static NP finding
                 // with the measured trace (and flag measured hotspots the
                 // static pass missed).
@@ -195,7 +232,7 @@ fn main() {
             println!("\nnaive run failed ({e}); skipping the figure renders");
             println!("\n{}", bundles_footer(&out));
             if let Some(path) = &bench_json {
-                write_cycle_snapshot(&timer, path, &sweep, &kernels, &sim, &p, jobs);
+                write_cycle_snapshot(&timer, path, &sweep, &kernels, &sim, &p, jobs, profile);
             }
             return;
         }
@@ -316,7 +353,7 @@ fn main() {
     );
     println!("\n{}", bundles_footer(&out));
     if let Some(path) = &bench_json {
-        write_cycle_snapshot(&timer, path, &sweep, &kernels, &sim, &p, jobs);
+        write_cycle_snapshot(&timer, path, &sweep, &kernels, &sim, &p, jobs, profile);
     }
 }
 
@@ -324,6 +361,7 @@ fn main() {
 /// simulated cycles across the whole sweep, plus a timed analytical
 /// cross-check of the same five kernels so the snapshot records the
 /// fast-mode speedup alongside the exact numbers.
+#[allow(clippy::too_many_arguments)] // the snapshot records every knob of the invocation
 fn write_cycle_snapshot(
     timer: &SnapshotTimer,
     path: &std::path::Path,
@@ -332,6 +370,7 @@ fn write_cycle_snapshot(
     sim: &fpga_sim::SimConfig,
     p: &GemmParams,
     jobs: usize,
+    profile: ProfileMode,
 ) {
     let total_sim: u64 = sweep
         .runs
@@ -349,11 +388,21 @@ fn write_cycle_snapshot(
         .sum();
     let analytic_wall = at.elapsed_seconds();
     let wall = timer.elapsed_seconds();
+    // Modeled ALM cost of the auto-probe plan (0 under the fixed set) —
+    // the `probe_overhead` extra the `bench_check` gate watches.
+    let probe_alms = sweep
+        .runs
+        .iter()
+        .filter_map(|(_, r)| r.outcome.as_ref().ok())
+        .find_map(|run| run.accel.probe_plan.as_ref().map(|pl| pl.cost_alms as f64))
+        .unwrap_or(0.0);
     let snap = timer
         .finish("repro_gemm", Mode::Cycle, total_sim)
         .param("dim", p.dim)
         .param("threads", p.threads)
         .param("jobs", jobs)
+        .param("profile", profile.name())
+        .with_extra("probe_overhead", probe_alms)
         .with_extra("analytical_wall_seconds", analytic_wall)
         .with_extra("analytical_total_cycles", analytic_total as f64)
         .with_extra("analytical_speedup", wall / analytic_wall.max(1e-9))

@@ -7,7 +7,13 @@
 //! "each of the counters contributes similarly to the hardware overhead".
 //!
 //! Usage: `repro_overhead [--threads N] [--jobs N] [--bench-json PATH]
-//!                        [--lint[=deny|warn|off]] [--perf-lint[=deny|warn|off]]`
+//!                        [--lint[=deny|warn|off]] [--perf-lint[=deny|warn|off]]
+//!                        [--profile[=fixed|auto[,budget=N]]]`
+//!
+//! `--profile=auto[,budget=N]` prices the auto-probe plan instead of the
+//! fixed counter set: each design's profiling-unit fit then includes the
+//! selected counters *and* region probes, so the overhead tables show
+//! what the knapsack pass actually spends against its budget.
 //!
 //! The study runs as one task graph on the work-stealing engine: six
 //! `Compile` nodes (five GEMM versions plus π) populate the shared
@@ -66,10 +72,15 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    let profile = args.profile().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let bench_json = args.path("--bench-json");
     let hls = HlsConfig {
         lint,
         perf_lint,
+        probe: profile.probe(),
         ..HlsConfig::default()
     };
     let prof = ProfilingConfig::default();
@@ -141,7 +152,13 @@ fn main() {
                 let OvhNode::Accel(acc) = ctx.dep(0).outcome.as_ref().expect("compile node") else {
                     unreachable!("compile node produced a non-accel payload")
                 };
-                let with = instrumented_fit(&acc.fit, threads, prof, op, &hls.cost);
+                // Under --profile=auto the fit prices the design's own
+                // plan (counters + region probes) instead of the fixed set.
+                let prof_v = match &acc.probe_plan {
+                    Some(plan) => prof.clone().with_plan(plan.clone()),
+                    None => prof.clone(),
+                };
+                let with = instrumented_fit(&acc.fit, threads, &prof_v, op, &hls.cost);
                 let o = with.overhead_vs(&acc.fit);
                 let line = format!(
                     "{:<24} {:>9} {:>9} {:>8.1} | {:>9} {:>9} {:>8.1} | {:>6.2}% {:>6.2}% {:>9.1}",
@@ -228,7 +245,14 @@ fn main() {
     else {
         unreachable!("compile node produced a non-accel payload")
     };
-    let with = instrumented_fit(&acc.fit, threads, &prof, &op, &hls.cost);
+    let pi_prof = match &acc.probe_plan {
+        Some(plan) => prof.clone().with_plan(plan.clone()),
+        None => prof.clone(),
+    };
+    if let Some(plan) = &acc.probe_plan {
+        println!("  {}", plan.summary());
+    }
+    let with = instrumented_fit(&acc.fit, threads, &pi_prof, &op, &hls.cost);
     let o = with.overhead_vs(&acc.fit);
     println!(
         "  pi: ALMs {} → {} (+{:.2}%), registers {} → {} (+{:.2}%), fmax {:.1} → {:.1} MHz (−{:.1})",
@@ -294,10 +318,17 @@ fn main() {
         stats.entries
     );
     if let Some(path) = &bench_json {
+        let probe_alms = acc
+            .probe_plan
+            .as_ref()
+            .map(|pl| pl.cost_alms as f64)
+            .unwrap_or(0.0);
         let snap = timer
             .finish("repro_overhead", mode, 0)
             .param("threads", threads)
             .param("jobs", jobs)
+            .param("profile", profile.name())
+            .with_extra("probe_overhead", probe_alms)
             .with_extra("worker_utilization", out.stats.utilization())
             .with_extra("sched_steals", out.stats.steals as f64)
             .with_extra("sched_parks", out.stats.parks as f64);

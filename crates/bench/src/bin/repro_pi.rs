@@ -5,7 +5,8 @@
 //!
 //! Usage: `repro_pi [--threads N] [--out DIR] [--jobs N]
 //!                  [--mode cycle|analytical] [--bench-json PATH]
-//!                  [--lint[=deny|warn|off]] [--perf-lint[=deny|warn|off]]`
+//!                  [--lint[=deny|warn|off]] [--perf-lint[=deny|warn|off]]
+//!                  [--profile[=fixed|auto[,budget=N]]]`
 //!
 //! The three problem sizes run in parallel on the batch engine; the π
 //! kernel's IR is step-count-independent, so the whole sweep shares one
@@ -14,7 +15,7 @@
 //! (predicted cycles and GFLOP/s, no traces); `--bench-json PATH` writes
 //! a machine-readable perf snapshot of the invocation.
 
-use bench::args::{Args, Mode};
+use bench::args::{Args, Mode, ProfileMode};
 use bench::harness::SnapshotTimer;
 use bench::sweep::{bundles_footer, pi_sweep, pi_table, PiSweep, PiSweepConfig};
 use bench::{analytic_report, lint_gate, perf_lint_gate, pi_launch, pi_sim_config};
@@ -46,6 +47,10 @@ fn main() {
         std::process::exit(2);
     });
     let mode = args.mode().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let profile = args.profile().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -131,6 +136,7 @@ fn main() {
         hls: HlsConfig {
             lint,
             perf_lint,
+            probe: profile.probe(),
             ..HlsConfig::default()
         },
         sim: sim.clone(),
@@ -139,6 +145,14 @@ fn main() {
         out: Some(out.clone()),
         jobs,
     });
+    if let Some(plan) = sweep
+        .runs
+        .iter()
+        .filter_map(|(_, r)| r.outcome.as_ref().ok())
+        .find_map(|pr| pr.run.accel.probe_plan.clone())
+    {
+        println!("{}\n", plan.summary());
+    }
 
     let mut per_iter_cycles = 0.0f64;
     for ((steps, paper_gflops, fig), (_, report)) in paper.iter().zip(&sweep.runs) {
@@ -219,13 +233,14 @@ fn main() {
     );
     println!("\n{}", bundles_footer(&out));
     if let Some(path) = &bench_json {
-        write_cycle_snapshot(&timer, path, &sweep, &paper, threads, jobs, &sim);
+        write_cycle_snapshot(&timer, path, &sweep, &paper, threads, jobs, &sim, profile);
     }
 }
 
 /// Emit the `--bench-json` snapshot of a cycle-mode run, including a
 /// timed analytical cross-check of the same three step counts so the
 /// snapshot records the fast-mode speedup alongside the exact numbers.
+#[allow(clippy::too_many_arguments)] // the snapshot records every knob of the invocation
 fn write_cycle_snapshot(
     timer: &SnapshotTimer,
     path: &std::path::Path,
@@ -234,6 +249,7 @@ fn write_cycle_snapshot(
     threads: u32,
     jobs: usize,
     sim: &fpga_sim::SimConfig,
+    profile: ProfileMode,
 ) {
     let total_sim: u64 = sweep
         .runs
@@ -257,11 +273,25 @@ fn write_cycle_snapshot(
         .sum();
     let analytic_wall = at.elapsed_seconds();
     let wall = timer.elapsed_seconds();
+    let probe_alms = sweep
+        .runs
+        .iter()
+        .filter_map(|(_, r)| r.outcome.as_ref().ok())
+        .find_map(|pr| {
+            pr.run
+                .accel
+                .probe_plan
+                .as_ref()
+                .map(|pl| pl.cost_alms as f64)
+        })
+        .unwrap_or(0.0);
     let snap = timer
         .finish("repro_pi", Mode::Cycle, total_sim)
         .param("steps", "1000000,4000000,10000000")
         .param("threads", threads)
         .param("jobs", jobs)
+        .param("profile", profile.name())
+        .with_extra("probe_overhead", probe_alms)
         .with_extra("analytical_wall_seconds", analytic_wall)
         .with_extra("analytical_total_cycles", analytic_total as f64)
         .with_extra("analytical_speedup", wall / analytic_wall.max(1e-9))

@@ -6,7 +6,8 @@
 //! Usage: `repro_scale [--dim N] [--rows N] [--cols N] [--nnz N]
 //!                     [--threads LIST] [--ab-threads N]
 //!                     [--out DIR] [--jobs N] [--bench-json PATH]
-//!                     [--lint[=deny|warn|off]] [--perf-lint[=deny|warn|off]]`
+//!                     [--lint[=deny|warn|off]] [--perf-lint[=deny|warn|off]]
+//!                     [--profile[=fixed|auto[,budget=N]]]`
 //!
 //! Three sections:
 //!
@@ -20,7 +21,9 @@
 //!    wall clock differs. The speedup lands in the perf snapshot.
 //! 3. **SpMV trace sweep** — the thread counts again through the full
 //!    streaming trace pipeline (batch engine + bundles), with the
-//!    analytical fast-mode prediction column.
+//!    analytical fast-mode prediction column. `--profile=auto[,budget=N]`
+//!    runs this section under the auto-probe plan (the untraced scaling
+//!    sections stay uninstrumented by design).
 //!
 //! `--bench-json PATH` writes the machine-readable snapshot the committed
 //! `BENCH_scale.json` trajectory is built from.
@@ -97,6 +100,10 @@ fn main() {
         std::process::exit(2);
     });
     let perf_lint = args.perf_lint_level().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let profile = args.profile().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -217,6 +224,7 @@ fn main() {
         hls: HlsConfig {
             lint,
             perf_lint,
+            probe: profile.probe(),
             ..HlsConfig::default()
         },
         sim: sim.clone(),
@@ -238,6 +246,14 @@ fn main() {
         sweep.runs.len()
     );
     print!("{}", spmv_table(&sweep));
+    if let Some(plan) = sweep
+        .runs
+        .iter()
+        .filter_map(|(_, r)| r.outcome.as_ref().ok())
+        .find_map(|pr| pr.run.accel.probe_plan.clone())
+    {
+        println!("\n{}", plan.summary());
+    }
     println!("\n{}", bundles_footer(&out));
 
     if let Some(path) = &bench_json {
@@ -246,6 +262,18 @@ fn main() {
             .map(u32::to_string)
             .collect::<Vec<_>>()
             .join(",");
+        let probe_alms = sweep
+            .runs
+            .iter()
+            .filter_map(|(_, r)| r.outcome.as_ref().ok())
+            .find_map(|pr| {
+                pr.run
+                    .accel
+                    .probe_plan
+                    .as_ref()
+                    .map(|pl| pl.cost_alms as f64)
+            })
+            .unwrap_or(0.0);
         let mut snap = timer
             .finish("repro_scale", Mode::Cycle, total_sim)
             .param("dim", dim)
@@ -255,6 +283,8 @@ fn main() {
             .param("threads", threads_str)
             .param("ab_threads", ab_threads)
             .param("jobs", jobs)
+            .param("profile", profile.name())
+            .with_extra("probe_overhead", probe_alms)
             .with_extra("wheel_wall_s", wheel_wall)
             .with_extra("heap_wall_s", heap_wall)
             .with_extra("wheel_speedup", speedup)

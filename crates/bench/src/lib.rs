@@ -16,15 +16,15 @@ pub mod sweep;
 use fpga_sim::memimg::LaunchArg;
 use fpga_sim::{Executor, NullSnoop, RunResult, SimConfig, SimError};
 use hls_profiling::{
-    PipelineConfig, PipelineError, ProfilingConfig, ProfilingUnit, SinkFactory, StreamReport,
-    TraceData,
+    PipelineConfig, PipelineError, ProfilingConfig, ProfilingConfigError, ProfilingUnit,
+    SinkFactory, StreamReport, TraceData,
 };
 use kernels::gemm::{self, GemmParams, GemmVersion};
 use kernels::pi::{self, PiParams};
 use kernels::reference;
 use kernels::spmv::{self, Csr};
 use nymble_hls::accel::{Accelerator, CompileError, HlsConfig};
-use nymble_hls::AccelCache;
+use nymble_hls::{AccelCache, ProbePlan};
 use nymble_ir::{Kernel, Value};
 use nymble_lint::LintLevel;
 use paraver::TraceSink;
@@ -43,6 +43,10 @@ pub enum BenchError {
     Sim(SimError),
     /// The background trace pipeline failed.
     Pipeline(PipelineError),
+    /// The profiling configuration (after aligning it with the compiled
+    /// design's auto-probe plan) was rejected — e.g. a budget so tight the
+    /// knapsack pass selected nothing.
+    Profiling(ProfilingConfigError),
     /// A graph node's body panicked; the scheduler records this outcome,
     /// finishes the graph, and then re-raises the original panic.
     NodePanic {
@@ -59,6 +63,7 @@ impl std::fmt::Display for BenchError {
             BenchError::Compile(e) => write!(f, "{e}"),
             BenchError::Sim(e) => write!(f, "{e}"),
             BenchError::Pipeline(e) => write!(f, "{e}"),
+            BenchError::Profiling(e) => write!(f, "{e}"),
             BenchError::NodePanic { label, message } => {
                 write!(f, "node `{label}` panicked: {message}")
             }
@@ -72,6 +77,7 @@ impl std::error::Error for BenchError {
             BenchError::Compile(e) => Some(e),
             BenchError::Sim(e) => Some(e),
             BenchError::Pipeline(e) => Some(e),
+            BenchError::Profiling(e) => Some(e),
             BenchError::NodePanic { .. } => None,
         }
     }
@@ -92,6 +98,12 @@ impl From<SimError> for BenchError {
 impl From<PipelineError> for BenchError {
     fn from(e: PipelineError) -> Self {
         BenchError::Pipeline(e)
+    }
+}
+
+impl From<ProfilingConfigError> for BenchError {
+    fn from(e: ProfilingConfigError) -> Self {
+        BenchError::Profiling(e)
     }
 }
 
@@ -138,7 +150,8 @@ pub fn run_profiled_with(
     launch: &[LaunchArg],
 ) -> Result<ProfiledRun, BenchError> {
     let accel = cache.try_get_or_compile(kernel, hls)?;
-    let mut unit = ProfilingUnit::new(&kernel.name, kernel.num_threads, prof.clone());
+    let prof = planned_prof(prof, &accel)?;
+    let mut unit = ProfilingUnit::new(&kernel.name, kernel.num_threads, prof);
     let result = Executor::run(kernel, &accel, sim, launch, &mut unit)?;
     Ok(ProfiledRun {
         result,
@@ -193,10 +206,11 @@ pub fn run_profiled_streaming_with(
     launch: &[LaunchArg],
 ) -> Result<(RunResult, StreamReport), BenchError> {
     let accel = cache.try_get_or_compile(kernel, hls)?;
+    let prof = planned_prof(prof, &accel)?;
     let mut unit = ProfilingUnit::new_streaming(
         &kernel.name,
         kernel.num_threads,
-        prof.clone(),
+        prof,
         pipeline,
         sink_factory,
     );
@@ -263,16 +277,44 @@ pub fn run_profiled_streaming(
     }
 }
 
+/// Align the shared profiling configuration with the compiled design's
+/// auto-probe plan (when the compile selected one) and validate the
+/// result, so a budget that selects nothing surfaces as a typed
+/// [`BenchError::Profiling`] instead of a panic inside the profiling unit.
+fn planned_prof(
+    prof: &ProfilingConfig,
+    accel: &Accelerator,
+) -> Result<ProfilingConfig, BenchError> {
+    let cfg = match &accel.probe_plan {
+        Some(plan) => prof.clone().with_plan(plan.clone()),
+        None => prof.clone(),
+    };
+    cfg.validate()?;
+    Ok(cfg)
+}
+
 /// Sink factory that streams the trace into a `.prv`/`.pcf`/`.row` bundle
 /// under `path_stem` (for [`run_profiled_streaming`]).
 pub fn bundle_sink(path_stem: PathBuf) -> SinkFactory {
+    bundle_sink_with_plan(path_stem, None)
+}
+
+/// [`bundle_sink`] for a design compiled under `--profile=auto`: the
+/// plan's region probes land in the `.pcf` event table and the `.row`
+/// region hierarchy, so Paraver (and `diagnose`) can name the source
+/// region behind every record.
+pub fn bundle_sink_with_plan(path_stem: PathBuf, plan: Option<Arc<ProbePlan>>) -> SinkFactory {
     Box::new(move |meta| {
-        let w = paraver::BundleWriter::create(
-            &path_stem,
-            meta,
-            &paraver::states::defs(),
-            &paraver::events::defs(),
-        )?;
+        let (event_defs, regions) = match &plan {
+            Some(p) => (
+                paraver::events::defs_with_regions(&p.pcf_regions()),
+                p.row_regions(),
+            ),
+            None => (paraver::events::defs(), Vec::new()),
+        };
+        let w =
+            paraver::BundleWriter::create(&path_stem, meta, &paraver::states::defs(), &event_defs)?
+                .with_regions(regions);
         Ok(Box::new(w) as Box<dyn TraceSink + Send>)
     })
 }

@@ -38,7 +38,7 @@ use kernels::gemm::{self, GemmParams, GemmVersion};
 use kernels::pi::{self, PiParams};
 use kernels::spmv::{self, Csr};
 use nymble_hls::accel::HlsConfig;
-use nymble_hls::{AccelCache, CacheStats};
+use nymble_hls::{AccelCache, CacheStats, ProbePlan};
 use nymble_ir::Kernel;
 use paraver::analysis::StateProfile;
 use paraver::{states, Record, TraceError, TraceSink};
@@ -73,20 +73,41 @@ impl TraceSink for TeeSink {
     }
 }
 
+/// The `.pcf` event table and `.row` region hierarchy for a trace: the
+/// plain defs, extended by the auto-probe plan's regions when one was
+/// compiled in.
+fn bundle_defs(plan: Option<&ProbePlan>) -> (Vec<paraver::EventTypeDef>, Vec<(u32, String)>) {
+    match plan {
+        Some(p) => (
+            paraver::events::defs_with_regions(&p.pcf_regions()),
+            p.row_regions(),
+        ),
+        None => (paraver::events::defs(), Vec::new()),
+    }
+}
+
 /// Sink factory streaming into `<stem>.prv/.pcf/.row` (when `stem` is
-/// given) while teeing every record into `store`.
+/// given) while teeing every record into `store`. `plan` extends the
+/// bundle's event table and `.row` hierarchy with the auto-probe regions.
 pub fn collecting_bundle_sink(
     stem: Option<PathBuf>,
+    plan: Option<Arc<ProbePlan>>,
     store: Arc<Mutex<Vec<Record>>>,
 ) -> SinkFactory {
     Box::new(move |meta| {
         let bundle = match stem {
-            Some(stem) => Some(paraver::prv::BundleWriter::create(
-                &stem,
-                meta,
-                &paraver::states::defs(),
-                &paraver::events::defs(),
-            )?),
+            Some(stem) => {
+                let (event_defs, regions) = bundle_defs(plan.as_deref());
+                Some(
+                    paraver::prv::BundleWriter::create(
+                        &stem,
+                        meta,
+                        &paraver::states::defs(),
+                        &event_defs,
+                    )?
+                    .with_regions(regions),
+                )
+            }
             None => None,
         };
         Ok(Box::new(TeeSink { bundle, store }) as Box<dyn TraceSink + Send>)
@@ -98,13 +119,15 @@ pub fn collecting_bundle_sink(
 /// still-running simulations; the resulting bundle is byte-identical to
 /// one streamed directly.
 fn write_bundle(stem: &Path, trace: &TraceData) -> Result<(), BenchError> {
+    let (event_defs, regions) = bundle_defs(trace.plan.as_deref());
     let mut w = paraver::prv::BundleWriter::create(
         stem,
         &trace.meta,
         &paraver::states::defs(),
-        &paraver::events::defs(),
+        &event_defs,
     )
-    .map_err(TraceError::from)?;
+    .map_err(TraceError::from)?
+    .with_regions(regions);
     for r in &trace.records {
         w.push(r.clone())?;
     }
@@ -155,6 +178,7 @@ fn profiled_streaming_run(
         spill_dir: Some(scratch_dir.to_path_buf()),
         ..env.pipeline.clone()
     };
+    let accel = env.cache.try_get_or_compile(kernel, env.hls)?;
     let (result, report) = run_profiled_streaming_with(
         env.cache,
         kernel,
@@ -162,7 +186,7 @@ fn profiled_streaming_run(
         env.sim,
         env.prof,
         pipe,
-        collecting_bundle_sink(None, store.clone()),
+        collecting_bundle_sink(None, accel.probe_plan.clone(), store.clone()),
         launch,
     )?;
     let records = std::mem::take(&mut *store.lock().expect("record store poisoned"));
@@ -171,11 +195,12 @@ fn profiled_streaming_run(
         meta: report.meta.clone(),
         flushed_bytes: report.flushed_bytes,
         flush_count: report.flush_count,
+        plan: accel.probe_plan.clone(),
     };
     Ok(ProfiledRun {
         result,
         trace,
-        accel: env.cache.try_get_or_compile(kernel, env.hls)?,
+        accel,
     })
 }
 

@@ -20,7 +20,10 @@
 //! one-shot materialized wrapper over it.
 
 use crate::counters::{unpack_event_record, EVENT_RECORD_BYTES};
-use crate::recorder::{state_record_bytes, unpack_state_record, TAG_EVENT, TAG_STATE};
+use crate::recorder::{
+    state_record_bytes, unpack_region_record, unpack_state_record, REGION_RECORD_BYTES, TAG_EVENT,
+    TAG_REGION, TAG_STATE,
+};
 use fpga_sim::ThreadState;
 use paraver::model::Record;
 
@@ -140,6 +143,21 @@ impl StreamDecoder {
                     });
                     pos += EVENT_RECORD_BYTES;
                 }
+                TAG_REGION => {
+                    if pos + REGION_RECORD_BYTES > self.pending.len() {
+                        break;
+                    }
+                    let (tid, lo, region, enter) =
+                        unpack_region_record(&self.pending[pos + 1..pos + REGION_RECORD_BYTES]);
+                    let t = self.unwrap.full(lo);
+                    self.records_decoded += 1;
+                    emit(Record::Event {
+                        thread: tid,
+                        time: t,
+                        events: vec![(paraver::events::region_type(region), enter as u64)],
+                    });
+                    pos += REGION_RECORD_BYTES;
+                }
                 // Line padding (zero bytes at the tail of a flushed line).
                 0 => pos += 1,
                 tag => panic!("corrupt trace stream: unknown tag {tag:#x} at {pos}"),
@@ -155,6 +173,7 @@ impl StreamDecoder {
             match self.pending[0] {
                 TAG_STATE => panic!("truncated state record"),
                 TAG_EVENT => panic!("truncated event record"),
+                TAG_REGION => panic!("truncated region record"),
                 tag => panic!("corrupt trace stream: unknown tag {tag:#x} at end"),
             }
         }
@@ -221,6 +240,31 @@ mod tests {
             assert_eq!(*time, 100);
             assert_eq!(events[2], (paraver::events::FLOPS, 2));
         }
+    }
+
+    #[test]
+    fn decodes_region_records_as_region_events() {
+        use crate::recorder::pack_region_record;
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&pack_region_record(10, 0, 0, true));
+        stream.extend_from_slice(&pack_region_record(25, 0, 3, true));
+        stream.extend_from_slice(&pack_region_record(40, 0, 3, false));
+        let records = decode_stream(&stream, 1, 100);
+        let region_events: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Event { time, events, .. } => Some((*time, events[0])),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            region_events,
+            vec![
+                (10, (paraver::events::region_type(0), 1)),
+                (25, (paraver::events::region_type(3), 1)),
+                (40, (paraver::events::region_type(3), 0)),
+            ]
+        );
     }
 
     #[test]

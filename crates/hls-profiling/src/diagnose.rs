@@ -13,9 +13,12 @@
 use crate::unit::TraceData;
 use fpga_sim::stats::RunStats;
 use fpga_sim::{SimConfig, SimError};
+use nymble_hls::probe::ProbePlan;
+use nymble_hls::region::{RegionKind, RegionTree};
 use nymble_lint::{Code, LintReport, PerfParams, PredMetric};
 use paraver::analysis::{event_series, StateProfile};
 use paraver::{events, states};
+use std::collections::HashMap;
 
 /// The dominant performance limiter of a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -388,6 +391,168 @@ pub fn confront(
     out
 }
 
+// ---------------------------------------------------------------------------
+// Region attribution: from thread timelines to source regions
+// ---------------------------------------------------------------------------
+
+/// Wall-clock cycles attributed to one instrumented source region.
+#[derive(Clone, Debug)]
+pub struct RegionAttribution {
+    /// Region id in the compiled design's region tree.
+    pub id: u16,
+    /// Parent region id (`None` for the kernel root).
+    pub parent: Option<u16>,
+    /// Slash-separated source path of the region.
+    pub label: String,
+    /// Nesting depth (root = 0).
+    pub depth: u32,
+    /// IR construct kind.
+    pub kind: RegionKind,
+    /// Attributed wall-clock cycles.
+    pub cycles: u64,
+    /// True when the figure comes from *observed* state time (critical
+    /// sections, measured via the CRITICAL state) rather than the static
+    /// profit split.
+    pub observed: bool,
+}
+
+/// Attribute the run's wall-clock cycles to the plan's source regions, so
+/// stalls land on *regions* instead of just threads.
+///
+/// The kernel root gets the whole run. Each child receives its parent's
+/// cycles scaled by the static profit ratio (the analytic mirror priced
+/// every region when it built the tree) — telescoping, so a region's figure
+/// never exceeds its parent's. Critical regions are the exception: their
+/// time is directly observable in the trace (the CRITICAL state), so the
+/// measured figure overrides the static split for the region runtime
+/// critical events map to.
+pub fn attribute_regions(
+    tree: &RegionTree,
+    plan: &ProbePlan,
+    trace: &TraceData,
+) -> Vec<RegionAttribution> {
+    let duration = trace.meta.duration.max(1);
+    let threads = trace.meta.num_threads.max(1);
+    let prof = StateProfile::compute(&trace.records, threads);
+    // Average per-thread wall time inside critical sections; maps to the
+    // plan's highest-ranked critical region (the single hardware semaphore
+    // makes every runtime critical transition attribute there — see the
+    // unit's RegionEmitter).
+    let observed_critical = (prof.fraction(states::CRITICAL) * duration as f64) as u64;
+    let runtime_critical = plan
+        .regions
+        .iter()
+        .filter(|r| r.kind == RegionKind::Critical)
+        .max_by_key(|r| r.score)
+        .map(|r| r.id);
+
+    let weight = |id: u16| {
+        if tree.analytic {
+            tree.region(id).profit.cycles
+        } else {
+            tree.region(id).score
+        }
+    };
+
+    let mut cycles_of: HashMap<u16, u64> = HashMap::new();
+    let mut was_observed: HashMap<u16, bool> = HashMap::new();
+    for r in &plan.regions {
+        if r.parent.is_none() {
+            cycles_of.insert(r.id, duration);
+        }
+    }
+    // plan.regions is pre-order, so each parent's figure is settled before
+    // its children are visited. Observed children (critical sections) are
+    // charged first; the remaining siblings split what is left of the
+    // parent by their static weight ratio, keeping the sum of any region's
+    // children at or below the region itself.
+    for p in &plan.regions {
+        let Some(&pc) = cycles_of.get(&p.id) else {
+            continue;
+        };
+        let kids: Vec<_> = plan
+            .regions
+            .iter()
+            .filter(|r| r.parent == Some(p.id))
+            .collect();
+        let mut remaining = pc;
+        for k in &kids {
+            if runtime_critical == Some(k.id) && observed_critical > 0 {
+                let c = observed_critical.min(remaining);
+                cycles_of.insert(k.id, c);
+                was_observed.insert(k.id, true);
+                remaining -= c;
+            }
+        }
+        let pw = weight(p.id);
+        for k in &kids {
+            if was_observed.contains_key(&k.id) {
+                continue;
+            }
+            let c = if pw == 0 {
+                0
+            } else {
+                (((remaining as u128) * (weight(k.id) as u128)) / (pw as u128)) as u64
+            }
+            .min(remaining);
+            cycles_of.insert(k.id, c);
+        }
+    }
+    plan.regions
+        .iter()
+        .map(|r| RegionAttribution {
+            id: r.id,
+            parent: r.parent,
+            label: r.label.clone(),
+            depth: r.depth,
+            kind: r.kind,
+            cycles: cycles_of.get(&r.id).copied().unwrap_or(0),
+            observed: was_observed.get(&r.id).copied().unwrap_or(false),
+        })
+        .collect()
+}
+
+/// The most expensive *source* region of a run: the non-root region with
+/// the most attributed cycles (deepest wins ties — it is the most specific
+/// answer). Falls back to the root when the plan instrumented nothing else.
+pub fn hottest_region(att: &[RegionAttribution]) -> Option<&RegionAttribution> {
+    att.iter()
+        .filter(|r| r.depth > 0)
+        .max_by_key(|r| (r.cycles, r.depth))
+        .or_else(|| att.first())
+}
+
+/// Fraction of the root's cycles that the root's direct children account
+/// for — the reconciliation figure: ~1.0 means the region split explains
+/// the whole-kernel cycle count.
+pub fn attribution_coverage(att: &[RegionAttribution]) -> f64 {
+    let Some(root) = att.iter().find(|r| r.parent.is_none()) else {
+        return 0.0;
+    };
+    let top: u64 = att
+        .iter()
+        .filter(|r| r.parent == Some(root.id))
+        .map(|r| r.cycles)
+        .sum();
+    top as f64 / root.cycles.max(1) as f64
+}
+
+/// Render the region attribution as an indented table for terminal reports.
+pub fn render_region_attribution(att: &[RegionAttribution]) -> String {
+    let mut s = String::new();
+    for r in att {
+        s.push_str(&format!(
+            "  {:>12} cyc  {}{} [{}]{}\n",
+            r.cycles,
+            "  ".repeat(r.depth as usize),
+            r.label,
+            r.kind.name(),
+            if r.observed { " (observed)" } else { "" }
+        ));
+    }
+    s
+}
+
 /// Render a predicted-vs-observed section for terminal reports.
 pub fn render_confrontation(outcomes: &[PredictionOutcome]) -> String {
     if outcomes.is_empty() {
@@ -657,6 +822,90 @@ mod tests {
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].code, Some(Code::NP004));
         assert!(render_confrontation(&out).contains("NP004"));
+    }
+
+    /// A contended-reduction stall fixture: per-thread loop work followed
+    /// by a critical section, compiled under `--profile=auto`.
+    fn stall_fixture() -> (nymble_hls::RegionTree, std::sync::Arc<ProbePlan>) {
+        use nymble_ir::{KernelBuilder, MapDir, ScalarType, Type};
+        let mut kb = KernelBuilder::new("reduce", 2);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let c = kb.buffer("C", ScalarType::F32, MapDir::ToFrom);
+        let acc = kb.var("acc", Type::F32);
+        let n = kb.c_i64(64);
+        kb.for_range("i", n, |kb, i| {
+            let v = kb.load(a, i, Type::F32);
+            let cur = kb.get(acc);
+            let s = kb.add(cur, v);
+            kb.set(acc, s);
+        });
+        kb.critical(|kb| {
+            let zero = kb.c_i64(0);
+            let cur = kb.load(c, zero, Type::F32);
+            let mine = kb.get(acc);
+            let s = kb.add(cur, mine);
+            kb.store(c, zero, s);
+        });
+        let k = kb.finish();
+        let acc = nymble_hls::compile(
+            &k,
+            &nymble_hls::HlsConfig {
+                probe: nymble_hls::ProbeMode::auto(),
+                ..Default::default()
+            },
+        );
+        (acc.regions.clone(), acc.probe_plan.unwrap())
+    }
+
+    #[test]
+    fn attribution_names_a_source_region_for_a_stalling_run() {
+        let (tree, plan) = stall_fixture();
+        // Thread 0 spends most of the run inside the critical section.
+        let trace = {
+            let mut u = ProfilingUnit::new(
+                "reduce",
+                2,
+                ProfilingConfig {
+                    sampling_period: 100,
+                    ..Default::default()
+                }
+                .with_plan(plan.clone()),
+            );
+            u.state_change(0, 0, ThreadState::Running);
+            u.state_change(0, 1, ThreadState::Running);
+            u.state_change(100, 0, ThreadState::Critical);
+            u.state_change(800, 0, ThreadState::Running);
+            u.run_end(1000);
+            u.finish()
+        };
+        let att = attribute_regions(&tree, &plan, &trace);
+        assert_eq!(att.len(), plan.regions.len());
+        // Root gets the whole run; children never exceed their parent.
+        assert_eq!(att[0].cycles, 1000);
+        for r in &att {
+            if let Some(p) = r.parent {
+                let parent = att.iter().find(|a| a.id == p).unwrap();
+                assert!(r.cycles <= parent.cycles, "{r:?} > parent");
+            }
+        }
+        // The critical region's figure is the *observed* critical time:
+        // 700 thread-cycles over 2 threads = 350 wall cycles.
+        let crit = att.iter().find(|r| r.kind == RegionKind::Critical).unwrap();
+        assert!(crit.observed);
+        assert_eq!(crit.cycles, 350);
+        // The hottest region names a source construct, not a thread.
+        let hot = hottest_region(&att).unwrap();
+        assert!(hot.depth > 0);
+        assert!(
+            hot.label.contains('/'),
+            "names a source path, got {}",
+            hot.label
+        );
+        let rendered = render_region_attribution(&att);
+        assert!(rendered.contains("critical#0"), "{rendered}");
+        // Direct children of the root explain most of the run.
+        let cov = attribution_coverage(&att);
+        assert!(cov > 0.5 && cov <= 1.0 + 1e-9, "{cov}");
     }
 
     #[test]

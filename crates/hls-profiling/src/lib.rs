@@ -30,6 +30,9 @@ pub mod pipeline;
 pub mod recorder;
 pub mod unit;
 
-pub use diagnose::{confront, perf_params_from_sim, PredictionOutcome, Verdict};
+pub use diagnose::{
+    attribute_regions, confront, hottest_region, perf_params_from_sim, PredictionOutcome,
+    RegionAttribution, Verdict,
+};
 pub use pipeline::{PipelineConfig, PipelineError, SinkFactory, StreamReport};
-pub use unit::{ProfilingConfig, ProfilingUnit, TraceData};
+pub use unit::{ProfilingConfig, ProfilingConfigError, ProfilingUnit, TraceData};

@@ -53,12 +53,19 @@ impl Default for OverheadParams {
     }
 }
 
-/// Fit of the profiling unit alone.
+/// Fit of the profiling unit alone. Under an auto-probe plan the counter
+/// population is the plan's: one module per selected event class plus one
+/// cycle counter per instrumented region (the same uniform pricing
+/// `nymble_hls::probe::select` budgeted with, pinned by a contract test
+/// below).
 pub fn profiling_fit(num_threads: u32, cfg: &ProfilingConfig, p: &OverheadParams) -> FitReport {
     let n = num_threads as u64;
     let mut alms = 0u64;
     let mut regs = 0u64;
-    let counters = cfg.counters.count() as u64;
+    let counters = match &cfg.plan {
+        Some(plan) => (plan.counters.len() + plan.regions.len()) as u64,
+        None => cfg.counters.count() as u64,
+    };
     alms += counters * (p.counter_alms_base as u64 + p.counter_alms_per_thread as u64 * n);
     regs += counters * (p.counter_regs_base as u64 + p.counter_regs_per_thread as u64 * n);
     if cfg.record_states {
@@ -194,6 +201,124 @@ mod tests {
             so.fmax_delta_mhz >= 0.0 && so.fmax_delta_mhz < 10.0,
             "{so:?}"
         );
+    }
+
+    /// The selection optimizer in `nymble-hls` cannot see this crate (it
+    /// sits below it in the dependency graph), so it budgets with its own
+    /// mirror of the per-counter constants. This contract test pins the
+    /// mirror to the real cost model — if either side changes, it fails.
+    #[test]
+    fn probe_cost_params_mirror_overhead_params() {
+        let o = OverheadParams::default();
+        let m = nymble_hls::ProbeCostParams::default();
+        assert_eq!(
+            (
+                m.counter_alms_base,
+                m.counter_alms_per_thread,
+                m.counter_regs_base,
+                m.counter_regs_per_thread
+            ),
+            (
+                o.counter_alms_base,
+                o.counter_alms_per_thread,
+                o.counter_regs_base,
+                o.counter_regs_per_thread
+            ),
+            "nymble_hls::ProbeCostParams must mirror OverheadParams"
+        );
+    }
+
+    /// A plan's budgeted cost equals the counter component of the real fit:
+    /// fit(planned cfg) − fit(empty cfg) = the ALMs/regs the knapsack
+    /// charged. This is the "selected-plan overhead fits the budget per the
+    /// cost model" validation of the auto-probe feature.
+    #[test]
+    fn planned_fit_matches_the_knapsack_price_and_budget() {
+        use nymble_ir::{KernelBuilder, MapDir, ScalarType, Type};
+        let mut kb = KernelBuilder::new("k", 8);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let x = kb.var("x", Type::F32);
+        let n = kb.c_i64(64);
+        kb.for_range("i", n, |kb, i| {
+            let v = kb.load(a, i, Type::F32);
+            let s = kb.add(v, v);
+            kb.set(x, s);
+        });
+        let k = kb.finish();
+        for budget in [256u32, nymble_hls::DEFAULT_PROBE_BUDGET_ALMS] {
+            let hls = nymble_hls::HlsConfig {
+                probe: nymble_hls::ProbeMode::Auto {
+                    budget_alms: budget,
+                },
+                ..Default::default()
+            };
+            let plan = nymble_hls::compile(&k, &hls).probe_plan.unwrap();
+            assert!(plan.cost_alms <= budget as u64, "plan overshoots budget");
+            let p = OverheadParams::default();
+            let planned = ProfilingConfig::default().with_plan(plan.clone());
+            let baseline = ProfilingConfig {
+                counters: CounterSet::NONE,
+                ..cfg()
+            };
+            let planned_fit = profiling_fit(8, &planned, &p);
+            let base_fit = profiling_fit(8, &baseline, &p);
+            assert_eq!(planned_fit.alms - base_fit.alms, plan.cost_alms);
+            assert_eq!(planned_fit.registers - base_fit.registers, plan.cost_regs);
+        }
+    }
+
+    /// Monotonicity of the cost model, pinned by property: adding counters
+    /// (or widening any dimension the unit scales with) never lowers the
+    /// modeled overhead.
+    #[test]
+    fn more_counters_never_lower_overhead() {
+        miniprop::forall(200, |rng| {
+            let n = rng.range_u32(1, 300);
+            let p = OverheadParams::default();
+            let cost = CostParams::default();
+            // A random counter subset and a random superset of it.
+            let mut small = CounterSet::NONE;
+            let mut big = CounterSet::NONE;
+            for f in [
+                |s: &mut CounterSet, v| s.stalls = v,
+                |s: &mut CounterSet, v| s.int_ops = v,
+                |s: &mut CounterSet, v| s.flops = v,
+                |s: &mut CounterSet, v| s.mem_read = v,
+                |s: &mut CounterSet, v| s.mem_write = v,
+                |s: &mut CounterSet, v| s.local_ops = v,
+            ] {
+                let in_small = rng.bool();
+                f(&mut small, in_small);
+                f(&mut big, in_small || rng.bool());
+            }
+            let states = rng.bool();
+            let mk = |set| ProfilingConfig {
+                counters: set,
+                record_states: states,
+                ..ProfilingConfig::default()
+            };
+            let fs = profiling_fit(n, &mk(small), &p);
+            let fb = profiling_fit(n, &mk(big), &p);
+            assert!(fb.alms >= fs.alms, "{fb:?} < {fs:?}");
+            assert!(fb.registers >= fs.registers);
+            // The percentage overhead over a fixed base is monotone too.
+            let base = FitReport {
+                alms: rng.range_u64(5_000, 200_000),
+                registers: rng.range_u64(10_000, 400_000),
+                dsps: 0,
+                bram_kbits: 0,
+                fmax_mhz: 0.0,
+            };
+            let base = FitReport {
+                fmax_mhz: fmax_model(base.alms, base.registers, &cost),
+                ..base
+            };
+            let os = instrumented_fit(&base, n, &mk(small), &p, &cost).overhead_vs(&base);
+            let ob = instrumented_fit(&base, n, &mk(big), &p, &cost).overhead_vs(&base);
+            assert!(ob.alms_pct >= os.alms_pct);
+            assert!(ob.registers_pct >= os.registers_pct);
+            assert!(ob.fmax_delta_mhz >= os.fmax_delta_mhz - 1e-9);
+        });
     }
 
     #[test]

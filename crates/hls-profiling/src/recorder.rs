@@ -11,6 +11,32 @@ use fpga_sim::ThreadState;
 /// Binary tag bytes of the buffer stream.
 pub const TAG_STATE: u8 = 0x01;
 pub const TAG_EVENT: u8 = 0x02;
+pub const TAG_REGION: u8 = 0x03;
+
+/// Size in bytes of a packed region enter/exit record: tag byte + thread id
+/// + 32-bit cycle + 16-bit region id + enter flag.
+pub const REGION_RECORD_BYTES: usize = 1 + 1 + 4 + 2 + 1;
+
+/// Pack a region boundary record (emitted under an auto-probe plan when a
+/// thread crosses an instrumented region's edge).
+pub fn pack_region_record(t: u64, tid: u32, region_id: u16, enter: bool) -> [u8; 9] {
+    let mut rec = [0u8; REGION_RECORD_BYTES];
+    rec[0] = TAG_REGION;
+    rec[1] = tid as u8;
+    rec[2..6].copy_from_slice(&((t & 0xFFFF_FFFF) as u32).to_le_bytes());
+    rec[6..8].copy_from_slice(&region_id.to_le_bytes());
+    rec[8] = enter as u8;
+    rec
+}
+
+/// Unpack a region record payload (everything after the tag byte). Returns
+/// `(tid, cycle_lo32, region_id, enter)`.
+pub fn unpack_region_record(payload: &[u8]) -> (u32, u32, u16, bool) {
+    let tid = payload[0] as u32;
+    let cycle = u32::from_le_bytes(payload[1..5].try_into().expect("4-byte cycle"));
+    let region = u16::from_le_bytes(payload[5..7].try_into().expect("2-byte region"));
+    (tid, cycle, region, payload[7] != 0)
+}
 
 /// Size in bytes of a packed state record for `n` threads (tag byte +
 /// 32-bit cycle + 2 bits per thread rounded up to bytes).
@@ -139,6 +165,18 @@ mod tests {
                 ThreadState::Running
             ]
         );
+    }
+
+    #[test]
+    fn region_record_roundtrips() {
+        let rec = pack_region_record(0xABCD_1234_5678, 3, 517, true);
+        assert_eq!(rec.len(), REGION_RECORD_BYTES);
+        assert_eq!(rec[0], TAG_REGION);
+        let (tid, cycle, region, enter) = unpack_region_record(&rec[1..]);
+        assert_eq!((tid, cycle, region, enter), (3, 0x1234_5678, 517, true));
+        let rec = pack_region_record(7, 0, 0, false);
+        let (tid, cycle, region, enter) = unpack_region_record(&rec[1..]);
+        assert_eq!((tid, cycle, region, enter), (0, 7, 0, false));
     }
 
     #[test]

@@ -5,9 +5,13 @@ use crate::buffer::TraceBuffer;
 use crate::counters::{CounterBank, CounterSet};
 use crate::decode;
 use crate::pipeline::{PipelineConfig, PipelineError, PipelineHandle, SinkFactory, StreamReport};
-use crate::recorder::StateRecorder;
+use crate::recorder::{pack_region_record, StateRecorder};
 use fpga_sim::{Snoop, ThreadState};
+use nymble_hls::probe::{CounterClass, ProbePlan};
+use nymble_hls::region::RegionKind;
 use paraver::model::{Record, TraceMeta};
+use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of the generated profiling hardware.
 #[derive(Clone, Debug)]
@@ -23,6 +27,11 @@ pub struct ProfilingConfig {
     pub counters: CounterSet,
     /// Whether the state machine/recorder is instantiated.
     pub record_states: bool,
+    /// Auto-probe plan driving the instrumentation (`--profile=auto`).
+    /// When set, [`Self::with_plan`] has aligned `counters` with the plan's
+    /// selected event classes and the unit additionally emits region
+    /// enter/exit records for the plan's instrumented regions.
+    pub plan: Option<Arc<ProbePlan>>,
 }
 
 impl Default for ProfilingConfig {
@@ -32,7 +41,86 @@ impl Default for ProfilingConfig {
             buffer_lines: 512,
             counters: CounterSet::default(),
             record_states: true,
+            plan: None,
         }
+    }
+}
+
+/// Why a [`ProfilingConfig`] cannot describe buildable hardware (the
+/// profiling analogue of `fpga_sim::SimConfig::validate`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProfilingConfigError {
+    /// The sampling timer cannot fire every zero cycles.
+    ZeroSamplingPeriod,
+    /// A trace buffer of zero lines can never hold a record.
+    ZeroBufferLines,
+    /// The attached auto-probe plan selects no counters and no regions —
+    /// the budget was too small to instrument anything.
+    EmptyPlan {
+        /// The budget the degenerate plan was solved under.
+        budget_alms: u32,
+    },
+}
+
+impl fmt::Display for ProfilingConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfilingConfigError::ZeroSamplingPeriod => {
+                write!(f, "sampling_period must be at least 1 cycle")
+            }
+            ProfilingConfigError::ZeroBufferLines => {
+                write!(f, "buffer_lines must be at least 1 trace line")
+            }
+            ProfilingConfigError::EmptyPlan { budget_alms } => write!(
+                f,
+                "auto-probe budget of {budget_alms} ALMs selects nothing: \
+                 raise the budget (one counter costs ~30 ALMs plus ~4 per thread)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProfilingConfigError {}
+
+impl ProfilingConfig {
+    /// Check the configuration describes buildable profiling hardware.
+    /// Note an all-off unit (`CounterSet::NONE`, no state recorder) is
+    /// *valid* — it is the baseline of the §V-B overhead study.
+    pub fn validate(&self) -> Result<(), ProfilingConfigError> {
+        if self.sampling_period == 0 {
+            return Err(ProfilingConfigError::ZeroSamplingPeriod);
+        }
+        if self.buffer_lines == 0 {
+            return Err(ProfilingConfigError::ZeroBufferLines);
+        }
+        if let Some(plan) = &self.plan {
+            if plan.counters.is_empty() && plan.regions.is_empty() {
+                return Err(ProfilingConfigError::EmptyPlan {
+                    budget_alms: plan.budget_alms,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Drive the instrumentation from an auto-probe plan: the counter set
+    /// becomes exactly the plan's selected event classes, and the unit will
+    /// emit region records for the plan's instrumented regions.
+    pub fn with_plan(mut self, plan: Arc<ProbePlan>) -> Self {
+        let mut set = CounterSet::NONE;
+        for c in &plan.counters {
+            match c {
+                CounterClass::Stalls => set.stalls = true,
+                CounterClass::IntOps => set.int_ops = true,
+                CounterClass::Flops => set.flops = true,
+                CounterClass::MemRead => set.mem_read = true,
+                CounterClass::MemWrite => set.mem_write = true,
+                CounterClass::LocalOps => set.local_ops = true,
+            }
+        }
+        self.counters = set;
+        self.plan = Some(plan);
+        self
     }
 }
 
@@ -47,19 +135,66 @@ pub struct TraceData {
     pub flushed_bytes: u64,
     /// Number of buffer flushes during the run.
     pub flush_count: usize,
+    /// The auto-probe plan the unit recorded under, when there was one;
+    /// carried so the bundle's `.pcf`/`.row` can name the regions.
+    pub plan: Option<Arc<ProbePlan>>,
 }
 
 impl TraceData {
-    /// Write the `.prv`/`.pcf`/`.row` bundle under `path_stem`.
+    /// Write the `.prv`/`.pcf`/`.row` bundle under `path_stem`. Under an
+    /// auto-probe plan the `.pcf` event table gains one entry per
+    /// instrumented region and the `.row` a `LEVEL REGION` hierarchy.
     pub fn write_bundle(&self, path_stem: &std::path::Path) -> std::io::Result<()> {
         let mut records = self.records.clone();
-        paraver::prv::write_bundle(
+        let (event_defs, row_regions) = match &self.plan {
+            None => (paraver::events::defs(), Vec::new()),
+            Some(plan) => (
+                paraver::events::defs_with_regions(&plan.pcf_regions()),
+                plan.row_regions(),
+            ),
+        };
+        paraver::prv::write_bundle_with_regions(
             path_stem,
             &self.meta,
             &mut records,
             &paraver::states::defs(),
-            &paraver::events::defs(),
+            &event_defs,
+            row_regions,
         )
+    }
+}
+
+/// Runtime region tracking derived from the plan: which probes exist and
+/// which edges each thread currently sits inside. All of it is driven by
+/// the *existing* snoop signals (state transitions and run end) — the
+/// datapath taps are identical with and without a plan; only what gets
+/// recorded differs.
+struct RegionEmitter {
+    /// The kernel-root cycle probe is selected.
+    root: bool,
+    /// The critical-section probe runtime events map to: the hardware has a
+    /// single semaphore, so every critical transition attributes to the
+    /// plan's highest-ranked selected critical region.
+    critical: Option<u16>,
+    /// Per-thread: first Running seen (root entered).
+    started: Vec<bool>,
+    /// Per-thread: currently inside a critical section.
+    in_critical: Vec<bool>,
+}
+
+impl RegionEmitter {
+    fn new(plan: &ProbePlan, num_threads: u32) -> Self {
+        RegionEmitter {
+            root: plan.region(0).is_some(),
+            critical: plan
+                .regions
+                .iter()
+                .filter(|r| r.kind == RegionKind::Critical)
+                .max_by_key(|r| r.score)
+                .map(|r| r.id),
+            started: vec![false; num_threads as usize],
+            in_critical: vec![false; num_threads as usize],
+        }
     }
 }
 
@@ -82,6 +217,7 @@ pub struct ProfilingUnit {
     counters: CounterBank,
     buffer: TraceBuffer,
     pipeline: Option<PipelineHandle>,
+    regions: Option<RegionEmitter>,
     next_sample: u64,
     total_cycles: u64,
     ended: bool,
@@ -119,7 +255,9 @@ impl ProfilingUnit {
         cfg: ProfilingConfig,
         pipeline: Option<PipelineHandle>,
     ) -> Self {
-        let sampling = cfg.sampling_period.max(1);
+        // A degenerate config used to be clamped silently (`.max(1)` on the
+        // period); now it is a hard, typed error at construction.
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
         ProfilingUnit {
             recorder: StateRecorder::new(num_threads),
             counters: CounterBank::new(num_threads, cfg.counters),
@@ -128,7 +266,11 @@ impl ProfilingUnit {
                 None => TraceBuffer::new(cfg.buffer_lines),
             },
             pipeline,
-            next_sample: sampling,
+            regions: cfg
+                .plan
+                .as_deref()
+                .map(|plan| RegionEmitter::new(plan, num_threads)),
+            next_sample: cfg.sampling_period,
             cfg,
             app_name: app_name.to_string(),
             num_threads,
@@ -167,7 +309,34 @@ impl ProfilingUnit {
                     self.buf_push(boundary, &rec);
                 }
             }
-            self.next_sample += self.cfg.sampling_period.max(1);
+            self.next_sample += self.cfg.sampling_period;
+        }
+    }
+
+    /// Derive region enter/exit records from a state transition. Purely a
+    /// recording decision: the tap is the same state signal the recorder
+    /// snoops, so instrumented and uninstrumented runs execute identically.
+    fn region_transition(&mut self, t: u64, tid: u32, state: ThreadState) {
+        let Some(re) = &mut self.regions else { return };
+        let i = tid as usize;
+        let mut recs = [None, None];
+        if state != ThreadState::Idle && !re.started[i] {
+            re.started[i] = true;
+            if re.root {
+                recs[0] = Some(pack_region_record(t, tid, 0, true));
+            }
+        }
+        if state == ThreadState::Critical {
+            if !re.in_critical[i] {
+                re.in_critical[i] = true;
+                recs[1] = re.critical.map(|cr| pack_region_record(t, tid, cr, true));
+            }
+        } else if re.in_critical[i] {
+            re.in_critical[i] = false;
+            recs[1] = re.critical.map(|cr| pack_region_record(t, tid, cr, false));
+        }
+        for rec in recs.into_iter().flatten() {
+            self.buf_push(t, &rec);
         }
     }
 
@@ -189,6 +358,7 @@ impl ProfilingUnit {
             meta: TraceMeta::new(&self.app_name, self.total_cycles, self.num_threads),
             flushed_bytes: self.buffer.flushed_bytes(),
             flush_count: self.buffer.flush_count(),
+            plan: self.cfg.plan.clone(),
         }
     }
 
@@ -214,6 +384,7 @@ impl ProfilingUnit {
 impl Snoop for ProfilingUnit {
     fn state_change(&mut self, t: u64, tid: u32, state: ThreadState) {
         self.advance_sampling(t);
+        self.region_transition(t, tid, state);
         if !self.cfg.record_states {
             return;
         }
@@ -260,6 +431,21 @@ impl Snoop for ProfilingUnit {
         for tid in 0..self.num_threads {
             if let Some(rec) = self.counters.sample(t, tid) {
                 self.buf_push(t, &rec);
+            }
+        }
+        // Close every open region edge: the kernel root spans first start to
+        // run end, and a thread parked inside a critical section exits it.
+        if let Some(re) = self.regions.take() {
+            for tid in 0..self.num_threads {
+                let i = tid as usize;
+                if re.in_critical[i] {
+                    if let Some(cr) = re.critical {
+                        self.buf_push(t, &pack_region_record(t, tid, cr, false));
+                    }
+                }
+                if re.started[i] && re.root {
+                    self.buf_push(t, &pack_region_record(t, tid, 0, false));
+                }
             }
         }
         self.total_cycles = t;
@@ -351,6 +537,194 @@ mod tests {
     fn finish_requires_run_end() {
         let u = ProfilingUnit::new("t", 1, ProfilingConfig::default());
         let _ = u.finish();
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors() {
+        use crate::unit::ProfilingConfigError as E;
+        let zero_period = ProfilingConfig {
+            sampling_period: 0,
+            ..Default::default()
+        };
+        assert_eq!(zero_period.validate(), Err(E::ZeroSamplingPeriod));
+        let zero_buffer = ProfilingConfig {
+            buffer_lines: 0,
+            ..Default::default()
+        };
+        assert_eq!(zero_buffer.validate(), Err(E::ZeroBufferLines));
+        // The all-off unit is the overhead study's baseline — still valid.
+        let baseline = ProfilingConfig {
+            counters: CounterSet::NONE,
+            record_states: false,
+            ..Default::default()
+        };
+        assert_eq!(baseline.validate(), Ok(()));
+        assert!(ProfilingConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling_period")]
+    fn constructing_a_degenerate_unit_panics_with_the_typed_message() {
+        let _ = ProfilingUnit::new(
+            "t",
+            1,
+            ProfilingConfig {
+                sampling_period: 0,
+                ..Default::default()
+            },
+        );
+    }
+
+    fn critical_kernel_plan() -> std::sync::Arc<nymble_hls::ProbePlan> {
+        use nymble_ir::{KernelBuilder, MapDir, ScalarType, Type};
+        let mut kb = KernelBuilder::new("crit", 2);
+        let c = kb.buffer("C", ScalarType::F32, MapDir::ToFrom);
+        let x = kb.var("x", Type::F32);
+        let n = kb.c_i64(32);
+        kb.for_range("i", n, |kb, i| {
+            let v = kb.load(c, i, Type::F32);
+            let s = kb.add(v, v);
+            kb.set(x, s);
+        });
+        kb.critical(|kb| {
+            let zero = kb.c_i64(0);
+            let v = kb.load(c, zero, Type::F32);
+            let s = kb.add(v, v);
+            kb.store(c, zero, s);
+        });
+        let k = kb.finish();
+        let cfg = nymble_hls::HlsConfig {
+            probe: nymble_hls::ProbeMode::auto(),
+            ..Default::default()
+        };
+        nymble_hls::compile(&k, &cfg)
+            .probe_plan
+            .expect("auto mode attaches a plan")
+    }
+
+    #[test]
+    fn empty_plan_is_a_typed_error() {
+        use crate::unit::ProfilingConfigError as E;
+        let plan = std::sync::Arc::new(nymble_hls::probe::ProbePlan {
+            budget_alms: 0,
+            counters: vec![],
+            regions: vec![],
+            skipped_regions: 3,
+            cost_alms: 0,
+            cost_regs: 0,
+        });
+        let cfg = ProfilingConfig::default().with_plan(plan);
+        assert_eq!(cfg.validate(), Err(E::EmptyPlan { budget_alms: 0 }));
+    }
+
+    #[test]
+    fn plan_drives_region_records_and_bundle_sections() {
+        let plan = critical_kernel_plan();
+        assert!(plan.covers_default_set());
+        let mut u = ProfilingUnit::new(
+            "crit",
+            2,
+            ProfilingConfig {
+                sampling_period: 100,
+                ..Default::default()
+            }
+            .with_plan(plan.clone()),
+        );
+        u.state_change(5, 0, ThreadState::Running);
+        u.state_change(8, 1, ThreadState::Running);
+        u.state_change(50, 0, ThreadState::Critical);
+        u.state_change(90, 0, ThreadState::Running);
+        u.run_end(200);
+        let td = u.finish();
+
+        let crit_id = plan
+            .regions
+            .iter()
+            .find(|r| r.label.contains("critical"))
+            .expect("critical region selected")
+            .id;
+        let mut got = Vec::new();
+        for r in &td.records {
+            if let Record::Event {
+                thread,
+                time,
+                events,
+            } = r
+            {
+                for (ty, v) in events {
+                    if *ty >= paraver::events::REGION_BASE {
+                        got.push((*thread, *time, *ty, *v));
+                    }
+                }
+            }
+        }
+        let root = paraver::events::region_type(0);
+        let crit = paraver::events::region_type(crit_id);
+        assert!(got.contains(&(0, 5, root, 1)), "{got:?}");
+        assert!(got.contains(&(1, 8, root, 1)), "{got:?}");
+        assert!(got.contains(&(0, 50, crit, 1)), "{got:?}");
+        assert!(got.contains(&(0, 90, crit, 0)), "{got:?}");
+        assert!(got.contains(&(0, 200, root, 0)), "{got:?}");
+        assert!(got.contains(&(1, 200, root, 0)), "{got:?}");
+
+        // The bundle names the regions in the .pcf and .row.
+        let dir = std::env::temp_dir().join(format!("probe-bundle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("crit");
+        td.write_bundle(&stem).unwrap();
+        let pcf = std::fs::read_to_string(stem.with_extension("pcf")).unwrap();
+        assert!(pcf.contains(&format!("{root}    Region: crit")), "{pcf}");
+        let row = std::fs::read_to_string(stem.with_extension("row")).unwrap();
+        let regions = paraver::row::parse_regions(&row);
+        assert_eq!(regions.len(), plan.regions.len());
+        assert_eq!(regions[0], (0, "crit".to_string()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_without_probes_for_a_state_leaves_the_stream_plain() {
+        // A plan whose budget only afforded the root and one counter emits
+        // no critical-region records even when threads enter criticals.
+        let plan = critical_kernel_plan();
+        let p = nymble_hls::ProbeCostParams::default();
+        let tight = std::sync::Arc::new(nymble_hls::probe::ProbePlan {
+            budget_alms: 2 * p.alms_per_counter(2) as u32,
+            counters: vec![nymble_hls::CounterClass::Stalls],
+            regions: plan.regions[..1].to_vec(),
+            skipped_regions: plan.regions.len() - 1,
+            cost_alms: 2 * p.alms_per_counter(2),
+            cost_regs: 2 * p.regs_per_counter(2),
+        });
+        let mut u = ProfilingUnit::new(
+            "crit",
+            2,
+            ProfilingConfig {
+                sampling_period: 100,
+                ..Default::default()
+            }
+            .with_plan(tight),
+        );
+        u.state_change(5, 0, ThreadState::Running);
+        u.state_change(50, 0, ThreadState::Critical);
+        u.state_change(90, 0, ThreadState::Running);
+        u.run_end(200);
+        let td = u.finish();
+        let region_events: Vec<u32> = td
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Event { events, .. } if events[0].0 >= paraver::events::REGION_BASE => {
+                    Some(events[0].0)
+                }
+                _ => None,
+            })
+            .collect();
+        let root = paraver::events::region_type(0);
+        assert!(!region_events.is_empty());
+        assert!(
+            region_events.iter().all(|ty| *ty == root),
+            "{region_events:?}"
+        );
     }
 
     #[test]

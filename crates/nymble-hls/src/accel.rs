@@ -2,12 +2,15 @@
 
 use crate::cost::{estimate_fit, CostParams, FitReport};
 use crate::dfg::{lower_block, Dfg};
+use crate::probe::{self, ProbeCostParams, ProbeMode, ProbePlan};
+use crate::region::RegionTree;
 use crate::schedule::{schedule, LoopSchedule, ResourceLimits};
 use nymble_ir::loops::{LoopId, LoopMap};
 use nymble_ir::stmt::{Block, Stmt};
 use nymble_ir::Kernel;
-use nymble_lint::LintLevel;
+use nymble_lint::{LintLevel, PerfParams};
 use std::fmt;
+use std::sync::Arc;
 
 /// HLS compiler configuration.
 #[derive(Clone, Debug)]
@@ -33,6 +36,12 @@ pub struct HlsConfig {
     /// refuses to build a design the model predicts to be pathological.
     /// Also part of the config fingerprint.
     pub perf_lint: LintLevel,
+    /// Auto-probe mode: at [`ProbeMode::Auto`] the compiler solves a
+    /// budgeted instrumentation plan over the region tree and attaches it
+    /// to the accelerator for the profiling unit to follow. Part of the
+    /// config fingerprint — plans solved under different budgets are
+    /// different artifacts.
+    pub probe: ProbeMode,
 }
 
 impl Default for HlsConfig {
@@ -43,6 +52,7 @@ impl Default for HlsConfig {
             seq_issue_width: 4,
             lint: LintLevel::Off,
             perf_lint: LintLevel::Off,
+            probe: ProbeMode::Off,
         }
     }
 }
@@ -89,6 +99,14 @@ pub struct Accelerator {
     /// Fit (area/frequency) of the accelerator *without* the profiling unit;
     /// the profiling crate derives the instrumented fit from this.
     pub fit: FitReport,
+    /// Hierarchical source-region tree of the kernel (kernel → loop nest →
+    /// pipelined body / sequential section / critical section / DMA
+    /// region), annotated with statically derived profit. Always built —
+    /// it is cheap and `diagnose` uses it even without a probe plan.
+    pub regions: RegionTree,
+    /// The solved instrumentation plan when compiled under
+    /// [`ProbeMode::Auto`]; `None` under [`ProbeMode::Off`].
+    pub probe_plan: Option<Arc<ProbePlan>>,
 }
 
 impl Accelerator {
@@ -199,6 +217,19 @@ fn compile_unchecked(kernel: &Kernel, config: &HlsConfig) -> Accelerator {
         &config.cost,
     );
 
+    // Region analysis: always build the tree (diagnosis uses it even when
+    // no probes are planned); solve the knapsack only under Auto.
+    let regions = RegionTree::build(kernel, &PerfParams::default());
+    let probe_plan = match config.probe {
+        ProbeMode::Off => None,
+        ProbeMode::Auto { budget_alms } => Some(Arc::new(probe::select(
+            &regions,
+            kernel.num_threads,
+            budget_alms,
+            &ProbeCostParams::default(),
+        ))),
+    };
+
     Accelerator {
         name: kernel.name.clone(),
         num_threads: kernel.num_threads,
@@ -208,6 +239,8 @@ fn compile_unchecked(kernel: &Kernel, config: &HlsConfig) -> Accelerator {
         top_dfg,
         config: config.clone(),
         fit,
+        regions,
+        probe_plan,
     }
 }
 

@@ -316,6 +316,33 @@ mod tests {
     }
 
     #[test]
+    fn probe_modes_are_distinct_cache_keys() {
+        use crate::probe::ProbeMode;
+        let cache = AccelCache::new();
+        let k = clean_kernel();
+        let off = HlsConfig::default();
+        let auto = HlsConfig {
+            probe: ProbeMode::auto(),
+            ..HlsConfig::default()
+        };
+        let tight = HlsConfig {
+            probe: ProbeMode::Auto { budget_alms: 128 },
+            ..HlsConfig::default()
+        };
+        let a = cache.get_or_compile(&k, &off);
+        let b = cache.get_or_compile(&k, &auto);
+        let c = cache.get_or_compile(&k, &tight);
+        assert!(!Arc::ptr_eq(&a, &b), "off vs auto must not share");
+        assert!(!Arc::ptr_eq(&b, &c), "different budgets must not share");
+        assert_eq!(cache.stats().entries, 3);
+        assert!(a.probe_plan.is_none());
+        assert!(b.probe_plan.is_some());
+        assert!(
+            b.probe_plan.as_ref().unwrap().cost_alms >= c.probe_plan.as_ref().unwrap().cost_alms
+        );
+    }
+
+    #[test]
     fn refused_compile_is_cached_as_an_error() {
         use nymble_lint::LintLevel;
         let cache = AccelCache::new();

@@ -221,6 +221,70 @@ pub fn geo_mean(values: &[f64]) -> f64 {
 mod tests {
     use super::*;
 
+    fn arb_fit(rng: &mut miniprop::Rng) -> FitReport {
+        let p = CostParams::default();
+        let alms = rng.range_u64(0, 200_000);
+        let regs = rng.range_u64(0, 400_000);
+        FitReport {
+            alms,
+            registers: regs,
+            dsps: rng.range_u64(0, 256),
+            bram_kbits: rng.range_u64(0, 4_096),
+            fmax_mhz: fmax_model(alms, regs, &p),
+        }
+    }
+
+    /// `combine` is a resource sum (fmax is re-derived from the summed
+    /// logic, not combined), so its resource components must be
+    /// commutative and associative however fits are aggregated — the
+    /// instrumented-fit path combines base + probe plan + profiling unit
+    /// in whatever order the caller wires up.
+    #[test]
+    fn combine_resource_sums_are_commutative_and_associative() {
+        miniprop::forall(200, |rng| {
+            let p = CostParams::default();
+            let (a, b, c) = (arb_fit(rng), arb_fit(rng), arb_fit(rng));
+            let ab = a.combine(&b, &p);
+            let ba = b.combine(&a, &p);
+            assert_eq!(
+                (ab.alms, ab.registers, ab.dsps, ab.bram_kbits),
+                (ba.alms, ba.registers, ba.dsps, ba.bram_kbits)
+            );
+            assert_eq!(ab.fmax_mhz, ba.fmax_mhz, "fmax depends only on sums");
+            let ab_c = ab.combine(&c, &p);
+            let a_bc = a.combine(&b.combine(&c, &p), &p);
+            assert_eq!(
+                (ab_c.alms, ab_c.registers, ab_c.dsps, ab_c.bram_kbits),
+                (a_bc.alms, a_bc.registers, a_bc.dsps, a_bc.bram_kbits)
+            );
+            assert_eq!(ab_c.fmax_mhz, a_bc.fmax_mhz);
+        });
+    }
+
+    /// Growing either operand never shrinks the combined overhead over a
+    /// fixed base: percentages and the fmax delta are monotone in the
+    /// added logic.
+    #[test]
+    fn overhead_vs_is_monotone_in_the_addition() {
+        miniprop::forall(200, |rng| {
+            let p = CostParams::default();
+            let base = arb_fit(rng);
+            let small = arb_fit(rng);
+            let extra_alms = rng.range_u64(0, 50_000);
+            let extra_regs = rng.range_u64(0, 50_000);
+            let big = FitReport {
+                alms: small.alms + extra_alms,
+                registers: small.registers + extra_regs,
+                ..small
+            };
+            let os = base.combine(&small, &p).overhead_vs(&base);
+            let ob = base.combine(&big, &p).overhead_vs(&base);
+            assert!(ob.alms_pct >= os.alms_pct, "{ob:?} < {os:?}");
+            assert!(ob.registers_pct >= os.registers_pct);
+            assert!(ob.fmax_delta_mhz >= os.fmax_delta_mhz - 1e-9);
+        });
+    }
+
     #[test]
     fn fmax_decreases_with_logic() {
         let p = CostParams::default();

@@ -29,6 +29,8 @@ pub mod cost;
 pub mod dfg;
 pub mod modulo;
 pub mod op;
+pub mod probe;
+pub mod region;
 pub mod report;
 pub mod schedule;
 pub mod verilog;
@@ -36,4 +38,9 @@ pub mod verilog;
 pub use accel::{compile, try_compile, Accelerator, CompileError, HlsConfig};
 pub use cache::{kernel_fingerprint, AccelCache, CacheStats};
 pub use cost::FitReport;
+pub use probe::{
+    CounterClass, PlanRegion, ProbeCostParams, ProbeMode, ProbePlan, ALL_COUNTER_CLASSES,
+    DEFAULT_PROBE_BUDGET_ALMS,
+};
+pub use region::{Region, RegionKind, RegionTree};
 pub use schedule::LoopSchedule;

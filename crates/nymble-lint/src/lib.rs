@@ -48,7 +48,7 @@ pub mod diag;
 pub mod perf;
 
 pub use diag::{Code, Diagnostic, PredMetric, Prediction, Severity, Span};
-pub use perf::{PerfModel, PerfParams};
+pub use perf::{pipeline_eligible, region_profits, PerfModel, PerfParams, RegionProfit};
 
 use nymble_ir::Kernel;
 use std::collections::BTreeMap;

@@ -16,6 +16,7 @@ use crate::deps;
 use crate::diag::{Code, Diagnostic, PredMetric};
 use nymble_ir::stmt::Unroll;
 use nymble_ir::{Expr, ExprId, Kernel, Stmt, Value, VarId};
+use std::collections::HashMap;
 
 /// The latency/bandwidth parameters the model prices against. Defaults
 /// mirror `fpga_sim::SimConfig::default()`; `hls-profiling` rebuilds one
@@ -112,6 +113,59 @@ pub fn model(k: &Kernel, p: &PerfParams) -> Option<PerfModel> {
     })
 }
 
+/// Statically derived instrumentation profit of one region-forming
+/// statement (loop nest / critical section / DMA burst), summed over all
+/// hardware threads. Keyed by the statement's address — the same idiom as
+/// [`nymble_ir::loops::LoopMap`], so the map is only valid for the exact `Kernel`
+/// value it was computed from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionProfit {
+    /// Busy cycles spent under the region, all threads.
+    pub cycles: u64,
+    /// DRAM line traffic attributable to the region, all threads.
+    pub dram_bytes: u64,
+    /// Serialized critical-section cycles under the region.
+    pub critical_cycles: u64,
+    /// DMA engine busy cycles under the region.
+    pub dma_cycles: u64,
+}
+
+impl RegionProfit {
+    /// Scalar stall-exposure score the counter-selection optimizer ranks
+    /// regions by: busy cycles plus the serialization and DMA exposure
+    /// plus the bandwidth-floor cycles of the region's line traffic. Every
+    /// term is monotone in a componentwise-larger profit, so an enclosing
+    /// region never scores below any region nested inside it.
+    pub fn score(&self, dram_bytes_per_cycle: u64) -> u64 {
+        self.cycles
+            + self.critical_cycles
+            + self.dma_cycles
+            + self.dram_bytes / dram_bytes_per_cycle.max(1)
+    }
+}
+
+/// Per-region profits under `p`: walk every thread exactly like [`model`]
+/// and record the subtree cost of each loop, critical section and DMA
+/// burst against the statement's address. `None` when the kernel's loop
+/// bounds are not statically resolvable (same condition as [`model`]).
+pub fn region_profits(k: &Kernel, p: &PerfParams) -> Option<HashMap<usize, RegionProfit>> {
+    let nt = k.num_threads.max(1) as usize;
+    let mut sums: HashMap<usize, RegionProfit> = HashMap::new();
+    for t in 0..nt {
+        let mut w = CostWalker::new(k, p, t as i64);
+        w.recorded = Some(HashMap::new());
+        w.block_cost(&k.body)?;
+        for (key, c) in w.recorded.take().unwrap() {
+            let e = sums.entry(key).or_default();
+            e.cycles += c.cycles;
+            e.dram_bytes += c.dram_bytes;
+            e.critical_cycles += c.critical;
+            e.dma_cycles += c.dma_busy;
+        }
+    }
+    Some(sums)
+}
+
 // ---------------------------------------------------------------------------
 // The cost walker (static mirror of `fpga_sim::analytic`).
 // ---------------------------------------------------------------------------
@@ -151,6 +205,12 @@ struct CostWalker<'k> {
     tid: i64,
     bindings: Vec<Option<i64>>,
     approx: Vec<bool>,
+    /// When `Some`, subtree costs of region-forming statements accumulate
+    /// here, keyed by statement address (see [`region_profits`]).
+    recorded: Option<HashMap<usize, Cost>>,
+    /// Iteration multiplier of the enclosing extrapolated/unrolled loops:
+    /// blocks walked once but executed `scale` times record scaled costs.
+    scale: u64,
 }
 
 impl<'k> CostWalker<'k> {
@@ -161,6 +221,19 @@ impl<'k> CostWalker<'k> {
             tid,
             bindings: vec![None; k.vars.len()],
             approx: vec![false; k.vars.len()],
+            recorded: None,
+            scale: 1,
+        }
+    }
+
+    /// Accumulate one region-forming statement's subtree cost (times the
+    /// enclosing extrapolation multiplier) when recording is on.
+    fn record(&mut self, s: &Stmt, c: Cost) {
+        let scale = self.scale;
+        if let Some(map) = self.recorded.as_mut() {
+            map.entry(s as *const Stmt as usize)
+                .or_default()
+                .add(c.scale(scale));
         }
     }
 
@@ -192,22 +265,26 @@ impl<'k> CostWalker<'k> {
                 let elem = self.k.local_mem(*mem).elem.size_bytes() as u64;
                 let bytes = n * elem;
                 let occupancy = bytes.max(1).div_ceil(p.dram_bytes_per_cycle.max(1));
-                Some(Cost {
+                let out = Cost {
                     cycles: p.burst_issue_cost + p.stmt_base_cost,
                     dram_bytes: bytes,
                     critical: 0,
                     dma_busy: p.dma_setup + occupancy,
-                })
+                };
+                self.record(s, out);
+                Some(out)
             }
             Stmt::Critical { body } => {
                 let inner = self.block_cost(body)?;
                 let c = p.sem_acquire_latency + inner.cycles + p.sem_release_latency;
-                Some(Cost {
+                let out = Cost {
                     cycles: c,
                     dram_bytes: inner.dram_bytes,
                     critical: c,
                     dma_busy: inner.dma_busy,
-                })
+                };
+                self.record(s, out);
+                Some(out)
             }
             Stmt::Barrier => Some(Cost {
                 cycles: p.barrier_latency,
@@ -262,12 +339,19 @@ impl<'k> CostWalker<'k> {
                 self.bindings[slot] = Some(s0);
                 self.approx[slot] = true;
                 let out = if *unroll == Unroll::Full {
-                    self.block_cost(body).map(|c| c.scale(trip))
+                    let saved_scale = self.scale;
+                    self.scale = saved_scale.saturating_mul(trip);
+                    let c = self.block_cost(body);
+                    self.scale = saved_scale;
+                    c.map(|c| c.scale(trip))
                 } else {
                     self.loop_cost(s, trip, (s0, st), body)
                 };
                 self.bindings[slot] = saved;
                 self.approx[slot] = saved_approx;
+                if let Some(c) = out {
+                    self.record(s, c);
+                }
                 out
             }
         }
@@ -319,7 +403,11 @@ impl<'k> CostWalker<'k> {
                 total.cycles += 1; // LoopExit
                 return Some(total);
             }
-            let body_c = self.block_cost(body)?;
+            let saved_scale = self.scale;
+            self.scale = saved_scale.saturating_mul(trip);
+            let body_c = self.block_cost(body);
+            self.scale = saved_scale;
+            let body_c = body_c?;
             let per_iter = body_c.cycles + 1;
             Some(Cost {
                 cycles: trip * per_iter + 1,
@@ -470,7 +558,9 @@ struct IterTraffic {
 /// Can the loop body be pipelined? Structural mirror of the scheduler's
 /// decision: any nested sequential region (inner non-unrolled loop,
 /// critical section, barrier, DMA burst) forces sequential execution.
-pub(crate) fn pipeline_eligible(body: &[Stmt]) -> bool {
+/// Public so `nymble-hls`'s region analysis classifies loop regions the
+/// same way the profit model priced them.
+pub fn pipeline_eligible(body: &[Stmt]) -> bool {
     body.iter().all(|s| match s {
         Stmt::For { body, unroll, .. } => *unroll == Unroll::Full && pipeline_eligible(body),
         Stmt::Critical { .. } | Stmt::Barrier | Stmt::Preload { .. } | Stmt::WriteBack { .. } => {
@@ -1119,6 +1209,97 @@ mod tests {
         let d = ds.iter().find(|d| d.code == Code::NP001).unwrap();
         assert!(d.message.contains("II >= 4"), "{}", d.message);
         assert!(d.prediction.is_some());
+    }
+
+    #[test]
+    fn region_profits_nest_monotonically() {
+        // outer sequential loop { inner pipelined loop; critical }: the
+        // outer region's profit must dominate both nested regions'.
+        let mut kb = KernelBuilder::new("nest", 2);
+        let a = kb.buffer("A", ScalarType::F32, MapDir::To);
+        let c = kb.buffer("C", ScalarType::F32, MapDir::ToFrom);
+        let acc = kb.var("acc", Type::F32);
+        let rows = kb.c_i64(8);
+        let cols = kb.c_i64(64);
+        kb.for_range("i", rows, |kb, _i| {
+            kb.for_range("j", cols, |kb, j| {
+                let v = kb.load(a, j, Type::F32);
+                let cur = kb.get(acc);
+                let s = kb.add(cur, v);
+                kb.set(acc, s);
+            });
+            kb.critical(|kb| {
+                let zero = kb.c_i64(0);
+                let cur = kb.load(c, zero, Type::F32);
+                let mine = kb.get(acc);
+                let s = kb.add(cur, mine);
+                kb.store(c, zero, s);
+            });
+        });
+        let k = kb.finish();
+        let p = PerfParams::default();
+        let profits = region_profits(&k, &p).expect("resolvable");
+        let outer = &k.body[0];
+        let Stmt::For { body, .. } = outer else {
+            panic!("outer loop expected");
+        };
+        let inner = &body[0];
+        let crit = &body[1];
+        assert!(matches!(inner, Stmt::For { .. }));
+        assert!(matches!(crit, Stmt::Critical { .. }));
+        let key = |s: &Stmt| s as *const Stmt as usize;
+        let po = profits[&key(outer)];
+        let pi = profits[&key(inner)];
+        let pc = profits[&key(crit)];
+        assert!(po.cycles >= pi.cycles + pc.cycles, "{po:?} {pi:?} {pc:?}");
+        assert!(po.dram_bytes >= pi.dram_bytes);
+        assert_eq!(po.critical_cycles, pc.critical_cycles);
+        assert!(pc.critical_cycles > 0, "critical section serializes");
+        let bw = p.dram_bytes_per_cycle;
+        assert!(po.score(bw) >= pi.score(bw).max(pc.score(bw)));
+        // Profits are summed over both threads: the model's single-thread
+        // walk of the same loop must not exceed the two-thread total.
+        assert!(po.cycles > pi.cycles, "outer adds critical + handshakes");
+    }
+
+    #[test]
+    fn region_profits_none_when_unresolvable() {
+        let mut kb = KernelBuilder::new("dyn", 1);
+        let n = kb.scalar_arg("N", ScalarType::I64);
+        let bound = kb.arg(n);
+        kb.for_range("i", bound, |_, _| {});
+        let k = kb.finish();
+        assert!(region_profits(&k, &PerfParams::default()).is_none());
+    }
+
+    #[test]
+    fn extrapolated_loop_scales_inner_region_profit() {
+        // A long (trip > EXACT_SEQ_TRIP) sequential outer loop is walked
+        // once and extrapolated; the critical inside must still be priced
+        // per full execution count (trip × per-entry cost).
+        let mut kb = KernelBuilder::new("extr", 1);
+        let c = kb.buffer("C", ScalarType::F32, MapDir::ToFrom);
+        let n = kb.c_i64(100);
+        kb.for_range("i", n, |kb, i| {
+            kb.critical(|kb| {
+                let cur = kb.load(c, i, Type::F32);
+                kb.store(c, i, cur);
+            });
+        });
+        let k = kb.finish();
+        let p = PerfParams::default();
+        let profits = region_profits(&k, &p).expect("resolvable");
+        let outer = &k.body[0];
+        let Stmt::For { body, .. } = outer else {
+            panic!("outer loop expected");
+        };
+        let crit = &body[0];
+        let pc = profits[&(crit as *const Stmt as usize)];
+        let per_entry = p.sem_acquire_latency + p.sem_release_latency;
+        assert!(
+            pc.critical_cycles >= 100 * per_entry,
+            "expected ≥ trip × per-entry serialization, got {pc:?}"
+        );
     }
 
     #[test]

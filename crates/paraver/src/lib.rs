@@ -101,6 +101,33 @@ pub mod events {
     /// Local (BRAM) memory operations in the sampling period.
     pub const LOCAL_OPS: u32 = 42_000_006;
 
+    /// Base id of the per-region enter/exit event family emitted under
+    /// `--profile=auto`: region `r` of the compiled design's region tree
+    /// maps to event type `REGION_BASE + r` (value 1 = enter, 0 = exit).
+    /// Region ids are `u16`, so the family stays below the next decade.
+    pub const REGION_BASE: u32 = 42_100_000;
+
+    /// Event type id of a region probe.
+    pub fn region_type(region_id: u16) -> u32 {
+        REGION_BASE + region_id as u32
+    }
+
+    /// `.pcf` definition of one region probe.
+    pub fn region_def(region_id: u16, label: &str) -> crate::model::EventTypeDef {
+        crate::model::EventTypeDef {
+            id: region_type(region_id),
+            label: format!("Region: {label}"),
+        }
+    }
+
+    /// The standard event table plus one entry per instrumented region.
+    /// `regions` is (region id, source label) in pre-order.
+    pub fn defs_with_regions(regions: &[(u16, String)]) -> Vec<crate::model::EventTypeDef> {
+        let mut d = defs();
+        d.extend(regions.iter().map(|(id, label)| region_def(*id, label)));
+        d
+    }
+
     /// All event types with display labels for the `.pcf`.
     pub fn defs() -> Vec<crate::model::EventTypeDef> {
         vec![

@@ -233,6 +233,9 @@ pub struct BundleWriter {
     meta: TraceMeta,
     states: Vec<crate::model::StateDef>,
     event_types: Vec<crate::model::EventTypeDef>,
+    /// Instrumented source regions as (depth, label) for the `.row`'s
+    /// `LEVEL REGION` section; empty without an auto-probe plan.
+    regions: Vec<(u32, String)>,
     closed: bool,
 }
 
@@ -253,8 +256,16 @@ impl BundleWriter {
             meta: meta.clone(),
             states: states.to_vec(),
             event_types: event_types.to_vec(),
+            regions: Vec::new(),
             closed: false,
         })
+    }
+
+    /// Declare the instrumented source-region hierarchy (pre-order
+    /// (depth, label) pairs); rendered into the `.row` at close time.
+    pub fn with_regions(mut self, regions: Vec<(u32, String)>) -> Self {
+        self.regions = regions;
+        self
     }
 
     /// Number of `.prv` records written so far.
@@ -280,7 +291,7 @@ impl TraceSink for BundleWriter {
         )?;
         std::fs::write(
             self.path_stem.with_extension("row"),
-            crate::row::render(&self.meta),
+            crate::row::render_with_regions(&self.meta, &self.regions),
         )?;
         Ok(())
     }
@@ -299,8 +310,21 @@ pub fn write_bundle(
     states: &[crate::model::StateDef],
     event_types: &[crate::model::EventTypeDef],
 ) -> io::Result<()> {
+    write_bundle_with_regions(path_stem, meta, records, states, event_types, Vec::new())
+}
+
+/// [`write_bundle`] plus a `LEVEL REGION` hierarchy in the `.row` (the
+/// auto-probe path; `regions` is pre-order (depth, label) pairs).
+pub fn write_bundle_with_regions(
+    path_stem: &std::path::Path,
+    meta: &TraceMeta,
+    records: &mut [Record],
+    states: &[crate::model::StateDef],
+    event_types: &[crate::model::EventTypeDef],
+    regions: Vec<(u32, String)>,
+) -> io::Result<()> {
     records.sort_by_key(|r| r.sort_time());
-    let mut w = BundleWriter::create(path_stem, meta, states, event_types)?;
+    let mut w = BundleWriter::create(path_stem, meta, states, event_types)?.with_regions(regions);
     for r in records.iter() {
         w.writer.write(r)?;
     }

@@ -24,6 +24,24 @@ pub fn render(meta: &TraceMeta) -> String {
     s
 }
 
+/// Render the `.row` file plus a `LEVEL REGION` section naming the
+/// instrumented source regions of an auto-probe plan. `regions` is
+/// (nesting depth, source label) in pre-order; depth renders as
+/// indentation, so the section reads as the region hierarchy. Plain
+/// Paraver ignores unknown levels, so the file stays loadable.
+pub fn render_with_regions(meta: &TraceMeta, regions: &[(u32, String)]) -> String {
+    let mut s = render(meta);
+    if regions.is_empty() {
+        return s;
+    }
+    s.push('\n');
+    let _ = writeln!(s, "LEVEL REGION SIZE {}", regions.len());
+    for (depth, label) in regions {
+        let _ = writeln!(s, "{}{label}", "  ".repeat(*depth as usize));
+    }
+    s
+}
+
 /// Number of thread rows declared in a `.row` file (for validation).
 pub fn parse_thread_count(row: &str) -> Option<u32> {
     for line in row.lines() {
@@ -32,6 +50,28 @@ pub fn parse_thread_count(row: &str) -> Option<u32> {
         }
     }
     None
+}
+
+/// The `LEVEL REGION` section of a `.row` file as (depth, label) pairs;
+/// empty when the trace was recorded without an auto-probe plan.
+pub fn parse_regions(row: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for line in row.lines() {
+        if line.starts_with("LEVEL REGION SIZE ") {
+            in_section = true;
+            continue;
+        }
+        if in_section {
+            if line.trim().is_empty() || line.starts_with("LEVEL ") {
+                break;
+            }
+            let label = line.trim_start();
+            let depth = (line.len() - label.len()) as u32 / 2;
+            out.push((depth, label.to_string()));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -45,5 +85,25 @@ mod tests {
         assert!(r.contains("LEVEL THREAD SIZE 8"));
         assert!(r.contains("THREAD 1.1.8"));
         assert_eq!(parse_thread_count(&r), Some(8));
+    }
+
+    #[test]
+    fn region_section_roundtrips_depth_and_labels() {
+        let meta = TraceMeta::new("gemm", 10, 4);
+        let regions = vec![
+            (0, "gemm".to_string()),
+            (1, "gemm/i".to_string()),
+            (2, "gemm/i/j".to_string()),
+        ];
+        let r = render_with_regions(&meta, &regions);
+        assert!(r.contains("LEVEL REGION SIZE 3"));
+        assert!(r.contains("    gemm/i/j"), "{r}");
+        assert_eq!(parse_regions(&r), regions);
+        // Thread parsing is unaffected by the extra section.
+        assert_eq!(parse_thread_count(&r), Some(4));
+        // No plan → no section, and parsing returns empty.
+        let plain = render_with_regions(&meta, &[]);
+        assert!(!plain.contains("LEVEL REGION"));
+        assert!(parse_regions(&plain).is_empty());
     }
 }
